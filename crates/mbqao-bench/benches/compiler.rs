@@ -1,0 +1,57 @@
+//! Compiler throughput: QAOA_p → measurement pattern, and the schedule
+//! transformations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbqao_core::{compile_qaoa, CompileOptions};
+use mbqao_mbqc::schedule::{just_in_time, resource_state_first};
+use mbqao_problems::{generators, maxcut};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/compile_qaoa");
+    for (name, g) in [
+        ("C8", generators::cycle(8)),
+        ("petersen", generators::petersen()),
+        ("K8", generators::complete(8)),
+        ("grid4x4", generators::grid(4, 4)),
+    ] {
+        let cost = maxcut::maxcut_zpoly(&g);
+        for p in [1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(name, p),
+                &p,
+                |b, &p| b.iter(|| black_box(compile_qaoa(&cost, p, &CompileOptions::default()))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let g = generators::petersen();
+    let cost = maxcut::maxcut_zpoly(&g);
+    let compiled = compile_qaoa(&cost, 4, &CompileOptions::default());
+    c.bench_function("compiler/just_in_time", |b| {
+        b.iter(|| black_box(just_in_time(&compiled.pattern)))
+    });
+    c.bench_function("compiler/resource_state_first", |b| {
+        b.iter(|| black_box(resource_state_first(&compiled.pattern)))
+    });
+    c.bench_function("compiler/validate", |b| {
+        b.iter(|| black_box(compiled.pattern.validate().is_ok()))
+    });
+}
+
+fn bench_gflow(c: &mut Criterion) {
+    use mbqao_mbqc::{gflow, opengraph::OpenGraph};
+    let g = generators::square();
+    let cost = maxcut::maxcut_zpoly(&g);
+    let compiled = compile_qaoa(&cost, 2, &CompileOptions::default());
+    let og = OpenGraph::from_pattern(&compiled.pattern);
+    c.bench_function("compiler/find_gflow_square_p2", |b| {
+        b.iter(|| black_box(gflow::find_gflow(&og)))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_schedules, bench_gflow);
+criterion_main!(benches);

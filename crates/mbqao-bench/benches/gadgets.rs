@@ -1,0 +1,63 @@
+//! Gadget-level costs: building and running the Eq. 7–10 measurement
+//! gadgets, including the exponential MIS partial mixer vs. degree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbqao_core::PatternBuilder;
+use mbqao_mbqc::simulate::{run_with_input, Branch};
+use mbqao_mbqc::Angle;
+use mbqao_sim::State;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadgets/build");
+    group.bench_function("phase_gadget_2", |b| {
+        b.iter(|| {
+            let (mut bld, inputs) = PatternBuilder::with_inputs(2, 0);
+            bld.phase_gadget(&[inputs[0], inputs[1]], &Angle::constant(0.3));
+            black_box(bld.finish(inputs))
+        })
+    });
+    group.bench_function("rx_mixer", |b| {
+        b.iter(|| {
+            let (mut bld, inputs) = PatternBuilder::with_inputs(1, 0);
+            let out = bld.rx_mixer(inputs[0], &Angle::constant(0.4));
+            black_box(bld.finish(vec![out]))
+        })
+    });
+    for d in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("mis_mixer_degree", d), &d, |b, &d| {
+            b.iter(|| {
+                let (mut bld, inputs) = PatternBuilder::with_inputs(d + 1, 0);
+                let out = bld.controlled_x_mixer(
+                    inputs[0],
+                    &inputs[1..],
+                    &Angle::constant(0.5),
+                );
+                let mut outs = vec![out];
+                outs.extend_from_slice(&inputs[1..]);
+                black_box(bld.finish(outs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadgets/run");
+    let (mut bld, inputs) = PatternBuilder::with_inputs(2, 0);
+    bld.phase_gadget(&[inputs[0], inputs[1]], &Angle::constant(0.3));
+    let pat = bld.finish(inputs.clone());
+    group.bench_function("phase_gadget_2", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            let input = State::plus(&inputs);
+            black_box(run_with_input(&pat, input, &[], Branch::Random, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_run);
+criterion_main!(benches);

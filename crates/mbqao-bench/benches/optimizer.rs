@@ -1,0 +1,46 @@
+//! Outer-loop cost: one QAOA expectation evaluation (the optimizer's
+//! inner kernel) and full optimizer runs at small depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbqao_problems::{generators, maxcut};
+use mbqao_qaoa::optimize::{grid_search, FnObjective, NelderMead, Spsa};
+use mbqao_qaoa::{QaoaAnsatz, QaoaRunner};
+use std::hint::black_box;
+
+fn bench_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/expectation_eval");
+    for n in [6usize, 8, 10] {
+        let g = generators::cycle(n);
+        let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(runner.expectation(&[0.4, 0.3])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let g = generators::cycle(6);
+    let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
+    let obj = FnObjective::new(2, |p: &[f64]| runner.expectation(p));
+
+    c.bench_function("optimizer/nelder_mead_p1", |b| {
+        b.iter(|| black_box(NelderMead { max_iters: 60, ..Default::default() }.run(&obj, &[0.4, 0.3])))
+    });
+    c.bench_function("optimizer/spsa_p1_60iters", |b| {
+        b.iter(|| black_box(Spsa { iterations: 60, ..Default::default() }.run(&obj, &[0.4, 0.3])))
+    });
+    c.bench_function("optimizer/grid_9x9_p1", |b| {
+        b.iter(|| {
+            black_box(grid_search(
+                &obj,
+                &[0.0, 0.0],
+                &[std::f64::consts::PI, std::f64::consts::PI],
+                9,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_expectation, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Pattern execution vs. gate-model execution of the *same* QAOA — the
+//! operational cost of the measurement-based protocol (Sec. III-A's
+//! trade-off, measured end to end on the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbqao_core::{compile_qaoa, CompileOptions};
+use mbqao_mbqc::simulate::{run, Branch};
+use mbqao_problems::{generators, maxcut};
+use mbqao_qaoa::QaoaAnsatz;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_execution");
+    for (name, g, p) in [
+        ("C6/p1", generators::cycle(6), 1usize),
+        ("C6/p3", generators::cycle(6), 3),
+        ("3reg8/p2", {
+            let mut rng = StdRng::seed_from_u64(5);
+            generators::random_regular(8, 3, &mut rng)
+        }, 2),
+    ] {
+        let cost = maxcut::maxcut_zpoly(&g);
+        let params: Vec<f64> = (0..2 * p).map(|i| 0.3 + 0.1 * i as f64).collect();
+
+        let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+        group.bench_with_input(BenchmarkId::new("gate", name), &(), |b, _| {
+            b.iter(|| black_box(ansatz.prepare(&params)))
+        });
+
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        group.bench_with_input(BenchmarkId::new("mbqc", name), &(), |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(run(&compiled.pattern, &params, Branch::Random, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let g = generators::cycle(6);
+    let cost = maxcut::maxcut_zpoly(&g);
+    let compiled = compile_qaoa(
+        &cost,
+        2,
+        &CompileOptions { measure_outputs: true, ..Default::default() },
+    );
+    let params = [0.4, 0.2, 0.5, 0.3];
+    c.bench_function("qaoa_execution/mbqc_sample_shot", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(run(&compiled.pattern, &params, Branch::Random, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_backends, bench_sampling_throughput);
+criterion_main!(benches);

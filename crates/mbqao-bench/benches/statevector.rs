@@ -1,0 +1,85 @@
+//! Statevector kernel throughput vs. register size — the substrate cost
+//! that every backend comparison in the paper's resource discussion
+//! ultimately runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbqao_sim::{QubitId, State};
+use std::hint::black_box;
+
+fn qids(n: usize) -> Vec<QubitId> {
+    (0..n as u64).map(QubitId::new).collect()
+}
+
+fn bench_single_qubit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector/hadamard");
+    for n in [8usize, 12, 16, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let order = qids(n);
+            let mut st = State::plus(&order);
+            b.iter(|| {
+                st.apply_h(QubitId::new((n / 2) as u64));
+                black_box(st.n_qubits())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector/cz");
+    for n in [8usize, 12, 16, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let order = qids(n);
+            let mut st = State::plus(&order);
+            b.iter(|| {
+                st.apply_cz(QubitId::new(0), QubitId::new((n - 1) as u64));
+                black_box(st.n_qubits())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rzz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector/rzz");
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let order = qids(n);
+            let mut st = State::plus(&order);
+            b.iter(|| {
+                st.apply_rzz(QubitId::new(1), QubitId::new(2), 0.37);
+                black_box(st.n_qubits())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_measure_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector/measure_and_ancilla_cycle");
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let order = qids(n);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            b.iter(|| {
+                // ancilla add → entangle → measure-remove: the MBQC inner
+                // loop at constant register width.
+                let mut st = State::plus(&order);
+                let anc = QubitId::new(999);
+                st.add_plus(anc);
+                st.apply_cz(QubitId::new(0), anc);
+                let (m, _) = st.measure_remove(
+                    anc,
+                    &mbqao_sim::MeasBasis::xy(0.4),
+                    None,
+                    &mut rng,
+                );
+                black_box(m)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_qubit, bench_cz, bench_rzz, bench_measure_remove);
+criterion_main!(benches);

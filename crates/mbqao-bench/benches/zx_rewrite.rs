@@ -1,0 +1,66 @@
+//! ZX engine throughput: circuit import, fixpoint simplification and
+//! tensor evaluation (the Fig.-1 machinery under load).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbqao_problems::{generators, maxcut};
+use mbqao_qaoa::QaoaAnsatz;
+use mbqao_sim::QubitId;
+use mbqao_zx::{circuit_import::circuit_to_diagram, simplify, tensor};
+use std::hint::black_box;
+
+fn qaoa_circuit(n_path: usize, p: usize) -> (mbqao_sim::Circuit, Vec<QubitId>) {
+    let g = generators::path(n_path);
+    let cost = maxcut::maxcut_zpoly(&g);
+    let ansatz = QaoaAnsatz::standard(cost, p);
+    let params: Vec<f64> = (0..2 * p).map(|i| 0.2 + 0.15 * i as f64).collect();
+    (ansatz.full_circuit_from_zero(&params), ansatz.qubit_order())
+}
+
+fn bench_import(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zx/import");
+    for (n, p) in [(3usize, 1usize), (4, 2), (6, 4)] {
+        let (circ, order) = qaoa_circuit(n, p);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("path{n}/p{p}")),
+            &(),
+            |b, _| b.iter(|| black_box(circuit_to_diagram(&circ, &order))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zx/simplify");
+    for (n, p) in [(3usize, 1usize), (4, 2), (6, 4)] {
+        let (circ, order) = qaoa_circuit(n, p);
+        let imported = circuit_to_diagram(&circ, &order);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("path{n}/p{p}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut d = imported.diagram.clone();
+                    black_box(simplify::simplify(&mut d))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tensor_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zx/tensor_eval");
+    for (n, p) in [(2usize, 1usize), (3, 1), (4, 1)] {
+        let (circ, order) = qaoa_circuit(n, p);
+        let imported = circuit_to_diagram(&circ, &order);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("path{n}/p{p}")),
+            &(),
+            |b, _| b.iter(|| black_box(tensor::evaluate(&imported.diagram, &imported.bindings()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_import, bench_simplify, bench_tensor_eval);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E8/E9 — the headline equivalence table: MBQC-QAOA ≡ gate-model QAOA
+//! across problems, depths and random parameters (fidelity per branch).
+
+use mbqao_bench::standard_families;
+use mbqao_core::{compile_qaoa, verify_equivalence, CompileOptions};
+use mbqao_problems::{maxcut, Qubo};
+use mbqao_qaoa::QaoaAnsatz;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("# E8/E9: equivalence of the compiled patterns (Sec. III)\n");
+    println!("| instance | n | p | params | branches | min fidelity | pass |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut rng = StdRng::seed_from_u64(2403);
+
+    // MaxCut across families (skip the largest to keep runtime modest).
+    for fam in standard_families(7) {
+        if fam.graph.n() > 8 {
+            continue;
+        }
+        let cost = maxcut::maxcut_zpoly(&fam.graph);
+        for p in 1..=2 {
+            let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+            let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+            let rep = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
+            println!(
+                "| maxcut/{} | {} | {} | random | {} | {:.12} | {} |",
+                fam.name,
+                fam.graph.n(),
+                p,
+                rep.fidelities.len(),
+                rep.min_fidelity,
+                if rep.equivalent { "yes" } else { "NO" }
+            );
+            assert!(rep.equivalent);
+        }
+    }
+
+    // General QUBOs with linear terms (Eq. 12).
+    for i in 0..4 {
+        let q = Qubo::random(5, 0.6, &mut rng);
+        let cost = q.to_zpoly();
+        let p = 1 + i % 2;
+        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let ansatz = QaoaAnsatz::standard(cost, p);
+        let rep = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
+        println!(
+            "| qubo-rand-{i} | 5 | {p} | random | {} | {:.12} | {} |",
+            rep.fidelities.len(),
+            rep.min_fidelity,
+            if rep.equivalent { "yes" } else { "NO" }
+        );
+        assert!(rep.equivalent);
+    }
+    println!("\nall minimum fidelities = 1 within 1e-8: the compiled measurement");
+    println!("patterns implement QAOA exactly, for arbitrary depth and parameters.");
+}

@@ -1,0 +1,98 @@
+//! Shared helpers for the benchmark harness and table generators.
+//!
+//! The binaries in `src/bin/` regenerate the paper's quantitative
+//! artifacts (see `DESIGN.md` §4 and `EXPERIMENTS.md`); the Criterion
+//! benches in `benches/` measure the implementation itself.
+
+use mbqao_core::{compile_qaoa, CompileOptions, CompiledQaoa};
+use mbqao_mbqc::simulate::{run, Branch};
+use mbqao_problems::{Graph, ZPoly};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A labelled graph family instance used across tables.
+pub struct FamilyInstance {
+    /// Display name.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+/// The standard family sweep used by the resource/equivalence tables.
+pub fn standard_families(seed: u64) -> Vec<FamilyInstance> {
+    use mbqao_problems::generators as gen;
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        FamilyInstance { name: "triangle".into(), graph: gen::triangle() },
+        FamilyInstance { name: "square".into(), graph: gen::square() },
+        FamilyInstance { name: "C5".into(), graph: gen::cycle(5) },
+        FamilyInstance { name: "C8".into(), graph: gen::cycle(8) },
+        FamilyInstance { name: "K4".into(), graph: gen::complete(4) },
+        FamilyInstance { name: "K6".into(), graph: gen::complete(6) },
+        FamilyInstance { name: "star7".into(), graph: gen::star(7) },
+        FamilyInstance { name: "grid3x3".into(), graph: gen::grid(3, 3) },
+        FamilyInstance { name: "petersen".into(), graph: gen::petersen() },
+        FamilyInstance {
+            name: "3reg8".into(),
+            graph: gen::random_regular(8, 3, &mut rng),
+        },
+    ]
+}
+
+/// Samples `shots` corrected bitstrings from a sampling-form pattern.
+pub fn sample_pattern(
+    compiled: &CompiledQaoa,
+    params: &[f64],
+    shots: usize,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(!compiled.readout.is_empty(), "need a sampling-form pattern");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shots)
+        .map(|_| {
+            let r = run(&compiled.pattern, params, Branch::Random, &mut rng);
+            let mut x = 0u64;
+            for (v, m) in compiled.readout.iter().enumerate() {
+                if r.outcomes[m.0 as usize] == 1 {
+                    x |= 1 << v;
+                }
+            }
+            x
+        })
+        .collect()
+}
+
+/// Compiles the sampling form of standard QAOA for `cost`.
+pub fn compile_sampling(cost: &ZPoly, p: usize) -> CompiledQaoa {
+    compile_qaoa(
+        cost,
+        p,
+        &CompileOptions { measure_outputs: true, ..Default::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_problems::maxcut;
+
+    #[test]
+    fn families_are_nonempty() {
+        let fams = standard_families(3);
+        assert!(fams.len() >= 8);
+        for f in &fams {
+            assert!(f.graph.n() >= 3);
+            assert!(f.graph.m() >= 2);
+        }
+    }
+
+    #[test]
+    fn sampling_helper_round_trips() {
+        let g = mbqao_problems::generators::triangle();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let compiled = compile_sampling(&cost, 1);
+        let samples = sample_pattern(&compiled, &[0.5, 0.4], 50, 1);
+        assert_eq!(samples.len(), 50);
+        assert!(samples.iter().all(|&x| x < 8));
+    }
+}

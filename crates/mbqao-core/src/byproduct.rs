@@ -1,0 +1,175 @@
+//! The Pauli byproduct frame.
+//!
+//! Measurement-based gadgets produce outcome-dependent Pauli *byproducts*
+//! (`X^m`, `Z^m`). Instead of applying corrective gates, the compiler
+//! defers them in a Pauli frame and adapts later measurement bases — the
+//! strategy the paper derives diagrammatically in Sec. III ("all the above
+//! measurement outcomes are used for corrections in a causal fashion so
+//! that deterministic measurement patterns can be constructed").
+//!
+//! The frame maintains, per live qubit `q`, two GF(2) signals
+//! `(x_q, z_q)` meaning the *ideal* state is `∏_q X_q^{x_q} Z_q^{z_q}`
+//! times the *executed* state. Two rules evolve it:
+//!
+//! * **CZ conjugation** — `CZ X_u CZ† = X_u Z_v`: entangling `u, v` adds
+//!   `x_u` into `z_v` and `x_v` into `z_u`. Iterated over a vertex's
+//!   incident edges this is precisely how the paper's neighbourhood parity
+//!   `P_u = Σ_{w∈N(u)∖v} n'_w` (Eq. 11–12) arises.
+//! * **Measurement folding** — measuring `q` in a plane absorbs `(x_q,
+//!   z_q)` into the signal domains via [`mbqao_mbqc::Plane::fold_x`] /
+//!   [`fold_z`](mbqao_mbqc::Plane::fold_z): e.g. in the XY plane `X`
+//!   flips the angle's sign (the paper's `(−1)^{m_u}β`) and `Z` adds π.
+
+use mbqao_mbqc::{Plane, Signal};
+use mbqao_sim::QubitId;
+use std::collections::HashMap;
+
+/// The deferred-correction Pauli frame.
+#[derive(Debug, Clone, Default)]
+pub struct ByproductTracker {
+    x: HashMap<QubitId, Signal>,
+    z: HashMap<QubitId, Signal>,
+}
+
+impl ByproductTracker {
+    /// Empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `X^{sig}` to `q`'s frame.
+    pub fn add_x(&mut self, q: QubitId, sig: &Signal) {
+        self.x.entry(q).or_default().xor_assign(sig);
+    }
+
+    /// Adds `Z^{sig}` to `q`'s frame.
+    pub fn add_z(&mut self, q: QubitId, sig: &Signal) {
+        self.z.entry(q).or_default().xor_assign(sig);
+    }
+
+    /// Current `X` signal of `q`.
+    pub fn x_of(&self, q: QubitId) -> Signal {
+        self.x.get(&q).cloned().unwrap_or_default()
+    }
+
+    /// Current `Z` signal of `q`.
+    pub fn z_of(&self, q: QubitId) -> Signal {
+        self.z.get(&q).cloned().unwrap_or_default()
+    }
+
+    /// Conjugates the frame through `CZ(a, b)`.
+    pub fn on_cz(&mut self, a: QubitId, b: QubitId) {
+        let xa = self.x_of(a);
+        let xb = self.x_of(b);
+        if !xa.is_zero() {
+            self.add_z(b, &xa);
+        }
+        if !xb.is_zero() {
+            self.add_z(a, &xb);
+        }
+    }
+
+    /// Folds and *consumes* `q`'s frame for a measurement in `plane`,
+    /// returning the extra `(s_domain, t_domain)` contributions.
+    pub fn fold_for_measurement(&mut self, q: QubitId, plane: Plane) -> (Signal, Signal) {
+        let x = self.x.remove(&q).unwrap_or_default();
+        let z = self.z.remove(&q).unwrap_or_default();
+        let mut s = Signal::zero();
+        let mut t = Signal::zero();
+        let (xf, xp) = plane.fold_x();
+        if xf {
+            s.xor_assign(&x);
+        }
+        if xp {
+            t.xor_assign(&x);
+        }
+        let (zf, zp) = plane.fold_z();
+        if zf {
+            s.xor_assign(&z);
+        }
+        if zp {
+            t.xor_assign(&z);
+        }
+        (s, t)
+    }
+
+    /// Drains the frame of `q` (for emitting explicit corrections on an
+    /// output qubit): returns `(x_signal, z_signal)`.
+    pub fn drain(&mut self, q: QubitId) -> (Signal, Signal) {
+        (
+            self.x.remove(&q).unwrap_or_default(),
+            self.z.remove(&q).unwrap_or_default(),
+        )
+    }
+
+    /// `true` when no qubit carries a pending byproduct.
+    pub fn is_empty(&self) -> bool {
+        self.x.values().all(Signal::is_zero) && self.z.values().all(Signal::is_zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_mbqc::OutcomeId;
+
+    fn q(i: u64) -> QubitId {
+        QubitId::new(i)
+    }
+    fn m(i: u32) -> Signal {
+        Signal::var(OutcomeId(i))
+    }
+
+    #[test]
+    fn cz_propagates_x_to_z() {
+        let mut t = ByproductTracker::new();
+        t.add_x(q(0), &m(7));
+        t.on_cz(q(0), q(1));
+        assert_eq!(t.x_of(q(0)), m(7), "X stays on its qubit");
+        assert_eq!(t.z_of(q(1)), m(7), "X on u becomes Z on v");
+        assert!(t.z_of(q(0)).is_zero());
+    }
+
+    #[test]
+    fn neighborhood_parity_emerges() {
+        // X^{n_w} on three neighbours w all CZ'd to u produce the parity
+        // Z^{n_1 ⊕ n_2 ⊕ n_3} on u — the paper's P_u.
+        let mut t = ByproductTracker::new();
+        for w in 1..=3 {
+            t.add_x(q(w), &m(w as u32));
+            t.on_cz(q(w), q(0));
+        }
+        let parity = m(1).xor(&m(2)).xor(&m(3));
+        assert_eq!(t.z_of(q(0)), parity);
+    }
+
+    #[test]
+    fn xy_fold_moves_x_to_s_and_z_to_t() {
+        let mut t = ByproductTracker::new();
+        t.add_x(q(0), &m(1));
+        t.add_z(q(0), &m(2));
+        let (s, tt) = t.fold_for_measurement(q(0), Plane::XY);
+        assert_eq!(s, m(1));
+        assert_eq!(tt, m(2));
+        // consumed
+        assert!(t.x_of(q(0)).is_zero());
+    }
+
+    #[test]
+    fn yz_fold_is_mirrored() {
+        let mut t = ByproductTracker::new();
+        t.add_x(q(0), &m(1));
+        t.add_z(q(0), &m(2));
+        let (s, tt) = t.fold_for_measurement(q(0), Plane::YZ);
+        assert_eq!(s, m(2), "Z flips the YZ angle sign");
+        assert_eq!(tt, m(1), "X adds π in the YZ plane");
+    }
+
+    #[test]
+    fn double_byproduct_cancels() {
+        let mut t = ByproductTracker::new();
+        t.add_x(q(0), &m(1));
+        t.add_x(q(0), &m(1));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! The QAOA → MBQC compiler (Sec. III, Eq. 12 of the paper, generalized).
+//!
+//! For a cost Hamiltonian `C = c₀ + Σ_S w_S Z_S` and depth `p`, the
+//! compiled pattern prepares `|+⟩^{⊗n}` (or a feasible basis state for the
+//! MIS ansatz), then alternates
+//!
+//! * **phase separation** — one phase-gadget ancilla per term `S`,
+//!   measured in `YZ(2γ_k w_S)` (Eqs. 7–8; Eq. 10 for the linear terms),
+//! * **mixing** — per wire, the two-ancilla `e^{−iβ_k X}` chain (Eq. 9),
+//!   or the Sec.-IV/V alternatives,
+//!
+//! threading all byproducts through the [`crate::byproduct`] frame so the
+//! pattern is deterministic for *arbitrary* `p` and parameters — the
+//! paper's headline result. Angles stay symbolic in the 2p parameters
+//! `[γ₁…γ_p, β₁…β_p]` (the same layout `mbqao-qaoa` uses), so one
+//! compiled pattern serves the entire variational loop.
+
+use crate::gadgets::PatternBuilder;
+use mbqao_mbqc::command::ParamId;
+use mbqao_mbqc::{Angle, Pattern};
+use mbqao_problems::{Graph, ZPoly};
+use mbqao_sim::QubitId;
+
+/// Mixer families the compiler supports.
+#[derive(Debug, Clone)]
+pub enum MixerKind {
+    /// Transverse field `∏ e^{−iβXᵥ}` (standard QAOA).
+    TransverseField,
+    /// Constraint-preserving MIS partial mixers over the given graph
+    /// (Sec. IV), applied in vertex order.
+    Mis(Graph),
+    /// Ring XY mixer (Sec. V): `e^{iβ(XX+YY)}` around the cycle.
+    XyRing,
+}
+
+/// Compiler options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Mixer family.
+    pub mixer: MixerKind,
+    /// Initial computational-basis state for constrained ansätze
+    /// (`None` = `|+⟩^{⊗n}`). Bit `v` = wire `v`.
+    pub initial_basis_state: Option<u64>,
+    /// Measure the output wires in the computational basis at the end
+    /// (sampling form) instead of leaving them open (state form).
+    pub measure_outputs: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            mixer: MixerKind::TransverseField,
+            initial_basis_state: None,
+            measure_outputs: false,
+        }
+    }
+}
+
+/// A compiled QAOA pattern plus its interface metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledQaoa {
+    /// The measurement pattern (parameters `[γ₁…γ_p, β₁…β_p]`).
+    pub pattern: Pattern,
+    /// Output wire of each problem variable (state form) — the qubit
+    /// carrying variable `v` after `p` layers. Empty in sampling form.
+    pub output_wires: Vec<QubitId>,
+    /// Readout outcome ids per variable (sampling form only).
+    pub readout: Vec<mbqao_mbqc::OutcomeId>,
+    /// Number of layers compiled.
+    pub p: usize,
+}
+
+/// Compiles `QAOA_p` for the diagonal Hamiltonian `cost` into a
+/// measurement pattern.
+///
+/// # Panics
+/// Panics when a Mis mixer's graph size disagrees with `cost.n()`.
+pub fn compile_qaoa(cost: &ZPoly, p: usize, options: &CompileOptions) -> CompiledQaoa {
+    let n = cost.n();
+    if let MixerKind::Mis(g) = &options.mixer {
+        assert_eq!(g.n(), n, "mixer graph and Hamiltonian disagree on n");
+    }
+    let mut b = PatternBuilder::new(2 * p);
+
+    // Initial state.
+    let mut wires: Vec<QubitId> = match options.initial_basis_state {
+        None => (0..n).map(|_| b.plus_wire()).collect(),
+        Some(mask) => (0..n).map(|v| b.basis_wire((mask >> v) & 1 == 1)).collect(),
+    };
+
+    for k in 0..p {
+        let gamma = ParamId(k as u32);
+        let beta = ParamId((p + k) as u32);
+
+        // Phase separation: e^{−iγ_k C} = ∏_S e^{−iγ_k w_S Z_S} — one
+        // gadget per term, target exponent θ_S = −w_S·γ_k.
+        for (support, w) in cost.terms() {
+            let gadget_wires: Vec<QubitId> = support.iter().map(|&v| wires[v]).collect();
+            b.phase_gadget(&gadget_wires, &Angle::param(-w, gamma));
+        }
+
+        // Mixing layer.
+        match &options.mixer {
+            MixerKind::TransverseField => {
+                for v in 0..n {
+                    wires[v] = b.rx_mixer(wires[v], &Angle::param(1.0, beta));
+                }
+            }
+            MixerKind::Mis(g) => {
+                for v in 0..n {
+                    let neighbor_wires: Vec<QubitId> =
+                        g.neighbors(v).iter().map(|&w| wires[w]).collect();
+                    wires[v] =
+                        b.controlled_x_mixer(wires[v], &neighbor_wires, &Angle::param(1.0, beta));
+                }
+            }
+            MixerKind::XyRing => {
+                assert!(n >= 3, "ring mixer needs ≥ 3 wires");
+                let mut pairs: Vec<(usize, usize)> = Vec::new();
+                let mut i = 0;
+                while i + 1 < n {
+                    pairs.push((i, i + 1));
+                    i += 2;
+                }
+                let mut i = 1;
+                while i + 1 < n {
+                    pairs.push((i, i + 1));
+                    i += 2;
+                }
+                pairs.push((n - 1, 0));
+                for (u, v) in pairs {
+                    let (nu, nv) = b.xy_mixer(wires[u], wires[v], &Angle::param(1.0, beta));
+                    wires[u] = nu;
+                    wires[v] = nv;
+                }
+            }
+        }
+    }
+
+    if options.measure_outputs {
+        let (pattern, readout) = b.finish_measured(wires);
+        CompiledQaoa { pattern, output_wires: vec![], readout, p }
+    } else {
+        let pattern = b.finish(wires.clone());
+        CompiledQaoa { pattern, output_wires: wires, readout: vec![], p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_mbqc::resources;
+    use mbqao_problems::{generators, maxcut};
+
+    #[test]
+    fn compile_square_p1_resources_match_paper_exactly() {
+        // MaxCut on the square: |V| = 4, |E| = 4, no linear terms.
+        let g = generators::square();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let c = compile_qaoa(&cost, 1, &CompileOptions::default());
+        let s = resources::stats(&c.pattern);
+        // Ancillas: p(|E| + 2|V|) = 12; total = ancillas + |V| wires.
+        assert_eq!(s.total_qubits, 4 + 12);
+        // CZs: p(2|E| + 2|V|) = 16.
+        assert_eq!(s.entangling, 16);
+        // Measurements: everything but the 4 outputs.
+        assert_eq!(s.measurements, 12);
+        assert_eq!(c.output_wires.len(), 4);
+    }
+
+    #[test]
+    fn compile_with_linear_terms_adds_vertex_gadgets() {
+        // General QUBO: add a linear Z term on every vertex.
+        let g = generators::square();
+        let mut terms: Vec<(Vec<usize>, f64)> =
+            g.edges().iter().map(|&(u, v)| (vec![u, v], 0.5)).collect();
+        for v in 0..4 {
+            terms.push((vec![v], 0.3));
+        }
+        let cost = mbqao_problems::ZPoly::new(4, 0.0, terms);
+        let p = 2;
+        let c = compile_qaoa(&cost, p, &CompileOptions::default());
+        let s = resources::stats(&c.pattern);
+        // Per layer: |E| + |V| gadgets + 2|V| mixer ancillas.
+        assert_eq!(s.total_qubits, 4 + p * (4 + 4 + 8));
+        assert_eq!(s.entangling, p * (2 * 4 + 4 + 8));
+    }
+
+    #[test]
+    fn sampling_form_measures_everything() {
+        let g = generators::triangle();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+        let c = compile_qaoa(&cost, 1, &opts);
+        assert!(c.pattern.outputs().is_empty());
+        assert_eq!(c.readout.len(), 3);
+        let s = resources::stats(&c.pattern);
+        assert_eq!(s.measurements, s.total_qubits);
+    }
+
+    #[test]
+    fn p0_pattern_is_bare_wires() {
+        let g = generators::triangle();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let c = compile_qaoa(&cost, 0, &CompileOptions::default());
+        let s = resources::stats(&c.pattern);
+        assert_eq!(s.total_qubits, 3);
+        assert_eq!(s.entangling, 0);
+        assert_eq!(s.measurements, 0);
+    }
+}

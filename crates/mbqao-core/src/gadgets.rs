@@ -1,0 +1,550 @@
+//! The measurement-pattern gadget library (Eqs. 7–10 of the paper, plus
+//! the generic Pauli rotations needed for Secs. IV–V).
+//!
+//! Every gadget is emitted in *just-in-time* order (prepare → entangle →
+//! measure), so the [`ByproductTracker`] conjugation rules apply exactly;
+//! the equivalent "resource-state-first" presentation is recovered by
+//! [`mbqao_mbqc::schedule`] transformations. Gadget inventory:
+//!
+//! | gadget | paper | ancillas | CZs | plane |
+//! |---|---|---|---|---|
+//! | `j_step` (J(θ) = H·Rz(θ)) | Sec. II-B | 1 | 1 | XY |
+//! | `rz` (e^{iθZ}) | Eq. (10) | 1 | 1 | YZ |
+//! | `phase_gadget` (e^{iθZ_S}) | Eqs. (7–8) | 1 | \|S\| | YZ |
+//! | `rx` (e^{−iβX}) | Eq. (9) | 2 | 2 | XY |
+//! | `pauli_rotation` (e^{iθP}) | Sec. V | varies | varies | mixed |
+//! | `controlled_x_mixer` (Λ_N(e^{iβX})) | Sec. IV | 2 + 2^{d} | — | mixed |
+
+use crate::byproduct::ByproductTracker;
+use mbqao_math::Rational;
+use mbqao_mbqc::{Angle, Pattern, Pauli, Plane, Signal};
+use mbqao_sim::QubitId;
+
+/// Builds measurement patterns gadget by gadget while maintaining the
+/// byproduct frame. Wires (logical qubits of the simulated circuit) are
+/// represented by the id of the pattern qubit currently carrying them.
+#[derive(Debug)]
+pub struct PatternBuilder {
+    pattern: Pattern,
+    tracker: ByproductTracker,
+    next_qubit: u64,
+}
+
+/// Negates an [`Angle`] (both constant and parameter parts).
+fn neg(a: &Angle) -> Angle {
+    Angle {
+        constant: -a.constant,
+        terms: a.terms.iter().map(|&(c, p)| (-c, p)).collect(),
+    }
+}
+
+/// Scales an [`Angle`].
+fn scale(a: &Angle, k: f64) -> Angle {
+    Angle {
+        constant: k * a.constant,
+        terms: a.terms.iter().map(|&(c, p)| (k * c, p)).collect(),
+    }
+}
+
+impl PatternBuilder {
+    /// A builder for a self-contained pattern (no open inputs) with
+    /// `n_params` free parameters.
+    pub fn new(n_params: usize) -> Self {
+        PatternBuilder {
+            pattern: Pattern::new(vec![], n_params),
+            tracker: ByproductTracker::new(),
+            next_qubit: 0,
+        }
+    }
+
+    /// A builder whose pattern takes `n_inputs` open input wires; returns
+    /// the builder and the input wire ids.
+    pub fn with_inputs(n_inputs: usize, n_params: usize) -> (Self, Vec<QubitId>) {
+        let inputs: Vec<QubitId> = (0..n_inputs as u64).map(QubitId::new).collect();
+        let b = PatternBuilder {
+            pattern: Pattern::new(inputs.clone(), n_params),
+            tracker: ByproductTracker::new(),
+            next_qubit: n_inputs as u64,
+        };
+        (b, inputs)
+    }
+
+    /// Allocates a fresh qubit id (not yet prepared).
+    pub fn fresh(&mut self) -> QubitId {
+        let q = QubitId::new(self.next_qubit);
+        self.next_qubit += 1;
+        q
+    }
+
+    /// Prepares a fresh `|+⟩` wire (e.g. the QAOA initial state).
+    pub fn plus_wire(&mut self) -> QubitId {
+        let q = self.fresh();
+        self.pattern.prep_plus(q);
+        q
+    }
+
+    /// Prepares a fresh computational-basis wire `|bit⟩`.
+    pub fn basis_wire(&mut self, bit: bool) -> QubitId {
+        let q = self.fresh();
+        self.pattern
+            .push(mbqao_mbqc::Command::Prep { q, state: mbqao_mbqc::PrepState::Zero });
+        if bit {
+            // X with a constant-1 condition flips |0⟩ → |1⟩.
+            self.pattern.correct(q, Pauli::X, Signal::one());
+        }
+        q
+    }
+
+    /// Read-only view of the pattern under construction.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Read-only view of the byproduct frame.
+    pub fn tracker(&self) -> &ByproductTracker {
+        &self.tracker
+    }
+
+    /// **J-step** (Sec. II-B): teleports `wire` through a fresh ancilla,
+    /// implementing `J(θ) = H·Rz(θ)`; returns the new wire.
+    ///
+    /// Mechanics: `E(wire, a)`, then measure `wire` in `XY(−θ)`; outcome
+    /// `m` leaves byproduct `X^m` on `a`.
+    pub fn j_step(&mut self, wire: QubitId, theta: &Angle) -> QubitId {
+        let a = self.fresh();
+        self.pattern.prep_plus(a);
+        self.pattern.entangle(wire, a);
+        self.tracker.on_cz(wire, a);
+        let (s, t) = self.tracker.fold_for_measurement(wire, Plane::XY);
+        let m = self.pattern.measure(wire, Plane::XY, neg(theta), s, t);
+        self.tracker.add_x(a, &Signal::var(m));
+        a
+    }
+
+    /// **Multi-qubit phase gadget** (Eqs. 7–8 generalized): applies
+    /// `e^{iθ Z_{w₁}⋯Z_{w_k}}` in place using one ancilla CZ-coupled to
+    /// every wire and measured in `YZ(−2θ)`; byproduct `Z^m` on each wire.
+    pub fn phase_gadget(&mut self, wires: &[QubitId], theta: &Angle) {
+        assert!(!wires.is_empty(), "phase gadget needs at least one wire");
+        let a = self.fresh();
+        self.pattern.prep_plus(a);
+        for &w in wires {
+            self.pattern.entangle(a, w);
+            self.tracker.on_cz(a, w);
+        }
+        let (s, t) = self.tracker.fold_for_measurement(a, Plane::YZ);
+        let m = self.pattern.measure(a, Plane::YZ, scale(theta, -2.0), s, t);
+        let sig = Signal::var(m);
+        for &w in wires {
+            self.tracker.add_z(w, &sig);
+        }
+    }
+
+    /// **Single-qubit Z rotation** (Eq. 10): `e^{iθZ}` — the arity-1
+    /// phase gadget (one ancilla, one CZ, as in Sec. III-A's accounting
+    /// for general QUBOs).
+    pub fn rz(&mut self, wire: QubitId, theta: &Angle) {
+        self.phase_gadget(&[wire], theta);
+    }
+
+    /// **Mixer rotation** (Eq. 9): `e^{−iβX} = J(2β)∘J(0)` — two
+    /// ancillas, two CZs; the input wire is measured and the state moves
+    /// two qubits down the chain, exactly as the paper notes ("the input
+    /// qubit is measured and the information is transferred to the second
+    /// ancilla qubit"). Returns the new wire.
+    pub fn rx_mixer(&mut self, wire: QubitId, beta: &Angle) -> QubitId {
+        let mid = self.j_step(wire, &Angle::constant(0.0));
+        // e^{−iβX} = Rx(2β) = H·Rz(2β)·H = J(2β)·J(0).
+        self.j_step(mid, &scale(beta, 2.0))
+    }
+
+    /// **Hadamard** as a J(0) step (used for basis changes).
+    pub fn hadamard(&mut self, wire: QubitId) -> QubitId {
+        self.j_step(wire, &Angle::constant(0.0))
+    }
+
+    /// **Generic Pauli rotation** `e^{iθ ∏ P_w}` for `P_w ∈ {X, Y, Z}`:
+    /// conjugates every non-Z wire into the Z basis with J-steps
+    /// (X: `H`; Y: `S†` then `H`), applies the multi-Z phase gadget, and
+    /// conjugates back. Returns the updated wire ids (X/Y wires move).
+    pub fn pauli_rotation(&mut self, paulis: &[(QubitId, char)], theta: &Angle) -> Vec<QubitId> {
+        let quarter = std::f64::consts::FRAC_PI_4;
+        let mut wires: Vec<QubitId> = Vec::with_capacity(paulis.len());
+        let mut kinds: Vec<char> = Vec::with_capacity(paulis.len());
+        for &(w, k) in paulis {
+            let w = match k {
+                'Z' => w,
+                'X' => self.hadamard(w),
+                'Y' => {
+                    // S† = e^{iπ/4 Z} (up to phase), then H: HS† Y S H = Z... wait:
+                    // U = S·H satisfies U Z U† = Y, so apply U† = H·S†:
+                    // time order S† then H.
+                    self.rz(w, &Angle::constant(quarter));
+                    self.hadamard(w)
+                }
+                other => panic!("unknown Pauli '{other}'"),
+            };
+            wires.push(w);
+            kinds.push(k);
+        }
+        self.phase_gadget(&wires, theta);
+        for (i, k) in kinds.iter().enumerate() {
+            match k {
+                'Z' => {}
+                'X' => wires[i] = self.hadamard(wires[i]),
+                'Y' => {
+                    wires[i] = self.hadamard(wires[i]);
+                    // S = e^{−iπ/4 Z} (up to phase).
+                    self.rz(wires[i], &Angle::constant(-quarter));
+                }
+                _ => unreachable!(),
+            }
+        }
+        wires
+    }
+
+    /// **XY partial mixer** (Sec. V): `e^{iβ(X_uX_v + Y_uY_v)}` as two
+    /// commuting Pauli rotations. Returns the updated `(u, v)` wires.
+    pub fn xy_mixer(&mut self, u: QubitId, v: QubitId, beta: &Angle) -> (QubitId, QubitId) {
+        let w = self.pauli_rotation(&[(u, 'X'), (v, 'X')], beta);
+        let w2 = self.pauli_rotation(&[(w[0], 'Y'), (w[1], 'Y')], beta);
+        (w2[0], w2[1])
+    }
+
+    /// **MIS partial mixer** (Sec. IV): `Λ_{N(v)}(e^{iβX_v}) =
+    /// exp(iβ·P_N ⊗ X_v)` with `P_N = ∏_{w∈N}(1+Z_w)/2`, expanded into
+    /// `2^{|N|}` multi-Z phase gadgets between two Hadamard J-steps on the
+    /// target — the measurement-based realization of the paper's
+    /// ZH-calculus construction (the H-box with `2^{d(v)}` structure).
+    /// Returns the updated target wire.
+    pub fn controlled_x_mixer(
+        &mut self,
+        target: QubitId,
+        neighbors: &[QubitId],
+        beta: &Angle,
+    ) -> QubitId {
+        let d = neighbors.len();
+        assert!(d <= 16, "controlled mixer expansion is exponential in the degree");
+        // H on target: X_v → Z_v.
+        let t = self.hadamard(target);
+        let scale_factor = 1.0 / (1u64 << d) as f64;
+        for subset in 0..(1u64 << d) {
+            let mut wires = vec![t];
+            for (b, &w) in neighbors.iter().enumerate() {
+                if (subset >> b) & 1 == 1 {
+                    wires.push(w);
+                }
+            }
+            self.phase_gadget(&wires, &scale(beta, scale_factor));
+        }
+        self.hadamard(t)
+    }
+
+    /// Measures every remaining byproduct of `wire` into explicit
+    /// corrections (call on output wires), leaving the frame empty.
+    pub fn flush_corrections(&mut self, wire: QubitId) {
+        let (x, z) = self.tracker.drain(wire);
+        self.pattern.correct(wire, Pauli::X, x);
+        self.pattern.correct(wire, Pauli::Z, z);
+    }
+
+    /// Finalizes: flushes corrections on `outputs`, declares them, and
+    /// returns the validated pattern.
+    ///
+    /// # Panics
+    /// Panics when the built pattern fails validation (a compiler bug).
+    pub fn finish(mut self, outputs: Vec<QubitId>) -> Pattern {
+        for &w in &outputs {
+            self.flush_corrections(w);
+        }
+        self.pattern.set_outputs(outputs);
+        self.pattern.validate().expect("built pattern must validate");
+        self.pattern
+    }
+
+    /// Finalizes *and measures the outputs* in the computational basis
+    /// (`YZ(0)`), folding pending byproducts into the readout — the
+    /// sampling form of the protocol where the classical results are the
+    /// QAOA bitstring. Returns the pattern and the outcome ids per output
+    /// wire.
+    pub fn finish_measured(
+        mut self,
+        outputs: Vec<QubitId>,
+    ) -> (Pattern, Vec<mbqao_mbqc::OutcomeId>) {
+        let mut readout = Vec::with_capacity(outputs.len());
+        for &w in &outputs {
+            let (s, t) = self.tracker.fold_for_measurement(w, Plane::YZ);
+            let m = self.pattern.measure(w, Plane::YZ, Angle::constant(0.0), s, t);
+            readout.push(m);
+        }
+        self.pattern.set_outputs(vec![]);
+        self.pattern.validate().expect("built pattern must validate");
+        (self.pattern, readout)
+    }
+
+    /// Exposes a `π·q` rational as a constant angle (helper for tests).
+    pub fn pi_angle(r: Rational) -> Angle {
+        Angle::constant(r.to_f64() * std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_mbqc::determinism::check_determinism;
+    use mbqao_mbqc::simulate::{run_with_input, Branch};
+    use mbqao_sim::State;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Random-ish 2-qubit input state.
+    fn input2(inputs: &[QubitId]) -> State {
+        let mut st = State::plus(inputs);
+        st.apply_rz(inputs[0], 0.37);
+        st.apply_rx(inputs[1], -0.81);
+        st.apply_cz(inputs[0], inputs[1]);
+        st
+    }
+
+    fn assert_gadget_equals(
+        builder_pattern: &Pattern,
+        input: &State,
+        ref_dense: Vec<mbqao_math::C64>,
+        params: &[f64],
+    ) {
+        // Every branch must match the reference (deterministic gadget).
+        let k = builder_pattern
+            .commands()
+            .iter()
+            .filter(|c| matches!(c, mbqao_mbqc::Command::Measure { .. }))
+            .count();
+        for b in 0..(1usize << k) {
+            let bits: Vec<u8> = (0..k).map(|i| ((b >> i) & 1) as u8).collect();
+            let mut rng = StdRng::seed_from_u64(b as u64);
+            let r = run_with_input(
+                builder_pattern,
+                input.clone(),
+                params,
+                Branch::Forced(&bits),
+                &mut rng,
+            );
+            // Output ids may differ from reference's ids; compare against
+            // the pattern's own outputs order.
+            let got = r.state.aligned(builder_pattern.outputs());
+            let want = mbqao_math::Matrix::from_vec(ref_dense.len(), 1, ref_dense.clone());
+            let got_m = mbqao_math::Matrix::from_vec(got.len(), 1, got);
+            assert!(
+                got_m.approx_eq_up_to_scalar(&want, 1e-9),
+                "branch {bits:?} deviates from the reference"
+            );
+            assert!((r.probability - 1.0 / (1 << k) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_gadget_two_wires_is_exp_zz() {
+        let gamma = 0.642;
+        let (mut b, inputs) = PatternBuilder::with_inputs(2, 0);
+        b.phase_gadget(&[inputs[0], inputs[1]], &Angle::constant(gamma));
+        let pat = b.finish(inputs.clone());
+
+        let input = input2(&inputs);
+        let mut reference = input.clone();
+        reference.apply_exp_zz(&inputs, gamma);
+        assert_gadget_equals(&pat, &input, reference.aligned(&inputs), &[]);
+    }
+
+    #[test]
+    fn phase_gadget_three_wires_is_exp_zzz() {
+        let theta = -0.911;
+        let (mut b, inputs) = PatternBuilder::with_inputs(3, 0);
+        b.phase_gadget(&inputs.clone(), &Angle::constant(theta));
+        let pat = b.finish(inputs.clone());
+
+        let mut input = State::plus(&inputs);
+        input.apply_rz(inputs[1], 0.4);
+        input.apply_rx(inputs[2], 1.3);
+        let mut reference = input.clone();
+        reference.apply_exp_zz(&inputs, theta);
+        assert_gadget_equals(&pat, &input, reference.aligned(&inputs), &[]);
+    }
+
+    #[test]
+    fn rz_gadget_matches_rotation() {
+        let theta = 1.234;
+        let (mut b, inputs) = PatternBuilder::with_inputs(1, 0);
+        b.rz(inputs[0], &Angle::constant(theta));
+        let pat = b.finish(inputs.clone());
+
+        let mut input = State::plus(&inputs);
+        input.apply_rx(inputs[0], 0.6);
+        let mut reference = input.clone();
+        // e^{iθZ} = Rz(−2θ) up to global phase.
+        reference.apply_rz(inputs[0], -2.0 * theta);
+        assert_gadget_equals(&pat, &input, reference.aligned(&inputs), &[]);
+    }
+
+    #[test]
+    fn rx_mixer_matches_exp_minus_i_beta_x() {
+        let beta = 0.777;
+        let (mut b, inputs) = PatternBuilder::with_inputs(1, 0);
+        let out = b.rx_mixer(inputs[0], &Angle::constant(beta));
+        let pat = b.finish(vec![out]);
+
+        let mut input = State::plus(&inputs);
+        input.apply_rz(inputs[0], -0.9);
+        let mut reference = input.clone();
+        // e^{−iβX} = Rx(2β).
+        reference.apply_rx(inputs[0], 2.0 * beta);
+        assert_gadget_equals(&pat, &input, reference.aligned(&inputs), &[]);
+    }
+
+    #[test]
+    fn pauli_rotation_xx() {
+        let theta = 0.513;
+        let (mut b, inputs) = PatternBuilder::with_inputs(2, 0);
+        let outs = b.pauli_rotation(&[(inputs[0], 'X'), (inputs[1], 'X')], &Angle::constant(theta));
+        let pat = b.finish(outs.clone());
+
+        let input = input2(&inputs);
+        let dense_u = mbqao_math::gates::exp_i_theta_pauli(2, theta, &[(0, 'X'), (1, 'X')]);
+        let reference_vec = dense_u.apply(&input.aligned(&inputs));
+
+        // Check one random branch + determinism report (branch count is 2^5).
+        let report = check_determinism(&pat, &input, &[], 1e-8);
+        assert!(report.deterministic, "{report:?}");
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = run_with_input(&pat, input.clone(), &[], Branch::Random, &mut rng);
+        let got = r.state.aligned(pat.outputs());
+        let got_m = mbqao_math::Matrix::from_vec(4, 1, got);
+        let want = mbqao_math::Matrix::from_vec(4, 1, reference_vec);
+        assert!(got_m.approx_eq_up_to_scalar(&want, 1e-9));
+    }
+
+    #[test]
+    fn pauli_rotation_yy() {
+        let theta = -0.298;
+        let (mut b, inputs) = PatternBuilder::with_inputs(2, 0);
+        let outs = b.pauli_rotation(&[(inputs[0], 'Y'), (inputs[1], 'Y')], &Angle::constant(theta));
+        let pat = b.finish(outs.clone());
+
+        let input = input2(&inputs);
+        let dense_u = mbqao_math::gates::exp_i_theta_pauli(2, theta, &[(0, 'Y'), (1, 'Y')]);
+        let reference_vec = dense_u.apply(&input.aligned(&inputs));
+
+        let report = check_determinism(&pat, &input, &[], 1e-8);
+        assert!(report.deterministic, "{report:?}");
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = run_with_input(&pat, input.clone(), &[], Branch::Random, &mut rng);
+        let got_m = mbqao_math::Matrix::from_vec(4, 1, r.state.aligned(pat.outputs()));
+        let want = mbqao_math::Matrix::from_vec(4, 1, reference_vec);
+        assert!(got_m.approx_eq_up_to_scalar(&want, 1e-9));
+    }
+
+    #[test]
+    fn xy_mixer_preserves_weight_and_matches_dense() {
+        let beta = 0.444;
+        let (mut b, inputs) = PatternBuilder::with_inputs(2, 0);
+        let (u, v) = b.xy_mixer(inputs[0], inputs[1], &Angle::constant(beta));
+        let pat = b.finish(vec![u, v]);
+
+        let input = input2(&inputs);
+        let xx = mbqao_math::gates::exp_i_theta_pauli(2, beta, &[(0, 'X'), (1, 'X')]);
+        let yy = mbqao_math::gates::exp_i_theta_pauli(2, beta, &[(0, 'Y'), (1, 'Y')]);
+        let reference_vec = yy.matmul(&xx).apply(&input.aligned(&inputs));
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = run_with_input(&pat, input.clone(), &[], Branch::Random, &mut rng);
+        let got_m = mbqao_math::Matrix::from_vec(4, 1, r.state.aligned(pat.outputs()));
+        let want = mbqao_math::Matrix::from_vec(4, 1, reference_vec);
+        assert!(got_m.approx_eq_up_to_scalar(&want, 1e-9));
+    }
+
+    #[test]
+    fn controlled_x_mixer_matches_gate_model() {
+        let beta = 0.623;
+        // Target with two neighbours.
+        let (mut b, inputs) = PatternBuilder::with_inputs(3, 0);
+        let t = b.controlled_x_mixer(inputs[0], &[inputs[1], inputs[2]], &Angle::constant(beta));
+        let pat = b.finish(vec![t, inputs[1], inputs[2]]);
+
+        // Input: superposition of feasible-ish states.
+        let mut input = State::plus(&inputs);
+        input.apply_rz(inputs[1], 0.3);
+        input.apply_cz(inputs[1], inputs[2]);
+
+        // Gate-model reference: Rx(−2β) on qubit 0 controlled on qubits
+        // 1,2 being |0⟩ (matrix built via the Circuit reference path).
+        let mut circ = mbqao_sim::Circuit::new();
+        circ.push(mbqao_sim::Gate::ControlledRx {
+            controls: vec![(inputs[1], false), (inputs[2], false)],
+            target: inputs[0],
+            theta: -2.0 * beta,
+        });
+        let mut reference = input.clone();
+        circ.run(&mut reference);
+        let reference_vec = reference.aligned(&inputs);
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = run_with_input(&pat, input.clone(), &[], Branch::Random, &mut rng);
+        let got_m = mbqao_math::Matrix::from_vec(8, 1, r.state.aligned(pat.outputs()));
+        let want = mbqao_math::Matrix::from_vec(8, 1, reference_vec);
+        assert!(got_m.approx_eq_up_to_scalar(&want, 1e-9));
+    }
+
+    #[test]
+    fn parameterized_gadget_binds_at_runtime() {
+        // One-parameter phase gadget run at two different γ values.
+        let (mut b, inputs) = PatternBuilder::with_inputs(2, 1);
+        b.phase_gadget(
+            &[inputs[0], inputs[1]],
+            &Angle::param(1.0, mbqao_mbqc::command::ParamId(0)),
+        );
+        let pat = b.finish(inputs.clone());
+        for gamma in [0.21, -1.5] {
+            let input = input2(&inputs);
+            let mut reference = input.clone();
+            reference.apply_exp_zz(&inputs, gamma);
+            let mut rng = StdRng::seed_from_u64(11);
+            let r = run_with_input(&pat, input, &[gamma], Branch::Random, &mut rng);
+            let got_m =
+                mbqao_math::Matrix::from_vec(4, 1, r.state.aligned(pat.outputs()));
+            let want =
+                mbqao_math::Matrix::from_vec(4, 1, reference.aligned(&inputs));
+            assert!(got_m.approx_eq_up_to_scalar(&want, 1e-9), "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn finish_measured_reads_out_with_corrections() {
+        // Prepare |1⟩ wire, push it through an rx_mixer with β = π/2:
+        // e^{−i(π/2)X}|1⟩ ∝ |0⟩; readout must say 0 on every branch.
+        let mut b = PatternBuilder::new(0);
+        let w = b.basis_wire(true);
+        let out = b.rx_mixer(w, &Angle::constant(std::f64::consts::FRAC_PI_2));
+        let (pat, readout) = b.finish_measured(vec![out]);
+        assert_eq!(readout.len(), 1);
+        for branch in 0..4u8 {
+            let bits = [(branch & 1), (branch >> 1) & 1, 0u8];
+            // third measurement is the readout; try both forced readouts
+            // and keep whichever branch is possible: outcome must be the
+            // corrected 0. Easiest: run with random readout many times.
+            let _ = bits;
+        }
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = run(&pat, &[], &mut rng);
+            assert_eq!(r.1, 0, "corrected readout must be deterministic 0");
+        }
+
+        fn run(
+            pat: &Pattern,
+            params: &[f64],
+            rng: &mut StdRng,
+        ) -> (Vec<u8>, u8) {
+            let r = run_with_input(pat, State::new(), params, Branch::Random, rng);
+            let last = *r.outcomes.last().expect("has outcomes");
+            (r.outcomes.clone(), last)
+        }
+    }
+}

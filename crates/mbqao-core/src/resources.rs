@@ -1,0 +1,118 @@
+//! Resource estimates (Sec. III-A) — paper bounds vs. exact counts vs.
+//! the gate model.
+
+use mbqao_problems::ZPoly;
+
+/// The paper's Sec. III-A resource bounds for a QAOA_p pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperBounds {
+    /// Ancilla-qubit bound `N_Q ≤ p(|E| + 2|V|)` (+ `p·L` for the `L`
+    /// linear terms of a general QUBO).
+    pub ancilla_qubits: usize,
+    /// Entangling bound `N_E ≤ p(2|E| + 2|V|)` (+ `p·L`).
+    pub entangling: usize,
+    /// Total nodes of the resource state including the `|V|` initial
+    /// wires (what a non-reusing device must prepare).
+    pub total_qubits: usize,
+}
+
+/// Computes the paper's bounds for `cost` at depth `p`. `|E|` is read as
+/// the number of coupling terms (arbitrary order — the paper's "extends
+/// to higher-order cost functions" remark) and `L` as the number of
+/// single-qubit Z terms.
+pub fn paper_bounds(cost: &ZPoly, p: usize) -> PaperBounds {
+    let v = cost.n();
+    let e = cost.coupling_term_count();
+    let l = cost.linear_term_count();
+    PaperBounds {
+        ancilla_qubits: p * (e + 2 * v + l),
+        entangling: p * (cost.terms().iter().map(|(s, _)| s.len()).sum::<usize>() + 2 * v),
+        total_qubits: v + p * (e + 2 * v + l),
+    }
+}
+
+/// Gate-model resource comparison (Sec. III-A): `|V|` logical qubits and
+/// `≥ 2p|E|` entangling gates for standard compilations (each `e^{iγZZ}`
+/// costs two CNOTs; with a native `Rzz` it costs one entangler, and each
+/// higher-order term of arity `k` costs `2(k−1)` CNOTs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateModelResources {
+    /// Logical qubits `|V|`.
+    pub qubits: usize,
+    /// Entangling gates with CX-decomposed rotations (`2p·Σ(k−1)`).
+    pub entangling_cx: usize,
+    /// Entangling gates with native multi-qubit rotations (`p·#couplings`).
+    pub entangling_native: usize,
+}
+
+/// Gate-model counts for `cost` at depth `p` with the transverse mixer.
+pub fn gate_model_resources(cost: &ZPoly, p: usize) -> GateModelResources {
+    let couplings = cost.coupling_term_count();
+    let cx: usize = cost
+        .terms()
+        .iter()
+        .filter(|(s, _)| s.len() >= 2)
+        .map(|(s, _)| 2 * (s.len() - 1))
+        .sum();
+    GateModelResources {
+        qubits: cost.n(),
+        entangling_cx: p * cx,
+        entangling_native: p * couplings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile_qaoa, CompileOptions};
+    use mbqao_mbqc::resources::stats;
+    use mbqao_problems::{generators, maxcut, Qubo};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compiled_patterns_meet_paper_bounds_exactly_for_maxcut() {
+        for (g, p) in [
+            (generators::square(), 1),
+            (generators::square(), 3),
+            (generators::petersen(), 2),
+            (generators::complete(5), 4),
+        ] {
+            let cost = maxcut::maxcut_zpoly(&g);
+            let c = compile_qaoa(&cost, p, &CompileOptions::default());
+            let s = stats(&c.pattern);
+            let b = paper_bounds(&cost, p);
+            // MaxCut has no linear terms: the bound is met with equality.
+            assert_eq!(s.total_qubits, b.total_qubits);
+            assert_eq!(s.entangling, b.entangling);
+            assert_eq!(b.ancilla_qubits, p * (g.m() + 2 * g.n()));
+            assert_eq!(b.entangling, p * (2 * g.m() + 2 * g.n()));
+        }
+    }
+
+    #[test]
+    fn random_qubos_stay_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let q = Qubo::random(6, 0.5, &mut rng);
+            let cost = q.to_zpoly();
+            for p in 1..=3 {
+                let c = compile_qaoa(&cost, p, &CompileOptions::default());
+                let s = stats(&c.pattern);
+                let b = paper_bounds(&cost, p);
+                assert!(s.total_qubits <= b.total_qubits);
+                assert!(s.entangling <= b.entangling);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_model_comparison_matches_formulas() {
+        let g = generators::petersen();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let r = gate_model_resources(&cost, 3);
+        assert_eq!(r.qubits, 10);
+        assert_eq!(r.entangling_cx, 2 * 3 * 15);
+        assert_eq!(r.entangling_native, 3 * 15);
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end equivalence verification: compiled MBQC pattern vs.
+//! gate-model QAOA — the referee for the paper's headline claim.
+
+use crate::compiler::CompiledQaoa;
+use mbqao_mbqc::simulate::{run_with_input, Branch};
+use mbqao_qaoa::QaoaAnsatz;
+use mbqao_sim::State;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivalenceReport {
+    /// Fidelity `|⟨ψ_gate|ψ_mbqc⟩|` per random branch tested.
+    pub fidelities: Vec<f64>,
+    /// Minimum over the tested branches.
+    pub min_fidelity: f64,
+    /// `true` when every branch matched within tolerance.
+    pub equivalent: bool,
+}
+
+/// Runs the compiled pattern on `trials` random outcome branches and
+/// compares each output state against the gate-model ansatz state at the
+/// same parameters. (Determinism means *any* branch must match; testing
+/// several random branches exercises distinct correction paths.)
+///
+/// # Panics
+/// Panics when the compiled pattern is in sampling form (no output
+/// wires) or interfaces disagree.
+pub fn verify_equivalence(
+    compiled: &CompiledQaoa,
+    ansatz: &QaoaAnsatz,
+    params: &[f64],
+    trials: usize,
+    tol: f64,
+) -> EquivalenceReport {
+    assert!(
+        !compiled.output_wires.is_empty(),
+        "verify_equivalence needs the state-form pattern"
+    );
+    let reference = ansatz.prepare(params);
+    let ref_dense = reference.aligned(&ansatz.qubit_order());
+    let dim = ref_dense.len();
+
+    let mut fidelities = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ trial as u64);
+        let r = run_with_input(
+            &compiled.pattern,
+            State::new(),
+            params,
+            Branch::Random,
+            &mut rng,
+        );
+        // Align the pattern's output wires to the variable order.
+        let got = r.state.aligned(&compiled.output_wires);
+        let ip: mbqao_math::C64 = got
+            .iter()
+            .zip(&ref_dense)
+            .map(|(&a, &b)| a.conj() * b)
+            .fold(mbqao_math::C64::ZERO, |acc, z| acc + z);
+        let _ = dim;
+        fidelities.push(ip.abs());
+    }
+    let min_fidelity = fidelities.iter().copied().fold(f64::INFINITY, f64::min);
+    EquivalenceReport { equivalent: min_fidelity > 1.0 - tol, min_fidelity, fidelities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile_qaoa, CompileOptions, MixerKind};
+    use mbqao_problems::{generators, maxcut, mis, Qubo};
+    use mbqao_qaoa::{InitialState, Mixer};
+    use rand::Rng;
+
+    #[test]
+    fn maxcut_triangle_p1_equivalence() {
+        let g = generators::triangle();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let compiled = compile_qaoa(&cost, 1, &CompileOptions::default());
+        let ansatz = QaoaAnsatz::standard(cost, 1);
+        let report = verify_equivalence(&compiled, &ansatz, &[0.7, 0.4], 6, 1e-8);
+        assert!(report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn maxcut_square_p3_equivalence_random_params() {
+        let g = generators::square();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let p = 3;
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let ansatz = QaoaAnsatz::standard(cost, p);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let report = verify_equivalence(&compiled, &ansatz, &params, 4, 1e-8);
+        assert!(report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn general_qubo_with_linear_terms_equivalence() {
+        let mut rng = StdRng::seed_from_u64(777);
+        let qubo = Qubo::random(4, 0.7, &mut rng);
+        let cost = qubo.to_zpoly();
+        assert!(cost.linear_term_count() > 0, "want linear terms in this test");
+        let p = 2;
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let ansatz = QaoaAnsatz::standard(cost, p);
+        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let report = verify_equivalence(&compiled, &ansatz, &params, 4, 1e-8);
+        assert!(report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn mis_constrained_ansatz_equivalence() {
+        let g = generators::path(3);
+        let cost = mis::mis_objective(&g);
+        let initial = mis::greedy_mis(&g);
+        let opts = CompileOptions {
+            mixer: MixerKind::Mis(g.clone()),
+            initial_basis_state: Some(initial),
+            measure_outputs: false,
+        };
+        let compiled = compile_qaoa(&cost, 1, &opts);
+        let mut ansatz = QaoaAnsatz::mis(&g, 1, initial);
+        ansatz.mixer = Mixer::Mis(g.clone());
+        ansatz.initial = InitialState::Computational(initial);
+        let report = verify_equivalence(&compiled, &ansatz, &[0.8, 0.5], 3, 1e-8);
+        assert!(report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn xy_ring_ansatz_equivalence() {
+        let g = generators::cycle(3);
+        let cost = maxcut::maxcut_zpoly(&g);
+        let opts = CompileOptions {
+            mixer: MixerKind::XyRing,
+            initial_basis_state: Some(0b001),
+            measure_outputs: false,
+        };
+        let compiled = compile_qaoa(&cost, 1, &opts);
+        let mut ansatz = QaoaAnsatz::standard(cost, 1);
+        ansatz.mixer = Mixer::XyRing;
+        ansatz.initial = InitialState::Computational(0b001);
+        let report = verify_equivalence(&compiled, &ansatz, &[0.6, 0.9], 3, 1e-8);
+        assert!(report.equivalent, "{report:?}");
+    }
+}

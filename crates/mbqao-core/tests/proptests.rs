@@ -1,0 +1,94 @@
+//! Property tests on the compiler: gadget and end-to-end equivalence for
+//! random angles and random problems.
+
+use mbqao_core::{compile_qaoa, verify_equivalence, CompileOptions, PatternBuilder};
+use mbqao_mbqc::simulate::{run_with_input, Branch};
+use mbqao_mbqc::Angle;
+use mbqao_problems::{maxcut, Qubo};
+use mbqao_qaoa::QaoaAnsatz;
+use mbqao_sim::State;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The multi-wire phase gadget equals e^{iθ Z⊗…⊗Z} for random θ and
+    /// arity, on random product-ish inputs, on a random branch.
+    #[test]
+    fn prop_phase_gadget(theta in -3.1f64..3.1, k in 1usize..4, seed in 0u64..1000) {
+        let (mut b, inputs) = PatternBuilder::with_inputs(k, 0);
+        b.phase_gadget(&inputs.clone(), &Angle::constant(theta));
+        let pat = b.finish(inputs.clone());
+
+        let mut input = State::plus(&inputs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        for &w in &inputs {
+            input.apply_rz(w, rng.gen_range(-1.0..1.0));
+            input.apply_rx(w, rng.gen_range(-1.0..1.0));
+        }
+        let mut reference = input.clone();
+        reference.apply_exp_zz(&inputs, theta);
+        let want = reference.aligned(&inputs);
+
+        let r = run_with_input(&pat, input, &[], Branch::Random, &mut rng);
+        prop_assert!(r.state.approx_eq_up_to_phase(&inputs, &want, 1e-8));
+    }
+
+    /// The mixer gadget equals e^{−iβX} for random β.
+    #[test]
+    fn prop_rx_mixer(beta in -3.1f64..3.1, seed in 0u64..1000) {
+        let (mut b, inputs) = PatternBuilder::with_inputs(1, 0);
+        let out = b.rx_mixer(inputs[0], &Angle::constant(beta));
+        let pat = b.finish(vec![out]);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut input = State::zeros(&inputs);
+        input.apply_rx(inputs[0], rng.gen_range(-1.5..1.5));
+        input.apply_rz(inputs[0], rng.gen_range(-1.5..1.5));
+        let mut reference = input.clone();
+        reference.apply_rx(inputs[0], 2.0 * beta);
+        let want = reference.aligned(&inputs);
+
+        let r = run_with_input(&pat, input, &[], Branch::Random, &mut rng);
+        prop_assert!(r.state.approx_eq_up_to_phase(&[out], &want, 1e-8));
+    }
+
+    /// End-to-end: random QUBO, random parameters, p ∈ {1, 2} — compiled
+    /// pattern ≡ gate model.
+    #[test]
+    fn prop_compiled_qubo_equivalence(
+        seed in 0u64..1000,
+        p in 1usize..3,
+        g1 in -2.0f64..2.0,
+        g2 in -2.0f64..2.0,
+        b1 in -2.0f64..2.0,
+        b2 in -2.0f64..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let qubo = Qubo::random(4, 0.5, &mut rng);
+        let cost = qubo.to_zpoly();
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let ansatz = QaoaAnsatz::standard(cost, p);
+        let params: Vec<f64> =
+            if p == 1 { vec![g1, b1] } else { vec![g1, g2, b1, b2] };
+        let report = verify_equivalence(&compiled, &ansatz, &params, 2, 1e-7);
+        prop_assert!(report.equivalent, "min fidelity {}", report.min_fidelity);
+    }
+
+    /// Resource counts are invariant under the parameter values (the
+    /// pattern is compiled once; angles stay symbolic).
+    #[test]
+    fn prop_resources_param_independent(p in 1usize..4) {
+        let g = mbqao_problems::generators::cycle(5);
+        let cost = maxcut::maxcut_zpoly(&g);
+        let c1 = compile_qaoa(&cost, p, &CompileOptions::default());
+        let s = mbqao_mbqc::resources::stats(&c1.pattern);
+        prop_assert_eq!(s.total_qubits, 5 + p * (5 + 10));
+        prop_assert_eq!(s.entangling, p * (10 + 10));
+        prop_assert_eq!(c1.pattern.n_params(), 2 * p);
+    }
+}

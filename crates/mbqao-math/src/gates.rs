@@ -1,0 +1,231 @@
+//! The standard gate zoo as dense matrices.
+//!
+//! Conventions (used consistently across the workspace):
+//! * `rz(θ) = e^{−iθZ/2} = diag(e^{−iθ/2}, e^{iθ/2})`
+//! * `rx(θ) = e^{−iθX/2}`, `ry(θ) = e^{−iθY/2}`
+//! * `phase(θ) = diag(1, e^{iθ})` (equal to `rz(θ)` up to global phase)
+//! * Two-qubit gates are given in the basis `|q₀q₁⟩` with `q₀` the
+//!   most-significant bit (first argument = control for `cx`).
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Pauli X.
+pub fn x() -> Matrix {
+    Matrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]])
+}
+
+/// Pauli Y.
+pub fn y() -> Matrix {
+    Matrix::from_vec(2, 2, vec![C64::ZERO, -C64::I, C64::I, C64::ZERO])
+}
+
+/// Pauli Z.
+pub fn z() -> Matrix {
+    Matrix::from_real(&[&[1.0, 0.0], &[0.0, -1.0]])
+}
+
+/// Hadamard.
+pub fn h() -> Matrix {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    Matrix::from_real(&[&[s, s], &[s, -s]])
+}
+
+/// S = diag(1, i).
+pub fn s() -> Matrix {
+    Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, C64::I])
+}
+
+/// S† = diag(1, −i).
+pub fn sdg() -> Matrix {
+    Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, -C64::I])
+}
+
+/// T = diag(1, e^{iπ/4}).
+pub fn t() -> Matrix {
+    phase(std::f64::consts::FRAC_PI_4)
+}
+
+/// `diag(1, e^{iθ})`.
+pub fn phase(theta: f64) -> Matrix {
+    Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, C64::cis(theta)])
+}
+
+/// `e^{−iθZ/2}`.
+pub fn rz(theta: f64) -> Matrix {
+    Matrix::from_vec(
+        2,
+        2,
+        vec![C64::cis(-theta / 2.0), C64::ZERO, C64::ZERO, C64::cis(theta / 2.0)],
+    )
+}
+
+/// `e^{−iθX/2}`.
+pub fn rx(theta: f64) -> Matrix {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    Matrix::from_vec(2, 2, vec![c, s, s, c])
+}
+
+/// `e^{−iθY/2}`.
+pub fn ry(theta: f64) -> Matrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Matrix::from_real(&[&[c, -s], &[s, c]])
+}
+
+/// CZ (diagonal −1 on |11⟩).
+pub fn cz() -> Matrix {
+    let mut m = Matrix::identity(4);
+    m[(3, 3)] = -C64::ONE;
+    m
+}
+
+/// CNOT with the first qubit as control.
+pub fn cx() -> Matrix {
+    Matrix::from_real(&[
+        &[1.0, 0.0, 0.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+        &[0.0, 0.0, 1.0, 0.0],
+    ])
+}
+
+/// SWAP.
+pub fn swap() -> Matrix {
+    Matrix::from_real(&[
+        &[1.0, 0.0, 0.0, 0.0],
+        &[0.0, 0.0, 1.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+    ])
+}
+
+/// Two-qubit rotation `e^{−iθ(Z⊗Z)/2}`.
+pub fn rzz(theta: f64) -> Matrix {
+    let p = C64::cis(-theta / 2.0);
+    let m = C64::cis(theta / 2.0);
+    let mut out = Matrix::zeros(4, 4);
+    out[(0, 0)] = p;
+    out[(1, 1)] = m;
+    out[(2, 2)] = m;
+    out[(3, 3)] = p;
+    out
+}
+
+/// Two-qubit rotation `e^{−iθ(X⊗X + Y⊗Y)/2}` (the XY / Heisenberg-exchange
+/// interaction used by XY mixers; acts in the span of |01⟩,|10⟩).
+pub fn rxy(theta: f64) -> Matrix {
+    let c = C64::real(theta.cos());
+    let s = C64::new(0.0, -theta.sin());
+    let mut out = Matrix::identity(4);
+    out[(1, 1)] = c;
+    out[(1, 2)] = s;
+    out[(2, 1)] = s;
+    out[(2, 2)] = c;
+    out
+}
+
+/// `exp(iθ P)` for a Pauli string `P` given as a list of (qubit, pauli)
+/// pairs over `n` qubits, with `pauli ∈ {'I','X','Y','Z'}`.
+///
+/// Used as reference semantics for phase gadgets: `exp(iθP) = cos θ · I +
+/// i sin θ · P`.
+pub fn exp_i_theta_pauli(n: usize, theta: f64, paulis: &[(usize, char)]) -> Matrix {
+    let mut p = Matrix::identity(1);
+    let mut per_qubit = vec!['I'; n];
+    for &(q, c) in paulis {
+        assert!(q < n, "pauli qubit out of range");
+        per_qubit[q] = c;
+    }
+    for &c in &per_qubit {
+        let g = match c {
+            'I' => Matrix::identity(2),
+            'X' => x(),
+            'Y' => y(),
+            'Z' => z(),
+            other => panic!("unknown Pauli '{other}'"),
+        };
+        p = p.kron(&g);
+    }
+    let dim = 1usize << n;
+    let cos = Matrix::identity(dim).scale(C64::real(theta.cos()));
+    let sin = p.scale(C64::new(0.0, theta.sin()));
+    cos.add(&sin)
+}
+
+/// Projector `|b⟩⟨b|` on one qubit.
+pub fn ket_bra(b: u8) -> Matrix {
+    let mut m = Matrix::zeros(2, 2);
+    m[(b as usize, b as usize)] = C64::ONE;
+    m
+}
+
+/// The (unnormalized) plus state |+⟩ as a column vector.
+pub fn plus() -> Vec<C64> {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    vec![C64::real(s), C64::real(s)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ
+        assert!(x().matmul(&y()).approx_eq(&z().scale(C64::I), 1e-12));
+        // HZH = X
+        assert!(h().matmul(&z()).matmul(&h()).approx_eq(&x(), 1e-12));
+        // S² = Z
+        assert!(s().matmul(&s()).approx_eq(&z(), 1e-12));
+        assert!(s().matmul(&sdg()).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn rotations_at_special_angles() {
+        assert!(rz(0.0).approx_eq(&Matrix::identity(2), 1e-12));
+        // rz(2π) = −I (spinor double cover)
+        assert!(rz(2.0 * PI).approx_eq(&Matrix::identity(2).scale(-C64::ONE), 1e-12));
+        // rx(π) ∝ X
+        assert!(rx(PI).approx_eq_up_to_scalar(&x(), 1e-12));
+        // H rz(θ) H = rx(θ)
+        let theta = 0.37;
+        assert!(h().matmul(&rz(theta)).matmul(&h()).approx_eq(&rx(theta), 1e-12));
+    }
+
+    #[test]
+    fn rzz_matches_pauli_exponential() {
+        let theta = 0.81;
+        // rzz(θ) = e^{−iθ/2 · Z⊗Z} = exp(i(−θ/2)·ZZ)
+        let reference = exp_i_theta_pauli(2, -theta / 2.0, &[(0, 'Z'), (1, 'Z')]);
+        assert!(rzz(theta).approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn rxy_matches_pauli_exponentials() {
+        let beta = 0.53;
+        // e^{iβ(XX+YY)} = e^{iβXX} e^{iβYY} (they commute)
+        let xx = exp_i_theta_pauli(2, beta, &[(0, 'X'), (1, 'X')]);
+        let yy = exp_i_theta_pauli(2, beta, &[(0, 'Y'), (1, 'Y')]);
+        let prod = xx.matmul(&yy);
+        // rxy(θ) = e^{−iθ(XX+YY)/2} → θ = −2β
+        assert!(rxy(-2.0 * beta).approx_eq(&prod, 1e-12));
+    }
+
+    #[test]
+    fn cx_from_h_cz_h() {
+        // CX = (I⊗H) CZ (I⊗H)
+        let ih = Matrix::identity(2).kron(&h());
+        assert!(ih.matmul(&cz()).matmul(&ih).approx_eq(&cx(), 1e-12));
+    }
+
+    #[test]
+    fn exp_pauli_unitary() {
+        let u = exp_i_theta_pauli(3, 0.91, &[(0, 'Z'), (2, 'Z')]);
+        assert!(u.is_unitary(1e-12));
+        let u = exp_i_theta_pauli(2, 1.7, &[(0, 'X'), (1, 'Y')]);
+        assert!(u.is_unitary(1e-12));
+    }
+}

@@ -1,0 +1,41 @@
+//! Mathematical substrate for the `mbqao` workspace.
+//!
+//! This crate is intentionally dependency-light: it provides exactly the
+//! pieces of linear algebra and exact arithmetic that the rest of the
+//! workspace needs to *verify* quantum protocols, rather than binding to a
+//! general-purpose numerics stack:
+//!
+//! * [`C64`] — a `Copy` complex scalar with the usual field operations,
+//!   `exp(iθ)` constructors and tolerant comparisons.
+//! * [`Matrix`] — dense complex matrices (row-major), with Kronecker
+//!   products, dagger, unitarity checks and equality up to global phase.
+//!   Used to build reference unitaries for gadget verification.
+//! * [`Tensor`] / [`tensor::TensorNetwork`] — small dense tensors with
+//!   pairwise contraction, used to evaluate ZX-diagrams to their linear-map
+//!   semantics.
+//! * [`Rational`] — exact `i64` rationals used for phases that are
+//!   rational multiples of π, so that rewrite rules like `π + π = 0` hold
+//!   exactly instead of up to float noise.
+//! * [`phase::PhaseExpr`] — affine symbolic phases `π·q + Σ qᵢ·symᵢ`
+//!   (rational coefficients), the phase algebra of parameterized
+//!   ZX-diagrams (γ, β appear symbolically as in the paper).
+//! * [`gates`] — the standard gate zoo as dense matrices (reference
+//!   semantics for the simulator and the gadget verifier).
+
+pub mod complex;
+pub mod gates;
+pub mod matrix;
+pub mod phase;
+pub mod rational;
+pub mod tensor;
+
+pub use complex::C64;
+pub use matrix::Matrix;
+pub use phase::{PhaseExpr, Symbol};
+pub use rational::Rational;
+pub use tensor::{Tensor, TensorNetwork};
+
+/// Default absolute tolerance used by approximate comparisons throughout
+/// the workspace. Statevectors of ≤ 2²⁴ amplitudes keep well below this
+/// error under the kernels in `mbqao-sim`.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,360 @@
+//! Dense complex matrices.
+//!
+//! These are *reference-semantics* matrices: the workspace uses them to
+//! build the exact unitaries that gadgets and compiled patterns are
+//! verified against, and to evaluate small ZX-diagram tensors. They are not
+//! the simulation hot path (that is `mbqao-sim`'s statevector kernels), so
+//! clarity wins over blocking/SIMD here; sizes stay ≤ 2¹⁰ × 2¹⁰ in tests.
+
+use crate::complex::C64;
+
+/// A dense, row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer has wrong length");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices of real numbers (test helper).
+    pub fn from_real(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend(row.iter().map(|&x| C64::real(x)));
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// The `n × n` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![C64::ZERO; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major buffer.
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Entry-wise scaling.
+    pub fn scale(&self, s: C64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
+    }
+
+    /// Matrix sum.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+
+    /// Applies `self` to a statevector (`cols`-dimensional).
+    pub fn apply(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "vector dimension mismatch");
+        let mut out = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Frobenius-norm distance to `rhs`.
+    pub fn distance(&self, rhs: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, rhs: &Matrix, eps: f64) -> bool {
+        (self.rows, self.cols) == (rhs.rows, rhs.cols)
+            && self.data.iter().zip(&rhs.data).all(|(&a, &b)| a.approx_eq(b, eps))
+    }
+
+    /// Equality up to a single global complex scalar `c` (with `|c| > 0`):
+    /// `self ≈ c · rhs`. This is the right notion of equality for
+    /// ZX-diagram semantics and for states/unitaries that differ by a
+    /// global phase or normalization.
+    pub fn approx_eq_up_to_scalar(&self, rhs: &Matrix, eps: f64) -> bool {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return false;
+        }
+        // Find the entry of rhs with the largest modulus to fix the scalar.
+        let mut best = 0usize;
+        let mut best_norm = 0.0f64;
+        for (idx, z) in rhs.data.iter().enumerate() {
+            let n = z.norm_sqr();
+            if n > best_norm {
+                best_norm = n;
+                best = idx;
+            }
+        }
+        if best_norm < eps * eps {
+            // rhs ≈ 0: equal iff self ≈ 0 too.
+            return self.data.iter().all(|z| z.is_zero(eps));
+        }
+        let c = self.data[best] / rhs.data[best];
+        if c.abs() < eps {
+            return false;
+        }
+        self.data.iter().zip(&rhs.data).all(|(&a, &b)| a.approx_eq(c * b, eps * (1.0 + c.abs())))
+    }
+
+    /// `true` when `self† · self ≈ 1` (square matrices only).
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.dagger().matmul(self).approx_eq(&Matrix::identity(self.rows), eps)
+    }
+
+    /// Trace (square matrices only).
+    pub fn trace(&self) -> C64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker power `self^{⊗n}` (with `n ≥ 0`; `n = 0` gives `[1]`).
+    pub fn kron_pow(&self, n: usize) -> Matrix {
+        let mut out = Matrix::identity(1);
+        for _ in 0..n {
+            out = out.kron(self);
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Embeds a `k`-qubit gate acting on `targets` (most-significant-first
+/// qubit order: qubit 0 indexes the highest bit) into an `n`-qubit unitary.
+///
+/// This is the reference construction used to compare simulator kernels
+/// and MBQC patterns against exact matrices; `n` is expected to be small.
+pub fn embed(n: usize, targets: &[usize], gate: &Matrix) -> Matrix {
+    let k = targets.len();
+    assert_eq!(gate.rows(), 1 << k, "gate dimension does not match target count");
+    assert!(targets.iter().all(|&t| t < n), "target out of range");
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    // For every basis state, extract the bits at `targets`, apply the gate
+    // block, and scatter back.
+    for col in 0..dim {
+        let mut sub_in = 0usize;
+        for (pos, &t) in targets.iter().enumerate() {
+            let bit = (col >> (n - 1 - t)) & 1;
+            sub_in |= bit << (k - 1 - pos);
+        }
+        for sub_out in 0..(1 << k) {
+            let amp = gate[(sub_out, sub_in)];
+            if amp.is_zero(0.0) {
+                continue;
+            }
+            let mut row = col;
+            for (pos, &t) in targets.iter().enumerate() {
+                let bit = (sub_out >> (k - 1 - pos)) & 1;
+                let mask = 1usize << (n - 1 - t);
+                if bit == 1 {
+                    row |= mask;
+                } else {
+                    row &= !mask;
+                }
+            }
+            out[(row, col)] += amp;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn identity_is_unit() {
+        let i4 = Matrix::identity(4);
+        let row: &[f64] = &[1.0, 2.0, 0.0, 0.0];
+        let m = Matrix::from_real(&[row, row, row, row]);
+        assert!(i4.matmul(&m).approx_eq(&m, 1e-12));
+        assert!(m.matmul(&i4).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn kron_shapes_and_values() {
+        let x = gates::x();
+        let i = Matrix::identity(2);
+        let xi = x.kron(&i);
+        // X⊗I swaps the upper/lower halves of a 4-vector.
+        let v = vec![C64::real(1.0), C64::real(2.0), C64::real(3.0), C64::real(4.0)];
+        let w = xi.apply(&v);
+        assert!(w[0].approx_eq(C64::real(3.0), 1e-12));
+        assert!(w[1].approx_eq(C64::real(4.0), 1e-12));
+        assert!(w[2].approx_eq(C64::real(1.0), 1e-12));
+        assert!(w[3].approx_eq(C64::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn dagger_unitarity() {
+        assert!(gates::h().is_unitary(1e-12));
+        assert!(gates::rz(0.3).is_unitary(1e-12));
+        assert!(gates::rx(1.2).is_unitary(1e-12));
+        assert!(gates::cz().is_unitary(1e-12));
+        assert!(!Matrix::from_real(&[&[1.0, 1.0], &[0.0, 1.0]]).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let a = gates::rz(0.7);
+        let b = a.scale(C64::cis(1.234));
+        assert!(a.approx_eq_up_to_scalar(&b, 1e-9));
+        assert!(!a.approx_eq_up_to_scalar(&gates::rz(0.9), 1e-9));
+    }
+
+    #[test]
+    fn embed_matches_kron() {
+        // Embedding X on qubit 0 of 2 equals X ⊗ I.
+        let e = embed(2, &[0], &gates::x());
+        assert!(e.approx_eq(&gates::x().kron(&Matrix::identity(2)), 1e-12));
+        // Embedding X on qubit 1 of 2 equals I ⊗ X.
+        let e = embed(2, &[1], &gates::x());
+        assert!(e.approx_eq(&Matrix::identity(2).kron(&gates::x()), 1e-12));
+        // CZ is symmetric: embedding on (0,1) equals embedding on (1,0).
+        let a = embed(3, &[0, 1], &gates::cz());
+        let b = embed(3, &[1, 0], &gates::cz());
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn embed_cx_order_matters() {
+        let cx01 = embed(2, &[0, 1], &gates::cx());
+        let v = cx01.apply(&[C64::ZERO, C64::ZERO, C64::ONE, C64::ZERO]); // |10⟩
+        // control = qubit 0 set → target flips: |11⟩
+        assert!(v[3].approx_eq(C64::ONE, 1e-12));
+        let cx10 = embed(2, &[1, 0], &gates::cx());
+        let v = cx10.apply(&[C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO]); // |01⟩
+        // control = qubit 1 set → qubit 0 flips: |11⟩
+        assert!(v[3].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn trace_and_distance() {
+        let m = Matrix::identity(4);
+        assert!(m.trace().approx_eq(C64::real(4.0), 1e-12));
+        assert!(m.distance(&Matrix::identity(4)) < 1e-12);
+        assert!(m.distance(&Matrix::zeros(4, 4)) > 1.9);
+    }
+}

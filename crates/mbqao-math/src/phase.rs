@@ -1,0 +1,244 @@
+//! Symbolic phase expressions.
+//!
+//! The paper's diagrams carry *parameterized* phases: the QAOA angles γ_k,
+//! β_k appear symbolically and only get bound to numbers when a pattern is
+//! executed. A [`PhaseExpr`] is an affine form
+//!
+//! ```text
+//!     π·q₀ + Σᵢ qᵢ·symᵢ        (qᵢ exact rationals)
+//! ```
+//!
+//! supporting exactly the operations diagram rewriting needs: addition
+//! (spider fusion), negation (π-commutation), halving/doubling, exact
+//! zero/π tests on the constant part, and numeric evaluation given
+//! bindings for the symbols.
+
+use crate::rational::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// An opaque symbol identifier (e.g. γ₁ or β₂). Construct via
+/// [`Symbol::new`]; display names are managed by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Wraps a raw id.
+    pub const fn new(id: u32) -> Self {
+        Symbol(id)
+    }
+}
+
+/// Affine phase expression `π·const + Σ coeff·sym`, with the constant kept
+/// reduced mod 2 (phases live on the circle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseExpr {
+    /// Multiple of π, reduced into `[0, 2)`.
+    pi: Rational,
+    /// Map from symbol to rational coefficient; zero coefficients removed.
+    terms: BTreeMap<Symbol, Rational>,
+}
+
+impl PhaseExpr {
+    /// The zero phase.
+    pub fn zero() -> Self {
+        PhaseExpr { pi: Rational::ZERO, terms: BTreeMap::new() }
+    }
+
+    /// The constant phase `π·r`.
+    pub fn pi_times(r: Rational) -> Self {
+        PhaseExpr { pi: r.mod2(), terms: BTreeMap::new() }
+    }
+
+    /// The constant phase π.
+    pub fn pi() -> Self {
+        Self::pi_times(Rational::ONE)
+    }
+
+    /// The phase `coeff · sym`.
+    pub fn symbol(sym: Symbol, coeff: Rational) -> Self {
+        let mut terms = BTreeMap::new();
+        if !coeff.is_zero() {
+            terms.insert(sym, coeff);
+        }
+        PhaseExpr { pi: Rational::ZERO, terms }
+    }
+
+    /// Constant part as a multiple of π (in `[0,2)`).
+    pub fn pi_part(&self) -> Rational {
+        self.pi
+    }
+
+    /// Symbolic terms.
+    pub fn terms(&self) -> &BTreeMap<Symbol, Rational> {
+        &self.terms
+    }
+
+    /// `true` when the expression is the literal zero phase.
+    pub fn is_zero(&self) -> bool {
+        self.pi.is_zero() && self.terms.is_empty()
+    }
+
+    /// `true` when the expression is exactly the constant π.
+    pub fn is_pi(&self) -> bool {
+        self.pi == Rational::ONE && self.terms.is_empty()
+    }
+
+    /// `true` when the expression has no symbolic part.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `true` when the constant part is a multiple of π and there are no
+    /// symbols — i.e. the spider is a Pauli spider (phase 0 or π).
+    pub fn is_pauli(&self) -> bool {
+        self.is_constant() && self.pi.is_integer()
+    }
+
+    /// Scales the whole expression by an exact rational.
+    pub fn scale(&self, r: Rational) -> Self {
+        let mut terms = BTreeMap::new();
+        for (&s, &c) in &self.terms {
+            let c = c * r;
+            if !c.is_zero() {
+                terms.insert(s, c);
+            }
+        }
+        PhaseExpr { pi: (self.pi * r).mod2(), terms }
+    }
+
+    /// Evaluates the phase in radians given numeric symbol bindings.
+    ///
+    /// # Panics
+    /// Panics when a symbol is missing from `bindings`.
+    pub fn eval(&self, bindings: &dyn Fn(Symbol) -> f64) -> f64 {
+        let mut v = self.pi.to_f64() * std::f64::consts::PI;
+        for (&s, &c) in &self.terms {
+            v += c.to_f64() * bindings(s);
+        }
+        v
+    }
+
+    /// Evaluates a constant expression.
+    ///
+    /// # Panics
+    /// Panics when the expression has symbols.
+    pub fn eval_const(&self) -> f64 {
+        assert!(self.is_constant(), "phase has unbound symbols");
+        self.pi.to_f64() * std::f64::consts::PI
+    }
+}
+
+impl Add for PhaseExpr {
+    type Output = PhaseExpr;
+    fn add(self, rhs: PhaseExpr) -> PhaseExpr {
+        let mut terms = self.terms;
+        for (s, c) in rhs.terms {
+            let e = terms.entry(s).or_insert(Rational::ZERO);
+            *e += c;
+            if e.is_zero() {
+                terms.remove(&s);
+            }
+        }
+        PhaseExpr { pi: (self.pi + rhs.pi).mod2(), terms }
+    }
+}
+
+impl Sub for PhaseExpr {
+    type Output = PhaseExpr;
+    fn sub(self, rhs: PhaseExpr) -> PhaseExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for PhaseExpr {
+    type Output = PhaseExpr;
+    fn neg(self) -> PhaseExpr {
+        self.scale(Rational::from_int(-1))
+    }
+}
+
+impl fmt::Display for PhaseExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if !self.pi.is_zero() {
+            if self.pi == Rational::ONE {
+                write!(f, "π")?;
+            } else {
+                write!(f, "{}π", self.pi)?;
+            }
+            first = false;
+        }
+        for (s, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            if *c == Rational::ONE {
+                write!(f, "s{}", s.0)?;
+            } else {
+                write!(f, "{}·s{}", c, s.0)?;
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn constants_reduce_mod_2pi() {
+        let p = PhaseExpr::pi() + PhaseExpr::pi();
+        assert!(p.is_zero(), "π + π should be the zero phase");
+        let q = PhaseExpr::pi_times(Rational::new(3, 2)) + PhaseExpr::pi_times(Rational::HALF);
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn symbols_cancel() {
+        let g = Symbol::new(0);
+        let p = PhaseExpr::symbol(g, Rational::ONE) - PhaseExpr::symbol(g, Rational::ONE);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn eval_affine() {
+        let g = Symbol::new(0);
+        let b = Symbol::new(1);
+        let p = PhaseExpr::pi_times(Rational::HALF)
+            + PhaseExpr::symbol(g, Rational::from_int(2))
+            + PhaseExpr::symbol(b, Rational::from_int(-1));
+        let v = p.eval(&|s| if s == g { 0.25 } else { 0.5 });
+        assert!((v - (PI / 2.0 + 0.5 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_detection() {
+        assert!(PhaseExpr::pi().is_pauli());
+        assert!(PhaseExpr::zero().is_pauli());
+        assert!(!PhaseExpr::pi_times(Rational::HALF).is_pauli());
+        assert!(!PhaseExpr::symbol(Symbol::new(3), Rational::ONE).is_pauli());
+    }
+
+    #[test]
+    fn negation_mod_circle() {
+        // −π/2 ≡ 3π/2
+        let p = -PhaseExpr::pi_times(Rational::HALF);
+        assert_eq!(p.pi_part(), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = Symbol::new(0);
+        let p = PhaseExpr::pi_times(Rational::HALF) + PhaseExpr::symbol(g, Rational::from_int(2));
+        assert_eq!(format!("{p}"), "1/2π + 2·s0");
+        assert_eq!(format!("{}", PhaseExpr::zero()), "0");
+    }
+}

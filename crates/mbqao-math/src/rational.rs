@@ -1,0 +1,220 @@
+//! Exact rational arithmetic over `i64`.
+//!
+//! ZX-calculus rewrite rules manipulate phases that are rational multiples
+//! of π (`π/2`, `π`, `3π/4`, …). Doing this in floating point makes rules
+//! like "two π phases cancel" hold only approximately and turns rewrite
+//! confluence tests into tolerance-tuning exercises. [`Rational`] keeps
+//! those phases exact; conversion to `f64` happens only at tensor
+//! evaluation time.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A normalized rational number `num/den` with `den > 0` and
+/// `gcd(|num|, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+/// Greatest common divisor (non-negative).
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Exact zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// Exact one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+    /// One half.
+    pub const HALF: Rational = Rational { num: 1, den: 2 };
+
+    /// Builds and normalizes `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        if g == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        Rational { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// Builds the integer `n`.
+    pub const fn from_int(n: i64) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator of the normalized form.
+    pub fn num(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator of the normalized form (always positive).
+    pub fn den(self) -> i64 {
+        self.den
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Reduces modulo `2` into the half-open interval `[0, 2)`.
+    ///
+    /// Phases in ZX-diagrams live on the circle; a spider phase `α` and
+    /// `α + 2π` are identical, so phase bookkeeping stores the multiple of
+    /// π reduced mod 2.
+    pub fn mod2(self) -> Self {
+        let two_den = 2 * self.den;
+        let mut n = self.num % two_den;
+        if n < 0 {
+            n += two_den;
+        }
+        Rational::new(n, self.den)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero Rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn mod2_wraps_into_unit_circle() {
+        // 5/2 ≡ 1/2 (mod 2)
+        assert_eq!(Rational::new(5, 2).mod2(), Rational::new(1, 2));
+        // −1/2 ≡ 3/2 (mod 2)
+        assert_eq!(Rational::new(-1, 2).mod2(), Rational::new(3, 2));
+        // 2 ≡ 0: "two π phases cancel", the exactness ZX rules need
+        assert_eq!((Rational::ONE + Rational::ONE).mod2(), Rational::ZERO);
+        assert_eq!(Rational::new(4, 1).mod2(), Rational::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Pattern commands (the measurement calculus of Danos–Kashefi–Panangaden).
+
+use crate::plane::Plane;
+use crate::signal::{OutcomeId, Signal};
+use mbqao_sim::QubitId;
+use std::fmt;
+
+/// Initial state of a prepared qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepState {
+    /// `|+⟩` — the graph-state default.
+    Plus,
+    /// `|0⟩`.
+    Zero,
+}
+
+/// A Pauli correction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Pauli X.
+    X,
+    /// Pauli Z.
+    Z,
+}
+
+/// Index of a free pattern parameter (e.g. γ₁, β₁, γ₂, …). Bound to
+/// numbers only at execution time, mirroring the paper's symbolic angles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub u32);
+
+/// A measurement angle: `constant + Σ coeffᵢ·paramᵢ` radians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Angle {
+    /// Constant part (radians).
+    pub constant: f64,
+    /// Parameter-linear part.
+    pub terms: Vec<(f64, ParamId)>,
+}
+
+impl Angle {
+    /// A constant angle.
+    pub fn constant(c: f64) -> Self {
+        Angle { constant: c, terms: Vec::new() }
+    }
+
+    /// The angle `coeff · param`.
+    pub fn param(coeff: f64, p: ParamId) -> Self {
+        Angle { constant: 0.0, terms: vec![(coeff, p)] }
+    }
+
+    /// Evaluates with parameter bindings.
+    ///
+    /// # Panics
+    /// Panics when a parameter index is out of range.
+    pub fn eval(&self, params: &[f64]) -> f64 {
+        let mut v = self.constant;
+        for &(c, ParamId(i)) in &self.terms {
+            v += c * params[i as usize];
+        }
+        v
+    }
+
+    /// Largest parameter index mentioned, if any.
+    pub fn max_param(&self) -> Option<u32> {
+        self.terms.iter().map(|&(_, ParamId(i))| i).max()
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.constant)?;
+        for &(c, ParamId(i)) in &self.terms {
+            write!(f, "{}{:.3}·p{}", if c >= 0.0 { "+" } else { "" }, c, i)?;
+        }
+        Ok(())
+    }
+}
+
+/// One command of a measurement pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `N_q` — prepare qubit `q`.
+    Prep {
+        /// The fresh qubit.
+        q: QubitId,
+        /// Its initial state.
+        state: PrepState,
+    },
+    /// `E_{ab}` — entangle `a` and `b` with CZ (a graph-state edge).
+    Entangle {
+        /// First endpoint.
+        a: QubitId,
+        /// Second endpoint.
+        b: QubitId,
+    },
+    /// `M_q^{plane, α; s, t}` — measure `q` at adapted angle
+    /// `(−1)^{s} α + t·π`, storing the outcome in `out`.
+    Measure {
+        /// Measured qubit (removed from the register afterwards).
+        q: QubitId,
+        /// Measurement plane.
+        plane: Plane,
+        /// Base angle (parameterized).
+        angle: Angle,
+        /// Sign-flip signal (the `s`-domain).
+        s: Signal,
+        /// π-offset signal (the `t`-domain).
+        t: Signal,
+        /// Where the outcome is recorded.
+        out: OutcomeId,
+    },
+    /// `C_q^{P; cond}` — apply Pauli `P` to `q` iff `cond` evaluates to 1.
+    Correct {
+        /// Target qubit (must be live, typically an output).
+        q: QubitId,
+        /// The correction operator.
+        pauli: Pauli,
+        /// The classical condition.
+        cond: Signal,
+    },
+}
+
+impl Command {
+    /// Qubits this command touches.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match self {
+            Command::Prep { q, .. } | Command::Correct { q, .. } => vec![*q],
+            Command::Entangle { a, b } => vec![*a, *b],
+            Command::Measure { q, .. } => vec![*q],
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Prep { q, state } => {
+                let s = match state {
+                    PrepState::Plus => "+",
+                    PrepState::Zero => "0",
+                };
+                write!(f, "N_{q}(|{s}⟩)")
+            }
+            Command::Entangle { a, b } => write!(f, "E_{{{a},{b}}}"),
+            Command::Measure { q, plane, angle, s, t, out } => {
+                write!(f, "M_{q}^{{{plane},{angle}}}[s={s},t={t}]→{out}")
+            }
+            Command::Correct { q, pauli, cond } => {
+                let p = match pauli {
+                    Pauli::X => "X",
+                    Pauli::Z => "Z",
+                };
+                write!(f, "{p}_{q}^{{{cond}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angle_eval() {
+        let a = Angle {
+            constant: 0.5,
+            terms: vec![(2.0, ParamId(0)), (-1.0, ParamId(2))],
+        };
+        let v = a.eval(&[0.25, 9.0, 0.125]);
+        assert!((v - (0.5 + 0.5 - 0.125)).abs() < 1e-12);
+        assert_eq!(a.max_param(), Some(2));
+        assert_eq!(Angle::constant(1.0).max_param(), None);
+    }
+
+    #[test]
+    fn command_qubits() {
+        let q0 = QubitId::new(0);
+        let q1 = QubitId::new(1);
+        assert_eq!(Command::Entangle { a: q0, b: q1 }.qubits(), vec![q0, q1]);
+        assert_eq!(
+            Command::Prep { q: q1, state: PrepState::Plus }.qubits(),
+            vec![q1]
+        );
+    }
+}

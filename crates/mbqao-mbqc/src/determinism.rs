@@ -1,0 +1,150 @@
+//! Strong-determinism verification by exhaustive branch enumeration.
+//!
+//! The paper's patterns must be *deterministic*: "each measurement can
+//! only depend on measurement outcomes from earlier in the sequence"
+//! (Sec. II-B), and with the corrections in place every branch of
+//! measurement outcomes yields the same output state. For a pattern with
+//! `k` measurements we check all `2^k` forced branches (rayon-parallel):
+//!
+//! 1. every branch's output state equals branch 0's up to global phase,
+//! 2. every branch occurs with probability `2^{−k}` (strong uniform
+//!    determinism — measurement outcomes carry no information).
+
+use crate::pattern::Pattern;
+use crate::simulate::{run_with_input, Branch};
+use mbqao_sim::State;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Outcome of a determinism check.
+#[derive(Debug, Clone)]
+pub struct DeterminismReport {
+    /// Number of branches enumerated (`2^k`).
+    pub branches: usize,
+    /// Worst-case fidelity deficit `1 − |⟨ψ₀|ψ_b⟩|` over branches `b`.
+    pub max_fidelity_deficit: f64,
+    /// Worst-case deviation of a branch probability from `2^{−k}`.
+    pub max_prob_deviation: f64,
+    /// `true` when both deviations are below the tolerance.
+    pub deterministic: bool,
+}
+
+/// Enumerates every outcome branch of `pattern` (which must have ≤
+/// `max_meas` measurements, default cap 20) and checks strong determinism.
+///
+/// # Panics
+/// Panics when the pattern has more measurements than can be enumerated.
+pub fn check_determinism(
+    pattern: &Pattern,
+    input: &State,
+    params: &[f64],
+    tol: f64,
+) -> DeterminismReport {
+    let k = pattern
+        .commands()
+        .iter()
+        .filter(|c| matches!(c, crate::command::Command::Measure { .. }))
+        .count();
+    assert!(k <= 20, "branch enumeration over {k} measurements is too large");
+    let total = 1usize << k;
+    let expect_prob = 1.0 / total as f64;
+
+    // Reference branch: all-zero outcomes.
+    let mut rng = StdRng::seed_from_u64(0);
+    let zero_bits = vec![0u8; k];
+    let reference = run_with_input(
+        pattern,
+        input.clone(),
+        params,
+        Branch::Forced(&zero_bits),
+        &mut rng,
+    );
+    let order: Vec<_> = pattern.outputs().to_vec();
+
+    let (max_fid_deficit, max_prob_dev) = (1..total)
+        .into_par_iter()
+        .map(|b| {
+            let bits: Vec<u8> = (0..k).map(|i| ((b >> i) & 1) as u8).collect();
+            let mut rng = StdRng::seed_from_u64(b as u64);
+            let r = run_with_input(
+                pattern,
+                input.clone(),
+                params,
+                Branch::Forced(&bits),
+                &mut rng,
+            );
+            let fid = if order.is_empty() {
+                1.0
+            } else {
+                r.state.fidelity(&reference.state, &order)
+            };
+            ((1.0 - fid).max(0.0), (r.probability - expect_prob).abs())
+        })
+        .reduce(
+            || (0.0, (reference.probability - expect_prob).abs()),
+            |a, b| (a.0.max(b.0), a.1.max(b.1)),
+        );
+
+    DeterminismReport {
+        branches: total,
+        max_fidelity_deficit: max_fid_deficit,
+        max_prob_deviation: max_prob_dev,
+        deterministic: max_fid_deficit < tol && max_prob_dev < tol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Angle, Pauli};
+    use crate::plane::Plane;
+    use crate::signal::Signal;
+    use mbqao_sim::QubitId;
+
+    fn q(i: u64) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn corrected_j_chain_is_deterministic() {
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.prep_plus(q(1));
+        p.entangle(q(0), q(1));
+        let m0 = p.measure(q(0), Plane::XY, Angle::constant(0.4), Signal::zero(), Signal::zero());
+        p.prep_plus(q(2));
+        p.entangle(q(1), q(2));
+        let m1 = p.measure(
+            q(1),
+            Plane::XY,
+            Angle::constant(-0.9),
+            Signal::var(m0),
+            Signal::zero(),
+        );
+        p.correct(q(2), Pauli::X, Signal::var(m1));
+        p.correct(q(2), Pauli::Z, Signal::var(m0));
+        p.set_outputs(vec![q(2)]);
+
+        let mut input = State::zeros(&[q(0)]);
+        input.apply_rx(q(0), 0.7);
+        let report = check_determinism(&p, &input, &[], 1e-9);
+        assert!(report.deterministic, "{report:?}");
+        assert_eq!(report.branches, 4);
+    }
+
+    #[test]
+    fn uncorrected_pattern_is_not_deterministic() {
+        // J-step without the X correction: branches differ.
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.prep_plus(q(1));
+        p.entangle(q(0), q(1));
+        let _m = p.measure(q(0), Plane::XY, Angle::constant(0.4), Signal::zero(), Signal::zero());
+        p.set_outputs(vec![q(1)]);
+
+        let mut input = State::zeros(&[q(0)]);
+        input.apply_rx(q(0), 1.1);
+        let report = check_determinism(&p, &input, &[], 1e-9);
+        assert!(!report.deterministic);
+        assert!(report.max_fidelity_deficit > 1e-3);
+    }
+}

@@ -1,0 +1,325 @@
+//! Generalized flow (gflow) — the structural witness of determinism.
+//!
+//! A pattern whose open graph admits a gflow can be driven
+//! deterministically by correcting byproducts forward (Browne, Kashefi,
+//! Mhalla, Perdrix, *Generalized flow and determinism in measurement-based
+//! quantum computation*, NJP 2007 — refs. [32,33] of the paper). This
+//! module implements the layered gflow-finding algorithm over GF(2) for
+//! the three measurement planes:
+//!
+//! For each non-output `u` we look for a correction set
+//! `K ⊆ (done ∪ {u}) \ I` with `Odd(K)` confined to `done ∪ {u}` and
+//!
+//! * XY: `u ∉ K`, `u ∈ Odd(K)`
+//! * XZ: `u ∈ K`, `u ∈ Odd(K)`
+//! * YZ: `u ∈ K`, `u ∉ Odd(K)`
+//!
+//! processed backwards from the outputs, one layer at a time. Complexity
+//! is polynomial (a GF(2) solve per candidate per layer).
+
+use crate::opengraph::{BitVec, OpenGraph};
+use crate::plane::Plane;
+use std::collections::HashMap;
+
+/// A gflow: correction sets per measured node plus the layer structure
+/// (layer 0 is measured **last**, i.e. discovery order; see
+/// [`GFlow::measurement_order`]).
+#[derive(Debug, Clone)]
+pub struct GFlow {
+    /// Correction set `g(u)` per measured node.
+    pub g: HashMap<usize, BitVec>,
+    /// Layers in discovery order (first layer = closest to outputs).
+    pub layers: Vec<Vec<usize>>,
+}
+
+impl GFlow {
+    /// Nodes in a valid measurement order (earliest measured first).
+    pub fn measurement_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = Vec::new();
+        for layer in self.layers.iter().rev() {
+            order.extend(layer.iter().copied());
+        }
+        order
+    }
+
+    /// Number of adaptive layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// GF(2) linear solver: finds any `x` with `A x = b`, where row `i` of `A`
+/// is `rows[i]` restricted to `ncols` columns. Returns `None` when
+/// inconsistent.
+fn solve_gf2(mut rows: Vec<BitVec>, mut rhs: Vec<bool>, ncols: usize) -> Option<BitVec> {
+    let nrows = rows.len();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; ncols];
+    let mut r = 0usize;
+    for c in 0..ncols {
+        // Find a pivot for column c at or below row r.
+        let Some(p) = (r..nrows).find(|&i| rows[i].get(c)) else {
+            continue;
+        };
+        rows.swap(r, p);
+        rhs.swap(r, p);
+        // Eliminate everywhere else.
+        for i in 0..nrows {
+            if i != r && rows[i].get(c) {
+                let (head, tail) = if i < r {
+                    let (a, b) = rows.split_at_mut(r);
+                    (&mut a[i], &b[0])
+                } else {
+                    let (a, b) = rows.split_at_mut(i);
+                    (&mut b[0], &a[r])
+                };
+                head.xor_assign(tail);
+                let v = rhs[r];
+                rhs[i] ^= v;
+            }
+        }
+        pivot_of_col[c] = Some(r);
+        r += 1;
+        if r == nrows {
+            break;
+        }
+    }
+    // Consistency: any zero row with rhs = 1?
+    for i in 0..nrows {
+        if rhs[i] && rows[i].is_zero() {
+            return None;
+        }
+    }
+    // Back-substitute with free variables = 0.
+    let mut x = BitVec::zeros(ncols);
+    for c in 0..ncols {
+        if let Some(p) = pivot_of_col[c] {
+            x.set(c, rhs[p]);
+        }
+    }
+    Some(x)
+}
+
+/// Attempts to find a gflow for the open graph. Returns `None` when the
+/// graph has none (the pattern cannot be uniformly deterministic).
+pub fn find_gflow(g: &OpenGraph) -> Option<GFlow> {
+    let n = g.n();
+    let mut done = g.outputs().clone();
+    let mut gmap: HashMap<usize, BitVec> = HashMap::new();
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+
+    let total_to_measure = (0..n).filter(|&i| !g.outputs().get(i)).count();
+    let mut measured = 0usize;
+
+    while measured < total_to_measure {
+        let mut layer: Vec<usize> = Vec::new();
+        let snapshot = done.clone();
+        for u in 0..n {
+            if snapshot.get(u) || done.get(u) && u < n && snapshot.get(u) {
+                continue;
+            }
+            if snapshot.get(u) {
+                continue;
+            }
+            if done.get(u) {
+                continue;
+            }
+            let Some(plane) = g.plane(u) else {
+                // Measured node without a plane: treat as XY with angle 0
+                // is not safe — reject.
+                return None;
+            };
+            // Candidate columns: c ∈ (snapshot ∪ {u}) \ I, where `u` is
+            // only a candidate for XZ/YZ planes.
+            let mut cols: Vec<usize> = (0..n)
+                .filter(|&c| snapshot.get(c) && !g.inputs().get(c))
+                .collect();
+            let u_col = if matches!(plane, Plane::XZ | Plane::YZ) && !g.inputs().get(u) {
+                cols.push(u);
+                Some(cols.len() - 1)
+            } else {
+                None
+            };
+            if matches!(plane, Plane::XZ | Plane::YZ) && u_col.is_none() {
+                continue; // u ∈ g(u) required but u is an input — impossible.
+            }
+            let ncols = cols.len();
+            // Rows: for every w ∉ snapshot ∪ {u}: parity of N(w)∩K = 0;
+            // for u: parity = 1 (XY, XZ) or 0 (YZ);
+            // for u_col (if any): x_u = 1.
+            let mut rows: Vec<BitVec> = Vec::new();
+            let mut rhs: Vec<bool> = Vec::new();
+            for w in 0..n {
+                if w == u || snapshot.get(w) {
+                    continue;
+                }
+                let mut row = BitVec::zeros(ncols);
+                for (ci, &c) in cols.iter().enumerate() {
+                    if g.neighbors(w).get(c) {
+                        row.set(ci, true);
+                    }
+                }
+                rows.push(row);
+                rhs.push(false);
+            }
+            {
+                let mut row = BitVec::zeros(ncols);
+                for (ci, &c) in cols.iter().enumerate() {
+                    if g.neighbors(u).get(c) {
+                        row.set(ci, true);
+                    }
+                }
+                rows.push(row);
+                rhs.push(matches!(plane, Plane::XY | Plane::XZ));
+            }
+            if let Some(uc) = u_col {
+                let mut row = BitVec::zeros(ncols);
+                row.set(uc, true);
+                rows.push(row);
+                rhs.push(true);
+            }
+            if let Some(x) = solve_gf2(rows, rhs, ncols) {
+                let mut k = BitVec::zeros(n);
+                for (ci, &c) in cols.iter().enumerate() {
+                    if x.get(ci) {
+                        k.set(c, true);
+                    }
+                }
+                gmap.insert(u, k);
+                layer.push(u);
+            }
+        }
+        if layer.is_empty() {
+            return None;
+        }
+        for &u in &layer {
+            done.set(u, true);
+        }
+        measured += layer.len();
+        layers.push(layer);
+    }
+    Some(GFlow { g: gmap, layers })
+}
+
+/// Verifies the gflow conditions directly (used by tests to check the
+/// solver's output).
+pub fn verify_gflow(g: &OpenGraph, flow: &GFlow) -> bool {
+    let n = g.n();
+    // position in measurement order; outputs come after everything.
+    let order = flow.measurement_order();
+    let mut rank = vec![usize::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        rank[u] = i;
+    }
+    for (&u, k) in &flow.g {
+        let plane = match g.plane(u) {
+            Some(p) => p,
+            None => return false,
+        };
+        let odd = g.odd_neighborhood(k);
+        let (need_in_k, need_in_odd) = match plane {
+            Plane::XY => (false, true),
+            Plane::XZ => (true, true),
+            Plane::YZ => (true, false),
+        };
+        if k.get(u) != need_in_k || odd.get(u) != need_in_odd {
+            return false;
+        }
+        // K \ {u} ⊆ I^c and strictly in the future of u.
+        for c in k.iter_ones() {
+            if g.inputs().get(c) {
+                return false;
+            }
+            if c != u && rank[c] != usize::MAX && rank[c] <= rank[u] {
+                return false;
+            }
+        }
+        for w in odd.iter_ones() {
+            if w != u && rank[w] != usize::MAX && rank[w] <= rank[u] {
+                return false;
+            }
+        }
+    }
+    // every non-output has a correction set
+    (0..n).filter(|&i| !g.outputs().get(i)).all(|u| flow.g.contains_key(&u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_has_flow() {
+        // 0 - 1 - 2 with input 0, output 2: classic causal flow (a special
+        // case of gflow) — g(0) = {1}, g(1) = {2}.
+        let g = OpenGraph::new(
+            3,
+            &[(0, 1), (1, 2)],
+            &[0],
+            &[2],
+            &[(0, Plane::XY), (1, Plane::XY)],
+        );
+        let flow = find_gflow(&g).expect("line graph must have gflow");
+        assert!(verify_gflow(&g, &flow), "solver output fails the definition");
+        assert_eq!(flow.depth(), 2);
+    }
+
+    #[test]
+    fn triangle_all_inputs_outputs_none_needed() {
+        // No measured nodes at all: trivial gflow.
+        let g = OpenGraph::new(3, &[(0, 1), (1, 2), (0, 2)], &[0, 1, 2], &[0, 1, 2], &[]);
+        let flow = find_gflow(&g).expect("nothing to measure");
+        assert!(flow.g.is_empty());
+        assert!(verify_gflow(&g, &flow));
+    }
+
+    #[test]
+    fn yz_measured_leaf() {
+        // Gadget shape: wire 0 (input+output is illegal, so) — use:
+        // nodes 0(in),1(out),2 ancilla attached to both; 2 measured in YZ.
+        // K = {2}: Odd({2}) = {0,1}: must be ⊆ done ∪ {2}: 0,1... 1 is an
+        // output (in done) but 0 is an unmeasured non-output? 0 must be
+        // measured too. Make 0 measured XY, so layering handles it.
+        let g = OpenGraph::new(
+            4,
+            &[(0, 1), (2, 0), (2, 1), (0, 3)],
+            &[0],
+            &[1, 3],
+            &[(0, Plane::XY), (2, Plane::YZ)],
+        );
+        if let Some(flow) = find_gflow(&g) {
+            assert!(verify_gflow(&g, &flow));
+        }
+        // Simpler certain case: single YZ node hanging off an output.
+        let g2 = OpenGraph::new(2, &[(0, 1)], &[], &[1], &[(0, Plane::YZ)]);
+        let flow2 = find_gflow(&g2).expect("leaf YZ has gflow: g(0) = {0}");
+        assert!(verify_gflow(&g2, &flow2));
+        assert!(flow2.g[&0].get(0), "YZ correction set contains the node itself");
+    }
+
+    #[test]
+    fn disconnected_measured_node_has_no_xy_gflow() {
+        // An isolated XY-measured node can't satisfy u ∈ Odd(K).
+        let g = OpenGraph::new(2, &[], &[], &[1], &[(0, Plane::XY)]);
+        assert!(find_gflow(&g).is_none());
+    }
+
+    #[test]
+    fn solve_gf2_simple() {
+        // x0 ⊕ x1 = 1; x1 = 1 → x0 = 0.
+        let mut r0 = BitVec::zeros(2);
+        r0.set(0, true);
+        r0.set(1, true);
+        let mut r1 = BitVec::zeros(2);
+        r1.set(1, true);
+        let x = solve_gf2(vec![r0, r1], vec![true, true], 2).expect("solvable");
+        assert!(!x.get(0));
+        assert!(x.get(1));
+    }
+
+    #[test]
+    fn solve_gf2_inconsistent() {
+        // 0 = 1
+        let r0 = BitVec::zeros(1);
+        assert!(solve_gf2(vec![r0], vec![true], 1).is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Measurement-based quantum computing runtime (the measurement calculus).
+//!
+//! This crate implements the one-way model the paper compiles QAOA into
+//! (Sec. II-B): patterns of commands over a resource state —
+//!
+//! * `N` — prepare a fresh qubit (usually `|+⟩`),
+//! * `E` — entangle two qubits with CZ (graph-state edges),
+//! * `M` — measure a qubit in a plane (XY / XZ / YZ) at an angle whose
+//!   sign and π-offset adapt to earlier outcomes (the *signals* `s`, `t`),
+//! * `C` — classically-controlled Pauli corrections on output qubits.
+//!
+//! Key pieces:
+//!
+//! * [`signal::Signal`] — GF(2) affine combinations of measurement
+//!   outcomes; the algebra behind the paper's `m`, `n`, `P_u` bookkeeping.
+//! * [`pattern::Pattern`] — validated command sequences with parameterized
+//!   angles (γ/β stay symbolic until execution, as in the paper).
+//! * [`simulate`] — executes patterns on the `mbqao-sim` statevector with
+//!   random or *forced* outcomes (branch enumeration).
+//! * [`determinism`] — exhaustive branch verification: a correct pattern
+//!   gives the same output state on every branch, each with uniform
+//!   probability (strong determinism, cf. the flow condition of [32,33]).
+//! * [`schedule`] — just-in-time reordering so ancillas are prepared late
+//!   and measured early; realizes the qubit-reuse observation ([51]) and
+//!   keeps simulation memory proportional to the *live* register.
+//! * [`gflow`] — generalized flow (Browne–Kashefi–Mhalla–Perdrix) over
+//!   open graphs with mixed measurement planes: the structural witness of
+//!   pattern determinism.
+//! * [`resources`] — qubit/entangling/round accounting compared against
+//!   the paper's Sec. III-A bounds.
+
+pub mod command;
+pub mod determinism;
+pub mod gflow;
+pub mod opengraph;
+pub mod pattern;
+pub mod plane;
+pub mod resources;
+pub mod schedule;
+pub mod signal;
+pub mod simulate;
+
+pub use command::{Angle, Command, Pauli, PrepState};
+pub use pattern::Pattern;
+pub use plane::Plane;
+pub use resources::ResourceStats;
+pub use signal::{OutcomeId, Signal};

@@ -1,0 +1,237 @@
+//! Open graphs — the combinatorial skeleton of a pattern.
+//!
+//! An open graph is the resource-state graph together with the input and
+//! output subsets and each measured node's plane; it is the object on
+//! which flow conditions (Sec. II-B, refs. [32,33] of the paper) are
+//! stated. Extracted from a [`Pattern`] by [`OpenGraph::from_pattern`].
+
+use crate::command::Command;
+use crate::pattern::Pattern;
+use crate::plane::Plane;
+use mbqao_sim::QubitId;
+use std::collections::HashMap;
+
+/// A fixed-width bitset over graph nodes (supports arbitrarily many
+/// nodes; compiled QAOA patterns routinely exceed 64 qubits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zero bitset over `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when empty (0 positions).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        if v {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// XORs another bitset in.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Population count.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set positions.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+/// An open graph `(G, I, O, planes)`.
+#[derive(Debug, Clone)]
+pub struct OpenGraph {
+    n: usize,
+    /// adjacency[i] = neighbourhood bitset of node i
+    adj: Vec<BitVec>,
+    inputs: BitVec,
+    outputs: BitVec,
+    /// Measurement plane per non-output node (outputs have none).
+    planes: Vec<Option<Plane>>,
+    /// Original qubit ids, indexed by node.
+    qubits: Vec<QubitId>,
+}
+
+impl OpenGraph {
+    /// Builds an open graph over `n` nodes.
+    pub fn new(
+        n: usize,
+        edges: &[(usize, usize)],
+        inputs: &[usize],
+        outputs: &[usize],
+        planes: &[(usize, Plane)],
+    ) -> Self {
+        let mut adj = vec![BitVec::zeros(n); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n && a != b, "bad edge ({a},{b})");
+            adj[a].set(b, true);
+            adj[b].set(a, true);
+        }
+        let mut iv = BitVec::zeros(n);
+        for &i in inputs {
+            iv.set(i, true);
+        }
+        let mut ov = BitVec::zeros(n);
+        for &o in outputs {
+            ov.set(o, true);
+        }
+        let mut pl = vec![None; n];
+        for &(i, p) in planes {
+            pl[i] = Some(p);
+        }
+        OpenGraph {
+            n,
+            adj,
+            inputs: iv,
+            outputs: ov,
+            planes: pl,
+            qubits: (0..n as u64).map(QubitId::new).collect(),
+        }
+    }
+
+    /// Extracts the open graph of a pattern: nodes = qubits, edges =
+    /// entangle commands, planes from measurements.
+    pub fn from_pattern(p: &Pattern) -> Self {
+        let qubits = p.all_qubits();
+        let n = qubits.len();
+        let index: HashMap<QubitId, usize> =
+            qubits.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        let mut adj = vec![BitVec::zeros(n); n];
+        let mut planes = vec![None; n];
+        for c in p.commands() {
+            match c {
+                Command::Entangle { a, b } => {
+                    let (ia, ib) = (index[a], index[b]);
+                    adj[ia].set(ib, true);
+                    adj[ib].set(ia, true);
+                }
+                Command::Measure { q, plane, .. } => {
+                    planes[index[q]] = Some(*plane);
+                }
+                _ => {}
+            }
+        }
+        let mut iv = BitVec::zeros(n);
+        for q in p.inputs() {
+            iv.set(index[q], true);
+        }
+        let mut ov = BitVec::zeros(n);
+        for q in p.outputs() {
+            ov.set(index[q], true);
+        }
+        OpenGraph { n, adj, inputs: iv, outputs: ov, planes, qubits }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Neighbourhood bitset of node `i`.
+    pub fn neighbors(&self, i: usize) -> &BitVec {
+        &self.adj[i]
+    }
+
+    /// Input bitset.
+    pub fn inputs(&self) -> &BitVec {
+        &self.inputs
+    }
+
+    /// Output bitset.
+    pub fn outputs(&self) -> &BitVec {
+        &self.outputs
+    }
+
+    /// Measurement plane of node `i` (None for outputs).
+    pub fn plane(&self, i: usize) -> Option<Plane> {
+        self.planes[i]
+    }
+
+    /// Qubit id of node `i`.
+    pub fn qubit(&self, i: usize) -> QubitId {
+        self.qubits[i]
+    }
+
+    /// Odd neighbourhood `Odd(K) = {w : |N(w) ∩ K| odd}` of a node set.
+    pub fn odd_neighborhood(&self, k: &BitVec) -> BitVec {
+        let mut odd = BitVec::zeros(self.n);
+        for i in k.iter_ones() {
+            odd.xor_assign(&self.adj[i]);
+        }
+        odd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_ops() {
+        let mut b = BitVec::zeros(130);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert_eq!(b.count_ones(), 3);
+        assert!(b.get(64));
+        assert!(!b.get(63));
+        let mut c = BitVec::zeros(130);
+        c.set(64, true);
+        b.xor_assign(&c);
+        assert!(!b.get(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn odd_neighborhood_path() {
+        // Path 0-1-2: Odd({1}) = {0,2}; Odd({0,2}) = {1,1}⊕ = {1} xor {1}..
+        let g = OpenGraph::new(3, &[(0, 1), (1, 2)], &[0], &[2], &[(0, Plane::XY), (1, Plane::XY)]);
+        let mut k = BitVec::zeros(3);
+        k.set(1, true);
+        let odd = g.odd_neighborhood(&k);
+        assert_eq!(odd.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        let mut k2 = BitVec::zeros(3);
+        k2.set(0, true);
+        k2.set(2, true);
+        let odd2 = g.odd_neighborhood(&k2);
+        // N(0)⊕N(2) = {1}⊕{1} = ∅
+        assert!(odd2.is_zero());
+    }
+}

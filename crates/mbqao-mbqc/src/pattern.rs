@@ -1,0 +1,364 @@
+//! Measurement patterns.
+
+use crate::command::{Angle, Command, ParamId, Pauli, PrepState};
+use crate::plane::Plane;
+use crate::signal::{OutcomeId, Signal};
+use mbqao_sim::QubitId;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A validated measurement pattern: the MBQC program the paper's compiler
+/// produces.
+///
+/// * `inputs` — qubits whose state is supplied by the caller (empty for
+///   self-contained patterns such as full QAOA, which prepare `|+⟩^{⊗n}`
+///   themselves).
+/// * `outputs` — qubits left unmeasured, carrying the result state.
+/// * `n_params` — number of free angle parameters (2p for QAOA_p).
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    inputs: Vec<QubitId>,
+    outputs: Vec<QubitId>,
+    commands: Vec<Command>,
+    n_params: usize,
+    n_outcomes: u32,
+}
+
+/// Errors detected by [`Pattern::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A command acts on a qubit that is not live at that point.
+    NotLive(String),
+    /// A qubit is prepared twice, or prepared although it is an input.
+    DoublePrep(String),
+    /// A measurement reads a signal from an outcome not yet produced.
+    AcausalSignal(String),
+    /// An output qubit is measured, or a measured qubit is listed as output.
+    OutputMeasured(String),
+    /// A non-output qubit is never measured.
+    DanglingQubit(String),
+    /// An angle references a parameter ≥ `n_params`.
+    BadParam(String),
+    /// Duplicate outcome id.
+    DuplicateOutcome(String),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            PatternError::NotLive(m) => ("qubit not live", m),
+            PatternError::DoublePrep(m) => ("double preparation", m),
+            PatternError::AcausalSignal(m) => ("acausal signal", m),
+            PatternError::OutputMeasured(m) => ("output measured", m),
+            PatternError::DanglingQubit(m) => ("dangling qubit", m),
+            PatternError::BadParam(m) => ("bad parameter", m),
+            PatternError::DuplicateOutcome(m) => ("duplicate outcome", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl Pattern {
+    /// Creates an empty pattern with the given open interface.
+    pub fn new(inputs: Vec<QubitId>, n_params: usize) -> Self {
+        Pattern {
+            inputs,
+            outputs: Vec::new(),
+            commands: Vec::new(),
+            n_params,
+            n_outcomes: 0,
+        }
+    }
+
+    /// Input qubits (state supplied by the caller).
+    pub fn inputs(&self) -> &[QubitId] {
+        &self.inputs
+    }
+
+    /// Output qubits (left unmeasured).
+    pub fn outputs(&self) -> &[QubitId] {
+        &self.outputs
+    }
+
+    /// Declares the output qubits (call once building is done).
+    pub fn set_outputs(&mut self, outputs: Vec<QubitId>) {
+        self.outputs = outputs;
+    }
+
+    /// The command sequence.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of free parameters.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Number of measurement outcomes (= measurement commands).
+    pub fn n_outcomes(&self) -> u32 {
+        self.n_outcomes
+    }
+
+    /// Appends a raw command. Prefer the typed helpers below.
+    pub fn push(&mut self, c: Command) {
+        if let Command::Measure { out, .. } = &c {
+            self.n_outcomes = self.n_outcomes.max(out.0 + 1);
+        }
+        self.commands.push(c);
+    }
+
+    /// Appends `N_q(|+⟩)`.
+    pub fn prep_plus(&mut self, q: QubitId) {
+        self.push(Command::Prep { q, state: PrepState::Plus });
+    }
+
+    /// Appends `E_{ab}`.
+    pub fn entangle(&mut self, a: QubitId, b: QubitId) {
+        self.push(Command::Entangle { a, b });
+    }
+
+    /// Appends a measurement and returns its fresh [`OutcomeId`].
+    pub fn measure(
+        &mut self,
+        q: QubitId,
+        plane: Plane,
+        angle: Angle,
+        s: Signal,
+        t: Signal,
+    ) -> OutcomeId {
+        let out = OutcomeId(self.n_outcomes);
+        self.push(Command::Measure { q, plane, angle, s, t, out });
+        out
+    }
+
+    /// Appends a conditional correction (skipped when `cond` is the
+    /// constant zero).
+    pub fn correct(&mut self, q: QubitId, pauli: Pauli, cond: Signal) {
+        if !cond.is_zero() {
+            self.push(Command::Correct { q, pauli, cond });
+        }
+    }
+
+    /// All qubits mentioned anywhere in the pattern.
+    pub fn all_qubits(&self) -> Vec<QubitId> {
+        let mut set: HashSet<QubitId> = self.inputs.iter().copied().collect();
+        for c in &self.commands {
+            set.extend(c.qubits());
+        }
+        let mut v: Vec<QubitId> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Structural validation: liveness, causality, interface consistency.
+    pub fn validate(&self) -> Result<(), PatternError> {
+        let mut live: HashSet<QubitId> = self.inputs.iter().copied().collect();
+        let mut prepared: HashSet<QubitId> = live.clone();
+        let mut measured: HashMap<QubitId, OutcomeId> = HashMap::new();
+        let mut produced: HashSet<OutcomeId> = HashSet::new();
+
+        let check_signal = |sig: &Signal,
+                            produced: &HashSet<OutcomeId>,
+                            ctx: &str|
+         -> Result<(), PatternError> {
+            for v in sig.vars() {
+                if !produced.contains(&v) {
+                    return Err(PatternError::AcausalSignal(format!(
+                        "{ctx} references future outcome {v}"
+                    )));
+                }
+            }
+            Ok(())
+        };
+
+        for (idx, c) in self.commands.iter().enumerate() {
+            match c {
+                Command::Prep { q, .. } => {
+                    if prepared.contains(q) {
+                        return Err(PatternError::DoublePrep(format!(
+                            "command {idx}: {q} prepared twice (or is an input)"
+                        )));
+                    }
+                    prepared.insert(*q);
+                    live.insert(*q);
+                }
+                Command::Entangle { a, b } => {
+                    for q in [a, b] {
+                        if !live.contains(q) {
+                            return Err(PatternError::NotLive(format!(
+                                "command {idx}: entangle on dead/unprepared {q}"
+                            )));
+                        }
+                    }
+                }
+                Command::Measure { q, angle, s, t, out, .. } => {
+                    if !live.contains(q) {
+                        return Err(PatternError::NotLive(format!(
+                            "command {idx}: measure on dead/unprepared {q}"
+                        )));
+                    }
+                    if let Some(p) = angle.max_param() {
+                        if p as usize >= self.n_params {
+                            return Err(PatternError::BadParam(format!(
+                                "command {idx}: parameter p{p} ≥ n_params={}",
+                                self.n_params
+                            )));
+                        }
+                    }
+                    check_signal(s, &produced, &format!("command {idx} s-domain"))?;
+                    check_signal(t, &produced, &format!("command {idx} t-domain"))?;
+                    if !produced.insert(*out) {
+                        return Err(PatternError::DuplicateOutcome(format!(
+                            "command {idx}: outcome {out} assigned twice"
+                        )));
+                    }
+                    live.remove(q);
+                    measured.insert(*q, *out);
+                }
+                Command::Correct { q, cond, .. } => {
+                    if !live.contains(q) {
+                        return Err(PatternError::NotLive(format!(
+                            "command {idx}: correction on dead/unprepared {q}"
+                        )));
+                    }
+                    check_signal(cond, &produced, &format!("command {idx} condition"))?;
+                }
+            }
+        }
+
+        for out in &self.outputs {
+            if measured.contains_key(out) {
+                return Err(PatternError::OutputMeasured(format!("{out} is measured")));
+            }
+            if !prepared.contains(out) {
+                return Err(PatternError::NotLive(format!("output {out} never exists")));
+            }
+        }
+        // Every live qubit at the end must be an output.
+        for q in &live {
+            if !self.outputs.contains(q) {
+                return Err(PatternError::DanglingQubit(format!(
+                    "{q} is live at the end but not an output"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: returns a fresh `ParamId` helper for building angles.
+    pub fn param(i: u32) -> ParamId {
+        ParamId(i)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pattern: {} inputs, {} outputs, {} commands, {} params",
+            self.inputs.len(),
+            self.outputs.len(),
+            self.commands.len(),
+            self.n_params
+        )?;
+        for c in &self.commands {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u64) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn valid_teleport_pattern() {
+        // J(0): input 0, ancilla 1; E; M(0); X-correct 1.
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.prep_plus(q(1));
+        p.entangle(q(0), q(1));
+        let m = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        p.correct(q(1), Pauli::X, Signal::var(m));
+        p.set_outputs(vec![q(1)]);
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+        assert_eq!(p.n_outcomes(), 1);
+    }
+
+    #[test]
+    fn rejects_acausal_signal() {
+        let mut p = Pattern::new(vec![q(0), q(1)], 0);
+        // Signal references outcome 1 before it exists.
+        p.push(Command::Measure {
+            q: q(0),
+            plane: Plane::XY,
+            angle: Angle::constant(0.0),
+            s: Signal::var(OutcomeId(1)),
+            t: Signal::zero(),
+            out: OutcomeId(0),
+        });
+        p.push(Command::Measure {
+            q: q(1),
+            plane: Plane::XY,
+            angle: Angle::constant(0.0),
+            s: Signal::zero(),
+            t: Signal::zero(),
+            out: OutcomeId(1),
+        });
+        p.set_outputs(vec![]);
+        assert!(matches!(p.validate(), Err(PatternError::AcausalSignal(_))));
+    }
+
+    #[test]
+    fn rejects_measure_dead_qubit() {
+        let mut p = Pattern::new(vec![q(0)], 0);
+        let _ = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let _ = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        p.set_outputs(vec![]);
+        assert!(matches!(p.validate(), Err(PatternError::NotLive(_))));
+    }
+
+    #[test]
+    fn rejects_double_prep() {
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.prep_plus(q(0));
+        p.set_outputs(vec![q(0)]);
+        assert!(matches!(p.validate(), Err(PatternError::DoublePrep(_))));
+    }
+
+    #[test]
+    fn rejects_dangling_qubit() {
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.prep_plus(q(1));
+        p.set_outputs(vec![q(0)]);
+        assert!(matches!(p.validate(), Err(PatternError::DanglingQubit(_))));
+    }
+
+    #[test]
+    fn rejects_bad_param() {
+        let mut p = Pattern::new(vec![q(0)], 1);
+        let _ = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::param(1.0, ParamId(3)),
+            Signal::zero(),
+            Signal::zero(),
+        );
+        p.set_outputs(vec![]);
+        assert!(matches!(p.validate(), Err(PatternError::BadParam(_))));
+    }
+
+    #[test]
+    fn zero_condition_corrections_are_dropped() {
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.correct(q(0), Pauli::X, Signal::zero());
+        assert!(p.commands().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Measurement planes and byproduct-folding rules.
+//!
+//! A plane plus an angle names a single-qubit measurement basis
+//! (conventions in `DESIGN.md` §3.1). The *folding rules* say how a
+//! pending Pauli byproduct on a qubit is absorbed into the measurement's
+//! signal domains — the mechanical core of the paper's derivations, where
+//! `X^s`/`Z^t` operators are pushed into adapted angles `(−1)^s α + tπ`
+//! (e.g. the `(−1)^{m_u}β` of Eq. (9) and the π-flips of Eq. (11)).
+//!
+//! Derivations (checked numerically in the tests):
+//!
+//! | plane | X byproduct            | Z byproduct            |
+//! |-------|------------------------|------------------------|
+//! | XY    | flips angle sign (s)   | adds π (t)             |
+//! | YZ    | adds π (t)             | flips angle sign (s)   |
+//! | XZ    | flips sign *and* adds π| flips angle sign (s)   |
+
+use mbqao_sim::MeasBasis;
+
+/// A great-circle measurement plane on the Bloch sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Plane {
+    /// `(|0⟩ ± e^{iθ}|1⟩)/√2` — the default MBQC plane.
+    XY,
+    /// Eigenbasis of `cos θ Z + sin θ X`.
+    XZ,
+    /// Eigenbasis of `cos θ Z + sin θ Y`.
+    YZ,
+}
+
+impl Plane {
+    /// The measurement basis at `angle` radians.
+    pub fn basis(self, angle: f64) -> MeasBasis {
+        match self {
+            Plane::XY => MeasBasis::xy(angle),
+            Plane::XZ => MeasBasis::xz(angle),
+            Plane::YZ => MeasBasis::yz(angle),
+        }
+    }
+
+    /// `(flip_sign, add_pi)` when an **X** byproduct is folded into a
+    /// measurement in this plane.
+    pub fn fold_x(self) -> (bool, bool) {
+        match self {
+            Plane::XY => (true, false),
+            Plane::YZ => (false, true),
+            Plane::XZ => (true, true),
+        }
+    }
+
+    /// `(flip_sign, add_pi)` when a **Z** byproduct is folded into a
+    /// measurement in this plane.
+    pub fn fold_z(self) -> (bool, bool) {
+        match self {
+            Plane::XY => (false, true),
+            Plane::YZ => (true, false),
+            Plane::XZ => (true, false),
+        }
+    }
+}
+
+impl std::fmt::Display for Plane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Plane::XY => write!(f, "XY"),
+            Plane::XZ => write!(f, "XZ"),
+            Plane::YZ => write!(f, "YZ"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_math::C64;
+
+    /// Checks that `P |m(θ)⟩ ∝ |m'(θ')⟩` where `(m', θ')` follow from the
+    /// folding rule: measuring `P|ψ⟩` at θ equals measuring `|ψ⟩` at θ'
+    /// (outcomes aligned). Concretely: `⟨m_θ| P = phase · ⟨m_{θ'}|`.
+    fn check_fold(plane: Plane, pauli: char) {
+        let (flip, add_pi) = match pauli {
+            'X' => plane.fold_x(),
+            'Z' => plane.fold_z(),
+            _ => unreachable!(),
+        };
+        let p: [[C64; 2]; 2] = match pauli {
+            'X' => [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]],
+            'Z' => [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::ONE]],
+            _ => unreachable!(),
+        };
+        for theta in [0.0, 0.31, 1.2, -0.7, 2.9] {
+            let adapted = if flip { -theta } else { theta }
+                + if add_pi { std::f64::consts::PI } else { 0.0 };
+            let b = plane.basis(theta);
+            let b2 = plane.basis(adapted);
+            for (m, v) in [(0usize, b.v0), (1usize, b.v1)] {
+                // P†|v_m(θ)⟩ (P is Hermitian) — the effective projector when
+                // the state carries byproduct P.
+                let pv = [
+                    p[0][0] * v[0] + p[0][1] * v[1],
+                    p[1][0] * v[0] + p[1][1] * v[1],
+                ];
+                let target = if m == 0 { b2.v0 } else { b2.v1 };
+                // pv ∝ target?
+                let ip = pv[0].conj() * target[0] + pv[1].conj() * target[1];
+                assert!(
+                    (ip.abs() - 1.0).abs() < 1e-9,
+                    "{plane} {pauli} θ={theta} m={m}: |⟨Pv|v'⟩| = {}",
+                    ip.abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xy_folding() {
+        check_fold(Plane::XY, 'X');
+        check_fold(Plane::XY, 'Z');
+    }
+
+    #[test]
+    fn yz_folding() {
+        check_fold(Plane::YZ, 'X');
+        check_fold(Plane::YZ, 'Z');
+    }
+
+    #[test]
+    fn xz_folding() {
+        check_fold(Plane::XZ, 'X');
+        check_fold(Plane::XZ, 'Z');
+    }
+}

@@ -1,0 +1,145 @@
+//! Resource accounting (Sec. III-A of the paper).
+//!
+//! For a compiled pattern we report exactly the quantities the paper
+//! bounds: total qubits `N_Q`, entangling (CZ / graph-state edge) count
+//! `N_E`, measurement count, the *maximum simultaneously live* register
+//! (what a qubit-reusing device per [51] actually needs), and the number
+//! of adaptive measurement rounds (the depth of the signal-dependency
+//! DAG — how many feed-forward steps the protocol takes).
+
+use crate::command::Command;
+use crate::pattern::Pattern;
+use crate::signal::OutcomeId;
+use std::collections::{HashMap, HashSet};
+
+/// Resource statistics of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceStats {
+    /// Total qubits ever used (inputs + preparations) — the paper's `N_Q`.
+    pub total_qubits: usize,
+    /// Entangling operations (graph-state edges) — the paper's `N_E`.
+    pub entangling: usize,
+    /// Number of measurements.
+    pub measurements: usize,
+    /// Explicit correction commands.
+    pub corrections: usize,
+    /// Maximum simultaneously live qubits (qubit-reuse footprint).
+    pub max_live: usize,
+    /// Adaptive measurement rounds: longest chain of signal dependencies
+    /// plus one (measurements whose domains are constant are round 0).
+    pub rounds: usize,
+}
+
+/// Computes [`ResourceStats`] for a pattern.
+pub fn stats(p: &Pattern) -> ResourceStats {
+    let mut live: HashSet<_> = p.inputs().iter().copied().collect();
+    let mut total = live.len();
+    let mut max_live = live.len();
+    let mut entangling = 0usize;
+    let mut measurements = 0usize;
+    let mut corrections = 0usize;
+
+    // outcome → round of the measurement that produced it
+    let mut round_of: HashMap<OutcomeId, usize> = HashMap::new();
+    let mut max_round = 0usize;
+
+    for c in p.commands() {
+        match c {
+            Command::Prep { q, .. } => {
+                live.insert(*q);
+                total += 1;
+                max_live = max_live.max(live.len());
+            }
+            Command::Entangle { .. } => entangling += 1,
+            Command::Measure { q, s, t, out, .. } => {
+                measurements += 1;
+                let dep_round = s
+                    .vars()
+                    .chain(t.vars())
+                    .map(|m| round_of.get(&m).copied().unwrap_or(0) + 1)
+                    .max()
+                    .unwrap_or(0);
+                round_of.insert(*out, dep_round);
+                max_round = max_round.max(dep_round);
+                live.remove(q);
+            }
+            Command::Correct { .. } => corrections += 1,
+        }
+    }
+
+    ResourceStats {
+        total_qubits: total,
+        entangling,
+        measurements,
+        corrections,
+        max_live,
+        rounds: if measurements == 0 { 0 } else { max_round + 1 },
+    }
+}
+
+impl std::fmt::Display for ResourceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N_Q={} N_E={} M={} C={} max_live={} rounds={}",
+            self.total_qubits,
+            self.entangling,
+            self.measurements,
+            self.corrections,
+            self.max_live,
+            self.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Angle;
+    use crate::plane::Plane;
+    use crate::signal::Signal;
+    use mbqao_sim::QubitId;
+
+    fn q(i: u64) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn chain_counts() {
+        // Input 0 → teleport through 1 → output 2; two J-steps.
+        let mut p = Pattern::new(vec![q(0)], 0);
+        p.prep_plus(q(1));
+        p.entangle(q(0), q(1));
+        let m0 = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        p.prep_plus(q(2));
+        p.entangle(q(1), q(2));
+        let _m1 = p.measure(
+            q(1),
+            Plane::XY,
+            Angle::constant(0.3),
+            Signal::var(m0),
+            Signal::zero(),
+        );
+        p.set_outputs(vec![q(2)]);
+        p.validate().expect("valid");
+
+        let s = stats(&p);
+        assert_eq!(s.total_qubits, 3);
+        assert_eq!(s.entangling, 2);
+        assert_eq!(s.measurements, 2);
+        assert_eq!(s.max_live, 2, "only two qubits live at once in a JIT chain");
+        // Second measurement depends on the first → 2 rounds.
+        assert_eq!(s.rounds, 2);
+    }
+
+    #[test]
+    fn independent_measurements_are_one_round() {
+        let mut p = Pattern::new(vec![q(0), q(1)], 0);
+        let _ = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let _ = p.measure(q(1), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        p.set_outputs(vec![]);
+        let s = stats(&p);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.max_live, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! GF(2) signal algebra.
+//!
+//! A *signal* is a parity (XOR) of measurement outcomes plus an optional
+//! constant flip: exactly the objects the paper threads through its
+//! derivations — the per-edge `m_{uv}`, per-vertex `m_v, m'_v`, previous
+//! layer's `n` variables and the neighbourhood parity
+//! `P_u = Σ_{w∈N(u)\v} n'_w` of Eq. (11–12) are all [`Signal`]s.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a measurement outcome (the order of measurement commands
+/// in a pattern assigns these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutcomeId(pub u32);
+
+impl fmt::Display for OutcomeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An affine GF(2) expression `constant ⊕ (⊕_{i∈vars} mᵢ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Signal {
+    constant: bool,
+    vars: BTreeSet<OutcomeId>,
+}
+
+impl Signal {
+    /// The constant-zero signal.
+    pub fn zero() -> Self {
+        Signal::default()
+    }
+
+    /// The constant-one signal.
+    pub fn one() -> Self {
+        Signal { constant: true, vars: BTreeSet::new() }
+    }
+
+    /// The signal equal to a single outcome variable.
+    pub fn var(m: OutcomeId) -> Self {
+        let mut vars = BTreeSet::new();
+        vars.insert(m);
+        Signal { constant: false, vars }
+    }
+
+    /// XORs another signal into this one.
+    pub fn xor_assign(&mut self, other: &Signal) {
+        self.constant ^= other.constant;
+        for &v in &other.vars {
+            if !self.vars.remove(&v) {
+                self.vars.insert(v);
+            }
+        }
+    }
+
+    /// XOR of two signals.
+    pub fn xor(&self, other: &Signal) -> Signal {
+        let mut s = self.clone();
+        s.xor_assign(other);
+        s
+    }
+
+    /// `true` when the signal is identically zero.
+    pub fn is_zero(&self) -> bool {
+        !self.constant && self.vars.is_empty()
+    }
+
+    /// The constant part.
+    pub fn constant(&self) -> bool {
+        self.constant
+    }
+
+    /// The outcome variables appearing in the signal.
+    pub fn vars(&self) -> impl Iterator<Item = OutcomeId> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// Largest outcome id mentioned (None when constant).
+    pub fn max_var(&self) -> Option<OutcomeId> {
+        self.vars.iter().next_back().copied()
+    }
+
+    /// Evaluates given a lookup for outcome values.
+    pub fn eval(&self, lookup: &dyn Fn(OutcomeId) -> bool) -> bool {
+        let mut v = self.constant;
+        for &m in &self.vars {
+            v ^= lookup(m);
+        }
+        v
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.constant {
+            parts.push("1".into());
+        }
+        parts.extend(self.vars.iter().map(|m| m.to_string()));
+        if parts.is_empty() {
+            write!(f, "0")
+        } else {
+            write!(f, "{}", parts.join("⊕"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> OutcomeId {
+        OutcomeId(i)
+    }
+
+    #[test]
+    fn xor_cancels_pairs() {
+        let a = Signal::var(m(1)).xor(&Signal::var(m(2)));
+        let b = Signal::var(m(2)).xor(&Signal::var(m(3)));
+        let c = a.xor(&b);
+        // m2 cancels: c = m1 ⊕ m3
+        assert_eq!(c.vars().collect::<Vec<_>>(), vec![m(1), m(3)]);
+        assert!(!c.constant());
+    }
+
+    #[test]
+    fn self_xor_is_zero() {
+        let a = Signal::var(m(5)).xor(&Signal::one());
+        assert!(a.xor(&a).is_zero());
+    }
+
+    #[test]
+    fn eval_parity() {
+        let s = Signal::var(m(0)).xor(&Signal::var(m(1))).xor(&Signal::one());
+        // 1 ⊕ m0 ⊕ m1 with m0=1, m1=0 → 0
+        assert!(!s.eval(&|id| id == m(0)));
+        // with m0=m1=0 → 1
+        assert!(s.eval(&|_| false));
+    }
+
+    #[test]
+    fn display() {
+        let s = Signal::one().xor(&Signal::var(m(2)));
+        assert_eq!(format!("{s}"), "1⊕m2");
+        assert_eq!(format!("{}", Signal::zero()), "0");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the measurement calculus: standard J-chains are
+//! deterministic for arbitrary angles, and schedules never change
+//! semantics.
+
+use mbqao_mbqc::determinism::check_determinism;
+use mbqao_mbqc::schedule::{just_in_time, resource_state_first};
+use mbqao_mbqc::simulate::{run_with_input, Branch};
+use mbqao_mbqc::{Angle, Pattern, Pauli, Plane, Signal};
+use mbqao_sim::{QubitId, State};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn q(i: u64) -> QubitId {
+    QubitId::new(i)
+}
+
+/// The standard 1D-cluster J-chain with flow corrections: measurement `i`
+/// at angle `θᵢ` with `s = m_{i−1}`, `t = m_{i−2}`; final X/Z corrections.
+fn j_chain(angles: &[f64]) -> Pattern {
+    let len = angles.len();
+    let mut p = Pattern::new(vec![q(0)], 0);
+    let mut prev: Option<mbqao_mbqc::OutcomeId> = None;
+    let mut prev_prev: Option<mbqao_mbqc::OutcomeId> = None;
+    for (i, &theta) in angles.iter().enumerate() {
+        p.prep_plus(q(i as u64 + 1));
+        p.entangle(q(i as u64), q(i as u64 + 1));
+        let s = prev.map(Signal::var).unwrap_or_default();
+        let t = prev_prev.map(Signal::var).unwrap_or_default();
+        let m = p.measure(q(i as u64), Plane::XY, Angle::constant(theta), s, t);
+        prev_prev = prev;
+        prev = Some(m);
+    }
+    if let Some(m) = prev {
+        p.correct(q(len as u64), Pauli::X, Signal::var(m));
+    }
+    if let Some(m) = prev_prev {
+        p.correct(q(len as u64), Pauli::Z, Signal::var(m));
+    }
+    p.set_outputs(vec![q(len as u64)]);
+    p.validate().expect("chain is well-formed");
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary-angle J-chains are strongly deterministic.
+    #[test]
+    fn prop_j_chain_deterministic(
+        angles in proptest::collection::vec(-3.1f64..3.1, 1..6),
+        rx in -1.5f64..1.5,
+    ) {
+        let p = j_chain(&angles);
+        let mut input = State::zeros(&[q(0)]);
+        input.apply_rx(q(0), rx);
+        let report = check_determinism(&p, &input, &[], 1e-8);
+        prop_assert!(report.deterministic, "{report:?}");
+    }
+
+    /// The chain implements the product of J(−θᵢ) maps.
+    #[test]
+    fn prop_j_chain_semantics(
+        angles in proptest::collection::vec(-3.1f64..3.1, 1..5),
+        rx in -1.5f64..1.5,
+    ) {
+        let p = j_chain(&angles);
+        let mut input = State::zeros(&[q(0)]);
+        input.apply_rx(q(0), rx);
+
+        // Reference: measuring at θ implements J(−θ) = H·Rz(−θ).
+        let mut reference = input.clone();
+        for &theta in &angles {
+            reference.apply_rz(q(0), -theta);
+            reference.apply_h(q(0));
+        }
+        let want = reference.aligned(&[q(0)]);
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = run_with_input(&p, input, &[], Branch::Random, &mut rng);
+        prop_assert!(r.state.approx_eq_up_to_phase(
+            &[q(angles.len() as u64)],
+            &want,
+            1e-8
+        ));
+    }
+
+    /// JIT and resource-state-first schedules agree with the original on
+    /// the all-zero branch.
+    #[test]
+    fn prop_schedules_preserve_branch0(
+        angles in proptest::collection::vec(-3.1f64..3.1, 1..5),
+    ) {
+        let p = j_chain(&angles);
+        let out = q(angles.len() as u64);
+        let variants = [just_in_time(&p), resource_state_first(&p)];
+        let bits = vec![0u8; angles.len()];
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = State::zeros(&[q(0)]);
+        let base = run_with_input(&p, input.clone(), &[], Branch::Forced(&bits), &mut rng);
+        for v in &variants {
+            v.validate().expect("schedule output validates");
+            let mut rng = StdRng::seed_from_u64(1);
+            let r = run_with_input(v, input.clone(), &[], Branch::Forced(&bits), &mut rng);
+            let fid = base.state.fidelity(&r.state, &[out]);
+            prop_assert!((fid - 1.0).abs() < 1e-9);
+        }
+    }
+}

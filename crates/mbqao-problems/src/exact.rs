@@ -1,0 +1,117 @@
+//! Exact brute-force solvers (rayon-parallel bitmask sweeps).
+//!
+//! Approximation ratios in the experiment tables need exact optima; these
+//! solvers handle the instance sizes (`n ≤ ~26`) used throughout.
+
+use crate::graph::Graph;
+use rayon::prelude::*;
+
+/// Splits `0..2^n` into chunks and reduces `(best_value, argmask)` with
+/// `better(a, b) == true` when `a` beats `b`.
+fn sweep<F, G>(n: usize, eval: F, better: G) -> (i64, u64)
+where
+    F: Fn(u64) -> i64 + Sync,
+    G: Fn(i64, i64) -> bool + Sync,
+{
+    let dim = 1u64 << n;
+    let fold = |range: std::ops::Range<u64>| {
+        let mut best = (eval(range.start), range.start);
+        for x in range.skip(1) {
+            let v = eval(x);
+            if better(v, best.0) {
+                best = (v, x);
+            }
+        }
+        best
+    };
+    if dim >= 1 << 16 {
+        let chunk = 1u64 << 12;
+        (0..dim)
+            .step_by(chunk as usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|s| fold(s..(s + chunk).min(dim)))
+            .reduce_with(|a, b| if better(a.0, b.0) || (a.0 == b.0 && a.1 < b.1) { a } else { b })
+            .expect("non-empty range")
+    } else {
+        fold(0..dim)
+    }
+}
+
+/// Exact MaxCut: returns `(best_mask, cut_size)`.
+pub fn max_cut(g: &Graph) -> (u64, usize) {
+    let (v, x) = sweep(g.n(), |x| g.cut_value(x) as i64, |a, b| a > b);
+    (x, v as usize)
+}
+
+/// Exact Maximum Independent Set: returns `(best_mask, α(G))`.
+pub fn max_independent_set(g: &Graph) -> (u64, usize) {
+    let (v, x) = sweep(
+        g.n(),
+        |x| {
+            if g.is_independent_set(x) {
+                x.count_ones() as i64
+            } else {
+                -1
+            }
+        },
+        |a, b| a > b,
+    );
+    (x, v as usize)
+}
+
+/// Exact Minimum Vertex Cover: returns `(best_mask, τ(G))`.
+pub fn min_vertex_cover(g: &Graph) -> (u64, usize) {
+    let (v, x) = sweep(
+        g.n(),
+        |x| {
+            if g.is_vertex_cover(x) {
+                x.count_ones() as i64
+            } else {
+                i64::MAX
+            }
+        },
+        |a, b| a < b,
+    );
+    (x, v as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn maxcut_known_values() {
+        assert_eq!(max_cut(&generators::triangle()).1, 2);
+        assert_eq!(max_cut(&generators::square()).1, 4);
+        assert_eq!(max_cut(&generators::complete(4)).1, 4);
+        assert_eq!(max_cut(&generators::cycle(5)).1, 4);
+        // Petersen MaxCut is 12.
+        assert_eq!(max_cut(&generators::petersen()).1, 12);
+    }
+
+    #[test]
+    fn mis_known_values() {
+        assert_eq!(max_independent_set(&generators::triangle()).1, 1);
+        assert_eq!(max_independent_set(&generators::square()).1, 2);
+        // Petersen α = 4.
+        assert_eq!(max_independent_set(&generators::petersen()).1, 4);
+        assert_eq!(max_independent_set(&generators::star(7)).1, 6);
+    }
+
+    #[test]
+    fn vertex_cover_known_values() {
+        assert_eq!(min_vertex_cover(&generators::square()).1, 2);
+        assert_eq!(min_vertex_cover(&generators::petersen()).1, 6);
+    }
+
+    #[test]
+    fn solutions_are_feasible() {
+        let g = generators::petersen();
+        let (mask, _) = max_independent_set(&g);
+        assert!(g.is_independent_set(mask));
+        let (mask, _) = min_vertex_cover(&g);
+        assert!(g.is_vertex_cover(mask));
+    }
+}

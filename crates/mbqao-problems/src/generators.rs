@@ -1,0 +1,188 @@
+//! Graph generators for the experiment workloads.
+//!
+//! The resource-estimate tables (Sec. III-A of the paper) sweep over graph
+//! families with different |E|/|V| ratios: sparse regular graphs, dense
+//! complete graphs, planar grids and random Erdős–Rényi instances.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(n, &edges)
+}
+
+/// Cycle `C_n` (the "ring of disagrees").
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n ≥ 3");
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::new(n, &edges)
+}
+
+/// Path `P_n`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::new(n, &edges)
+}
+
+/// Star `K_{1,n−1}` with center 0.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+    Graph::new(n, &edges)
+}
+
+/// `w × h` grid graph (planar, the natural cluster-state topology).
+pub fn grid(w: usize, h: usize) -> Graph {
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((idx(x, y), idx(x, y + 1)));
+            }
+        }
+    }
+    Graph::new(w * h, &edges)
+}
+
+/// The Petersen graph (3-regular, 10 vertices).
+pub fn petersen() -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..5 {
+        edges.push((i, (i + 1) % 5)); // outer pentagon
+        edges.push((i, i + 5)); // spokes
+        edges.push((i + 5, (i + 2) % 5 + 5)); // inner pentagram
+    }
+    Graph::new(10, &edges)
+}
+
+/// The square graph used in the paper's Eq. (5) / Appendix A example:
+/// vertices 0..4 with edges (0,1),(1,2),(2,3),(3,0) — the paper labels
+/// them 1..4.
+pub fn square() -> Graph {
+    Graph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+}
+
+/// Triangle `K₃`.
+pub fn triangle() -> Graph {
+    complete(3)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::new(n, &edges)
+}
+
+/// Random `d`-regular graph via the pairing (configuration) model with
+/// rejection of self-loops/multi-edges. `n·d` must be even.
+///
+/// # Panics
+/// Panics if `n·d` is odd or `d ≥ n`.
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    assert!(d < n, "degree must be < n");
+    'outer: loop {
+        // Stubs: d copies of each vertex, shuffled and paired.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'outer;
+            }
+            let e = (u.min(v), u.max(v));
+            if edges.contains(&e) {
+                continue 'outer;
+            }
+            edges.push(e);
+        }
+        return Graph::new(n, &edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5);
+        assert_eq!(g.m(), 10);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(6);
+        assert_eq!(g.m(), 6);
+        assert!((0..6).all(|v| g.degree(v) == 2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 2);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 7); // 2·2 horizontal? 2 rows × 2 + 3 vertical = 7
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn petersen_is_3_regular() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!((0..10).all(|v| g.degree(v) == 3));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn square_matches_paper_edges() {
+        let g = square();
+        assert_eq!(g.edges(), &[(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn random_regular_has_right_degrees() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let g = random_regular(8, 3, &mut rng);
+            assert!((0..8).all(|v| g.degree(v) == 3), "{:?}", g.edges());
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(erdos_renyi(6, 0.0, &mut rng).m(), 0);
+        assert_eq!(erdos_renyi(6, 1.0, &mut rng).m(), 15);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(5);
+        assert_eq!(g.degree(0), 4);
+        assert!((1..5).all(|v| g.degree(v) == 1));
+    }
+}

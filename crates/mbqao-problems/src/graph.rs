@@ -1,0 +1,172 @@
+//! Simple undirected graphs.
+//!
+//! Vertices are `0..n`; edges are stored normalized (`u < v`) and
+//! deduplicated. Bitmask helpers (`cut_value`, `is_independent_set`) use
+//! the convention that bit `v` of the mask (counting from the *least*
+//! significant bit) is vertex `v`'s binary value.
+
+/// An undirected simple graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list. Self-loops are
+    /// rejected; duplicate edges (in either orientation) are collapsed.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is `≥ n` or a self-loop is present.
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut norm: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+                assert_ne!(u, v, "self-loop ({u},{u})");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &norm {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        Graph { n, edges: norm, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Normalized edge list (`u < v`, sorted).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of `v` (sorted ascending).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// `true` when `{u,v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        let (a, b) = (u.min(v), u.max(v));
+        self.edges.binary_search(&(a, b)).is_ok()
+    }
+
+    /// Number of edges crossing the bipartition encoded by `mask`
+    /// (bit `v` = side of vertex `v`).
+    pub fn cut_value(&self, mask: u64) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| ((mask >> u) ^ (mask >> v)) & 1 == 1)
+            .count()
+    }
+
+    /// `true` when the vertex set encoded by `mask` is an independent set.
+    pub fn is_independent_set(&self, mask: u64) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| ((mask >> u) & 1 == 0) || ((mask >> v) & 1 == 0))
+    }
+
+    /// `true` when the vertex set encoded by `mask` is a vertex cover.
+    pub fn is_vertex_cover(&self, mask: u64) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| ((mask >> u) & 1 == 1) || ((mask >> v) & 1 == 1))
+    }
+
+    /// `true` when the graph is connected (vacuously true for `n ≤ 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_dedup() {
+        let g = Graph::new(3, &[(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn cut_value_square() {
+        // Square 0-1-2-3-0: alternating mask cuts all 4 edges.
+        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.cut_value(0b0101), 4);
+        assert_eq!(g.cut_value(0b0011), 2);
+        assert_eq!(g.cut_value(0b0000), 0);
+    }
+
+    #[test]
+    fn independent_sets() {
+        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(g.is_independent_set(0b0101));
+        assert!(!g.is_independent_set(0b0011));
+        assert!(g.is_independent_set(0));
+    }
+
+    #[test]
+    fn vertex_cover_check() {
+        let g = Graph::new(3, &[(0, 1), (1, 2)]);
+        assert!(g.is_vertex_cover(0b010));
+        assert!(!g.is_vertex_cover(0b001));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Graph::new(3, &[(0, 1), (1, 2)]).is_connected());
+        assert!(!Graph::new(4, &[(0, 1), (2, 3)]).is_connected());
+        assert!(Graph::new(1, &[]).is_connected());
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = Graph::new(2, &[(1, 1)]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Diagonal cost Hamiltonians in the Pauli-Z basis.
+//!
+//! Every cost function in this workspace lowers to a [`ZPoly`]:
+//!
+//! ```text
+//!     C = c₀·I + Σ_S w_S · Z_S ,     Z_S = ∏_{i∈S} Z_i
+//! ```
+//!
+//! which is the paper's `C = a₀I + Σⱼ aⱼZⱼ + Σ aᵢⱼZᵢZⱼ + …` (Sec. II-C).
+//! The QAOA phase separator is `e^{−iγC}` applied term by term (the terms
+//! commute), and the MBQC compiler emits one phase-gadget ancilla per term
+//! (Sec. III / Eq. 12; one ancilla per edge plus one per vertex for
+//! QUBOs, one per monomial in general).
+
+use rayon::prelude::*;
+
+/// A diagonal Hamiltonian `c₀ + Σ_S w_S Z_S` with `S` nonempty, sorted,
+/// deduplicated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZPoly {
+    n: usize,
+    constant: f64,
+    /// Terms `(support, weight)`; supports sorted ascending and unique.
+    terms: Vec<(Vec<usize>, f64)>,
+}
+
+impl ZPoly {
+    /// Builds a Z-polynomial, merging duplicate supports and dropping
+    /// zero-weight terms.
+    ///
+    /// # Panics
+    /// Panics when a support mentions a qubit `≥ n` or repeats a qubit.
+    pub fn new(n: usize, constant: f64, terms: Vec<(Vec<usize>, f64)>) -> Self {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+        let mut c0 = constant;
+        for (mut support, w) in terms {
+            support.sort_unstable();
+            let len_before = support.len();
+            support.dedup();
+            assert_eq!(len_before, support.len(), "support repeats a qubit (Z² = I should be pre-reduced)");
+            assert!(support.iter().all(|&q| q < n), "support out of range");
+            if support.is_empty() {
+                c0 += w;
+                continue;
+            }
+            *merged.entry(support).or_insert(0.0) += w;
+        }
+        let terms: Vec<(Vec<usize>, f64)> = merged
+            .into_iter()
+            .filter(|&(_, w)| w.abs() > 1e-15)
+            .collect();
+        ZPoly { n, constant: c0, terms }
+    }
+
+    /// Number of qubits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Identity coefficient.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// The Z-terms `(support, weight)`.
+    pub fn terms(&self) -> &[(Vec<usize>, f64)] {
+        &self.terms
+    }
+
+    /// Largest support size (2 for QUBOs, higher for PUBOs).
+    pub fn locality(&self) -> usize {
+        self.terms.iter().map(|(s, _)| s.len()).max().unwrap_or(0)
+    }
+
+    /// Number of single-qubit Z terms.
+    pub fn linear_term_count(&self) -> usize {
+        self.terms.iter().filter(|(s, _)| s.len() == 1).count()
+    }
+
+    /// Number of terms with support size ≥ 2.
+    pub fn coupling_term_count(&self) -> usize {
+        self.terms.iter().filter(|(s, _)| s.len() >= 2).count()
+    }
+
+    /// Evaluates on the computational basis state `x` (bit `i` of `x` is
+    /// qubit `i`; `Z_i → (−1)^{x_i}`).
+    pub fn value(&self, x: u64) -> f64 {
+        let mut v = self.constant;
+        for (support, w) in &self.terms {
+            let parity = support.iter().fold(0u32, |acc, &q| acc ^ ((x >> q) as u32 & 1));
+            v += if parity == 0 { *w } else { -*w };
+        }
+        v
+    }
+
+    /// Dense cost vector of length `2^n`, indexed by basis state with
+    /// **qubit 0 as the most significant bit** — the statevector
+    /// convention of `mbqao-sim` (`State::expectation_diag` order
+    /// `[q0, q1, …]`).
+    pub fn cost_vector_msb(&self) -> Vec<f64> {
+        let n = self.n;
+        let dim = 1usize << n;
+        let eval = |idx: usize| {
+            // Convert msb-first index to our lsb-first bit convention.
+            let mut x = 0u64;
+            for q in 0..n {
+                let bit = (idx >> (n - 1 - q)) & 1;
+                x |= (bit as u64) << q;
+            }
+            self.value(x)
+        };
+        if dim >= 1 << 14 {
+            (0..dim).into_par_iter().map(eval).collect()
+        } else {
+            (0..dim).map(eval).collect()
+        }
+    }
+
+    /// Minimum cost over all basis states (brute force, parallel).
+    pub fn min_value(&self) -> (f64, u64) {
+        let dim = 1u64 << self.n;
+        let fold = |range: std::ops::Range<u64>| {
+            let mut best = (f64::INFINITY, 0u64);
+            for x in range {
+                let v = self.value(x);
+                if v < best.0 {
+                    best = (v, x);
+                }
+            }
+            best
+        };
+        if dim >= 1 << 16 {
+            let chunk = 1u64 << 12;
+            (0..dim)
+                .step_by(chunk as usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|start| fold(start..(start + chunk).min(dim)))
+                .reduce(|| (f64::INFINITY, 0), |a, b| if a.0 <= b.0 { a } else { b })
+        } else {
+            fold(0..dim)
+        }
+    }
+
+    /// Fixes a variable to a spin value (`+1` ↔ bit 0, `−1` ↔ bit 1) and
+    /// eliminates it: terms containing `var` keep their other factors
+    /// with the weight multiplied by the spin. The result still has `n`
+    /// nominal variables but `var` no longer appears in any support.
+    ///
+    /// Used by iterative quantum optimization (Sec. V of the paper,
+    /// refs. [56, 60, 61]): measure, fix the most polarized variable,
+    /// reduce, repeat.
+    pub fn fix_variable(&self, var: usize, spin: i8) -> ZPoly {
+        assert!(var < self.n, "variable out of range");
+        assert!(spin == 1 || spin == -1, "spin must be ±1");
+        let mut constant = self.constant;
+        let mut terms: Vec<(Vec<usize>, f64)> = Vec::new();
+        for (support, w) in &self.terms {
+            if let Some(pos) = support.iter().position(|&v| v == var) {
+                let mut s = support.clone();
+                s.remove(pos);
+                let w2 = w * spin as f64;
+                if s.is_empty() {
+                    constant += w2;
+                } else {
+                    terms.push((s, w2));
+                }
+            } else {
+                terms.push((support.clone(), *w));
+            }
+        }
+        ZPoly::new(self.n, constant, terms)
+    }
+
+    /// Restricts to the `active` variables (which must cover every
+    /// support), remapping them to `0..active.len()`. Returns the reduced
+    /// polynomial; `active[i]` is the original index of new variable `i`.
+    pub fn restrict(&self, active: &[usize]) -> ZPoly {
+        let map: std::collections::HashMap<usize, usize> =
+            active.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let terms: Vec<(Vec<usize>, f64)> = self
+            .terms
+            .iter()
+            .map(|(s, w)| {
+                let mapped: Vec<usize> = s
+                    .iter()
+                    .map(|v| {
+                        *map.get(v).unwrap_or_else(|| {
+                            panic!("support variable {v} not in the active set")
+                        })
+                    })
+                    .collect();
+                (mapped, *w)
+            })
+            .collect();
+        ZPoly::new(active.len(), self.constant, terms)
+    }
+
+    /// Maximum cost over all basis states.
+    pub fn max_value(&self) -> (f64, u64) {
+        let neg = ZPoly {
+            n: self.n,
+            constant: -self.constant,
+            terms: self.terms.iter().map(|(s, w)| (s.clone(), -w)).collect(),
+        };
+        let (v, x) = neg.min_value();
+        (-v, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_single_z() {
+        // C = Z₀: +1 on x₀=0, −1 on x₀=1.
+        let c = ZPoly::new(2, 0.0, vec![(vec![0], 1.0)]);
+        assert_eq!(c.value(0b00), 1.0);
+        assert_eq!(c.value(0b01), -1.0);
+        assert_eq!(c.value(0b10), 1.0);
+    }
+
+    #[test]
+    fn value_zz() {
+        let c = ZPoly::new(2, 0.5, vec![(vec![0, 1], -0.5)]);
+        // Equal bits: parity 0 → 0.5 − 0.5 = 0; unequal: 0.5 + 0.5 = 1.
+        assert_eq!(c.value(0b00), 0.0);
+        assert_eq!(c.value(0b11), 0.0);
+        assert_eq!(c.value(0b01), 1.0);
+        assert_eq!(c.value(0b10), 1.0);
+    }
+
+    #[test]
+    fn merging_and_constant_folding() {
+        let c = ZPoly::new(
+            2,
+            1.0,
+            vec![(vec![1, 0], 0.25), (vec![0, 1], 0.75), (vec![], 2.0), (vec![0], 0.0)],
+        );
+        assert_eq!(c.constant(), 3.0);
+        assert_eq!(c.terms().len(), 1);
+        assert_eq!(c.terms()[0], (vec![0, 1], 1.0));
+    }
+
+    #[test]
+    fn cost_vector_msb_ordering() {
+        // C = Z₀ on 2 qubits; msb index 2 = |10⟩ means qubit0 = 1.
+        let c = ZPoly::new(2, 0.0, vec![(vec![0], 1.0)]);
+        let v = c.cost_vector_msb();
+        assert_eq!(v, vec![1.0, 1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn min_max() {
+        // C = Z₀ + Z₁ has min −2 at x = 0b11, max 2 at x = 0.
+        let c = ZPoly::new(2, 0.0, vec![(vec![0], 1.0), (vec![1], 1.0)]);
+        assert_eq!(c.min_value(), (-2.0, 0b11));
+        assert_eq!(c.max_value(), (2.0, 0b00));
+    }
+
+    #[test]
+    fn locality_counts() {
+        let c = ZPoly::new(
+            4,
+            0.0,
+            vec![(vec![0], 1.0), (vec![1, 2], 1.0), (vec![0, 1, 3], 0.5)],
+        );
+        assert_eq!(c.locality(), 3);
+        assert_eq!(c.linear_term_count(), 1);
+        assert_eq!(c.coupling_term_count(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Ising spin-glass form.
+//!
+//! `E(z) = c₀ + Σ hᵢ zᵢ + Σ_{i<j} Jᵢⱼ zᵢzⱼ` over spins `zᵢ ∈ {+1, −1}`,
+//! the physics-native twin of a QUBO (`zᵢ = 1 − 2xᵢ`). Provided because
+//! many workloads (number partitioning, spin glasses) are most natural in
+//! this form; it lowers to the same [`ZPoly`] Hamiltonian.
+
+use crate::hamiltonian::ZPoly;
+use crate::qubo::Qubo;
+
+/// An Ising instance (minimization convention, spin `+1` ↔ bit `0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ising {
+    n: usize,
+    constant: f64,
+    h: Vec<f64>,
+    /// Couplings `(i, j, J)` with `i < j`.
+    j: Vec<(usize, usize, f64)>,
+}
+
+impl Ising {
+    /// Builds an Ising model.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or diagonal couplings.
+    pub fn new(n: usize, constant: f64, h: Vec<f64>, j: Vec<(usize, usize, f64)>) -> Self {
+        assert_eq!(h.len(), n, "field vector must have length n");
+        let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for (a, b, w) in j {
+            assert!(a < n && b < n, "coupling index out of range");
+            assert_ne!(a, b, "diagonal coupling (z² = 1 is a constant)");
+            *merged.entry((a.min(b), a.max(b))).or_insert(0.0) += w;
+        }
+        let j = merged
+            .into_iter()
+            .filter(|&(_, w)| w.abs() > 1e-15)
+            .map(|((a, b), w)| (a, b, w))
+            .collect();
+        Ising { n, constant, h, j }
+    }
+
+    /// Number of spins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Local fields.
+    pub fn fields(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// Couplings.
+    pub fn couplings(&self) -> &[(usize, usize, f64)] {
+        &self.j
+    }
+
+    /// Energy of the configuration encoded by bits of `x`
+    /// (bit `i` = 1 ↔ spin `zᵢ = −1`).
+    pub fn energy(&self, x: u64) -> f64 {
+        let spin = |i: usize| if (x >> i) & 1 == 0 { 1.0 } else { -1.0 };
+        let mut e = self.constant;
+        for (i, &hi) in self.h.iter().enumerate() {
+            e += hi * spin(i);
+        }
+        for &(a, b, w) in &self.j {
+            e += w * spin(a) * spin(b);
+        }
+        e
+    }
+
+    /// Lowers directly to the Z-polynomial (`zᵢ ↔ Zᵢ`).
+    pub fn to_zpoly(&self) -> ZPoly {
+        let mut terms: Vec<(Vec<usize>, f64)> = Vec::new();
+        for (i, &hi) in self.h.iter().enumerate() {
+            if hi.abs() > 1e-15 {
+                terms.push((vec![i], hi));
+            }
+        }
+        for &(a, b, w) in &self.j {
+            terms.push((vec![a, b], w));
+        }
+        ZPoly::new(self.n, self.constant, terms)
+    }
+
+    /// Converts to a QUBO via `zᵢ = 1 − 2xᵢ`.
+    pub fn to_qubo(&self) -> Qubo {
+        let mut constant = self.constant;
+        let mut linear = vec![0.0; self.n];
+        let mut quad = Vec::new();
+        for (i, &hi) in self.h.iter().enumerate() {
+            // h·z = h − 2h·x
+            constant += hi;
+            linear[i] += -2.0 * hi;
+        }
+        for &(a, b, w) in &self.j {
+            // J·z_a z_b = J(1 − 2x_a)(1 − 2x_b) = J − 2Jx_a − 2Jx_b + 4Jx_ax_b
+            constant += w;
+            linear[a] += -2.0 * w;
+            linear[b] += -2.0 * w;
+            quad.push((a, b, 4.0 * w));
+        }
+        Qubo::new(self.n, constant, linear, quad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ferromagnet() {
+        // Two spins, J = −1 (ferromagnetic): aligned spins have energy −1.
+        let m = Ising::new(2, 0.0, vec![0.0, 0.0], vec![(0, 1, -1.0)]);
+        assert_eq!(m.energy(0b00), -1.0);
+        assert_eq!(m.energy(0b11), -1.0);
+        assert_eq!(m.energy(0b01), 1.0);
+    }
+
+    #[test]
+    fn zpoly_and_qubo_agree() {
+        let m = Ising::new(3, 0.25, vec![0.5, -1.0, 0.0], vec![(0, 1, 1.0), (1, 2, -0.5)]);
+        let z = m.to_zpoly();
+        let q = m.to_qubo();
+        for x in 0..8u64 {
+            assert!((m.energy(x) - z.value(x)).abs() < 1e-12);
+            assert!((m.energy(x) - q.value(x)).abs() < 1e-12);
+        }
+    }
+}

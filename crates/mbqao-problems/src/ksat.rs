@@ -1,0 +1,163 @@
+//! Max-k-SAT as a PUBO — the canonical *higher-order* cost function.
+//!
+//! A clause `(ℓ₁ ∨ … ∨ ℓ_k)` is violated exactly when every literal is
+//! false, contributing the degree-`k` penalty monomial `∏ᵢ (1 − ℓᵢ)`.
+//! Minimizing the total penalty maximizes satisfied clauses. These
+//! instances exercise the paper's "higher-order problems beyond
+//! quadratic" remark: the MBQC compiler emits one multi-wire phase gadget
+//! per expanded Z-monomial.
+
+use crate::pubo::Pubo;
+use rand::Rng;
+
+/// A literal: variable index plus negation flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// Variable index.
+    pub var: usize,
+    /// `true` when the literal is ¬x.
+    pub negated: bool,
+}
+
+/// A k-SAT formula in CNF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KSat {
+    n: usize,
+    clauses: Vec<Vec<Literal>>,
+}
+
+impl KSat {
+    /// Builds a formula over `n` variables.
+    ///
+    /// # Panics
+    /// Panics when a clause is empty, repeats a variable, or mentions a
+    /// variable ≥ `n`.
+    pub fn new(n: usize, clauses: Vec<Vec<Literal>>) -> Self {
+        for c in &clauses {
+            assert!(!c.is_empty(), "empty clause");
+            let mut vars: Vec<usize> = c.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            let before = vars.len();
+            vars.dedup();
+            assert_eq!(before, vars.len(), "clause repeats a variable");
+            assert!(vars.iter().all(|&v| v < n), "variable out of range");
+        }
+        KSat { n, clauses }
+    }
+
+    /// Uniformly random k-SAT with `m` clauses.
+    pub fn random<R: Rng + ?Sized>(n: usize, m: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k <= n, "clause width exceeds variable count");
+        let mut clauses = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut vars: Vec<usize> = Vec::new();
+            while vars.len() < k {
+                let v = rng.gen_range(0..n);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            clauses.push(
+                vars.into_iter()
+                    .map(|var| Literal { var, negated: rng.gen() })
+                    .collect(),
+            );
+        }
+        KSat { n, clauses }
+    }
+
+    /// Number of variables.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of clauses.
+    pub fn m(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Literal>] {
+        &self.clauses
+    }
+
+    /// Number of clauses violated by assignment `x` (bit `i` = xᵢ).
+    pub fn violated(&self, x: u64) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| {
+                c.iter().all(|l| {
+                    let val = (x >> l.var) & 1 == 1;
+                    // literal false
+                    val == l.negated
+                })
+            })
+            .count()
+    }
+
+    /// The penalty PUBO whose value on `x` equals [`KSat::violated`].
+    ///
+    /// Each clause expands `∏ (1 − ℓᵢ)` where a positive literal
+    /// contributes factor `(1 − xᵢ)` and a negative one factor `xᵢ`.
+    pub fn to_pubo(&self) -> Pubo {
+        let mut terms: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut constant = 0.0;
+        for clause in &self.clauses {
+            // Expand the product over subsets of the *positive* literals:
+            // factor for positive literal i: (1 − x_i); negative: x_j.
+            let pos: Vec<usize> =
+                clause.iter().filter(|l| !l.negated).map(|l| l.var).collect();
+            let neg: Vec<usize> = clause.iter().filter(|l| l.negated).map(|l| l.var).collect();
+            for subset in 0..(1u64 << pos.len()) {
+                let sign = if subset.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let mut support = neg.clone();
+                for (b, &v) in pos.iter().enumerate() {
+                    if (subset >> b) & 1 == 1 {
+                        support.push(v);
+                    }
+                }
+                if support.is_empty() {
+                    constant += sign;
+                } else {
+                    terms.push((support, sign));
+                }
+            }
+        }
+        Pubo::new(self.n, constant, terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lit(var: usize, negated: bool) -> Literal {
+        Literal { var, negated }
+    }
+
+    #[test]
+    fn single_clause_penalty() {
+        // (x0 ∨ ¬x1): violated only by x0=0, x1=1.
+        let f = KSat::new(2, vec![vec![lit(0, false), lit(1, true)]]);
+        assert_eq!(f.violated(0b10), 1);
+        assert_eq!(f.violated(0b00), 0);
+        assert_eq!(f.violated(0b11), 0);
+        let p = f.to_pubo();
+        for x in 0..4u64 {
+            assert!((p.value(x) - f.violated(x) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_3sat_pubo_matches_violations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = KSat::random(6, 12, 3, &mut rng);
+        let p = f.to_pubo();
+        assert_eq!(p.degree(), 3);
+        for x in 0..(1u64 << 6) {
+            assert!((p.value(x) - f.violated(x) as f64).abs() < 1e-10, "x={x:06b}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Combinatorial optimization workloads for measurement-based QAOA.
+//!
+//! The paper applies its protocol to the "broad and important class of
+//! QUBO problems" (Sec. III), to Maximum Independent Set with hard
+//! constraints (Sec. IV), and remarks that the construction extends to
+//! higher-order cost functions. This crate supplies those workloads:
+//!
+//! * [`Graph`] and a family of generators (complete, cycle, grid, Petersen,
+//!   Erdős–Rényi, random regular) — the interaction graphs of Sec. III.
+//! * [`Qubo`] / [`Pubo`] / [`Ising`] — cost-function representations,
+//!   all lowering to a shared diagonal-Hamiltonian form [`ZPoly`]
+//!   (`c₀ + Σ_S w_S ∏_{i∈S} Z_i`, cf. the paper's `C = a₀I + Σ aⱼZⱼ +
+//!   Σ aᵢⱼZᵢZⱼ + …`).
+//! * Problem → QUBO/PUBO reductions in the style of Lucas: MaxCut, MIS
+//!   (penalty form), number partitioning, minimum vertex cover and
+//!   Max-k-SAT.
+//! * Exact brute-force solvers (rayon-parallel bitmask sweeps) used to
+//!   compute approximation ratios in the experiments.
+
+pub mod exact;
+pub mod generators;
+pub mod graph;
+pub mod hamiltonian;
+pub mod ising;
+pub mod ksat;
+pub mod maxcut;
+pub mod mis;
+pub mod partition;
+pub mod pubo;
+pub mod qubo;
+pub mod vertex_cover;
+
+pub use graph::Graph;
+pub use hamiltonian::ZPoly;
+pub use ising::Ising;
+pub use pubo::Pubo;
+pub use qubo::Qubo;

@@ -1,0 +1,80 @@
+//! MaxCut — the paper's running example.
+//!
+//! The paper uses the maximization Hamiltonian
+//! `C = |E|/2 · I − ½ Σ_{(ij)∈E} ZᵢZⱼ`, whose eigenvalue on a basis state
+//! is the cut size. This workspace minimizes by convention, so
+//! [`maxcut_zpoly`] returns `−C`: its minimum is `−maxcut(G)`.
+
+use crate::graph::Graph;
+use crate::hamiltonian::ZPoly;
+use crate::qubo::Qubo;
+
+/// The minimization Hamiltonian for MaxCut on `g`:
+/// `−|E|/2 + ½ Σ_{(ij)∈E} ZᵢZⱼ` (value = −cut(x)).
+pub fn maxcut_zpoly(g: &Graph) -> ZPoly {
+    let terms: Vec<(Vec<usize>, f64)> =
+        g.edges().iter().map(|&(u, v)| (vec![u, v], 0.5)).collect();
+    ZPoly::new(g.n(), -(g.m() as f64) / 2.0, terms)
+}
+
+/// MaxCut as a QUBO: minimize `Σ_{(ij)∈E} (2xᵢxⱼ − xᵢ − xⱼ)` = −cut(x).
+pub fn maxcut_qubo(g: &Graph) -> Qubo {
+    let mut linear = vec![0.0; g.n()];
+    let mut quad = Vec::new();
+    for &(u, v) in g.edges() {
+        linear[u] -= 1.0;
+        linear[v] -= 1.0;
+        quad.push((u, v, 2.0));
+    }
+    Qubo::new(g.n(), 0.0, linear, quad)
+}
+
+/// The paper's maximization Hamiltonian `C = |E|/2 − ½ Σ ZᵢZⱼ`
+/// (eigenvalue = cut size); provided for exact comparison with the text.
+pub fn maxcut_paper_hamiltonian(g: &Graph) -> ZPoly {
+    let terms: Vec<(Vec<usize>, f64)> =
+        g.edges().iter().map(|&(u, v)| (vec![u, v], -0.5)).collect();
+    ZPoly::new(g.n(), g.m() as f64 / 2.0, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn hamiltonian_value_is_minus_cut() {
+        let g = generators::square();
+        let c = maxcut_zpoly(&g);
+        for x in 0..16u64 {
+            assert!((c.value(x) + g.cut_value(x) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qubo_matches_zpoly() {
+        let g = generators::petersen();
+        let q = maxcut_qubo(&g);
+        let z = maxcut_zpoly(&g);
+        for x in [0u64, 1, 0b1010101010, 0b1111111111, 77, 1023] {
+            assert!((q.value(x) - z.value(x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn paper_hamiltonian_is_cut() {
+        let g = generators::triangle();
+        let c = maxcut_paper_hamiltonian(&g);
+        for x in 0..8u64 {
+            assert!((c.value(x) - g.cut_value(x) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn square_maxcut_is_4() {
+        let g = generators::square();
+        let (v, x) = maxcut_zpoly(&g).min_value();
+        assert_eq!(v, -4.0);
+        assert_eq!(g.cut_value(x), 4);
+    }
+}

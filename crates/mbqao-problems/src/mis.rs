@@ -1,0 +1,100 @@
+//! Maximum Independent Set (Sec. IV of the paper).
+//!
+//! Two formulations are provided, matching the paper's two treatments:
+//!
+//! * [`mis_penalty_qubo`] — the soft-constrained QUBO
+//!   `minimize −Σ xᵥ + A·Σ_{(u,v)∈E} x_u x_v` (Sec. V route: map to QUBO
+//!   with penalties and run the Sec. III protocol).
+//! * The *hard-constrained* route (Sec. IV) keeps the cost `−Σ xᵥ` and
+//!   enforces feasibility through the constraint-preserving partial mixer
+//!   `Λ_{N(v)}(e^{iβXᵥ})`; the ansatz lives in `mbqao-qaoa::mixers` and
+//!   its MBQC compilation in `mbqao-core::mis`. Here we provide the cost,
+//!   feasibility predicates and classical helpers.
+
+use crate::graph::Graph;
+use crate::hamiltonian::ZPoly;
+use crate::qubo::Qubo;
+
+/// Penalty-form QUBO for MIS: `−Σ xᵥ + A Σ_{(u,v)∈E} x_u x_v`.
+/// Any `A > 1` makes every optimum an independent set (Lucas 2014).
+pub fn mis_penalty_qubo(g: &Graph, penalty: f64) -> Qubo {
+    assert!(penalty > 1.0, "penalty must exceed 1 for exactness");
+    let linear = vec![-1.0; g.n()];
+    let quad: Vec<(usize, usize, f64)> =
+        g.edges().iter().map(|&(u, v)| (u, v, penalty)).collect();
+    Qubo::new(g.n(), 0.0, linear, quad)
+}
+
+/// The unconstrained objective `−Σ xᵥ` (to minimize) used with
+/// constraint-preserving mixers: feasibility is the mixer's job.
+pub fn mis_objective(g: &Graph) -> ZPoly {
+    let n = g.n();
+    // −Σ xᵥ = −n/2 + ½ Σ Zᵥ
+    let terms: Vec<(Vec<usize>, f64)> = (0..n).map(|v| (vec![v], 0.5)).collect();
+    ZPoly::new(n, -(n as f64) / 2.0, terms)
+}
+
+/// Size of the set encoded by `mask`.
+pub fn set_size(mask: u64) -> usize {
+    mask.count_ones() as usize
+}
+
+/// Greedy maximal independent set (ascending-degree order) — a classical
+/// baseline and the paper's suggested feasible initial state
+/// ("the product state corresponding to a classically determined
+/// approximate solution").
+pub fn greedy_mis(g: &Graph) -> u64 {
+    let mut order: Vec<usize> = (0..g.n()).collect();
+    order.sort_by_key(|&v| g.degree(v));
+    let mut chosen = 0u64;
+    for v in order {
+        let conflict = g.neighbors(v).iter().any(|&w| (chosen >> w) & 1 == 1);
+        if !conflict {
+            chosen |= 1 << v;
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::generators;
+
+    #[test]
+    fn penalty_optimum_is_max_independent_set() {
+        let g = generators::petersen();
+        let q = mis_penalty_qubo(&g, 2.0);
+        let (v, x) = q.min_value();
+        assert!(g.is_independent_set(x), "optimum is not independent");
+        let alpha = exact::max_independent_set(&g).1;
+        assert_eq!(set_size(x), alpha);
+        assert_eq!(v, -(alpha as f64));
+    }
+
+    #[test]
+    fn objective_counts_set_size() {
+        let g = generators::square();
+        let c = mis_objective(&g);
+        for x in 0..16u64 {
+            assert!((c.value(x) + set_size(x) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_is_independent_and_maximal() {
+        for g in [generators::petersen(), generators::square(), generators::star(6)] {
+            let s = greedy_mis(&g);
+            assert!(g.is_independent_set(s));
+            // maximality: no vertex can be added
+            for v in 0..g.n() {
+                if (s >> v) & 1 == 1 {
+                    continue;
+                }
+                let extended = s | (1 << v);
+                assert!(!g.is_independent_set(extended), "greedy set not maximal at {v}");
+            }
+        }
+    }
+}

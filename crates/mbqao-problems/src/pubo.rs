@@ -1,0 +1,178 @@
+//! Polynomial unconstrained binary optimization (higher-order cost
+//! functions).
+//!
+//! The paper notes (Sec. III) that its constructions "extend to
+//! higher-order cost functions beyond quadratic in a straightforward way":
+//! each multi-qubit `Z_S` term becomes one phase-gadget ancilla coupled to
+//! `|S|` wires. [`Pubo`] supplies such cost functions, e.g. from Max-k-SAT
+//! penalties.
+
+use crate::hamiltonian::ZPoly;
+use rand::Rng;
+
+/// A PUBO instance: `C(x) = c₀ + Σ_T w_T ∏_{i∈T} xᵢ`, minimized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pubo {
+    n: usize,
+    constant: f64,
+    /// Monomials `(support, weight)`, supports sorted/unique.
+    terms: Vec<(Vec<usize>, f64)>,
+}
+
+impl Pubo {
+    /// Builds a PUBO, merging duplicate monomials.
+    ///
+    /// # Panics
+    /// Panics when a support repeats a variable or exceeds `n`.
+    pub fn new(n: usize, constant: f64, terms: Vec<(Vec<usize>, f64)>) -> Self {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+        let mut c0 = constant;
+        for (mut support, w) in terms {
+            support.sort_unstable();
+            let before = support.len();
+            support.dedup();
+            assert_eq!(before, support.len(), "monomial repeats a variable (x² = x should be pre-reduced)");
+            assert!(support.iter().all(|&q| q < n), "monomial variable out of range");
+            if support.is_empty() {
+                c0 += w;
+                continue;
+            }
+            *merged.entry(support).or_insert(0.0) += w;
+        }
+        let terms = merged.into_iter().filter(|&(_, w)| w.abs() > 1e-15).collect();
+        Pubo { n, constant: c0, terms }
+    }
+
+    /// From a QUBO (degree ≤ 2 special case).
+    pub fn from_qubo(q: &crate::qubo::Qubo) -> Self {
+        let mut terms: Vec<(Vec<usize>, f64)> = Vec::new();
+        for (i, &l) in q.linear().iter().enumerate() {
+            terms.push((vec![i], l));
+        }
+        for &(i, j, w) in q.quad() {
+            terms.push((vec![i, j], w));
+        }
+        Pubo::new(q.n(), q.constant(), terms)
+    }
+
+    /// Number of variables.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Constant offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Monomials.
+    pub fn terms(&self) -> &[(Vec<usize>, f64)] {
+        &self.terms
+    }
+
+    /// Largest monomial degree.
+    pub fn degree(&self) -> usize {
+        self.terms.iter().map(|(s, _)| s.len()).max().unwrap_or(0)
+    }
+
+    /// Evaluates `C(x)`.
+    pub fn value(&self, x: u64) -> f64 {
+        let mut v = self.constant;
+        for (support, w) in &self.terms {
+            if support.iter().all(|&q| (x >> q) & 1 == 1) {
+                v += w;
+            }
+        }
+        v
+    }
+
+    /// Lowers to the Z-basis Hamiltonian by substituting
+    /// `xᵢ = (1 − Zᵢ)/2` and expanding each monomial into its `2^{|T|}`
+    /// Z-terms.
+    pub fn to_zpoly(&self) -> ZPoly {
+        let mut constant = self.constant;
+        let mut terms: Vec<(Vec<usize>, f64)> = Vec::new();
+        for (support, w) in &self.terms {
+            let k = support.len();
+            let scale = w / (1u64 << k) as f64;
+            // ∏ (1 − Z_i) = Σ_{S ⊆ T} (−1)^{|S|} Z_S
+            for subset in 0..(1u64 << k) {
+                let sign = if (subset.count_ones() & 1) == 0 { 1.0 } else { -1.0 };
+                let z_support: Vec<usize> = (0..k)
+                    .filter(|b| (subset >> b) & 1 == 1)
+                    .map(|b| support[b])
+                    .collect();
+                if z_support.is_empty() {
+                    constant += scale * sign;
+                } else {
+                    terms.push((z_support, scale * sign));
+                }
+            }
+        }
+        ZPoly::new(self.n, constant, terms)
+    }
+
+    /// Random PUBO with `m` monomials of degree ≤ `max_degree`.
+    pub fn random<R: Rng + ?Sized>(n: usize, m: usize, max_degree: usize, rng: &mut R) -> Self {
+        let mut terms = Vec::with_capacity(m);
+        for _ in 0..m {
+            let k = rng.gen_range(1..=max_degree.min(n));
+            let mut support: Vec<usize> = Vec::new();
+            while support.len() < k {
+                let v = rng.gen_range(0..n);
+                if !support.contains(&v) {
+                    support.push(v);
+                }
+            }
+            terms.push((support, rng.gen_range(-1.0..1.0)));
+        }
+        Pubo::new(n, 0.0, terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubo::Qubo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cubic_value() {
+        // C = x₀x₁x₂
+        let p = Pubo::new(3, 0.0, vec![(vec![0, 1, 2], 1.0)]);
+        assert_eq!(p.value(0b111), 1.0);
+        assert_eq!(p.value(0b011), 0.0);
+        assert_eq!(p.degree(), 3);
+    }
+
+    #[test]
+    fn zpoly_expansion_agrees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let p = Pubo::random(5, 6, 4, &mut rng);
+            let z = p.to_zpoly();
+            for x in 0..(1u64 << 5) {
+                assert!((p.value(x) - z.value(x)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn from_qubo_roundtrip_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = Qubo::random(4, 0.8, &mut rng);
+        let p = Pubo::from_qubo(&q);
+        for x in 0..(1u64 << 4) {
+            assert!((p.value(x) - q.value(x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn monomial_merge() {
+        let p = Pubo::new(3, 1.0, vec![(vec![2, 1], 1.0), (vec![1, 2], -1.0), (vec![], 0.5)]);
+        assert_eq!(p.terms().len(), 0);
+        assert_eq!(p.constant(), 1.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Quadratic unconstrained binary optimization.
+//!
+//! `C(x) = Σᵢ lᵢ xᵢ + Σ_{i<j} q_{ij} xᵢxⱼ + c₀` over `x ∈ {0,1}ⁿ`, to be
+//! **minimized**. Lowers to an Ising / [`ZPoly`] form via `xᵢ = (1−Zᵢ)/2`.
+
+use crate::hamiltonian::ZPoly;
+use rand::Rng;
+
+/// A QUBO instance (minimization convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qubo {
+    n: usize,
+    constant: f64,
+    linear: Vec<f64>,
+    /// Quadratic terms `(i, j, w)` with `i < j`, deduplicated.
+    quad: Vec<(usize, usize, f64)>,
+}
+
+impl Qubo {
+    /// Builds a QUBO on `n` variables.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or `i == j` quadratic terms
+    /// (diagonal terms belong in `linear` since `x² = x`).
+    pub fn new(n: usize, constant: f64, linear: Vec<f64>, quad: Vec<(usize, usize, f64)>) -> Self {
+        assert_eq!(linear.len(), n, "linear coefficient vector must have length n");
+        let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for (i, j, w) in quad {
+            assert!(i < n && j < n, "quadratic index out of range");
+            assert_ne!(i, j, "diagonal quadratic term; fold x² = x into linear");
+            *merged.entry((i.min(j), i.max(j))).or_insert(0.0) += w;
+        }
+        let quad = merged
+            .into_iter()
+            .filter(|&(_, w)| w.abs() > 1e-15)
+            .map(|((i, j), w)| (i, j, w))
+            .collect();
+        Qubo { n, constant, linear, quad }
+    }
+
+    /// Number of variables.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Constant offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Linear coefficients.
+    pub fn linear(&self) -> &[f64] {
+        &self.linear
+    }
+
+    /// Quadratic terms `(i, j, w)` with `i < j`.
+    pub fn quad(&self) -> &[(usize, usize, f64)] {
+        &self.quad
+    }
+
+    /// Evaluates `C(x)` with bit `i` of `x` as variable `i`.
+    pub fn value(&self, x: u64) -> f64 {
+        let mut v = self.constant;
+        for (i, &l) in self.linear.iter().enumerate() {
+            if (x >> i) & 1 == 1 {
+                v += l;
+            }
+        }
+        for &(i, j, w) in &self.quad {
+            if (x >> i) & 1 == 1 && (x >> j) & 1 == 1 {
+                v += w;
+            }
+        }
+        v
+    }
+
+    /// Lowers to the diagonal Hamiltonian form (`xᵢ = (1 − Zᵢ)/2`):
+    ///
+    /// ```text
+    /// Σ lᵢxᵢ           → Σ lᵢ/2 − Σ (lᵢ/2) Zᵢ
+    /// Σ qᵢⱼxᵢxⱼ        → Σ qᵢⱼ/4 (1 − Zᵢ − Zⱼ + ZᵢZⱼ)
+    /// ```
+    pub fn to_zpoly(&self) -> ZPoly {
+        let mut constant = self.constant;
+        let mut linear_z = vec![0.0; self.n];
+        let mut terms: Vec<(Vec<usize>, f64)> = Vec::new();
+        for (i, &l) in self.linear.iter().enumerate() {
+            constant += l / 2.0;
+            linear_z[i] -= l / 2.0;
+        }
+        for &(i, j, w) in &self.quad {
+            constant += w / 4.0;
+            linear_z[i] -= w / 4.0;
+            linear_z[j] -= w / 4.0;
+            terms.push((vec![i, j], w / 4.0));
+        }
+        for (i, &h) in linear_z.iter().enumerate() {
+            if h.abs() > 1e-15 {
+                terms.push((vec![i], h));
+            }
+        }
+        ZPoly::new(self.n, constant, terms)
+    }
+
+    /// Uniformly random dense QUBO with coefficients in `[−1, 1]`.
+    pub fn random<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> Self {
+        let linear: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut quad = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < density {
+                    quad.push((i, j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        Qubo::new(n, rng.gen_range(-1.0..1.0), linear, quad)
+    }
+
+    /// Exact minimum by brute force (delegates to the Z-form).
+    pub fn min_value(&self) -> (f64, u64) {
+        self.to_zpoly().min_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn value_direct() {
+        // C(x) = 3 + 2x₀ − x₁ + 4x₀x₁
+        let q = Qubo::new(2, 3.0, vec![2.0, -1.0], vec![(0, 1, 4.0)]);
+        assert_eq!(q.value(0b00), 3.0);
+        assert_eq!(q.value(0b01), 5.0);
+        assert_eq!(q.value(0b10), 2.0);
+        assert_eq!(q.value(0b11), 8.0);
+    }
+
+    #[test]
+    fn zpoly_agrees_with_direct_evaluation() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let q = Qubo::random(5, 0.7, &mut rng);
+            let z = q.to_zpoly();
+            for x in 0..(1u64 << 5) {
+                let a = q.value(x);
+                let b = z.value(x);
+                assert!((a - b).abs() < 1e-10, "x={x:05b}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_merge() {
+        let q = Qubo::new(3, 0.0, vec![0.0; 3], vec![(2, 0, 1.0), (0, 2, 1.5)]);
+        assert_eq!(q.quad(), &[(0, 2, 2.5)]);
+    }
+
+    #[test]
+    fn min_value_small() {
+        // Minimize −x₀ − x₁ + 3x₀x₁ → best is exactly one variable set.
+        let q = Qubo::new(2, 0.0, vec![-1.0, -1.0], vec![(0, 1, 3.0)]);
+        let (v, x) = q.min_value();
+        assert_eq!(v, -1.0);
+        assert!(x == 0b01 || x == 0b10);
+    }
+}

@@ -1,0 +1,52 @@
+//! Minimum Vertex Cover.
+//!
+//! `minimize Σᵥ xᵥ + A·Σ_{(u,v)∈E} (1−x_u)(1−x_v)`: every uncovered edge
+//! pays penalty `A > 1` (Lucas 2014, §4.3). Complements the MIS workload
+//! (a set is a vertex cover iff its complement is independent).
+
+use crate::graph::Graph;
+use crate::qubo::Qubo;
+
+/// Penalty-form QUBO for minimum vertex cover.
+pub fn vertex_cover_qubo(g: &Graph, penalty: f64) -> Qubo {
+    assert!(penalty > 1.0, "penalty must exceed 1 for exactness");
+    let mut constant = 0.0;
+    let mut linear = vec![1.0; g.n()];
+    let mut quad = Vec::new();
+    for &(u, v) in g.edges() {
+        // A(1 − x_u)(1 − x_v) = A − A·x_u − A·x_v + A·x_u x_v
+        constant += penalty;
+        linear[u] -= penalty;
+        linear[v] -= penalty;
+        quad.push((u, v, penalty));
+    }
+    Qubo::new(g.n(), constant, linear, quad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::generators;
+
+    #[test]
+    fn optimum_is_minimum_cover() {
+        for g in [generators::square(), generators::petersen(), generators::star(5)] {
+            let q = vertex_cover_qubo(&g, 2.0);
+            let (v, x) = q.min_value();
+            assert!(g.is_vertex_cover(x), "optimum is not a cover");
+            let tau = exact::min_vertex_cover(&g).1;
+            assert_eq!(x.count_ones() as usize, tau);
+            assert!((v - tau as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complement_duality_with_mis() {
+        // τ(G) + α(G) = n (Gallai).
+        let g = generators::petersen();
+        let tau = exact::min_vertex_cover(&g).1;
+        let alpha = exact::max_independent_set(&g).1;
+        assert_eq!(tau + alpha, g.n());
+    }
+}

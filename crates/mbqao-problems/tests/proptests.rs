@@ -1,0 +1,118 @@
+//! Property tests on the workload layer: representation equivalences and
+//! solver invariants.
+
+use mbqao_problems::{generators, ksat::KSat, maxcut, mis, Ising, Pubo, Qubo};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QUBO direct evaluation agrees with its Z-polynomial on every input.
+    #[test]
+    fn prop_qubo_zpoly_equal(seed in 0u64..10_000, n in 2usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Qubo::random(n, 0.6, &mut rng);
+        let z = q.to_zpoly();
+        for x in 0..(1u64 << n) {
+            prop_assert!((q.value(x) - z.value(x)).abs() < 1e-9);
+        }
+    }
+
+    /// PUBO expansion agrees with direct evaluation.
+    #[test]
+    fn prop_pubo_zpoly_equal(seed in 0u64..10_000, n in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Pubo::random(n, 5, n.min(4), &mut rng);
+        let z = p.to_zpoly();
+        for x in 0..(1u64 << n) {
+            prop_assert!((p.value(x) - z.value(x)).abs() < 1e-9);
+        }
+    }
+
+    /// Ising ↔ QUBO round trip preserves energies.
+    #[test]
+    fn prop_ising_qubo_roundtrip(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Qubo::random(5, 0.5, &mut rng);
+        let z1 = q.to_zpoly();
+        // ZPoly → Ising → QUBO → ZPoly
+        let terms: Vec<(usize, usize, f64)> = z1
+            .terms()
+            .iter()
+            .filter(|(s, _)| s.len() == 2)
+            .map(|(s, w)| (s[0], s[1], *w))
+            .collect();
+        let h: Vec<f64> = (0..5)
+            .map(|i| {
+                z1.terms()
+                    .iter()
+                    .find(|(s, _)| s.len() == 1 && s[0] == i)
+                    .map(|(_, w)| *w)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let ising = Ising::new(5, z1.constant(), h, terms);
+        for x in 0..(1u64 << 5) {
+            prop_assert!((ising.energy(x) - q.value(x)).abs() < 1e-9);
+            prop_assert!((ising.to_qubo().value(x) - q.value(x)).abs() < 1e-9);
+        }
+    }
+
+    /// The MaxCut Hamiltonian value is minus the cut for random graphs.
+    #[test]
+    fn prop_maxcut_value(seed in 0u64..10_000, n in 3usize..8, pr in 0.2f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, pr, &mut rng);
+        let c = maxcut::maxcut_zpoly(&g);
+        for x in 0..(1u64 << n) {
+            prop_assert!((c.value(x) + g.cut_value(x) as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Greedy MIS is always independent and maximal.
+    #[test]
+    fn prop_greedy_mis_feasible_maximal(seed in 0u64..10_000, n in 3usize..10, pr in 0.1f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, pr, &mut rng);
+        let s = mis::greedy_mis(&g);
+        prop_assert!(g.is_independent_set(s));
+        for v in 0..n {
+            if (s >> v) & 1 == 0 {
+                prop_assert!(!g.is_independent_set(s | (1 << v)));
+            }
+        }
+    }
+
+    /// k-SAT penalty PUBO counts violated clauses exactly.
+    #[test]
+    fn prop_ksat_penalty(seed in 0u64..10_000, n in 3usize..6, m in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = KSat::random(n, m, 3.min(n), &mut rng);
+        let p = f.to_pubo();
+        for x in 0..(1u64 << n) {
+            prop_assert!((p.value(x) - f.violated(x) as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Random regular graphs have the requested degree sequence.
+    #[test]
+    fn prop_random_regular_degrees(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_regular(8, 3, &mut rng);
+        for v in 0..8 {
+            prop_assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    /// Gallai identity: α(G) + τ(G) = n on random graphs.
+    #[test]
+    fn prop_gallai(seed in 0u64..10_000, n in 3usize..9, pr in 0.1f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, pr, &mut rng);
+        let alpha = mbqao_problems::exact::max_independent_set(&g).1;
+        let tau = mbqao_problems::exact::min_vertex_cover(&g).1;
+        prop_assert_eq!(alpha + tau, n);
+    }
+}

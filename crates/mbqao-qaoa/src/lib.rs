@@ -1,0 +1,34 @@
+//! Gate-model QAOA — the baseline the paper's MBQC protocol is measured
+//! against, plus the classical outer loop shared by both backends.
+//!
+//! Implements the quantum alternating operator ansatz of Sec. II-C:
+//!
+//! ```text
+//!     |γβ⟩ = U_M(β_p) U_P(γ_p) ⋯ U_M(β_1) U_P(γ_1) |s⟩
+//! ```
+//!
+//! with the standard pieces —
+//!
+//! * [`phase_separator`] — `U_P(γ) = e^{−iγC}` for any diagonal
+//!   Hamiltonian [`mbqao_problems::ZPoly`] (QUBO and higher-order),
+//! * [`mixers`] — the transverse-field mixer `e^{−iβΣX}`, the XY ring
+//!   mixer of Sec. V, and the constraint-preserving MIS partial mixers
+//!   `Λ_{N(v)}(e^{iβX_v})` of Sec. IV,
+//! * [`ansatz::QaoaAnsatz`] — initial state + p layers → a
+//!   [`mbqao_sim::Circuit`],
+//! * [`expectation`] — `⟨C⟩`, sampling, approximation ratios,
+//! * [`optimize`] — Nelder–Mead, SPSA and (rayon-parallel) grid search,
+//! * [`landscape`] — p=1 parameter-landscape scans,
+//! * [`iterative`] — iterative quantum optimization (Sec. V, refs.
+//!   [56, 60, 61]): estimate ⟨Zᵢ⟩, round, eliminate, repeat.
+
+pub mod ansatz;
+pub mod expectation;
+pub mod iterative;
+pub mod landscape;
+pub mod mixers;
+pub mod optimize;
+pub mod phase_separator;
+
+pub use ansatz::{InitialState, Mixer, QaoaAnsatz};
+pub use expectation::{approximation_ratio, QaoaRunner};

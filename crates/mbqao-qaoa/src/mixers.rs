@@ -1,0 +1,179 @@
+//! QAOA mixing operators.
+//!
+//! * [`append_transverse_mixer`] — the original `U_M(β) = e^{−iβΣXᵥ}`
+//!   (Sec. II-C), a product of `Rx(2β)` rotations.
+//! * [`append_mis_mixer`] — the constraint-preserving ansatz of Sec. IV:
+//!   the ordered product of partial mixers `Uᵥ(β) = Λ_{N(v)}(e^{iβXᵥ})`,
+//!   each an X-rotation fired only when every neighbour is out of the set.
+//! * [`append_xy_ring_mixer`] — the XY partial mixers of Sec. V,
+//!   `U_{uv}(β) = e^{iβ(X_uX_v + Y_uY_v)}`, which preserve Hamming weight
+//!   (one-hot / coloring constraints).
+
+use mbqao_problems::Graph;
+use mbqao_sim::{Circuit, Gate, QubitId};
+
+/// Appends `∏ᵥ e^{−iβXᵥ} = ∏ᵥ Rx(2β)` over `n` qubits.
+pub fn append_transverse_mixer(circuit: &mut Circuit, n: usize, beta: f64) {
+    for v in 0..n {
+        circuit.push(Gate::Rx(QubitId::new(v as u64), 2.0 * beta));
+    }
+}
+
+/// Appends the MIS partial-mixer product in vertex order:
+/// `U_{|V|}(β) ⋯ U_1(β)` with `Uᵥ(β) = Λ_{N(v)}(e^{iβXᵥ})`.
+///
+/// `e^{iβX} = Rx(−2β)`, and the control polarity is *all neighbours
+/// `|0⟩`* — transitions only ever toggle a vertex whose neighbourhood is
+/// empty, so independence is preserved exactly (no penalty terms needed).
+pub fn append_mis_mixer(circuit: &mut Circuit, g: &Graph, beta: f64) {
+    for v in 0..g.n() {
+        let controls: Vec<(QubitId, bool)> = g
+            .neighbors(v)
+            .iter()
+            .map(|&w| (QubitId::new(w as u64), false))
+            .collect();
+        circuit.push(Gate::ControlledRx {
+            controls,
+            target: QubitId::new(v as u64),
+            theta: -2.0 * beta,
+        });
+    }
+}
+
+/// Appends the ring XY mixer: `∏_{i} e^{iβ(XᵢXᵢ₊₁ + YᵢYᵢ₊₁)}` over the
+/// cycle `0−1−⋯−(n−1)−0` (odd pairs first, then even, so the layer is
+/// depth-2 on hardware; mathematically any order — the terms on a ring
+/// overlap, matching the paper's "ordered products" caveat).
+pub fn append_xy_ring_mixer(circuit: &mut Circuit, n: usize, beta: f64) {
+    assert!(n >= 2, "ring mixer needs ≥ 2 qubits");
+    // e^{iβ(XX+YY)} = Rxy(−2β) in our gate convention.
+    let mut push = |a: usize, b: usize| {
+        circuit.push(Gate::Rxy(QubitId::new(a as u64), QubitId::new(b as u64), -2.0 * beta));
+    };
+    let mut i = 0;
+    while i + 1 < n {
+        push(i, i + 1);
+        i += 2;
+    }
+    let mut i = 1;
+    while i + 1 < n {
+        push(i, i + 1);
+        i += 2;
+    }
+    if n > 2 {
+        push(n - 1, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_problems::generators;
+    use mbqao_sim::State;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn qids(n: usize) -> Vec<QubitId> {
+        (0..n as u64).map(QubitId::new).collect()
+    }
+
+    #[test]
+    fn transverse_mixer_moves_plus_nowhere() {
+        // |+…+⟩ is the ground state of −ΣX: the mixer only adds phase.
+        let order = qids(3);
+        let mut c = Circuit::new();
+        append_transverse_mixer(&mut c, 3, 0.77);
+        let mut st = State::plus(&order);
+        c.run(&mut st);
+        let plus = State::plus(&order).aligned(&order);
+        assert!(st.approx_eq_up_to_phase(&order, &plus, 1e-10));
+    }
+
+    #[test]
+    fn mis_mixer_preserves_independence() {
+        // Start from a random independent set; after mixing, *every* basis
+        // state with nonzero amplitude must be independent.
+        let g = generators::petersen();
+        let order = qids(g.n());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..3 {
+            // random independent set via greedy on a random mask
+            let mut mask = 0u64;
+            for v in 0..g.n() {
+                if rng.gen::<bool>()
+                    && g.neighbors(v).iter().all(|&w| (mask >> w) & 1 == 0)
+                {
+                    mask |= 1 << v;
+                }
+            }
+            assert!(g.is_independent_set(mask));
+            let mut st = State::zeros(&order);
+            for v in 0..g.n() {
+                if (mask >> v) & 1 == 1 {
+                    st.apply_x(QubitId::new(v as u64));
+                }
+            }
+            let mut c = Circuit::new();
+            append_mis_mixer(&mut c, &g, rng.gen_range(0.1..1.5));
+            append_mis_mixer(&mut c, &g, rng.gen_range(0.1..1.5));
+            c.run(&mut st);
+
+            let aligned = st.aligned(&order);
+            for (idx, amp) in aligned.iter().enumerate() {
+                if amp.norm_sqr() > 1e-18 {
+                    // idx is msb-first over order (qubit v = bit n-1-v)
+                    let mut bits = 0u64;
+                    for v in 0..g.n() {
+                        if (idx >> (g.n() - 1 - v)) & 1 == 1 {
+                            bits |= 1 << v;
+                        }
+                    }
+                    assert!(
+                        g.is_independent_set(bits),
+                        "amplitude {amp} on infeasible state {bits:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mis_mixer_reaches_neighbors_of_feasible_states() {
+        // On the empty graph the MIS mixer degenerates to the free mixer:
+        // no controls at all.
+        let g = mbqao_problems::Graph::new(2, &[]);
+        let order = qids(2);
+        let mut st = State::zeros(&order);
+        let mut c = Circuit::new();
+        append_mis_mixer(&mut c, &g, std::f64::consts::FRAC_PI_2);
+        c.run(&mut st);
+        // e^{iπ/2 X} |0⟩ ∝ |1⟩ on each qubit → |11⟩.
+        let probs = st.probabilities();
+        assert!((probs[3] - 1.0).abs() < 1e-9, "{probs:?}");
+    }
+
+    #[test]
+    fn xy_mixer_preserves_hamming_weight() {
+        let n = 4;
+        let order = qids(n);
+        // Start in |1000⟩ (weight 1).
+        let mut st = State::zeros(&order);
+        st.apply_x(QubitId::new(0));
+        let mut c = Circuit::new();
+        append_xy_ring_mixer(&mut c, n, 0.9);
+        append_xy_ring_mixer(&mut c, n, -0.3);
+        c.run(&mut st);
+        let aligned = st.aligned(&order);
+        for (idx, amp) in aligned.iter().enumerate() {
+            if amp.norm_sqr() > 1e-18 {
+                assert_eq!(
+                    (idx as u64).count_ones(),
+                    1,
+                    "XY mixer leaked out of the weight-1 sector at {idx:04b}"
+                );
+            }
+        }
+        // and it must actually move amplitude around the ring
+        assert!(aligned[0b0100].norm_sqr() > 1e-6 || aligned[0b0010].norm_sqr() > 1e-6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Classical outer-loop optimizers.
+//!
+//! QAOA is a hybrid protocol: a classical optimizer proposes parameters,
+//! the quantum device (here: either the gate simulator or the MBQC
+//! pattern executor) estimates `⟨C⟩`, and the loop iterates (Sec. II-C;
+//! the paper stresses that "high-level algorithmic challenges remain such
+//! as parameter setting" in either computational model — these optimizers
+//! are backend-agnostic for exactly that reason).
+
+pub mod grid;
+pub mod nelder_mead;
+pub mod spsa;
+
+pub use grid::grid_search;
+pub use nelder_mead::NelderMead;
+pub use spsa::Spsa;
+
+/// A minimization target: `f: R^d → R`.
+pub trait Objective: Sync {
+    /// Evaluates the objective.
+    fn eval(&self, params: &[f64]) -> f64;
+    /// Dimension of the parameter space.
+    fn dim(&self) -> usize;
+}
+
+/// Blanket impl so closures can be used directly (dimension supplied).
+pub struct FnObjective<F: Fn(&[f64]) -> f64 + Sync> {
+    f: F,
+    dim: usize,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> FnObjective<F> {
+    /// Wraps a closure as an objective of dimension `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnObjective { f, dim }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Objective for FnObjective<F> {
+    fn eval(&self, params: &[f64]) -> f64 {
+        (self.f)(params)
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best parameters found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// Best value after each iteration (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shifted sphere: minimum 1.5 at (0.3, −0.2, 0.7).
+    pub(crate) fn sphere() -> FnObjective<impl Fn(&[f64]) -> f64 + Sync> {
+        FnObjective::new(3, |p: &[f64]| {
+            let c = [0.3, -0.2, 0.7];
+            1.5 + p.iter().zip(c).map(|(x, c)| (x - c) * (x - c)).sum::<f64>()
+        })
+    }
+
+    #[test]
+    fn all_optimizers_minimize_the_sphere() {
+        let obj = sphere();
+        let nm = NelderMead::default().run(&obj, &[0.0, 0.0, 0.0]);
+        assert!(nm.value < 1.5 + 1e-6, "NM got {}", nm.value);
+
+        let spsa = Spsa { iterations: 4000, seed: 7, ..Spsa::default() }.run(&obj, &[0.0; 3]);
+        assert!(spsa.value < 1.5 + 1e-2, "SPSA got {}", spsa.value);
+
+        let lo = vec![-1.0; 3];
+        let hi = vec![1.0; 3];
+        let gs = grid_search(&obj, &lo, &hi, 11);
+        assert!(gs.value < 1.5 + 0.05, "grid got {}", gs.value);
+    }
+}

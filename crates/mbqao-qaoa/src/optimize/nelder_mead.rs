@@ -1,0 +1,155 @@
+//! Nelder–Mead downhill simplex (derivative-free local search).
+//!
+//! The standard choice for small-dimensional QAOA parameter optimization
+//! on noiseless simulators. Uses the adaptive coefficients of Gao & Han
+//! (2012) which behave better as the dimension grows.
+
+use super::{Objective, OptResult};
+
+/// Nelder–Mead configuration.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Maximum iterations (reflection steps).
+    pub max_iters: usize,
+    /// Convergence tolerance on the simplex's value spread.
+    pub tol: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead { max_iters: 600, tol: 1e-10, initial_step: 0.4 }
+    }
+}
+
+impl NelderMead {
+    /// Minimizes `obj` starting from `x0`.
+    pub fn run(&self, obj: &dyn Objective, x0: &[f64]) -> OptResult {
+        let d = obj.dim();
+        assert_eq!(x0.len(), d, "x0 has wrong dimension");
+        if d == 0 {
+            return OptResult { params: vec![], value: obj.eval(&[]), evals: 1, history: vec![] };
+        }
+        // Adaptive coefficients (Gao–Han).
+        let df = d as f64;
+        let alpha = 1.0;
+        let beta = 1.0 + 2.0 / df;
+        let gamma = 0.75 - 1.0 / (2.0 * df);
+        let delta = 1.0 - 1.0 / df;
+
+        let mut evals = 0usize;
+        let eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            obj.eval(x)
+        };
+
+        // Initial simplex: x0 plus axis steps.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(d + 1);
+        let f0 = eval(x0, &mut evals);
+        simplex.push((x0.to_vec(), f0));
+        for i in 0..d {
+            let mut x = x0.to_vec();
+            x[i] += self.initial_step;
+            let f = eval(&x, &mut evals);
+            simplex.push((x, f));
+        }
+
+        let mut history = Vec::with_capacity(self.max_iters);
+        for _ in 0..self.max_iters {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN objective"));
+            history.push(simplex[0].1);
+            let spread = simplex[d].1 - simplex[0].1;
+            if spread.abs() < self.tol {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; d];
+            for (x, _) in &simplex[..d] {
+                for (c, xi) in centroid.iter_mut().zip(x) {
+                    *c += xi / d as f64;
+                }
+            }
+            let worst = simplex[d].clone();
+            let point = |coef: f64| -> Vec<f64> {
+                centroid
+                    .iter()
+                    .zip(&worst.0)
+                    .map(|(c, w)| c + coef * (c - w))
+                    .collect()
+            };
+
+            let xr = point(alpha);
+            let fr = eval(&xr, &mut evals);
+            if fr < simplex[0].1 {
+                // Try expansion.
+                let xe = point(alpha * beta);
+                let fe = eval(&xe, &mut evals);
+                simplex[d] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            } else if fr < simplex[d - 1].1 {
+                simplex[d] = (xr, fr);
+            } else {
+                // Contraction (outside if reflected helped, inside else).
+                let (xc, fc) = if fr < worst.1 {
+                    let xc = point(alpha * gamma);
+                    let fc = eval(&xc, &mut evals);
+                    (xc, fc)
+                } else {
+                    let xc = point(-gamma);
+                    let fc = eval(&xc, &mut evals);
+                    (xc, fc)
+                };
+                if fc < worst.1.min(fr) {
+                    simplex[d] = (xc, fc);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for v in simplex.iter_mut().skip(1) {
+                        for (xi, bi) in v.0.iter_mut().zip(&best) {
+                            *xi = bi + delta * (*xi - bi);
+                        }
+                        v.1 = eval(&v.0, &mut evals);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN objective"));
+        let (params, value) = simplex.swap_remove(0);
+        OptResult { params, value, evals, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::FnObjective;
+
+    #[test]
+    fn rosenbrock_2d() {
+        let obj = FnObjective::new(2, |p: &[f64]| {
+            let (x, y) = (p[0], p[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        });
+        let r = NelderMead { max_iters: 2000, ..Default::default() }.run(&obj, &[-1.2, 1.0]);
+        assert!(r.value < 1e-6, "Rosenbrock value {}", r.value);
+        assert!((r.params[0] - 1.0).abs() < 1e-2);
+        assert!((r.params[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let obj = FnObjective::new(2, |p: &[f64]| p[0] * p[0] + p[1] * p[1]);
+        let r = NelderMead::default().run(&obj, &[1.0, -2.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_dim_is_single_eval() {
+        let obj = FnObjective::new(0, |_: &[f64]| 42.0);
+        let r = NelderMead::default().run(&obj, &[]);
+        assert_eq!(r.value, 42.0);
+        assert_eq!(r.evals, 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Gate-model circuits.
+//!
+//! [`Circuit`] is the reference gate-model representation used by
+//! `mbqao-qaoa` (QAOA ansätze) and by the equivalence verifier in
+//! `mbqao-core`: a flat list of gates over [`QubitId`]s that can be run on
+//! a [`State`], exported as a dense unitary for small registers, and
+//! rendered as ASCII art (the Fig. 2 reproduction).
+
+use mbqao_math::{gates, matrix::embed, Matrix, C64};
+
+use crate::register::QubitId;
+use crate::state::State;
+
+/// A quantum gate over logical qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(QubitId),
+    /// Pauli X.
+    X(QubitId),
+    /// Pauli Y.
+    Y(QubitId),
+    /// Pauli Z.
+    Z(QubitId),
+    /// `Rz(θ) = e^{−iθZ/2}`.
+    Rz(QubitId, f64),
+    /// `Rx(θ) = e^{−iθX/2}`.
+    Rx(QubitId, f64),
+    /// `Ry(θ) = e^{−iθY/2}`.
+    Ry(QubitId, f64),
+    /// `diag(1, e^{iθ})`.
+    Phase(QubitId, f64),
+    /// Controlled-Z.
+    Cz(QubitId, QubitId),
+    /// Controlled-X (first = control).
+    Cx(QubitId, QubitId),
+    /// `e^{−iθ(Z⊗Z)/2}`.
+    Rzz(QubitId, QubitId, f64),
+    /// `exp(iθ Z⊗…⊗Z)` over any number of qubits (phase-gadget reference
+    /// used by PUBO separators).
+    ExpZz(Vec<QubitId>, f64),
+    /// `e^{−iθ(X⊗X + Y⊗Y)/2}` (XY/exchange interaction).
+    Rxy(QubitId, QubitId, f64),
+    /// `Rx(θ)` on `target`, controlled on each `(qubit, polarity)`;
+    /// polarity `false` = control on `|0⟩`. This is the MIS partial mixer
+    /// `Λ_{N(v)}(e^{iβX_v})` with θ = −2β and all-false polarities.
+    ControlledRx {
+        /// Control qubits with polarity (`true` = fire on `|1⟩`).
+        controls: Vec<(QubitId, bool)>,
+        /// Target of the rotation.
+        target: QubitId,
+        /// Rotation angle.
+        theta: f64,
+    },
+}
+
+impl Gate {
+    /// Qubits the gate touches.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::Rz(q, _)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Phase(q, _) => vec![*q],
+            Gate::Cz(a, b) | Gate::Cx(a, b) | Gate::Rzz(a, b, _) | Gate::Rxy(a, b, _) => {
+                vec![*a, *b]
+            }
+            Gate::ExpZz(qs, _) => qs.clone(),
+            Gate::ControlledRx { controls, target, .. } => {
+                let mut v: Vec<QubitId> = controls.iter().map(|&(q, _)| q).collect();
+                v.push(*target);
+                v
+            }
+        }
+    }
+
+    /// `true` for gates that entangle (act nontrivially on ≥ 2 qubits).
+    pub fn is_entangling(&self) -> bool {
+        match self {
+            Gate::Cz(..) | Gate::Cx(..) | Gate::Rzz(..) | Gate::Rxy(..) => true,
+            Gate::ExpZz(qs, _) => qs.len() >= 2,
+            Gate::ControlledRx { controls, .. } => !controls.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Short mnemonic used by the ASCII renderer.
+    fn mnemonic(&self) -> String {
+        match self {
+            Gate::H(_) => "H".into(),
+            Gate::X(_) => "X".into(),
+            Gate::Y(_) => "Y".into(),
+            Gate::Z(_) => "Z".into(),
+            Gate::Rz(_, t) => format!("RZ({t:.3})"),
+            Gate::Rx(_, t) => format!("RX({t:.3})"),
+            Gate::Ry(_, t) => format!("RY({t:.3})"),
+            Gate::Phase(_, t) => format!("P({t:.3})"),
+            Gate::Cz(..) => "CZ".into(),
+            Gate::Cx(..) => "CX".into(),
+            Gate::Rzz(_, _, t) => format!("RZZ({t:.3})"),
+            Gate::ExpZz(_, t) => format!("eZZ({t:.3})"),
+            Gate::Rxy(_, _, t) => format!("RXY({t:.3})"),
+            Gate::ControlledRx { theta, .. } => format!("CRX({theta:.3})"),
+        }
+    }
+}
+
+/// A flat gate list.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Empty circuit.
+    pub fn new() -> Self {
+        Circuit { gates: Vec::new() }
+    }
+
+    /// Appends a gate.
+    pub fn push(&mut self, g: Gate) {
+        self.gates.push(g);
+    }
+
+    /// Extends with a sequence of gates.
+    pub fn extend(&mut self, gs: impl IntoIterator<Item = Gate>) {
+        self.gates.extend(gs);
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total gate count.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of entangling gates — the gate-model resource the paper's
+    /// Sec. III-A compares against (`≥ 2p|E|` for standard compilations).
+    pub fn entangling_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_entangling()).count()
+    }
+
+    /// All qubits mentioned by the circuit, sorted.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        let mut v: Vec<QubitId> = self.gates.iter().flat_map(|g| g.qubits()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Applies every gate to `state` in order.
+    pub fn run(&self, state: &mut State) {
+        for g in &self.gates {
+            match g {
+                Gate::H(q) => state.apply_h(*q),
+                Gate::X(q) => state.apply_x(*q),
+                Gate::Y(q) => state.apply_y(*q),
+                Gate::Z(q) => state.apply_z(*q),
+                Gate::Rz(q, t) => state.apply_rz(*q, *t),
+                Gate::Rx(q, t) => state.apply_rx(*q, *t),
+                Gate::Ry(q, t) => state.apply_1q(*q, &gates::ry(*t)),
+                Gate::Phase(q, t) => state.apply_phase(*q, *t),
+                Gate::Cz(a, b) => state.apply_cz(*a, *b),
+                Gate::Cx(a, b) => state.apply_cx(*a, *b),
+                Gate::Rzz(a, b, t) => state.apply_rzz(*a, *b, *t),
+                Gate::ExpZz(qs, t) => state.apply_exp_zz(qs, *t),
+                Gate::Rxy(a, b, t) => state.apply_u4(*a, *b, &gates::rxy(*t)),
+                Gate::ControlledRx { controls, target, theta } => {
+                    let m = gates::rx(*theta);
+                    let d = m.data();
+                    state.apply_controlled_u2(controls, *target, [d[0], d[1], d[2], d[3]]);
+                }
+            }
+        }
+    }
+
+    /// Dense unitary over the qubit order `order` (msb-first). Intended
+    /// for small registers (`order.len() ≤ ~10`) in verification paths.
+    pub fn unitary(&self, order: &[QubitId]) -> Matrix {
+        let n = order.len();
+        let pos = |id: QubitId| -> usize {
+            order
+                .iter()
+                .position(|&q| q == id)
+                .unwrap_or_else(|| panic!("qubit {id} missing from order"))
+        };
+        let mut u = Matrix::identity(1 << n);
+        for g in &self.gates {
+            let gm = match g {
+                Gate::H(q) => embed(n, &[pos(*q)], &gates::h()),
+                Gate::X(q) => embed(n, &[pos(*q)], &gates::x()),
+                Gate::Y(q) => embed(n, &[pos(*q)], &gates::y()),
+                Gate::Z(q) => embed(n, &[pos(*q)], &gates::z()),
+                Gate::Rz(q, t) => embed(n, &[pos(*q)], &gates::rz(*t)),
+                Gate::Rx(q, t) => embed(n, &[pos(*q)], &gates::rx(*t)),
+                Gate::Ry(q, t) => embed(n, &[pos(*q)], &gates::ry(*t)),
+                Gate::Phase(q, t) => embed(n, &[pos(*q)], &gates::phase(*t)),
+                Gate::Cz(a, b) => embed(n, &[pos(*a), pos(*b)], &gates::cz()),
+                Gate::Cx(a, b) => embed(n, &[pos(*a), pos(*b)], &gates::cx()),
+                Gate::Rzz(a, b, t) => embed(n, &[pos(*a), pos(*b)], &gates::rzz(*t)),
+                Gate::ExpZz(qs, t) => {
+                    let paulis: Vec<(usize, char)> = qs.iter().map(|&q| (pos(q), 'Z')).collect();
+                    gates::exp_i_theta_pauli(n, *t, &paulis)
+                }
+                Gate::Rxy(a, b, t) => embed(n, &[pos(*a), pos(*b)], &gates::rxy(*t)),
+                Gate::ControlledRx { controls, target, theta } => {
+                    // Build the controlled unitary explicitly on the full
+                    // register: identity except on the fired subspace.
+                    let dim = 1usize << n;
+                    let rx = gates::rx(*theta);
+                    let mut m = Matrix::zeros(dim, dim);
+                    let tbit = n - 1 - pos(*target);
+                    for col in 0..dim {
+                        let fired = controls.iter().all(|&(c, pol)| {
+                            let bit = (col >> (n - 1 - pos(c))) & 1;
+                            (bit == 1) == pol
+                        });
+                        if !fired {
+                            m[(col, col)] = C64::ONE;
+                            continue;
+                        }
+                        let tb = (col >> tbit) & 1;
+                        for out_b in 0..2 {
+                            let row = if out_b == 1 { col | (1 << tbit) } else { col & !(1 << tbit) };
+                            m[(row, col)] += rx[(out_b, tb)];
+                        }
+                    }
+                    m
+                }
+            };
+            u = gm.matmul(&u);
+        }
+        u
+    }
+
+    /// Runs the circuit on `|+⟩^{⊗n}` over `order` and returns the state.
+    pub fn run_on_plus(&self, order: &[QubitId]) -> State {
+        let mut st = State::plus(order);
+        self.run(&mut st);
+        st
+    }
+
+    /// Renders the circuit as ASCII art, one row per qubit in `order`
+    /// (the Fig. 2 reproduction uses this).
+    pub fn to_ascii(&self, order: &[QubitId]) -> String {
+        let mut rows: Vec<String> = order.iter().map(|q| format!("{q:>4}: ")).collect();
+        let pos = |id: QubitId| order.iter().position(|&q| q == id);
+        for g in &self.gates {
+            let touched: Vec<usize> = g.qubits().iter().filter_map(|&q| pos(q)).collect();
+            if touched.is_empty() {
+                continue;
+            }
+            let label = g.mnemonic();
+            let width = label.len() + 2;
+            let lo = *touched.iter().min().expect("nonempty");
+            let hi = *touched.iter().max().expect("nonempty");
+            for (r, row) in rows.iter_mut().enumerate() {
+                if touched.contains(&r) {
+                    if r == lo {
+                        row.push_str(&format!("─{label}─"));
+                    } else {
+                        let filler = if (lo..=hi).contains(&r) { "│" } else { "─" };
+                        row.push_str(&format!("─{:─^1$}─", filler, width - 2));
+                    }
+                } else if (lo..=hi).contains(&r) {
+                    row.push_str(&format!("─{:─^1$}─", "│", width - 2));
+                } else {
+                    row.push_str(&"─".repeat(width));
+                }
+            }
+        }
+        rows.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u64) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn run_matches_unitary() {
+        let order = [q(0), q(1), q(2)];
+        let mut c = Circuit::new();
+        c.push(Gate::H(q(0)));
+        c.push(Gate::Rzz(q(0), q(1), 0.7));
+        c.push(Gate::Rx(q(2), 1.3));
+        c.push(Gate::Cz(q(1), q(2)));
+        c.push(Gate::Rz(q(1), -0.4));
+        c.push(Gate::Cx(q(2), q(0)));
+
+        let mut st = State::plus(&order);
+        c.run(&mut st);
+
+        let init = State::plus(&order).aligned(&order);
+        let dense = c.unitary(&order).apply(&init);
+        assert!(st.approx_eq_up_to_phase(&order, &dense, 1e-9));
+    }
+
+    #[test]
+    fn exp_zz_gate_matches_unitary() {
+        let order = [q(0), q(1), q(2)];
+        let mut c = Circuit::new();
+        c.push(Gate::ExpZz(vec![q(0), q(1), q(2)], 0.37));
+        let mut st = State::plus(&order);
+        st.apply_rz(q(1), 0.9);
+        let dense = c.unitary(&order).apply(&st.aligned(&order));
+        c.run(&mut st);
+        assert!(st.approx_eq_up_to_phase(&order, &dense, 1e-9));
+    }
+
+    #[test]
+    fn controlled_rx_matrix_matches_kernel() {
+        let order = [q(0), q(1), q(2)];
+        let g = Gate::ControlledRx {
+            controls: vec![(q(0), false), (q(1), true)],
+            target: q(2),
+            theta: 0.81,
+        };
+        let mut c = Circuit::new();
+        c.push(g);
+        let mut st = State::plus(&order);
+        st.apply_rz(q(0), 0.3);
+        let dense = c.unitary(&order).apply(&st.aligned(&order));
+        c.run(&mut st);
+        assert!(st.approx_eq_up_to_phase(&order, &dense, 1e-9));
+    }
+
+    #[test]
+    fn entangling_count() {
+        let mut c = Circuit::new();
+        c.push(Gate::H(q(0)));
+        c.push(Gate::Cz(q(0), q(1)));
+        c.push(Gate::Rzz(q(0), q(1), 0.1));
+        c.push(Gate::Rz(q(1), 0.2));
+        c.push(Gate::ExpZz(vec![q(0)], 0.3)); // single-qubit: not entangling
+        assert_eq!(c.entangling_count(), 2);
+    }
+
+    #[test]
+    fn ascii_renders_every_qubit_row() {
+        let order = [q(0), q(1), q(2)];
+        let mut c = Circuit::new();
+        c.push(Gate::H(q(0)));
+        c.push(Gate::Rzz(q(0), q(2), 0.5));
+        c.push(Gate::Rx(q(1), 0.25));
+        let art = c.to_ascii(&order);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("H"));
+        assert!(art.contains("RZZ"));
+        assert!(art.contains("RX"));
+    }
+}

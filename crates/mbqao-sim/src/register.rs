@@ -1,0 +1,30 @@
+//! Logical qubit identifiers.
+
+use std::fmt;
+
+/// An opaque logical qubit identifier.
+///
+/// The simulator addresses qubits by id, never by statevector position:
+/// measurement patterns continually allocate and retire ancillas, so
+/// positions shift, while ids are stable for the lifetime of a qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QubitId(pub u64);
+
+impl QubitId {
+    /// Wraps a raw id.
+    pub const fn new(id: u64) -> Self {
+        QubitId(id)
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u64> for QubitId {
+    fn from(v: u64) -> Self {
+        QubitId(v)
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the statevector simulator: unitarity of random
+//! gate words, Born-rule completeness, and register-permutation
+//! invariance.
+
+use mbqao_sim::{Circuit, Gate, MeasBasis, QubitId, State};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn q(i: u64) -> QubitId {
+    QubitId::new(i)
+}
+
+/// A random gate on 3 qubits.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0u64..3).prop_map(|i| Gate::H(q(i))),
+        (0u64..3).prop_map(|i| Gate::X(q(i))),
+        (0u64..3).prop_map(|i| Gate::Y(q(i))),
+        (0u64..3).prop_map(|i| Gate::Z(q(i))),
+        ((0u64..3), -10i32..10).prop_map(|(i, k)| Gate::Rz(q(i), k as f64 * 0.31)),
+        ((0u64..3), -10i32..10).prop_map(|(i, k)| Gate::Rx(q(i), k as f64 * 0.17)),
+        ((0u64..3), -10i32..10).prop_map(|(i, k)| Gate::Ry(q(i), k as f64 * 0.23)),
+        ((0u64..3), -10i32..10).prop_map(|(i, k)| Gate::Phase(q(i), k as f64 * 0.19)),
+        (0u64..3, 0u64..3)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::Cz(q(a), q(b))),
+        (0u64..3, 0u64..3)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::Cx(q(a), q(b))),
+        (0u64..3, 0u64..3, -10i32..10)
+            .prop_filter("distinct", |(a, b, _)| a != b)
+            .prop_map(|(a, b, k)| Gate::Rzz(q(a), q(b), k as f64 * 0.13)),
+        (0u64..3, 0u64..3, -10i32..10)
+            .prop_filter("distinct", |(a, b, _)| a != b)
+            .prop_map(|(a, b, k)| Gate::Rxy(q(a), q(b), k as f64 * 0.11)),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(), 0..20).prop_map(|gs| {
+        let mut c = Circuit::new();
+        c.extend(gs);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any gate word preserves the norm.
+    #[test]
+    fn prop_norm_preserved(c in arb_circuit()) {
+        let order = [q(0), q(1), q(2)];
+        let mut st = State::plus(&order);
+        c.run(&mut st);
+        prop_assert!((st.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Kernel execution matches the dense unitary.
+    #[test]
+    fn prop_kernels_match_unitary(c in arb_circuit()) {
+        let order = [q(0), q(1), q(2)];
+        let mut st = State::plus(&order);
+        let before = st.aligned(&order);
+        let dense = c.unitary(&order).apply(&before);
+        c.run(&mut st);
+        prop_assert!(st.approx_eq_up_to_phase(&order, &dense, 1e-8));
+    }
+
+    /// Measurement branch probabilities sum to 1 in every basis family.
+    #[test]
+    fn prop_measurement_probs_complete(
+        c in arb_circuit(),
+        theta in -3.1f64..3.1,
+        plane in 0u8..3,
+    ) {
+        let order = [q(0), q(1), q(2)];
+        let mut st = State::plus(&order);
+        c.run(&mut st);
+        let basis = match plane {
+            0 => MeasBasis::xy(theta),
+            1 => MeasBasis::yz(theta),
+            _ => MeasBasis::xz(theta),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p_total = 0.0;
+        for m in 0..2u8 {
+            let mut branch = st.clone();
+            let (_, p) = branch.measure_remove(q(1), &basis, Some(m), &mut rng);
+            branch.check_normalized(1e-9);
+            p_total += p;
+        }
+        prop_assert!((p_total - 1.0).abs() < 1e-9);
+    }
+
+    /// `aligned` is consistent under any qubit reordering: the reordered
+    /// amplitudes describe the same physical state.
+    #[test]
+    fn prop_aligned_permutation_consistent(c in arb_circuit(), seed in 0u64..1000) {
+        let order = [q(0), q(1), q(2)];
+        let mut st = State::plus(&order);
+        c.run(&mut st);
+        // Pick a permutation from the seed.
+        let perms: [[u64; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = perms[(seed % 6) as usize];
+        let new_order = [q(perm[0]), q(perm[1]), q(perm[2])];
+        let a = st.aligned(&new_order);
+        // Rebuild the original-order amplitudes from the permuted view.
+        let mut back = vec![mbqao_math::C64::ZERO; 8];
+        for (idx, &amp) in a.iter().enumerate() {
+            let mut orig_idx = 0usize;
+            for (pos, &pq) in perm.iter().enumerate() {
+                let bit = (idx >> (2 - pos)) & 1;
+                orig_idx |= bit << (2 - pq as usize);
+            }
+            back[orig_idx] = amp;
+        }
+        let direct = st.aligned(&order);
+        for (x, y) in back.iter().zip(&direct) {
+            prop_assert!(x.approx_eq(*y, 1e-10));
+        }
+    }
+}

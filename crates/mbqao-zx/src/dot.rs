@@ -1,0 +1,67 @@
+//! Graphviz (DOT) export for diagrams — handy when replaying the paper's
+//! derivations (`examples/zx_derivation.rs` prints these).
+
+use crate::diagram::{Diagram, EdgeType, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the diagram in DOT format. Z-spiders are white circles,
+/// X-spiders gray (the paper's grayscale convention), H-boxes squares,
+/// boundaries plain points.
+pub fn to_dot(d: &Diagram, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for id in d.node_ids() {
+        let n = d.node(id).expect("live");
+        let line = match &n.kind {
+            NodeKind::Z => format!(
+                "  n{id} [shape=circle style=filled fillcolor=white label=\"{}\"];",
+                n.phase
+            ),
+            NodeKind::X => format!(
+                "  n{id} [shape=circle style=filled fillcolor=gray label=\"{}\"];",
+                n.phase
+            ),
+            NodeKind::HBox(a) => {
+                format!("  n{id} [shape=box label=\"H:{a}\"];")
+            }
+            NodeKind::Input(k) => format!("  n{id} [shape=point label=\"in{k}\"];"),
+            NodeKind::Output(k) => format!("  n{id} [shape=point label=\"out{k}\"];"),
+        };
+        let _ = writeln!(s, "{line}");
+    }
+    for e in d.edge_ids() {
+        let (a, b, ty) = d.edge(e).expect("live");
+        let style = match ty {
+            EdgeType::Plain => "",
+            EdgeType::Hadamard => " [style=dashed color=blue]",
+        };
+        let _ = writeln!(s, "  n{a} -- n{b}{style};");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_math::PhaseExpr;
+
+    #[test]
+    fn dot_output_mentions_every_node_and_edge() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z = d.add_z(PhaseExpr::pi());
+        let x = d.add_x(PhaseExpr::zero());
+        let o = d.add_output();
+        d.add_edge(i, z, EdgeType::Plain);
+        d.add_edge(z, x, EdgeType::Hadamard);
+        d.add_edge(x, o, EdgeType::Plain);
+        let s = to_dot(&d, "test");
+        assert!(s.contains("graph test"));
+        assert!(s.contains("fillcolor=white"));
+        assert!(s.contains("fillcolor=gray"));
+        assert!(s.contains("style=dashed"));
+        assert_eq!(s.matches(" -- ").count(), 3);
+    }
+}

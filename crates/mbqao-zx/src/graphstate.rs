@@ -1,0 +1,92 @@
+//! Graph states as ZX-diagrams (Eq. 5 of the paper).
+//!
+//! `|G⟩ = ∏_{(u,v)∈E} CZ_{u,v} |+⟩^{⊗|V|}` has the ZX form "one Z-spider
+//! per vertex with a Hadamard edge per graph edge, one output leg each":
+//! the diagram has *the same structure as the original graph*. The
+//! scalar bookkeeping: every CZ carries √2 (Eq. 4), every `|+⟩` is a
+//! `1/√2`-normalized arity-1 Z-spider, giving
+//! `scalar = √2^{|E|} / √2^{|V|}`.
+
+use crate::diagram::{Diagram, EdgeType, NodeId};
+use mbqao_math::{PhaseExpr, C64};
+use mbqao_problems::Graph;
+
+/// Builds the exact graph-state diagram of `g`: evaluating it yields the
+/// normalized state `∏ CZ |+⟩^{⊗n}` as a `2^n × 1` matrix.
+/// Returns the diagram and the vertex → spider map.
+pub fn graph_state_diagram(g: &Graph) -> (Diagram, Vec<NodeId>) {
+    let mut d = Diagram::new();
+    let spiders: Vec<NodeId> = (0..g.n()).map(|_| d.add_z(PhaseExpr::zero())).collect();
+    for v in 0..g.n() {
+        let o = d.add_output();
+        d.add_edge(spiders[v], o, EdgeType::Plain);
+    }
+    for &(u, v) in g.edges() {
+        d.add_edge(spiders[u], spiders[v], EdgeType::Hadamard);
+    }
+    // |+⟩ normalization (1/√2 per vertex: arity-1 spider = √2|+⟩) and CZ
+    // scalars (√2 per edge).
+    let s = (2.0f64).sqrt().powi(g.m() as i32 - g.n() as i32);
+    d.multiply_scalar(C64::real(s));
+    (d, spiders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::evaluate_const;
+    use mbqao_problems::generators;
+    use mbqao_sim::{QubitId, State};
+
+    /// Reference graph state on the statevector simulator.
+    fn reference_graph_state(g: &Graph) -> Vec<mbqao_math::C64> {
+        let order: Vec<QubitId> = (0..g.n() as u64).map(QubitId::new).collect();
+        let mut st = State::plus(&order);
+        for &(u, v) in g.edges() {
+            st.apply_cz(QubitId::new(u as u64), QubitId::new(v as u64));
+        }
+        st.aligned(&order)
+    }
+
+    #[test]
+    fn square_graph_state_matches_eq5() {
+        let g = generators::square();
+        let (d, _) = graph_state_diagram(&g);
+        let m = evaluate_const(&d);
+        assert_eq!((m.rows(), m.cols()), (16, 1));
+        let reference = reference_graph_state(&g);
+        let want = mbqao_math::Matrix::from_vec(16, 1, reference);
+        assert!(m.approx_eq(&want, 1e-9), "Eq. (5) diagram ≠ CZ-circuit state");
+    }
+
+    #[test]
+    fn more_graph_states_exact() {
+        for g in [
+            generators::triangle(),
+            generators::path(4),
+            generators::star(4),
+            generators::cycle(5),
+        ] {
+            let (d, _) = graph_state_diagram(&g);
+            let m = evaluate_const(&d);
+            let want =
+                mbqao_math::Matrix::from_vec(1 << g.n(), 1, reference_graph_state(&g));
+            assert!(m.approx_eq(&want, 1e-9), "graph state mismatch on {:?}", g.edges());
+        }
+    }
+
+    #[test]
+    fn diagram_structure_mirrors_graph() {
+        let g = generators::petersen();
+        let (d, spiders) = graph_state_diagram(&g);
+        // One spider per vertex, H-edge adjacency = graph adjacency.
+        for &(u, v) in g.edges() {
+            let adjacent = d
+                .neighbors(spiders[u])
+                .into_iter()
+                .any(|(_, o, ty)| o == spiders[v] && ty == EdgeType::Hadamard);
+            assert!(adjacent, "missing H-edge for ({u},{v})");
+        }
+        assert_eq!(d.internal_node_count(), g.n());
+    }
+}

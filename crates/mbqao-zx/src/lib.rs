@@ -1,0 +1,30 @@
+//! ZX-calculus engine — the diagrammatic language the paper uses to
+//! derive its measurement patterns (Sec. II-A, Fig. 1, Appendices A–E).
+//!
+//! * [`diagram::Diagram`] — open multigraphs of Z/X spiders (and ZH
+//!   H-boxes) with plain/Hadamard edges, symbolic phases and a tracked
+//!   global scalar.
+//! * [`rules`] — the Fig.-1 rewrite rules: spider fusion `(f)`, color
+//!   change `(h)`, identity removal `(id)`, Hadamard cancellation `(hh)`
+//!   (as edge-parity), π-commutation `(π)`, state copy `(c)`, bialgebra
+//!   `(b)` and the Hopf law — each *scalar-exact* and property-tested
+//!   against the tensor semantics.
+//! * [`tensor`] — evaluates a diagram to its linear map by tensor-network
+//!   contraction (the ground truth for every rewrite).
+//! * [`circuit_import`] — quantum circuits → diagrams (Fig. 2 path).
+//! * [`graphstate`] — graph states as ZX-diagrams (Eq. 5).
+//! * [`zh`] — H-boxes of the ZH-calculus and the Sec. IV partial-mixer
+//!   identity.
+//! * [`simplify`] — fuse/id/self-loop normalization to fixpoint.
+//! * [`dot`] — Graphviz export for inspecting diagrams.
+
+pub mod circuit_import;
+pub mod diagram;
+pub mod dot;
+pub mod graphstate;
+pub mod rules;
+pub mod simplify;
+pub mod tensor;
+pub mod zh;
+
+pub use diagram::{Diagram, EdgeType, NodeId, NodeKind};

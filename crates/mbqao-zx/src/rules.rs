@@ -1,0 +1,588 @@
+//! The ZX rewrite rules of Fig. 1, scalar-exact.
+//!
+//! Every rule is a partial transformation: `try_*` applies at a location
+//! when its precondition matches and returns `true`; the diagram's tensor
+//! semantics (including the tracked scalar) is *exactly* preserved —
+//! property-tested in this module and in `tests/` against
+//! [`crate::tensor::evaluate`].
+//!
+//! | paper label | function |
+//! |---|---|
+//! | (f) spider fusion | [`try_fuse`] |
+//! | (h) color change | [`color_change`] |
+//! | (id) identity removal | [`try_remove_identity`] |
+//! | (hh) Hadamard cancellation | edge-parity in [`try_remove_identity`] + [`try_cancel_self_loop`] |
+//! | (π) π-commutation | [`try_pi_commute`] |
+//! | (c) state copy | [`try_copy`] |
+//! | (b) bialgebra | [`try_bialgebra`] |
+//! | (hopf) | [`try_hopf`] |
+
+use crate::diagram::{Diagram, EdgeType, NodeId, NodeKind};
+use mbqao_math::{PhaseExpr, C64};
+
+/// `true` when the node is a plain spider of the given kind.
+fn is_spider(d: &Diagram, id: NodeId) -> Option<NodeKind> {
+    d.node(id).and_then(|n| match n.kind {
+        NodeKind::Z | NodeKind::X => Some(n.kind.clone()),
+        _ => None,
+    })
+}
+
+/// **(f) Spider fusion**: two same-colour spiders joined by a *plain*
+/// edge fuse into one, adding phases. Any further parallel edges between
+/// them become self-loops handled by the loop rules.
+///
+/// Returns `true` when the edge matched.
+pub fn try_fuse(d: &mut Diagram, edge_idx: usize) -> bool {
+    let Some((a, b, ty)) = d.edge(edge_idx) else {
+        return false;
+    };
+    if ty != EdgeType::Plain || a == b {
+        return false;
+    }
+    let (Some(ka), Some(kb)) = (is_spider(d, a), is_spider(d, b)) else {
+        return false;
+    };
+    if ka != kb {
+        return false;
+    }
+    // Merge b into a.
+    let phase_b = d.node(b).expect("live").phase.clone();
+    {
+        let na = d.node_mut(a).expect("live");
+        na.phase = na.phase.clone() + phase_b;
+    }
+    d.remove_edge(edge_idx);
+    for e in d.incident_edges(b) {
+        let (x, y, t) = d.edge(e).expect("live");
+        let nx = if x == b { a } else { x };
+        let ny = if y == b { a } else { y };
+        d.set_edge(e, nx, ny, t);
+    }
+    d.remove_node(b);
+    true
+}
+
+/// **(h) Colour change**: flips a spider's colour and toggles every
+/// incident edge between plain and Hadamard (scalar-exact: `X = H Z H`).
+///
+/// Returns `false` on non-spiders.
+pub fn color_change(d: &mut Diagram, id: NodeId) -> bool {
+    let Some(kind) = is_spider(d, id) else {
+        return false;
+    };
+    let new_kind = match kind {
+        NodeKind::Z => NodeKind::X,
+        NodeKind::X => NodeKind::Z,
+        _ => unreachable!(),
+    };
+    d.node_mut(id).expect("live").kind = new_kind;
+    for e in d.incident_edges(id) {
+        let (a, b, ty) = d.edge(e).expect("live");
+        // A self-loop sees the Hadamard toggled on *both* ends: HH = I,
+        // so its type is unchanged.
+        if a == b {
+            continue;
+        }
+        let nty = match ty {
+            EdgeType::Plain => EdgeType::Hadamard,
+            EdgeType::Hadamard => EdgeType::Plain,
+        };
+        d.set_edge(e, a, b, nty);
+    }
+    true
+}
+
+/// **(id) Identity removal** (subsumes (hh)): a phaseless degree-2 spider
+/// disappears; the surviving edge is plain when the two incident edges
+/// have an even number of Hadamards between them, Hadamard when odd.
+/// (For an X spider the same holds by colour symmetry.)
+pub fn try_remove_identity(d: &mut Diagram, id: NodeId) -> bool {
+    if is_spider(d, id).is_none() {
+        return false;
+    }
+    if !d.node(id).expect("live").phase.is_zero() {
+        return false;
+    }
+    let nb = d.neighbors(id);
+    if nb.len() != 2 || d.degree(id) != 2 {
+        return false; // degree-2 without self-loops
+    }
+    let (e1, n1, t1) = nb[0];
+    let (e2, n2, t2) = nb[1];
+    if n1 == id || n2 == id {
+        return false; // self-loop: not an identity wire
+    }
+    let h_count = (t1 == EdgeType::Hadamard) as usize + (t2 == EdgeType::Hadamard) as usize;
+    let ty = if h_count.is_multiple_of(2) { EdgeType::Plain } else { EdgeType::Hadamard };
+    d.remove_edge(e1);
+    d.remove_edge(e2);
+    d.remove_node(id);
+    d.add_edge(n1, n2, ty);
+    true
+}
+
+/// **Self-loop cleanup**: a plain self-loop on a spider drops with no
+/// scalar; a Hadamard self-loop drops adding π to the spider's phase and
+/// multiplying the scalar by `1/√2` (the (hh)-derived loop law).
+pub fn try_cancel_self_loop(d: &mut Diagram, edge_idx: usize) -> bool {
+    let Some((a, b, ty)) = d.edge(edge_idx) else {
+        return false;
+    };
+    if a != b || is_spider(d, a).is_none() {
+        return false;
+    }
+    match ty {
+        EdgeType::Plain => {
+            d.remove_edge(edge_idx);
+        }
+        EdgeType::Hadamard => {
+            d.remove_edge(edge_idx);
+            let n = d.node_mut(a).expect("live");
+            n.phase = n.phase.clone() + PhaseExpr::pi();
+            d.multiply_scalar(C64::real(std::f64::consts::FRAC_1_SQRT_2));
+        }
+    }
+    true
+}
+
+/// **(π) π-commutation**: an arity-2 π-spider of one colour pushed
+/// through an adjacent spider of the other colour (plain edge) negates
+/// its phase and copies π onto every other leg; the scalar gains
+/// `e^{iα}`.
+///
+/// `pi_node` must be the arity-2 spider with phase exactly π.
+pub fn try_pi_commute(d: &mut Diagram, pi_node: NodeId) -> bool {
+    let Some(pi_kind) = is_spider(d, pi_node) else {
+        return false;
+    };
+    if !d.node(pi_node).expect("live").phase.is_pi() || d.degree(pi_node) != 2 {
+        return false;
+    }
+    // Find a plain edge to an opposite-colour spider.
+    let nb = d.neighbors(pi_node);
+    let target = nb.iter().find(|&&(_, other, ty)| {
+        ty == EdgeType::Plain
+            && other != pi_node
+            && matches!(
+                (pi_kind.clone(), is_spider(d, other)),
+                (NodeKind::Z, Some(NodeKind::X)) | (NodeKind::X, Some(NodeKind::Z))
+            )
+    });
+    let Some(&(edge_to_z, z, _)) = target else {
+        return false;
+    };
+    // The π node's other edge (kept, reconnected to z's far side later —
+    // actually the π spider stays attached where it was; it is *consumed*
+    // and its outer edge connects directly to the phase spider).
+    let other_edge = nb
+        .iter()
+        .find(|&&(e, _, _)| e != edge_to_z)
+        .map(|&(e, o, t)| (e, o, t));
+    let Some((outer_edge, outer_node, outer_ty)) = other_edge else {
+        return false;
+    };
+
+    let alpha = d.node(z).expect("live").phase.clone();
+    // Negate the phase spider.
+    d.node_mut(z).expect("live").phase = -alpha.clone();
+    d.add_scalar_phase(alpha);
+
+    // Copy π onto every other leg of z.
+    for (e, other, ty) in d.neighbors(z) {
+        if e == edge_to_z {
+            continue;
+        }
+        let new_pi = match pi_kind {
+            NodeKind::Z => d.add_z(PhaseExpr::pi()),
+            NodeKind::X => d.add_x(PhaseExpr::pi()),
+            _ => unreachable!(),
+        };
+        // z —plain— π —(original type)— other
+        let (ea, eb, _) = d.edge(e).expect("live");
+        let far = if ea == z { eb } else { ea };
+        debug_assert_eq!(far, other);
+        d.set_edge(e, z, new_pi, EdgeType::Plain);
+        d.add_edge(new_pi, other, ty);
+    }
+
+    // Consume the original π node: its outer edge attaches straight to z.
+    d.remove_edge(edge_to_z);
+    d.remove_edge(outer_edge);
+    d.remove_node(pi_node);
+    d.add_edge(outer_node, z, outer_ty);
+    true
+}
+
+/// **(c) State copy**: an arity-1 spider with Pauli phase `aπ` (a
+/// computational-basis state, up to √2) attached by a plain edge to an
+/// opposite-colour spider copies through it: one copy per remaining leg.
+/// Scalar gains `√2^{2−n}` (`n` = the copied-through spider's arity) and
+/// `e^{i·a·α}` absorbs the spider phase `α`.
+pub fn try_copy(d: &mut Diagram, state_node: NodeId) -> bool {
+    let Some(state_kind) = is_spider(d, state_node) else {
+        return false;
+    };
+    let phase = d.node(state_node).expect("live").phase.clone();
+    if !phase.is_pauli() || d.degree(state_node) != 1 {
+        return false;
+    }
+    let nb = d.neighbors(state_node);
+    let &(edge, spider, ty) = nb.first().expect("degree 1");
+    if ty != EdgeType::Plain || spider == state_node {
+        return false;
+    }
+    let matches_colors = matches!(
+        (state_kind.clone(), is_spider(d, spider)),
+        (NodeKind::Z, Some(NodeKind::X)) | (NodeKind::X, Some(NodeKind::Z))
+    );
+    if !matches_colors {
+        return false;
+    }
+    let n = d.degree(spider);
+    let alpha = d.node(spider).expect("live").phase.clone();
+    // bit a: phase aπ with a ∈ {0,1}
+    let a_is_one = phase.is_pi();
+    if a_is_one {
+        d.add_scalar_phase(alpha);
+    }
+    // Replace the spider by copies of the state on each remaining leg.
+    d.remove_edge(edge);
+    d.remove_node(state_node);
+    for (e, other, ety) in d.neighbors(spider) {
+        let copy = match state_kind {
+            NodeKind::Z => d.add_z(phase.clone()),
+            NodeKind::X => d.add_x(phase.clone()),
+            _ => unreachable!(),
+        };
+        let _ = other;
+        let (ea, eb, _) = d.edge(e).expect("live");
+        let far = if ea == spider { eb } else { ea };
+        d.set_edge(e, copy, far, ety);
+    }
+    d.remove_node(spider);
+    // √2^{2−n}
+    let s = (2.0f64).sqrt().powi(2 - n as i32);
+    d.multiply_scalar(C64::real(s));
+    true
+}
+
+/// **(b) Bialgebra**: the canonical 2+2 instance — a phaseless Z-spider
+/// and a phaseless X-spider joined by one plain edge, each with exactly
+/// two further legs, commute into a complete bipartite pattern; the
+/// scalar gains `√2` (LHS = √2 · RHS).
+pub fn try_bialgebra(d: &mut Diagram, z: NodeId, x: NodeId) -> bool {
+    if !matches!(is_spider(d, z), Some(NodeKind::Z)) || !matches!(is_spider(d, x), Some(NodeKind::X))
+    {
+        return false;
+    }
+    if !d.node(z).expect("live").phase.is_zero() || !d.node(x).expect("live").phase.is_zero() {
+        return false;
+    }
+    if d.degree(z) != 3 || d.degree(x) != 3 {
+        return false;
+    }
+    // Exactly one plain connecting edge.
+    let connecting: Vec<usize> = d
+        .neighbors(z)
+        .into_iter()
+        .filter(|&(_, o, ty)| o == x && ty == EdgeType::Plain)
+        .map(|(e, _, _)| e)
+        .collect();
+    if connecting.len() != 1 {
+        return false;
+    }
+    let ce = connecting[0];
+    let z_ext: Vec<(usize, NodeId, EdgeType)> =
+        d.neighbors(z).into_iter().filter(|&(e, _, _)| e != ce).collect();
+    let x_ext: Vec<(usize, NodeId, EdgeType)> =
+        d.neighbors(x).into_iter().filter(|&(e, _, _)| e != ce).collect();
+    if z_ext.len() != 2 || x_ext.len() != 2 {
+        return false; // multi-edges / self-loops not handled here
+    }
+
+    // New nodes: X's on Z's external legs, Z's on X's external legs.
+    let x_new: Vec<NodeId> =
+        (0..2).map(|_| d.add_x(PhaseExpr::zero())).collect();
+    let z_new: Vec<NodeId> =
+        (0..2).map(|_| d.add_z(PhaseExpr::zero())).collect();
+    for (i, &(e, _, _)) in z_ext.iter().enumerate() {
+        let (ea, eb, ety) = d.edge(e).expect("live");
+        let far = if ea == z { eb } else { ea };
+        d.set_edge(e, x_new[i], far, ety);
+    }
+    for (i, &(e, _, _)) in x_ext.iter().enumerate() {
+        let (ea, eb, ety) = d.edge(e).expect("live");
+        let far = if ea == x { eb } else { ea };
+        d.set_edge(e, z_new[i], far, ety);
+    }
+    d.remove_edge(ce);
+    d.remove_node(z);
+    d.remove_node(x);
+    for &xn in &x_new {
+        for &zn in &z_new {
+            d.add_edge(xn, zn, EdgeType::Plain);
+        }
+    }
+    // LHS = √2 · RHS, so the rewritten diagram needs a √2 scalar.
+    d.multiply_scalar(C64::real(std::f64::consts::SQRT_2));
+    true
+}
+
+/// **(hopf)**: a Z-spider and an X-spider joined by exactly two plain
+/// edges disconnect (both edges removed); the scalar gains `1/2`.
+pub fn try_hopf(d: &mut Diagram, a: NodeId, b: NodeId) -> bool {
+    let colors_ok = matches!(
+        (is_spider(d, a), is_spider(d, b)),
+        (Some(NodeKind::Z), Some(NodeKind::X)) | (Some(NodeKind::X), Some(NodeKind::Z))
+    );
+    if !colors_ok || a == b {
+        return false;
+    }
+    let between: Vec<usize> = d
+        .neighbors(a)
+        .into_iter()
+        .filter(|&(_, o, ty)| o == b && ty == EdgeType::Plain)
+        .map(|(e, _, _)| e)
+        .collect();
+    if between.len() < 2 {
+        return false;
+    }
+    d.remove_edge(between[0]);
+    d.remove_edge(between[1]);
+    d.multiply_scalar(C64::real(0.5));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{equal_exact, evaluate_const};
+    use mbqao_math::{Rational, Symbol};
+
+    /// Asserts the transformation preserved exact tensor semantics.
+    fn assert_preserves(
+        before: &Diagram,
+        after: &Diagram,
+        bindings: &dyn Fn(Symbol) -> f64,
+    ) {
+        assert!(
+            equal_exact(before, after, bindings, 1e-9),
+            "rewrite changed the diagram's semantics:\nbefore = {:?}\nafter  = {:?}",
+            evaluate_const(before).data().iter().take(8).collect::<Vec<_>>(),
+            evaluate_const(after).data().iter().take(8).collect::<Vec<_>>(),
+        );
+    }
+
+    const NOB: fn(Symbol) -> f64 = |_| 0.0;
+
+    /// 1 input, 1 output, spider chain fixture: i — Z(a) — Z(b) — o.
+    fn chain() -> (Diagram, usize) {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z1 = d.add_z(PhaseExpr::pi_times(Rational::new(1, 4)));
+        let z2 = d.add_z(PhaseExpr::pi_times(Rational::new(1, 2)));
+        let o = d.add_output();
+        d.add_edge(i, z1, EdgeType::Plain);
+        let mid = d.add_edge(z1, z2, EdgeType::Plain);
+        d.add_edge(z2, o, EdgeType::Plain);
+        (d, mid)
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        let (before, mid) = chain();
+        let mut after = before.clone();
+        assert!(try_fuse(&mut after, mid));
+        assert_eq!(after.internal_node_count(), 1);
+        assert_preserves(&before, &after, &NOB);
+        // fused phase = 3π/4
+        let id = after
+            .node_ids()
+            .into_iter()
+            .find(|&i| matches!(after.node(i).expect("live").kind, NodeKind::Z))
+            .expect("fused spider");
+        assert_eq!(
+            after.node(id).expect("live").phase,
+            PhaseExpr::pi_times(Rational::new(3, 4))
+        );
+    }
+
+    #[test]
+    fn fusion_rejects_hadamard_edges_and_mixed_colors() {
+        let mut d = Diagram::new();
+        let z = d.add_z(PhaseExpr::zero());
+        let x = d.add_x(PhaseExpr::zero());
+        let e = d.add_edge(z, x, EdgeType::Plain);
+        assert!(!try_fuse(&mut d, e), "Z–X must not fuse");
+        let mut d2 = Diagram::new();
+        let a = d2.add_z(PhaseExpr::zero());
+        let b = d2.add_z(PhaseExpr::zero());
+        let e2 = d2.add_edge(a, b, EdgeType::Hadamard);
+        assert!(!try_fuse(&mut d2, e2), "H-edge must not fuse");
+    }
+
+    #[test]
+    fn color_change_preserves_semantics() {
+        let mut before = Diagram::new();
+        let i = before.add_input();
+        let x = before.add_x(PhaseExpr::pi_times(Rational::new(1, 3)));
+        let o = before.add_output();
+        before.add_edge(i, x, EdgeType::Plain);
+        before.add_edge(x, o, EdgeType::Hadamard);
+        let mut after = before.clone();
+        assert!(color_change(&mut after, x));
+        assert!(matches!(after.node(x).expect("live").kind, NodeKind::Z));
+        assert_preserves(&before, &after, &NOB);
+    }
+
+    #[test]
+    fn identity_removal_cases() {
+        for (t1, t2) in [
+            (EdgeType::Plain, EdgeType::Plain),
+            (EdgeType::Plain, EdgeType::Hadamard),
+            (EdgeType::Hadamard, EdgeType::Plain),
+            (EdgeType::Hadamard, EdgeType::Hadamard),
+        ] {
+            let mut before = Diagram::new();
+            let i = before.add_input();
+            let z = before.add_z(PhaseExpr::zero());
+            let o = before.add_output();
+            before.add_edge(i, z, t1);
+            before.add_edge(z, o, t2);
+            let mut after = before.clone();
+            assert!(try_remove_identity(&mut after, z));
+            assert_eq!(after.internal_node_count(), 0);
+            assert_preserves(&before, &after, &NOB);
+        }
+    }
+
+    #[test]
+    fn identity_removal_rejects_phased() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z = d.add_z(PhaseExpr::pi());
+        let o = d.add_output();
+        d.add_edge(i, z, EdgeType::Plain);
+        d.add_edge(z, o, EdgeType::Plain);
+        assert!(!try_remove_identity(&mut d, z));
+    }
+
+    #[test]
+    fn self_loops() {
+        // Plain loop: no scalar.
+        let mut before = Diagram::new();
+        let i = before.add_input();
+        let z = before.add_z(PhaseExpr::pi_times(Rational::new(1, 5)));
+        let o = before.add_output();
+        before.add_edge(i, z, EdgeType::Plain);
+        before.add_edge(z, o, EdgeType::Plain);
+        let loop_e = before.add_edge(z, z, EdgeType::Plain);
+        let mut after = before.clone();
+        assert!(try_cancel_self_loop(&mut after, loop_e));
+        assert_preserves(&before, &after, &NOB);
+
+        // Hadamard loop: π phase + 1/√2.
+        let mut before = Diagram::new();
+        let i = before.add_input();
+        let z = before.add_z(PhaseExpr::pi_times(Rational::new(1, 5)));
+        let o = before.add_output();
+        before.add_edge(i, z, EdgeType::Plain);
+        before.add_edge(z, o, EdgeType::Plain);
+        let loop_e = before.add_edge(z, z, EdgeType::Hadamard);
+        let mut after = before.clone();
+        assert!(try_cancel_self_loop(&mut after, loop_e));
+        assert_preserves(&before, &after, &NOB);
+    }
+
+    #[test]
+    fn pi_commutation_preserves_semantics() {
+        // i — Xπ — Z(α) — o  (α = π/3), plus a second Z leg to another output.
+        let mut before = Diagram::new();
+        let i = before.add_input();
+        let xpi = before.add_x(PhaseExpr::pi());
+        let z = before.add_z(PhaseExpr::pi_times(Rational::new(1, 3)));
+        let o1 = before.add_output();
+        let o2 = before.add_output();
+        before.add_edge(i, xpi, EdgeType::Plain);
+        before.add_edge(xpi, z, EdgeType::Plain);
+        before.add_edge(z, o1, EdgeType::Plain);
+        before.add_edge(z, o2, EdgeType::Hadamard);
+        let mut after = before.clone();
+        assert!(try_pi_commute(&mut after, xpi));
+        assert_preserves(&before, &after, &NOB);
+        // Phase must be negated: −π/3 ≡ 5π/3.
+        assert_eq!(
+            after.node(z).expect("live").phase,
+            PhaseExpr::pi_times(Rational::new(5, 3))
+        );
+    }
+
+    #[test]
+    fn copy_rule_preserves_semantics() {
+        for a in [0i64, 1] {
+            // X(aπ) state — Z(0) with 3 legs to outputs.
+            let mut before = Diagram::new();
+            let st = before.add_x(PhaseExpr::pi_times(Rational::from_int(a)));
+            let z = before.add_z(PhaseExpr::zero());
+            before.add_edge(st, z, EdgeType::Plain);
+            for _ in 0..3 {
+                let o = before.add_output();
+                before.add_edge(z, o, EdgeType::Plain);
+            }
+            let mut after = before.clone();
+            assert!(try_copy(&mut after, st));
+            assert_eq!(after.internal_node_count(), 3, "three copies");
+            assert_preserves(&before, &after, &NOB);
+        }
+    }
+
+    #[test]
+    fn copy_through_phased_spider_tracks_scalar_phase() {
+        // X(π) through Z(α): e^{iα} scalar.
+        let mut before = Diagram::new();
+        let st = before.add_x(PhaseExpr::pi());
+        let z = before.add_z(PhaseExpr::pi_times(Rational::new(1, 7)));
+        before.add_edge(st, z, EdgeType::Plain);
+        let o = before.add_output();
+        before.add_edge(z, o, EdgeType::Plain);
+        let mut after = before.clone();
+        assert!(try_copy(&mut after, st));
+        assert_preserves(&before, &after, &NOB);
+    }
+
+    #[test]
+    fn bialgebra_preserves_semantics() {
+        let mut before = Diagram::new();
+        let i1 = before.add_input();
+        let i2 = before.add_input();
+        let o1 = before.add_output();
+        let o2 = before.add_output();
+        let z = before.add_z(PhaseExpr::zero());
+        let x = before.add_x(PhaseExpr::zero());
+        before.add_edge(i1, z, EdgeType::Plain);
+        before.add_edge(i2, z, EdgeType::Plain);
+        before.add_edge(z, x, EdgeType::Plain);
+        before.add_edge(x, o1, EdgeType::Plain);
+        before.add_edge(x, o2, EdgeType::Plain);
+        let mut after = before.clone();
+        assert!(try_bialgebra(&mut after, z, x));
+        assert_preserves(&before, &after, &NOB);
+    }
+
+    #[test]
+    fn hopf_preserves_semantics() {
+        let mut before = Diagram::new();
+        let i = before.add_input();
+        let o = before.add_output();
+        let z = before.add_z(PhaseExpr::zero());
+        let x = before.add_x(PhaseExpr::zero());
+        before.add_edge(i, z, EdgeType::Plain);
+        before.add_edge(z, x, EdgeType::Plain);
+        before.add_edge(z, x, EdgeType::Plain);
+        before.add_edge(x, o, EdgeType::Plain);
+        let mut after = before.clone();
+        assert!(try_hopf(&mut after, z, x));
+        assert_preserves(&before, &after, &NOB);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixpoint simplification.
+//!
+//! Applies the terminating subset of the Fig.-1 rules — spider fusion,
+//! identity removal, self-loop cleanup and Hopf cancellation — until no
+//! rule fires. This is the normalization the paper's derivations perform
+//! between the labelled steps, and it preserves exact semantics (each
+//! constituent rule does).
+
+use crate::diagram::Diagram;
+use crate::rules;
+
+/// Statistics of a simplification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Spider fusions applied.
+    pub fusions: usize,
+    /// Identity spiders removed.
+    pub identities: usize,
+    /// Self-loops cancelled.
+    pub self_loops: usize,
+    /// Hopf pairs cancelled.
+    pub hopf: usize,
+    /// Fixpoint iterations.
+    pub passes: usize,
+}
+
+/// Simplifies in place to a fixpoint; returns counts of applied rules.
+pub fn simplify(d: &mut Diagram) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        stats.passes += 1;
+        let mut changed = false;
+
+        // Self-loops first (fusion can create them).
+        for e in d.edge_ids() {
+            if rules::try_cancel_self_loop(d, e) {
+                stats.self_loops += 1;
+                changed = true;
+            }
+        }
+        // Fusion.
+        for e in d.edge_ids() {
+            if rules::try_fuse(d, e) {
+                stats.fusions += 1;
+                changed = true;
+            }
+        }
+        // Hopf between every adjacent opposite-colour pair.
+        let nodes = d.node_ids();
+        for &a in &nodes {
+            if d.node(a).is_none() {
+                continue;
+            }
+            let neighbors: Vec<_> = d.neighbors(a).into_iter().map(|(_, o, _)| o).collect();
+            for b in neighbors {
+                if d.node(b).is_some() && rules::try_hopf(d, a, b) {
+                    stats.hopf += 1;
+                    changed = true;
+                }
+            }
+        }
+        // Identity removal.
+        for n in d.node_ids() {
+            if rules::try_remove_identity(d, n) {
+                stats.identities += 1;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+        assert!(stats.passes < 10_000, "simplify failed to terminate");
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::EdgeType;
+    use crate::tensor::equal_exact;
+    use mbqao_math::{PhaseExpr, Rational};
+
+    #[test]
+    fn chain_of_rotations_fuses_to_one_spider() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let mut prev = i;
+        for k in 1..=5 {
+            let z = d.add_z(PhaseExpr::pi_times(Rational::new(1, k)));
+            d.add_edge(prev, z, EdgeType::Plain);
+            prev = z;
+        }
+        let o = d.add_output();
+        d.add_edge(prev, o, EdgeType::Plain);
+
+        let before = d.clone();
+        let stats = simplify(&mut d);
+        assert_eq!(stats.fusions, 4);
+        assert_eq!(d.internal_node_count(), 1);
+        assert!(equal_exact(&before, &d, &|_| 0.0, 1e-9));
+    }
+
+    #[test]
+    fn hh_wire_collapses_to_identity() {
+        // i —H— Z(0) —H— o  ⇒  plain wire.
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z = d.add_z(PhaseExpr::zero());
+        let o = d.add_output();
+        d.add_edge(i, z, EdgeType::Hadamard);
+        d.add_edge(z, o, EdgeType::Hadamard);
+        let before = d.clone();
+        simplify(&mut d);
+        assert_eq!(d.internal_node_count(), 0);
+        assert!(equal_exact(&before, &d, &|_| 0.0, 1e-9));
+    }
+
+    #[test]
+    fn fusion_induced_loops_cancel() {
+        // Two spiders doubly connected (plain): fuse → self-loop → drop.
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let a = d.add_z(PhaseExpr::pi_times(Rational::new(1, 3)));
+        let b = d.add_z(PhaseExpr::pi_times(Rational::new(1, 6)));
+        let o = d.add_output();
+        d.add_edge(i, a, EdgeType::Plain);
+        d.add_edge(a, b, EdgeType::Plain);
+        d.add_edge(a, b, EdgeType::Plain);
+        d.add_edge(b, o, EdgeType::Plain);
+        let before = d.clone();
+        let stats = simplify(&mut d);
+        assert!(stats.fusions >= 1 && stats.self_loops >= 1);
+        assert!(equal_exact(&before, &d, &|_| 0.0, 1e-9));
+        assert_eq!(d.internal_node_count(), 1);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z = d.add_z(PhaseExpr::pi_times(Rational::new(1, 2)));
+        let o = d.add_output();
+        d.add_edge(i, z, EdgeType::Plain);
+        d.add_edge(z, o, EdgeType::Plain);
+        simplify(&mut d);
+        let stats = simplify(&mut d);
+        assert_eq!(
+            stats,
+            SimplifyStats { passes: 1, ..Default::default() },
+            "second run must be a no-op"
+        );
+    }
+}

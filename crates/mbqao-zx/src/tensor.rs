@@ -1,0 +1,227 @@
+//! Tensor semantics of ZX-diagrams — the ground truth every rewrite rule
+//! is checked against.
+//!
+//! Each spider becomes its tensor (Eqs. 1–2 of the paper), each Hadamard
+//! edge a 2-leg H tensor, each H-box the ZH tensor; boundary nodes become
+//! open legs. The contracted result is returned as a matrix from inputs
+//! to outputs (with the diagram's tracked scalar folded in).
+
+use crate::diagram::{Diagram, EdgeType, NodeKind};
+use mbqao_math::{Matrix, Symbol, Tensor, TensorNetwork};
+
+/// Leg-id allocator: edge `i` gets leg `i`; extra legs (for H edges and
+/// boundaries) are allocated above the edge range.
+struct Legs {
+    next: u64,
+}
+
+impl Legs {
+    fn fresh(&mut self) -> u64 {
+        let l = self.next;
+        self.next += 1;
+        l
+    }
+}
+
+/// Evaluates a diagram to the matrix mapping inputs → outputs, with
+/// symbolic phases bound by `bindings`.
+///
+/// # Panics
+/// Panics when a boundary node doesn't have degree exactly 1, or the
+/// diagram is too large to contract densely (open legs > 16).
+pub fn evaluate(d: &Diagram, bindings: &dyn Fn(Symbol) -> f64) -> Matrix {
+    let edge_ids = d.edge_ids();
+    let mut legs = Legs { next: 0 };
+
+    let mut net = TensorNetwork::new();
+
+    // Every edge gets two distinct legs joined by an explicit wire or
+    // Hadamard tensor: uniform, and robust to boundary–boundary edges and
+    // self-loops. edge_leg_of[edge] = (leg at endpoint a, leg at b).
+    let mut edge_leg_of = std::collections::HashMap::new();
+    for &e in &edge_ids {
+        let (_, _, ty) = d.edge(e).expect("live edge");
+        let la = legs.fresh();
+        let lb = legs.fresh();
+        match ty {
+            EdgeType::Plain => net.push(Tensor::wire(la, lb)),
+            EdgeType::Hadamard => net.push(Tensor::hadamard(la, lb)),
+        }
+        edge_leg_of.insert(e, (la, lb));
+    }
+
+    // Per-node tensors. For an edge (a, b): endpoint a uses leg la,
+    // endpoint b uses leg lb. Self-loops use both.
+    let mut input_legs: Vec<u64> = vec![0; d.inputs().len()];
+    let mut output_legs: Vec<u64> = vec![0; d.outputs().len()];
+
+    for id in d.node_ids() {
+        let node = d.node(id).expect("live node");
+        let mut my_legs: Vec<u64> = Vec::new();
+        for &e in &d.incident_edges(id) {
+            let (a, b, _) = d.edge(e).expect("live edge");
+            let (la, lb) = edge_leg_of[&e];
+            if a == id {
+                my_legs.push(la);
+            }
+            if b == id {
+                my_legs.push(lb);
+            }
+        }
+        match &node.kind {
+            NodeKind::Z => {
+                let alpha = node.phase.eval(bindings);
+                net.push(Tensor::z_spider(my_legs, alpha));
+            }
+            NodeKind::X => {
+                let alpha = node.phase.eval(bindings);
+                net.push(Tensor::x_spider(my_legs, alpha));
+            }
+            NodeKind::HBox(label) => {
+                net.push(Tensor::h_box(my_legs, *label));
+            }
+            NodeKind::Input(k) => {
+                assert_eq!(my_legs.len(), 1, "input boundary must have degree 1");
+                input_legs[*k] = my_legs[0];
+            }
+            NodeKind::Output(k) => {
+                assert_eq!(my_legs.len(), 1, "output boundary must have degree 1");
+                output_legs[*k] = my_legs[0];
+            }
+        }
+    }
+
+    let open = input_legs.len() + output_legs.len();
+    assert!(open <= 16, "diagram has too many open legs to contract densely");
+
+    let t = net.contract_all();
+    let m = t.to_matrix(&output_legs, &input_legs);
+    m.scale(d.scalar_value(bindings))
+}
+
+/// Evaluates a diagram with no symbolic phases.
+pub fn evaluate_const(d: &Diagram) -> Matrix {
+    evaluate(d, &|s| panic!("unbound symbol s{}", s.0))
+}
+
+/// Semantic equality of two diagrams under `bindings`, exact in scalar.
+pub fn equal_exact(a: &Diagram, b: &Diagram, bindings: &dyn Fn(Symbol) -> f64, eps: f64) -> bool {
+    evaluate(a, bindings).approx_eq(&evaluate(b, bindings), eps)
+}
+
+/// Semantic equality up to a global scalar.
+pub fn equal_up_to_scalar(
+    a: &Diagram,
+    b: &Diagram,
+    bindings: &dyn Fn(Symbol) -> f64,
+    eps: f64,
+) -> bool {
+    evaluate(a, bindings).approx_eq_up_to_scalar(&evaluate(b, bindings), eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_math::{gates, PhaseExpr, Rational, C64};
+
+    #[test]
+    fn wire_is_identity() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let o = d.add_output();
+        d.add_edge(i, o, EdgeType::Plain);
+        let m = evaluate_const(&d);
+        assert!(m.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_edge_between_boundaries() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let o = d.add_output();
+        d.add_edge(i, o, EdgeType::Hadamard);
+        let m = evaluate_const(&d);
+        assert!(m.approx_eq(&gates::h(), 1e-12));
+    }
+
+    #[test]
+    fn z_spider_phase_gate() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z = d.add_z(PhaseExpr::pi_times(Rational::new(1, 2)));
+        let o = d.add_output();
+        d.add_edge(i, z, EdgeType::Plain);
+        d.add_edge(z, o, EdgeType::Plain);
+        let m = evaluate_const(&d);
+        assert!(m.approx_eq(&gates::s(), 1e-12));
+    }
+
+    #[test]
+    fn x_pi_spider_is_not_gate() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let x = d.add_x(PhaseExpr::pi());
+        let o = d.add_output();
+        d.add_edge(i, x, EdgeType::Plain);
+        d.add_edge(x, o, EdgeType::Plain);
+        let m = evaluate_const(&d);
+        assert!(m.approx_eq(&gates::x(), 1e-12));
+    }
+
+    #[test]
+    fn paper_eq4_cz_diagram() {
+        // CZ = √2 · (Z—H—Z) with boundaries (Eq. 4).
+        let mut d = Diagram::new();
+        let i0 = d.add_input();
+        let i1 = d.add_input();
+        let z0 = d.add_z(PhaseExpr::zero());
+        let z1 = d.add_z(PhaseExpr::zero());
+        let o0 = d.add_output();
+        let o1 = d.add_output();
+        d.add_edge(i0, z0, EdgeType::Plain);
+        d.add_edge(z0, o0, EdgeType::Plain);
+        d.add_edge(i1, z1, EdgeType::Plain);
+        d.add_edge(z1, o1, EdgeType::Plain);
+        d.add_edge(z0, z1, EdgeType::Hadamard);
+        d.multiply_scalar(C64::real((2.0f64).sqrt()));
+        let m = evaluate_const(&d);
+        assert!(m.approx_eq(&gates::cz(), 1e-12), "Eq. (4) fails");
+    }
+
+    #[test]
+    fn symbolic_phase_binding() {
+        let gamma = Symbol::new(0);
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let z = d.add_z(PhaseExpr::symbol(gamma, Rational::ONE));
+        let o = d.add_output();
+        d.add_edge(i, z, EdgeType::Plain);
+        d.add_edge(z, o, EdgeType::Plain);
+        let m = evaluate(&d, &|_| 0.9);
+        assert!(m.approx_eq(&gates::phase(0.9), 1e-12));
+    }
+
+    #[test]
+    fn scalar_phase_contributes() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let o = d.add_output();
+        d.add_edge(i, o, EdgeType::Plain);
+        d.add_scalar_phase(PhaseExpr::pi());
+        let m = evaluate_const(&d);
+        assert!(m.approx_eq(&Matrix::identity(2).scale(-C64::ONE), 1e-12));
+    }
+
+    #[test]
+    fn state_diagram_no_inputs() {
+        // Z(0) arity-1 spider = √2|+⟩... as a 2×1 matrix [1, 1]^T.
+        let mut d = Diagram::new();
+        let z = d.add_z(PhaseExpr::zero());
+        let o = d.add_output();
+        d.add_edge(z, o, EdgeType::Plain);
+        let m = evaluate_const(&d);
+        assert_eq!((m.rows(), m.cols()), (2, 1));
+        assert!(m[(0, 0)].approx_eq(C64::ONE, 1e-12));
+        assert!(m[(1, 0)].approx_eq(C64::ONE, 1e-12));
+    }
+}

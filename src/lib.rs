@@ -1,0 +1,70 @@
+//! # mbqao — Measurement-Based Quantum Approximate Optimization
+//!
+//! A from-scratch Rust implementation of *"Measurement-Based Quantum
+//! Approximate Optimization"* (Stollenwerk & Hadfield, IPPS 2024,
+//! arXiv:2403.11514): QAOA for QUBO/PUBO/MIS compiled to deterministic
+//! one-way-model measurement patterns, with the full substrate stack —
+//! statevector simulator, measurement calculus, ZX-calculus engine,
+//! problem library and classical optimizers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mbqao::prelude::*;
+//!
+//! // MaxCut on the paper's square graph (Eq. 5 / Appendix A).
+//! let g = mbqao::problems::generators::square();
+//! let cost = mbqao::problems::maxcut::maxcut_zpoly(&g);
+//!
+//! // Gate-model QAOA (depth p = 2).
+//! let ansatz = QaoaAnsatz::standard(cost.clone(), 2);
+//!
+//! // The same algorithm as a measurement pattern (Sec. III).
+//! let compiled = compile_qaoa(&cost, 2, &CompileOptions::default());
+//!
+//! // They agree on every branch, for any parameters.
+//! let params = [0.4, 0.9, 0.3, 0.7]; // [γ₁, γ₂, β₁, β₂]
+//! let report = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
+//! assert!(report.equivalent);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`math`] | complex scalars, dense matrices, tensors, exact rationals, symbolic phases |
+//! | [`sim`] | statevector simulator with dynamic registers and plane measurements |
+//! | [`problems`] | graphs, QUBO/PUBO/Ising, MaxCut/MIS/partition/vertex-cover/k-SAT, exact solvers |
+//! | [`zx`] | ZX-diagrams, Fig.-1 rewrite rules, circuit import, graph states, ZH boxes |
+//! | [`mbqc`] | measurement patterns, signals, simulation, determinism, scheduling, gflow |
+//! | [`qaoa`] | gate-model ansätze, mixers, expectation, Nelder–Mead/SPSA/grid optimizers |
+//! | [`core`] | the paper's contribution: the QAOA → MBQC compiler, resources, verification |
+
+pub use mbqao_core as core;
+pub use mbqao_math as math;
+pub use mbqao_mbqc as mbqc;
+pub use mbqao_problems as problems;
+pub use mbqao_qaoa as qaoa;
+pub use mbqao_sim as sim;
+pub use mbqao_zx as zx;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mbqao_core::{
+        compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence, CompileOptions,
+        CompiledQaoa, MixerKind, PatternBuilder,
+    };
+    pub use mbqao_math::{Matrix, C64};
+    pub use mbqao_mbqc::{
+        determinism::check_determinism,
+        simulate::{run, run_with_input, Branch},
+        Angle, Pattern, Plane, Signal,
+    };
+    pub use mbqao_problems::{Graph, Ising, Pubo, Qubo, ZPoly};
+    pub use mbqao_qaoa::{
+        approximation_ratio,
+        optimize::{grid_search, FnObjective, NelderMead, Objective, Spsa},
+        InitialState, Mixer, QaoaAnsatz, QaoaRunner,
+    };
+    pub use mbqao_sim::{Circuit, Gate, MeasBasis, QubitId, State};
+}

@@ -1,0 +1,124 @@
+//! Appendix A reproduction: the paper's MBQC warm-up example.
+//!
+//! Square graph state (Eq. 5, vertices 1–4 in the paper = qubits 0–3
+//! here), measurement sequence `{M⁴_Z → n, M²_X → m, Λ³_m(X)}`: "which
+//! leads to the creation of a Bell state in qubits 1 and 3" — i.e. our
+//! qubits 0 and 2 — for *every* outcome branch.
+
+use mbqao::mbqc::simulate::{run, Branch};
+use mbqao::mbqc::{Angle, Pattern, Pauli, Plane, Signal};
+use mbqao::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn q(i: u64) -> QubitId {
+    QubitId::new(i)
+}
+
+/// Builds the Appendix-A pattern: prepare the square graph state, then
+/// M_Z on qubit 3 (paper's 4), M_X on qubit 1 (paper's 2), X-correct
+/// qubit 2 (paper's 3) on the X outcome.
+fn appendix_a_pattern() -> Pattern {
+    let mut p = Pattern::new(vec![], 0);
+    for i in 0..4 {
+        p.prep_plus(q(i));
+    }
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+        p.entangle(q(a), q(b));
+    }
+    // M⁴_Z → n  (computational basis = YZ plane at angle 0)
+    let _n = p.measure(q(3), Plane::YZ, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    // M²_X → m  (X basis = XY plane at angle 0)
+    let m = p.measure(q(1), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    // Λ³_m(X)
+    p.correct(q(2), Pauli::X, Signal::var(m));
+    p.set_outputs(vec![q(0), q(2)]);
+    p.validate().expect("Appendix A pattern is well-formed");
+    p
+}
+
+#[test]
+fn all_branches_yield_the_same_bell_state() {
+    let pattern = appendix_a_pattern();
+    let order = [q(0), q(2)];
+
+    let mut states: Vec<Vec<C64>> = Vec::new();
+    for n in 0..2u8 {
+        for m in 0..2u8 {
+            let mut rng = StdRng::seed_from_u64(1);
+            let r = run(&pattern, &[], Branch::Forced(&[n, m]), &mut rng);
+            assert!(
+                (r.probability - 0.25).abs() < 1e-9,
+                "branches must be uniform (n={n}, m={m})"
+            );
+            states.push(r.state.aligned(&order));
+        }
+    }
+    // All four branches agree up to global phase.
+    let first = Matrix::from_vec(4, 1, states[0].clone());
+    for (i, s) in states.iter().enumerate().skip(1) {
+        let m = Matrix::from_vec(4, 1, s.clone());
+        assert!(
+            first.approx_eq_up_to_scalar(&m, 1e-9),
+            "branch {i} deviates — the Λ³_m(X) correction should suffice"
+        );
+    }
+}
+
+#[test]
+fn the_state_is_the_bell_pair_of_the_papers_final_diagram() {
+    // The paper's final diagram is the circuit |0⟩—H—•, |0⟩—⊕ :
+    // (|00⟩ + |11⟩)/√2 on (qubit 1, qubit 3) = our (0, 2).
+    let pattern = appendix_a_pattern();
+    let mut rng = StdRng::seed_from_u64(7);
+    let r = run(&pattern, &[], Branch::Random, &mut rng);
+    let order = [q(0), q(2)];
+
+    let mut bell = State::zeros(&order);
+    bell.apply_h(q(0));
+    bell.apply_cx(q(0), q(2));
+    let fid = r.state.fidelity(&bell, &order);
+    assert!(
+        (fid - 1.0).abs() < 1e-9,
+        "expected (|00⟩+|11⟩)/√2, fidelity was {fid}"
+    );
+}
+
+#[test]
+fn the_output_is_maximally_entangled() {
+    // Schmidt test: the reduced state of qubit 0 is maximally mixed.
+    let pattern = appendix_a_pattern();
+    let mut rng = StdRng::seed_from_u64(3);
+    let r = run(&pattern, &[], Branch::Random, &mut rng);
+    let v = r.state.aligned(&[q(0), q(2)]);
+    // ρ₀ entries from the 2×2 reshape.
+    let rho00 = v[0].norm_sqr() + v[1].norm_sqr();
+    let rho11 = v[2].norm_sqr() + v[3].norm_sqr();
+    let rho01 = v[0] * v[2].conj() + v[1] * v[3].conj();
+    assert!((rho00 - 0.5).abs() < 1e-9);
+    assert!((rho11 - 0.5).abs() < 1e-9);
+    assert!(rho01.abs() < 1e-9);
+}
+
+#[test]
+fn z_then_x_measurement_without_correction_is_not_deterministic() {
+    // Dropping Λ³_m(X) breaks branch agreement — the correction is doing
+    // real work (control experiment).
+    let mut p = Pattern::new(vec![], 0);
+    for i in 0..4 {
+        p.prep_plus(q(i));
+    }
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+        p.entangle(q(a), q(b));
+    }
+    let _ = p.measure(q(3), Plane::YZ, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    let _ = p.measure(q(1), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    p.set_outputs(vec![q(0), q(2)]);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = run(&p, &[], Branch::Forced(&[0, 0]), &mut rng);
+    let mut rng = StdRng::seed_from_u64(1);
+    let b = run(&p, &[], Branch::Forced(&[0, 1]), &mut rng);
+    let fid = a.state.fidelity(&b.state, &[q(0), q(2)]);
+    assert!(fid < 0.99, "uncorrected branches should differ, fidelity {fid}");
+}

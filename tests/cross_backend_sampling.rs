@@ -1,0 +1,101 @@
+//! E8/E14 (sampling form) — the MBQC protocol as it would actually run:
+//! random outcomes, classically-corrected readout, and agreement of the
+//! sampled cost distribution with the gate-model Born distribution.
+
+use mbqao::mbqc::simulate::{run, Branch};
+use mbqao::prelude::*;
+use mbqao::problems::{generators, maxcut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Samples `shots` corrected readouts from the sampling-form pattern.
+fn mbqc_samples(compiled: &CompiledQaoa, params: &[f64], shots: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shots)
+        .map(|_| {
+            let r = run(&compiled.pattern, params, Branch::Random, &mut rng);
+            let mut x = 0u64;
+            for (v, &m) in compiled.readout.iter().enumerate() {
+                if r.outcomes[m.0 as usize] == 1 {
+                    x |= 1 << v;
+                }
+            }
+            x
+        })
+        .collect()
+}
+
+#[test]
+fn sampled_cost_mean_matches_gate_model_expectation() {
+    let g = generators::square();
+    let cost = maxcut::maxcut_zpoly(&g);
+    let params = [0.55, 0.31];
+    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let compiled = compile_qaoa(&cost, 1, &opts);
+
+    let runner = QaoaRunner::new(QaoaAnsatz::standard(cost.clone(), 1));
+    let exact = runner.expectation(&params);
+
+    let shots = 3000;
+    let samples = mbqc_samples(&compiled, &params, shots, 42);
+    let empirical: f64 =
+        samples.iter().map(|&x| cost.value(x)).sum::<f64>() / shots as f64;
+    assert!(
+        (empirical - exact).abs() < 0.12,
+        "MBQC sampling mean {empirical} vs gate ⟨C⟩ {exact}"
+    );
+}
+
+#[test]
+fn bitstring_distributions_agree_in_total_variation() {
+    let g = generators::triangle();
+    let cost = maxcut::maxcut_zpoly(&g);
+    let params = [0.8, 0.4];
+    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let compiled = compile_qaoa(&cost, 1, &opts);
+
+    // Exact Born distribution from the gate model (bit v of index x =
+    // variable v, lsb-first).
+    let ansatz = QaoaAnsatz::standard(cost.clone(), 1);
+    let st = ansatz.prepare(&params);
+    let order = ansatz.qubit_order();
+    let aligned = st.aligned(&order);
+    let n = g.n();
+    let mut born = vec![0.0f64; 1 << n];
+    for (msb_idx, amp) in aligned.iter().enumerate() {
+        let mut x = 0usize;
+        for v in 0..n {
+            if (msb_idx >> (n - 1 - v)) & 1 == 1 {
+                x |= 1 << v;
+            }
+        }
+        born[x] += amp.norm_sqr();
+    }
+
+    let shots = 6000;
+    let samples = mbqc_samples(&compiled, &params, shots, 7);
+    let mut emp = vec![0.0f64; 1 << n];
+    for &x in &samples {
+        emp[x as usize] += 1.0 / shots as f64;
+    }
+    let tv: f64 =
+        born.iter().zip(&emp).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+    assert!(tv < 0.05, "total variation {tv} too large");
+}
+
+#[test]
+fn best_sampled_solution_reaches_the_optimum() {
+    let g = generators::square();
+    let cost = maxcut::maxcut_zpoly(&g);
+    // Decent p=1 parameters found by a coarse scan offline.
+    let params = [0.45, 0.35];
+    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let compiled = compile_qaoa(&cost, 1, &opts);
+    let samples = mbqc_samples(&compiled, &params, 400, 3);
+    let best = samples
+        .iter()
+        .map(|&x| g.cut_value(x))
+        .max()
+        .expect("shots");
+    assert_eq!(best, 4, "400 shots should find the max cut of the square");
+}

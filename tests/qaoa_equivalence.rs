@@ -1,0 +1,95 @@
+//! E8 — the paper's headline result (Sec. III): MBQC-QAOA ≡ gate-model
+//! QAOA for arbitrary depth `p` and arbitrary parameters, across MaxCut
+//! instances.
+
+use mbqao::prelude::*;
+use mbqao::problems::{generators, maxcut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn check(g: &Graph, p: usize, seed: u64) {
+    let cost = maxcut::maxcut_zpoly(g);
+    let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+    let ansatz = QaoaAnsatz::standard(cost, p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let report = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
+    assert!(
+        report.equivalent,
+        "n={} |E|={} p={p}: min fidelity {}",
+        g.n(),
+        g.m(),
+        report.min_fidelity
+    );
+}
+
+#[test]
+fn triangle_depths_1_to_4() {
+    let g = generators::triangle();
+    for p in 1..=4 {
+        check(&g, p, 10 + p as u64);
+    }
+}
+
+#[test]
+fn square_depths_1_to_3() {
+    let g = generators::square();
+    for p in 1..=3 {
+        check(&g, p, 20 + p as u64);
+    }
+}
+
+#[test]
+fn complete_k4_p2() {
+    check(&generators::complete(4), 2, 31);
+}
+
+#[test]
+fn cycle5_p2() {
+    check(&generators::cycle(5), 2, 41);
+}
+
+#[test]
+fn star6_p2() {
+    check(&generators::star(6), 2, 51);
+}
+
+#[test]
+fn random_3_regular_n8_p2() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let g = generators::random_regular(8, 3, &mut rng);
+    check(&g, 2, 61);
+}
+
+#[test]
+fn grid_2x3_p2() {
+    check(&generators::grid(3, 2), 2, 71);
+}
+
+#[test]
+fn compiled_pattern_is_strongly_deterministic_small_case() {
+    // Exhaustive branch enumeration (2^k) is only feasible for the very
+    // smallest instance: path(2), p = 1 → 8 measurements.
+    let g = generators::path(2);
+    let cost = maxcut::maxcut_zpoly(&g);
+    let compiled = compile_qaoa(&cost, 1, &CompileOptions::default());
+    let report = check_determinism(&compiled.pattern, &State::new(), &[0.8, 0.35], 1e-8);
+    assert!(report.deterministic, "{report:?}");
+    // |E| + 2|V| = 1 + 4 = 5 measurements → 32 branches.
+    assert_eq!(report.branches, 1 << 5);
+}
+
+#[test]
+fn gflow_exists_on_compiled_open_graphs() {
+    // The compiled pattern's open graph admits a generalized flow — the
+    // structural determinism witness of refs. [32, 33].
+    use mbqao::mbqc::{gflow, opengraph::OpenGraph};
+    for (g, p) in [(generators::triangle(), 1), (generators::square(), 2)] {
+        let cost = maxcut::maxcut_zpoly(&g);
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let og = OpenGraph::from_pattern(&compiled.pattern);
+        let flow = gflow::find_gflow(&og)
+            .unwrap_or_else(|| panic!("no gflow for n={} p={p}", g.n()));
+        assert!(gflow::verify_gflow(&og, &flow));
+    }
+}

@@ -1,0 +1,75 @@
+//! E9 — general QUBOs (Eq. 12, including single-qubit Z terms) and the
+//! "higher-order cost functions" extension (PUBO / Max-3-SAT), verified
+//! against the gate model.
+
+use mbqao::prelude::*;
+use mbqao::problems::ksat::KSat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn check_cost(cost: &ZPoly, p: usize, seed: u64) {
+    let compiled = compile_qaoa(cost, p, &CompileOptions::default());
+    let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
+    let report = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
+    assert!(report.equivalent, "min fidelity {}", report.min_fidelity);
+}
+
+#[test]
+fn random_qubos_with_linear_terms() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for i in 0..4 {
+        let q = Qubo::random(5, 0.6, &mut rng);
+        let cost = q.to_zpoly();
+        assert!(cost.linear_term_count() > 0);
+        check_cost(&cost, 1 + (i % 2), 100 + i as u64);
+    }
+}
+
+#[test]
+fn random_ising_instances() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let h: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ising = Ising::new(4, 0.3, h, vec![(0, 1, 0.7), (1, 2, -0.5), (2, 3, 1.1), (0, 3, 0.2)]);
+    check_cost(&ising.to_zpoly(), 2, 200);
+}
+
+#[test]
+fn cubic_pubo_higher_order_terms() {
+    // Degree-3 cost: exercises multi-wire phase gadgets (k = 3 CZs).
+    let p = Pubo::new(
+        4,
+        0.0,
+        vec![
+            (vec![0, 1, 2], 0.8),
+            (vec![1, 2, 3], -0.6),
+            (vec![0, 3], 0.5),
+            (vec![2], -0.4),
+        ],
+    );
+    check_cost(&p.to_zpoly(), 1, 300);
+    check_cost(&p.to_zpoly(), 2, 301);
+}
+
+#[test]
+fn max3sat_penalty_pubo() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let f = KSat::random(5, 6, 3, &mut rng);
+    let cost = f.to_pubo().to_zpoly();
+    assert!(cost.locality() >= 3, "3-SAT penalties should be cubic");
+    check_cost(&cost, 1, 400);
+}
+
+#[test]
+fn number_partitioning_instance() {
+    let part = mbqao::problems::partition::Partition::new(vec![3.0, 1.0, 2.0, 2.0]);
+    check_cost(&part.to_ising().to_zpoly(), 2, 500);
+}
+
+#[test]
+fn vertex_cover_penalty_qubo() {
+    let g = mbqao::problems::generators::path(4);
+    let q = mbqao::problems::vertex_cover::vertex_cover_qubo(&g, 2.0);
+    check_cost(&q.to_zpoly(), 1, 600);
+}

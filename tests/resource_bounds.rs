@@ -1,0 +1,103 @@
+//! E10/E11 — Sec. III-A resource accounting: compiled patterns meet the
+//! paper's bounds (with equality for pure MaxCut), gate-model comparison,
+//! and the qubit-reuse ablation ([51]).
+
+use mbqao::mbqc::resources::stats;
+use mbqao::mbqc::schedule::{just_in_time, resource_state_first};
+use mbqao::prelude::*;
+use mbqao::problems::{generators, maxcut};
+
+#[test]
+fn bounds_hold_with_equality_for_maxcut_families() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let families: Vec<(&str, Graph)> = vec![
+        ("triangle", generators::triangle()),
+        ("square", generators::square()),
+        ("K5", generators::complete(5)),
+        ("C6", generators::cycle(6)),
+        ("Petersen", generators::petersen()),
+        ("grid3x3", generators::grid(3, 3)),
+        ("3reg8", generators::random_regular(8, 3, &mut rng)),
+    ];
+    for (name, g) in &families {
+        let cost = maxcut::maxcut_zpoly(g);
+        for p in 1..=4 {
+            let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+            let s = stats(&compiled.pattern);
+            let b = paper_bounds(&cost, p);
+            assert_eq!(
+                s.total_qubits, b.total_qubits,
+                "{name} p={p}: N_Q mismatch"
+            );
+            assert_eq!(s.entangling, b.entangling, "{name} p={p}: N_E mismatch");
+            // And the closed forms of Sec. III-A:
+            assert_eq!(b.total_qubits - g.n(), p * (g.m() + 2 * g.n()));
+            assert_eq!(b.entangling, p * (2 * g.m() + 2 * g.n()));
+        }
+    }
+}
+
+#[test]
+fn gate_model_needs_fewer_circuit_resources() {
+    // "as expected the gate-model approach requires fewer circuit
+    // resources" — quantified.
+    let g = generators::petersen();
+    let cost = maxcut::maxcut_zpoly(&g);
+    for p in 1..=4 {
+        let mbqc = paper_bounds(&cost, p);
+        let gate = gate_model_resources(&cost, p);
+        assert!(gate.qubits < mbqc.total_qubits);
+        assert!(gate.entangling_cx <= mbqc.entangling);
+        assert_eq!(gate.entangling_cx, 2 * p * g.m());
+    }
+}
+
+#[test]
+fn qubit_reuse_shrinks_the_live_register() {
+    // The compiled (JIT-native) pattern keeps ~n+1 qubits live; the
+    // resource-state-first presentation keeps all N_Q live. This is the
+    // paper's "number of qubits can be significantly reduced by reusing
+    // qubits after measurement [51]" made measurable.
+    let g = generators::square();
+    let cost = maxcut::maxcut_zpoly(&g);
+    for p in 1..=3 {
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let jit = just_in_time(&compiled.pattern);
+        let bulk = resource_state_first(&compiled.pattern);
+        let s_jit = stats(&jit);
+        let s_bulk = stats(&bulk);
+        assert_eq!(s_bulk.max_live, s_bulk.total_qubits);
+        assert!(
+            s_jit.max_live <= g.n() + 2,
+            "p={p}: JIT live register {} should stay near n={}",
+            s_jit.max_live,
+            g.n()
+        );
+        assert_eq!(s_jit.total_qubits, s_bulk.total_qubits);
+    }
+}
+
+#[test]
+fn adaptive_rounds_grow_linearly_in_depth() {
+    let g = generators::triangle();
+    let cost = maxcut::maxcut_zpoly(&g);
+    let mut prev = 0;
+    for p in 1..=4 {
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let s = stats(&compiled.pattern);
+        assert!(s.rounds > prev, "rounds must grow with p");
+        prev = s.rounds;
+    }
+}
+
+#[test]
+fn schedules_preserve_equivalence() {
+    // Rescheduled patterns still match the gate model.
+    let g = generators::triangle();
+    let cost = maxcut::maxcut_zpoly(&g);
+    let mut compiled = compile_qaoa(&cost, 2, &CompileOptions::default());
+    compiled.pattern = resource_state_first(&compiled.pattern);
+    let ansatz = QaoaAnsatz::standard(cost, 2);
+    let report = verify_equivalence(&compiled, &ansatz, &[0.7, -0.2, 0.4, 1.1], 3, 1e-8);
+    assert!(report.equivalent, "min fidelity {}", report.min_fidelity);
+}

@@ -1,0 +1,163 @@
+//! E1/E3/E5–E7 (diagrammatic side) — the paper's ZX derivations replayed
+//! numerically: Fig.-1 rules on randomized diagrams (property tests),
+//! Eq. 5 graph states, and Eq. 7's phase-gadget form of the separator.
+
+use mbqao::prelude::*;
+use mbqao::zx::circuit_import::circuit_to_diagram;
+use mbqao::zx::diagram::{Diagram, EdgeType};
+use mbqao::zx::{rules, simplify, tensor};
+use mbqao_math::{PhaseExpr, Rational};
+use proptest::prelude::*;
+
+fn q(i: u64) -> QubitId {
+    QubitId::new(i)
+}
+
+/// Random 2-wire circuit diagram for property tests.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0u64..2).prop_map(|i| Gate::H(q(i))),
+        (0u64..2).prop_map(|i| Gate::X(q(i))),
+        (0u64..2).prop_map(|i| Gate::Z(q(i))),
+        ((0u64..2), -6i32..6).prop_map(|(i, k)| Gate::Phase(q(i), k as f64 * 0.5)),
+        ((0u64..2), -6i32..6).prop_map(|(i, k)| Gate::Rz(q(i), k as f64 * 0.25)),
+        ((0u64..2), -6i32..6).prop_map(|(i, k)| Gate::Rx(q(i), k as f64 * 0.25)),
+        Just(Gate::Cz(q(0), q(1))),
+        Just(Gate::Cx(q(0), q(1))),
+        (-6i32..6).prop_map(|k| Gate::Rzz(q(0), q(1), k as f64 * 0.25)),
+    ];
+    proptest::collection::vec(gate, 0..8).prop_map(|gs| {
+        let mut c = Circuit::new();
+        c.extend(gs);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Circuit import is scalar-exact for random circuits.
+    #[test]
+    fn prop_import_matches_unitary(c in arb_circuit()) {
+        let order = [q(0), q(1)];
+        let imported = circuit_to_diagram(&c, &order);
+        let m = imported.to_matrix();
+        let u = c.unitary(&order);
+        prop_assert!(m.approx_eq(&u, 1e-8));
+    }
+
+    /// Simplification preserves exact semantics on random circuits.
+    #[test]
+    fn prop_simplify_preserves_semantics(c in arb_circuit()) {
+        let order = [q(0), q(1)];
+        let imported = circuit_to_diagram(&c, &order);
+        let mut d = imported.diagram.clone();
+        simplify::simplify(&mut d);
+        let m = tensor::evaluate(&d, &imported.bindings());
+        prop_assert!(m.approx_eq(&c.unitary(&order), 1e-8));
+    }
+
+    /// Color change at a random node preserves semantics.
+    #[test]
+    fn prop_color_change_sound(c in arb_circuit(), pick in 0usize..64) {
+        let order = [q(0), q(1)];
+        let imported = circuit_to_diagram(&c, &order);
+        let mut d = imported.diagram.clone();
+        let internal: Vec<_> = d
+            .node_ids()
+            .into_iter()
+            .filter(|&n| matches!(
+                d.node(n).expect("live").kind,
+                mbqao::zx::NodeKind::Z | mbqao::zx::NodeKind::X
+            ))
+            .collect();
+        if !internal.is_empty() {
+            let target = internal[pick % internal.len()];
+            prop_assert!(rules::color_change(&mut d, target));
+            let m = tensor::evaluate(&d, &imported.bindings());
+            prop_assert!(m.approx_eq(&c.unitary(&order), 1e-8));
+        }
+    }
+
+    /// Fusion at a random edge preserves semantics.
+    #[test]
+    fn prop_fusion_sound(c in arb_circuit(), pick in 0usize..64) {
+        let order = [q(0), q(1)];
+        let imported = circuit_to_diagram(&c, &order);
+        let mut d = imported.diagram.clone();
+        let edges = d.edge_ids();
+        if !edges.is_empty() {
+            let e = edges[pick % edges.len()];
+            let _fired = rules::try_fuse(&mut d, e);
+            let m = tensor::evaluate(&d, &imported.bindings());
+            prop_assert!(m.approx_eq(&c.unitary(&order), 1e-8));
+        }
+    }
+}
+
+#[test]
+fn eq7_phase_gadget_form_of_the_separator() {
+    // The separator e^{iγ Z_u Z_v} as imported from the circuit equals
+    // the hand-built phase gadget of Eq. (7).
+    let gamma = 0.37f64;
+    let mut c = Circuit::new();
+    c.push(Gate::ExpZz(vec![q(0), q(1)], gamma));
+    let imported = circuit_to_diagram(&c, &[q(0), q(1)]);
+    let m = imported.to_matrix();
+    let u = c.unitary(&[q(0), q(1)]);
+    assert!(m.approx_eq(&u, 1e-9));
+    // the import used exactly one X hub and one phase leaf
+    let hubs = imported
+        .diagram
+        .node_ids()
+        .into_iter()
+        .filter(|&n| {
+            matches!(imported.diagram.node(n).expect("live").kind, mbqao::zx::NodeKind::X)
+        })
+        .count();
+    assert_eq!(hubs, 1, "Eq. (7) structure: one X hub per coupling");
+}
+
+#[test]
+fn pi_rule_on_paper_shaped_diagram() {
+    // The π-commutation instance used throughout Appendix B–E:
+    // Xπ entering a phased Z-spider with two outputs.
+    let mut d = Diagram::new();
+    let i = d.add_input();
+    let xpi = d.add_x(PhaseExpr::pi());
+    let z = d.add_z(PhaseExpr::pi_times(Rational::new(1, 4)));
+    let o1 = d.add_output();
+    let o2 = d.add_output();
+    d.add_edge(i, xpi, EdgeType::Plain);
+    d.add_edge(xpi, z, EdgeType::Plain);
+    d.add_edge(z, o1, EdgeType::Plain);
+    d.add_edge(z, o2, EdgeType::Plain);
+    let before = tensor::evaluate_const(&d);
+    assert!(rules::try_pi_commute(&mut d, xpi));
+    let after = tensor::evaluate_const(&d);
+    assert!(before.approx_eq(&after, 1e-9), "(π) rule must be scalar-exact");
+    // Structure: two new π spiders, negated center phase.
+    assert_eq!(
+        d.node(z).expect("live").phase,
+        PhaseExpr::pi_times(Rational::new(7, 4))
+    );
+}
+
+#[test]
+fn graph_state_zx_equals_simulator_for_random_graphs() {
+    use mbqao::zx::graphstate::graph_state_diagram;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    for _ in 0..5 {
+        let g = mbqao::problems::generators::erdos_renyi(5, 0.5, &mut rng);
+        let (d, _) = graph_state_diagram(&g);
+        let m = tensor::evaluate_const(&d);
+        let order: Vec<QubitId> = (0..5).map(q).collect();
+        let mut st = State::plus(&order);
+        for &(u, v) in g.edges() {
+            st.apply_cz(q(u as u64), q(v as u64));
+        }
+        let want = Matrix::from_vec(32, 1, st.aligned(&order));
+        assert!(m.approx_eq(&want, 1e-9), "graph state mismatch: {:?}", g.edges());
+    }
+}
