@@ -17,11 +17,9 @@ fn bench_compile(c: &mut Criterion) {
     ] {
         let cost = maxcut::maxcut_zpoly(&g);
         for p in [1usize, 4, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(name, p),
-                &p,
-                |b, &p| b.iter(|| black_box(compile_qaoa(&cost, p, &CompileOptions::default()))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                b.iter(|| black_box(compile_qaoa(&cost, p, &CompileOptions::default())))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,92 @@
+//! The unified engine's hot path: batched expectation sweeps vs. the
+//! sequential per-point loop they replaced, on both backends.
+//!
+//! The headline number is the `batch_64/…` vs `sequential_64/…`
+//! comparison on an 8-qubit MaxCut instance: `expectation_batch` fans
+//! the 64 parameter points out over all cores, the sequential loop
+//! re-prepares state per point on one core. The `speedup` line printed
+//! at the end quantifies the win on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbqao_core::engine::{Executor, GateBackend, PatternBackend};
+use mbqao_problems::{generators, maxcut};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// 64 deterministic parameter points for a p=1 sweep.
+fn sweep_points() -> Vec<Vec<f64>> {
+    (0..64)
+        .map(|i| vec![0.05 * (i % 8) as f64 + 0.1, 0.04 * (i / 8) as f64 + 0.2])
+        .collect()
+}
+
+fn bench_expectation_sweep(c: &mut Criterion) {
+    let cost = maxcut::maxcut_zpoly(&generators::cycle(8));
+    let points = sweep_points();
+
+    let mut group = c.benchmark_group("engine/sweep_8q_64pts");
+    let gate = Executor::new(GateBackend::standard(cost.clone(), 1));
+    group.bench_function("gate/batch_64", |b| {
+        b.iter(|| black_box(gate.expectation_batch(&points)))
+    });
+    group.bench_function("gate/sequential_64", |b| {
+        b.iter(|| {
+            let vals: Vec<f64> = points.iter().map(|p| gate.expectation(p)).collect();
+            black_box(vals)
+        })
+    });
+    let pattern = Executor::new(PatternBackend::new(&cost, 1));
+    group.bench_function("pattern/batch_64", |b| {
+        b.iter(|| black_box(pattern.expectation_batch(&points)))
+    });
+    group.bench_function("pattern/sequential_64", |b| {
+        b.iter(|| {
+            let vals: Vec<f64> = points.iter().map(|p| pattern.expectation(p)).collect();
+            black_box(vals)
+        })
+    });
+    group.finish();
+
+    // Headline: measured speedup of the batched engine over the
+    // sequential loop it replaced.
+    report_speedup("gate", &gate, &points);
+    report_speedup("pattern", &pattern, &points);
+}
+
+fn report_speedup<B: mbqao_core::engine::Backend>(
+    name: &str,
+    exec: &Executor<B>,
+    points: &[Vec<f64>],
+) {
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        black_box(exec.expectation_batch(points));
+    }
+    let batch = t0.elapsed().as_secs_f64() / 3.0;
+    let t1 = Instant::now();
+    for _ in 0..3 {
+        let vals: Vec<f64> = points.iter().map(|p| exec.expectation(p)).collect();
+        black_box(vals);
+    }
+    let seq = t1.elapsed().as_secs_f64() / 3.0;
+    println!(
+        "engine/speedup/{name}: {:.2}x (batch {:.1} ms vs sequential {:.1} ms, {} threads)",
+        seq / batch,
+        batch * 1e3,
+        seq * 1e3,
+        rayon::current_num_threads(),
+    );
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let cost = maxcut::maxcut_zpoly(&generators::cycle(8));
+    let pattern = Executor::new(PatternBackend::new(&cost, 1));
+    let mut group = c.benchmark_group("engine/sample_8q");
+    group.bench_function("pattern/512_shots_parallel", |b| {
+        b.iter(|| black_box(pattern.sample(&[0.4, 0.3], 512, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expectation_sweep, bench_sampling);
+criterion_main!(benches);

@@ -30,11 +30,7 @@ fn bench_build(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mis_mixer_degree", d), &d, |b, &d| {
             b.iter(|| {
                 let (mut bld, inputs) = PatternBuilder::with_inputs(d + 1, 0);
-                let out = bld.controlled_x_mixer(
-                    inputs[0],
-                    &inputs[1..],
-                    &Angle::constant(0.5),
-                );
+                let out = bld.controlled_x_mixer(inputs[0], &inputs[1..], &Angle::constant(0.5));
                 let mut outs = vec![out];
                 outs.extend_from_slice(&inputs[1..]);
                 black_box(bld.finish(outs))

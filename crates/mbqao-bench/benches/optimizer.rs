@@ -25,10 +25,26 @@ fn bench_optimizers(c: &mut Criterion) {
     let obj = FnObjective::new(2, |p: &[f64]| runner.expectation(p));
 
     c.bench_function("optimizer/nelder_mead_p1", |b| {
-        b.iter(|| black_box(NelderMead { max_iters: 60, ..Default::default() }.run(&obj, &[0.4, 0.3])))
+        b.iter(|| {
+            black_box(
+                NelderMead {
+                    max_iters: 60,
+                    ..Default::default()
+                }
+                .run(&obj, &[0.4, 0.3]),
+            )
+        })
     });
     c.bench_function("optimizer/spsa_p1_60iters", |b| {
-        b.iter(|| black_box(Spsa { iterations: 60, ..Default::default() }.run(&obj, &[0.4, 0.3])))
+        b.iter(|| {
+            black_box(
+                Spsa {
+                    iterations: 60,
+                    ..Default::default()
+                }
+                .run(&obj, &[0.4, 0.3]),
+            )
+        })
     });
     c.bench_function("optimizer/grid_9x9_p1", |b| {
         b.iter(|| {

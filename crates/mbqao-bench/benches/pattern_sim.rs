@@ -16,10 +16,14 @@ fn bench_backends(c: &mut Criterion) {
     for (name, g, p) in [
         ("C6/p1", generators::cycle(6), 1usize),
         ("C6/p3", generators::cycle(6), 3),
-        ("3reg8/p2", {
-            let mut rng = StdRng::seed_from_u64(5);
-            generators::random_regular(8, 3, &mut rng)
-        }, 2),
+        (
+            "3reg8/p2",
+            {
+                let mut rng = StdRng::seed_from_u64(5);
+                generators::random_regular(8, 3, &mut rng)
+            },
+            2,
+        ),
     ] {
         let cost = maxcut::maxcut_zpoly(&g);
         let params: Vec<f64> = (0..2 * p).map(|i| 0.3 + 0.1 * i as f64).collect();
@@ -44,7 +48,10 @@ fn bench_sampling_throughput(c: &mut Criterion) {
     let compiled = compile_qaoa(
         &cost,
         2,
-        &CompileOptions { measure_outputs: true, ..Default::default() },
+        &CompileOptions {
+            measure_outputs: true,
+            ..Default::default()
+        },
     );
     let params = [0.4, 0.2, 0.5, 0.3];
     c.bench_function("qaoa_execution/mbqc_sample_shot", |b| {

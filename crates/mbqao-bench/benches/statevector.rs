@@ -68,12 +68,7 @@ fn bench_measure_remove(c: &mut Criterion) {
                 let anc = QubitId::new(999);
                 st.add_plus(anc);
                 st.apply_cz(QubitId::new(0), anc);
-                let (m, _) = st.measure_remove(
-                    anc,
-                    &mbqao_sim::MeasBasis::xy(0.4),
-                    None,
-                    &mut rng,
-                );
+                let (m, _) = st.measure_remove(anc, &mbqao_sim::MeasBasis::xy(0.4), None, &mut rng);
                 black_box(m)
             });
         });
@@ -81,5 +76,11 @@ fn bench_measure_remove(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_qubit, bench_cz, bench_rzz, bench_measure_remove);
+criterion_group!(
+    benches,
+    bench_single_qubit,
+    bench_cz,
+    bench_rzz,
+    bench_measure_remove
+);
 criterion_main!(benches);

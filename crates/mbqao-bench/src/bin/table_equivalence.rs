@@ -3,7 +3,7 @@
 
 use mbqao_bench::standard_families;
 use mbqao_core::{compile_qaoa, verify_equivalence, CompileOptions};
-use mbqao_problems::{maxcut, Qubo};
+use mbqao_problems::Qubo;
 use mbqao_qaoa::QaoaAnsatz;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,19 +14,19 @@ fn main() {
     println!("|---|---|---|---|---|---|---|");
     let mut rng = StdRng::seed_from_u64(2403);
 
-    // MaxCut across families (skip the largest to keep runtime modest).
+    // MaxCut families and SK spin glasses (skip the largest to keep
+    // runtime modest).
     for fam in standard_families(7) {
         if fam.graph.n() > 8 {
             continue;
         }
-        let cost = maxcut::maxcut_zpoly(&fam.graph);
         for p in 1..=2 {
             let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
-            let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
-            let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+            let compiled = compile_qaoa(&fam.cost, p, &CompileOptions::default());
+            let ansatz = QaoaAnsatz::standard(fam.cost.clone(), p);
             let rep = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
             println!(
-                "| maxcut/{} | {} | {} | random | {} | {:.12} | {} |",
+                "| {} | {} | {} | random | {} | {:.12} | {} |",
                 fam.name,
                 fam.graph.n(),
                 p,

@@ -49,7 +49,11 @@ fn main() {
     for (t1, t2, label) in [
         (EdgeType::Plain, EdgeType::Plain, "plain/plain"),
         (EdgeType::Hadamard, EdgeType::Plain, "H/plain"),
-        (EdgeType::Hadamard, EdgeType::Hadamard, "H/H (the (hh) rule)"),
+        (
+            EdgeType::Hadamard,
+            EdgeType::Hadamard,
+            "H/H (the (hh) rule)",
+        ),
     ] {
         let mut d = Diagram::new();
         let i = d.add_input();

@@ -28,11 +28,17 @@ fn main() {
 
     // And as a ZX-diagram (Sec. II-A: circuits translate to diagrams).
     let imported = circuit_to_diagram(&circuit, &order);
-    let ok = imported.to_matrix().approx_eq(&circuit.unitary(&order), 1e-9);
+    let ok = imported
+        .to_matrix()
+        .approx_eq(&circuit.unitary(&order), 1e-9);
     println!(
         "ZX import: {} internal spiders, semantics exact: {ok}",
         imported.diagram.internal_node_count()
     );
     assert!(ok);
-    println!("\ngate counts: total {}, entangling {}", circuit.len(), circuit.entangling_count());
+    println!(
+        "\ngate counts: total {}, entangling {}",
+        circuit.len(),
+        circuit.entangling_count()
+    );
 }

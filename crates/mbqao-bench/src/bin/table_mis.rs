@@ -49,8 +49,11 @@ fn main() {
         ] {
             let runner = QaoaRunner::new(ansatz);
             let obj = FnObjective::new(2 * p, |prm: &[f64]| runner.expectation(prm));
-            let res =
-                NelderMead { max_iters: 250, ..Default::default() }.run(&obj, &vec![0.4; 2 * p]);
+            let res = NelderMead {
+                max_iters: 250,
+                ..Default::default()
+            }
+            .run(&obj, &vec![0.4; 2 * p]);
             let mut rng = StdRng::seed_from_u64(17);
             let samples = runner.sample(&res.params, shots, &mut rng);
             let feas: Vec<u64> = samples

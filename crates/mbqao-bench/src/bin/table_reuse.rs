@@ -6,17 +6,14 @@ use mbqao_bench::standard_families;
 use mbqao_core::{compile_qaoa, CompileOptions};
 use mbqao_mbqc::resources::stats;
 use mbqao_mbqc::schedule::{just_in_time, resource_state_first};
-use mbqao_problems::maxcut;
 
 fn main() {
     println!("# E11: qubit reuse ablation (mid-circuit measurement + reset, [51])\n");
     println!("| graph | p | N_Q total | live (resource-state-first) | live (JIT reuse) | reduction | rounds |");
     println!("|---|---|---|---|---|---|---|");
     for fam in standard_families(7) {
-        let g = &fam.graph;
-        let cost = maxcut::maxcut_zpoly(g);
         for p in [1usize, 4] {
-            let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+            let compiled = compile_qaoa(&fam.cost, p, &CompileOptions::default());
             let bulk = stats(&resource_state_first(&compiled.pattern));
             let jit = stats(&just_in_time(&compiled.pattern));
             assert_eq!(bulk.total_qubits, jit.total_qubits);

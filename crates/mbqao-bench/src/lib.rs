@@ -1,65 +1,79 @@
 //! Shared helpers for the benchmark harness and table generators.
 //!
 //! The binaries in `src/bin/` regenerate the paper's quantitative
-//! artifacts (see `DESIGN.md` §4 and `EXPERIMENTS.md`); the Criterion
-//! benches in `benches/` measure the implementation itself.
+//! artifacts; the benches in `benches/` measure the implementation
+//! itself. Execution plumbing lives in `mbqao_core::engine` — this crate
+//! only assembles workloads and formats tables.
 
+use mbqao_core::engine::sample_compiled;
 use mbqao_core::{compile_qaoa, CompileOptions, CompiledQaoa};
-use mbqao_mbqc::simulate::{run, Branch};
-use mbqao_problems::{Graph, ZPoly};
+use mbqao_problems::{maxcut, Graph, ZPoly};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// A labelled graph family instance used across tables.
+/// A labelled problem instance used across tables: the interaction
+/// graph plus the cost Hamiltonian lowered onto it (MaxCut for the
+/// unweighted graph families, signed couplings for the SK family).
 pub struct FamilyInstance {
     /// Display name.
     pub name: String,
-    /// The graph.
+    /// The interaction graph.
     pub graph: Graph,
+    /// The diagonal cost Hamiltonian on that graph.
+    pub cost: ZPoly,
 }
 
-/// The standard family sweep used by the resource/equivalence tables.
+impl FamilyInstance {
+    fn maxcut(name: &str, graph: Graph) -> Self {
+        let cost = maxcut::maxcut_zpoly(&graph);
+        FamilyInstance {
+            name: name.into(),
+            graph,
+            cost,
+        }
+    }
+}
+
+/// The standard family sweep used by the resource/equivalence tables:
+/// the paper's MaxCut graph families across |E|/|V| regimes, plus
+/// Sherrington–Kirkpatrick spin glasses (random ±1 couplings on `K_n`)
+/// as the dense *weighted* workload.
 pub fn standard_families(seed: u64) -> Vec<FamilyInstance> {
     use mbqao_problems::generators as gen;
     let mut rng = StdRng::seed_from_u64(seed);
-    vec![
-        FamilyInstance { name: "triangle".into(), graph: gen::triangle() },
-        FamilyInstance { name: "square".into(), graph: gen::square() },
-        FamilyInstance { name: "C5".into(), graph: gen::cycle(5) },
-        FamilyInstance { name: "C8".into(), graph: gen::cycle(8) },
-        FamilyInstance { name: "K4".into(), graph: gen::complete(4) },
-        FamilyInstance { name: "K6".into(), graph: gen::complete(6) },
-        FamilyInstance { name: "star7".into(), graph: gen::star(7) },
-        FamilyInstance { name: "grid3x3".into(), graph: gen::grid(3, 3) },
-        FamilyInstance { name: "petersen".into(), graph: gen::petersen() },
-        FamilyInstance {
-            name: "3reg8".into(),
-            graph: gen::random_regular(8, 3, &mut rng),
-        },
-    ]
+    let mut fams = vec![
+        FamilyInstance::maxcut("triangle", gen::triangle()),
+        FamilyInstance::maxcut("square", gen::square()),
+        FamilyInstance::maxcut("C5", gen::cycle(5)),
+        FamilyInstance::maxcut("C8", gen::cycle(8)),
+        FamilyInstance::maxcut("K4", gen::complete(4)),
+        FamilyInstance::maxcut("K6", gen::complete(6)),
+        FamilyInstance::maxcut("star7", gen::star(7)),
+        FamilyInstance::maxcut("grid3x3", gen::grid(3, 3)),
+        FamilyInstance::maxcut("petersen", gen::petersen()),
+        FamilyInstance::maxcut("3reg8", gen::random_regular(8, 3, &mut rng)),
+    ];
+    for n in [5usize, 7] {
+        let sk = gen::sherrington_kirkpatrick(n, &mut rng);
+        fams.push(FamilyInstance {
+            name: format!("SK{n}"),
+            graph: gen::complete(n),
+            cost: sk.to_zpoly(),
+        });
+    }
+    fams
 }
 
-/// Samples `shots` corrected bitstrings from a sampling-form pattern.
+/// Samples `shots` corrected bitstrings from a sampling-form pattern
+/// (thin wrapper over [`mbqao_core::engine::sample_compiled`], kept for
+/// table-generator convenience).
 pub fn sample_pattern(
     compiled: &CompiledQaoa,
     params: &[f64],
     shots: usize,
     seed: u64,
 ) -> Vec<u64> {
-    assert!(!compiled.readout.is_empty(), "need a sampling-form pattern");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..shots)
-        .map(|_| {
-            let r = run(&compiled.pattern, params, Branch::Random, &mut rng);
-            let mut x = 0u64;
-            for (v, m) in compiled.readout.iter().enumerate() {
-                if r.outcomes[m.0 as usize] == 1 {
-                    x |= 1 << v;
-                }
-            }
-            x
-        })
-        .collect()
+    sample_compiled(compiled, params, shots, seed)
 }
 
 /// Compiles the sampling form of standard QAOA for `cost`.
@@ -67,23 +81,46 @@ pub fn compile_sampling(cost: &ZPoly, p: usize) -> CompiledQaoa {
     compile_qaoa(
         cost,
         p,
-        &CompileOptions { measure_outputs: true, ..Default::default() },
+        &CompileOptions {
+            measure_outputs: true,
+            ..Default::default()
+        },
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mbqao_problems::maxcut;
 
     #[test]
     fn families_are_nonempty() {
         let fams = standard_families(3);
-        assert!(fams.len() >= 8);
+        assert!(fams.len() >= 10);
         for f in &fams {
             assert!(f.graph.n() >= 3);
             assert!(f.graph.m() >= 2);
+            assert_eq!(
+                f.cost.n(),
+                f.graph.n(),
+                "{}: cost/graph size mismatch",
+                f.name
+            );
+            assert!(f.cost.coupling_term_count() >= f.graph.m().min(2));
         }
+    }
+
+    #[test]
+    fn sk_families_carry_signed_couplings() {
+        let fams = standard_families(3);
+        let sk = fams
+            .iter()
+            .find(|f| f.name.starts_with("SK"))
+            .expect("SK family present");
+        // SK costs must have both coupling signs — distinguishing them
+        // from the uniform-weight MaxCut lowering.
+        assert!(sk.cost.terms().iter().any(|(_, w)| *w > 0.0));
+        assert!(sk.cost.terms().iter().any(|(_, w)| *w < 0.0));
+        assert_eq!(sk.cost.coupling_term_count(), sk.graph.m());
     }
 
     #[test]

@@ -102,8 +102,8 @@ pub fn compile_qaoa(cost: &ZPoly, p: usize, options: &CompileOptions) -> Compile
         // Mixing layer.
         match &options.mixer {
             MixerKind::TransverseField => {
-                for v in 0..n {
-                    wires[v] = b.rx_mixer(wires[v], &Angle::param(1.0, beta));
+                for wire in wires.iter_mut() {
+                    *wire = b.rx_mixer(*wire, &Angle::param(1.0, beta));
                 }
             }
             MixerKind::Mis(g) => {
@@ -139,10 +139,20 @@ pub fn compile_qaoa(cost: &ZPoly, p: usize, options: &CompileOptions) -> Compile
 
     if options.measure_outputs {
         let (pattern, readout) = b.finish_measured(wires);
-        CompiledQaoa { pattern, output_wires: vec![], readout, p }
+        CompiledQaoa {
+            pattern,
+            output_wires: vec![],
+            readout,
+            p,
+        }
     } else {
         let pattern = b.finish(wires.clone());
-        CompiledQaoa { pattern, output_wires: wires, readout: vec![], p }
+        CompiledQaoa {
+            pattern,
+            output_wires: wires,
+            readout: vec![],
+            p,
+        }
     }
 }
 
@@ -190,7 +200,10 @@ mod tests {
     fn sampling_form_measures_everything() {
         let g = generators::triangle();
         let cost = maxcut::maxcut_zpoly(&g);
-        let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+        let opts = CompileOptions {
+            measure_outputs: true,
+            ..Default::default()
+        };
         let c = compile_qaoa(&cost, 1, &opts);
         assert!(c.pattern.outputs().is_empty());
         assert_eq!(c.readout.len(), 3);

@@ -86,8 +86,10 @@ impl PatternBuilder {
     /// Prepares a fresh computational-basis wire `|bit⟩`.
     pub fn basis_wire(&mut self, bit: bool) -> QubitId {
         let q = self.fresh();
-        self.pattern
-            .push(mbqao_mbqc::Command::Prep { q, state: mbqao_mbqc::PrepState::Zero });
+        self.pattern.push(mbqao_mbqc::Command::Prep {
+            q,
+            state: mbqao_mbqc::PrepState::Zero,
+        });
         if bit {
             // X with a constant-1 condition flips |0⟩ → |1⟩.
             self.pattern.correct(q, Pauli::X, Signal::one());
@@ -224,7 +226,10 @@ impl PatternBuilder {
         beta: &Angle,
     ) -> QubitId {
         let d = neighbors.len();
-        assert!(d <= 16, "controlled mixer expansion is exponential in the degree");
+        assert!(
+            d <= 16,
+            "controlled mixer expansion is exponential in the degree"
+        );
         // H on target: X_v → Z_v.
         let t = self.hadamard(target);
         let scale_factor = 1.0 / (1u64 << d) as f64;
@@ -258,7 +263,9 @@ impl PatternBuilder {
             self.flush_corrections(w);
         }
         self.pattern.set_outputs(outputs);
-        self.pattern.validate().expect("built pattern must validate");
+        self.pattern
+            .validate()
+            .expect("built pattern must validate");
         self.pattern
     }
 
@@ -274,11 +281,15 @@ impl PatternBuilder {
         let mut readout = Vec::with_capacity(outputs.len());
         for &w in &outputs {
             let (s, t) = self.tracker.fold_for_measurement(w, Plane::YZ);
-            let m = self.pattern.measure(w, Plane::YZ, Angle::constant(0.0), s, t);
+            let m = self
+                .pattern
+                .measure(w, Plane::YZ, Angle::constant(0.0), s, t);
             readout.push(m);
         }
         self.pattern.set_outputs(vec![]);
-        self.pattern.validate().expect("built pattern must validate");
+        self.pattern
+            .validate()
+            .expect("built pattern must validate");
         (self.pattern, readout)
     }
 
@@ -403,7 +414,10 @@ mod tests {
     fn pauli_rotation_xx() {
         let theta = 0.513;
         let (mut b, inputs) = PatternBuilder::with_inputs(2, 0);
-        let outs = b.pauli_rotation(&[(inputs[0], 'X'), (inputs[1], 'X')], &Angle::constant(theta));
+        let outs = b.pauli_rotation(
+            &[(inputs[0], 'X'), (inputs[1], 'X')],
+            &Angle::constant(theta),
+        );
         let pat = b.finish(outs.clone());
 
         let input = input2(&inputs);
@@ -425,7 +439,10 @@ mod tests {
     fn pauli_rotation_yy() {
         let theta = -0.298;
         let (mut b, inputs) = PatternBuilder::with_inputs(2, 0);
-        let outs = b.pauli_rotation(&[(inputs[0], 'Y'), (inputs[1], 'Y')], &Angle::constant(theta));
+        let outs = b.pauli_rotation(
+            &[(inputs[0], 'Y'), (inputs[1], 'Y')],
+            &Angle::constant(theta),
+        );
         let pat = b.finish(outs.clone());
 
         let input = input2(&inputs);
@@ -507,10 +524,8 @@ mod tests {
             reference.apply_exp_zz(&inputs, gamma);
             let mut rng = StdRng::seed_from_u64(11);
             let r = run_with_input(&pat, input, &[gamma], Branch::Random, &mut rng);
-            let got_m =
-                mbqao_math::Matrix::from_vec(4, 1, r.state.aligned(pat.outputs()));
-            let want =
-                mbqao_math::Matrix::from_vec(4, 1, reference.aligned(&inputs));
+            let got_m = mbqao_math::Matrix::from_vec(4, 1, r.state.aligned(pat.outputs()));
+            let want = mbqao_math::Matrix::from_vec(4, 1, reference.aligned(&inputs));
             assert!(got_m.approx_eq_up_to_scalar(&want, 1e-9), "γ={gamma}");
         }
     }
@@ -537,11 +552,7 @@ mod tests {
             assert_eq!(r.1, 0, "corrected readout must be deterministic 0");
         }
 
-        fn run(
-            pat: &Pattern,
-            params: &[f64],
-            rng: &mut StdRng,
-        ) -> (Vec<u8>, u8) {
+        fn run(pat: &Pattern, params: &[f64], rng: &mut StdRng) -> (Vec<u8>, u8) {
             let r = run_with_input(pat, State::new(), params, Branch::Random, rng);
             let last = *r.outcomes.last().expect("has outcomes");
             (r.outcomes.clone(), last)

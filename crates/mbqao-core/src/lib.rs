@@ -22,15 +22,21 @@
 //!   bounds and the gate-model comparison.
 //! * [`verify`] — equivalence of the compiled pattern against the
 //!   gate-model ansatz (state fidelity per branch + determinism).
+//! * [`engine`] — the unified execution layer: a [`Backend`] trait with
+//!   [`GateBackend`] / [`PatternBackend`] implementations and a batched,
+//!   rayon-parallel [`Executor`] shared by the optimizers, landscape
+//!   scans, verification and the benchmark tables.
 
 pub mod byproduct;
 pub mod compiler;
+pub mod engine;
 pub mod gadgets;
 pub mod resources;
 pub mod verify;
 pub mod zx_bridge;
 
 pub use compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
+pub use engine::{Backend, Executor, GateBackend, PatternBackend};
 pub use gadgets::PatternBuilder;
 pub use resources::{gate_model_resources, paper_bounds, PaperBounds};
-pub use verify::{verify_equivalence, EquivalenceReport};
+pub use verify::{equivalence_report, verify_equivalence, EquivalenceReport};

@@ -2,11 +2,8 @@
 //! gate-model QAOA — the referee for the paper's headline claim.
 
 use crate::compiler::CompiledQaoa;
-use mbqao_mbqc::simulate::{run_with_input, Branch};
+use crate::engine::{Backend, GateBackend, PatternBackend};
 use mbqao_qaoa::QaoaAnsatz;
-use mbqao_sim::State;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Result of an equivalence check.
 #[derive(Debug, Clone)]
@@ -19,10 +16,48 @@ pub struct EquivalenceReport {
     pub equivalent: bool,
 }
 
-/// Runs the compiled pattern on `trials` random outcome branches and
-/// compares each output state against the gate-model ansatz state at the
-/// same parameters. (Determinism means *any* branch must match; testing
-/// several random branches exercises distinct correction paths.)
+/// Compares a [`PatternBackend`]'s prepared state on `trials` random
+/// outcome branches against a [`GateBackend`]'s at the same parameters.
+/// (Determinism means *any* branch must match; testing several random
+/// branches exercises distinct correction paths.)
+///
+/// # Panics
+/// Panics when the backends disagree on the number of variables.
+pub fn equivalence_report(
+    gate: &GateBackend,
+    pattern: &PatternBackend,
+    params: &[f64],
+    trials: usize,
+    tol: f64,
+) -> EquivalenceReport {
+    assert_eq!(gate.n(), pattern.n(), "backends disagree on n");
+    let ref_dense = gate.prepare(params).aligned(&gate.variable_wires());
+    let wires = pattern.variable_wires();
+
+    let mut fidelities = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let (state, _) = pattern.prepare_seeded(params, 0xC0FFEE ^ trial as u64);
+        // Align the pattern's output wires to the variable order.
+        let got = state.aligned(&wires);
+        let ip: mbqao_math::C64 = got
+            .iter()
+            .zip(&ref_dense)
+            .map(|(&a, &b)| a.conj() * b)
+            .fold(mbqao_math::C64::ZERO, |acc, z| acc + z);
+        fidelities.push(ip.abs());
+    }
+    let min_fidelity = fidelities.iter().copied().fold(f64::INFINITY, f64::min);
+    EquivalenceReport {
+        equivalent: min_fidelity > 1.0 - tol,
+        min_fidelity,
+        fidelities,
+    }
+}
+
+/// Verifies a compiled pattern against the gate-model ansatz by wrapping
+/// both in their engine backends and comparing prepared states branch by
+/// branch. The compiled pattern is executed with its *own* command order
+/// (no rescheduling), so this checks exactly the compiler's artifact.
 ///
 /// # Panics
 /// Panics when the compiled pattern is in sampling form (no output
@@ -38,32 +73,9 @@ pub fn verify_equivalence(
         !compiled.output_wires.is_empty(),
         "verify_equivalence needs the state-form pattern"
     );
-    let reference = ansatz.prepare(params);
-    let ref_dense = reference.aligned(&ansatz.qubit_order());
-    let dim = ref_dense.len();
-
-    let mut fidelities = Vec::with_capacity(trials);
-    for trial in 0..trials {
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ trial as u64);
-        let r = run_with_input(
-            &compiled.pattern,
-            State::new(),
-            params,
-            Branch::Random,
-            &mut rng,
-        );
-        // Align the pattern's output wires to the variable order.
-        let got = r.state.aligned(&compiled.output_wires);
-        let ip: mbqao_math::C64 = got
-            .iter()
-            .zip(&ref_dense)
-            .map(|(&a, &b)| a.conj() * b)
-            .fold(mbqao_math::C64::ZERO, |acc, z| acc + z);
-        let _ = dim;
-        fidelities.push(ip.abs());
-    }
-    let min_fidelity = fidelities.iter().copied().fold(f64::INFINITY, f64::min);
-    EquivalenceReport { equivalent: min_fidelity > 1.0 - tol, min_fidelity, fidelities }
+    let gate = GateBackend::new(ansatz.clone());
+    let pattern = PatternBackend::from_compiled(compiled.clone(), ansatz.cost.clone());
+    equivalence_report(&gate, &pattern, params, trials, tol)
 }
 
 #[cfg(test)]
@@ -72,7 +84,8 @@ mod tests {
     use crate::compiler::{compile_qaoa, CompileOptions, MixerKind};
     use mbqao_problems::{generators, maxcut, mis, Qubo};
     use mbqao_qaoa::{InitialState, Mixer};
-    use rand::Rng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn maxcut_triangle_p1_equivalence() {
@@ -102,7 +115,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(777);
         let qubo = Qubo::random(4, 0.7, &mut rng);
         let cost = qubo.to_zpoly();
-        assert!(cost.linear_term_count() > 0, "want linear terms in this test");
+        assert!(
+            cost.linear_term_count() > 0,
+            "want linear terms in this test"
+        );
         let p = 2;
         let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
         let ansatz = QaoaAnsatz::standard(cost, p);

@@ -18,10 +18,10 @@
 //! of the gate-model ansatz must then agree up to a scalar — the paper's
 //! central equivalence, checked *diagrammatically*.
 
+use mbqao_math::{PhaseExpr, Rational, C64};
 use mbqao_mbqc::{Command, Pattern, Pauli, Plane, PrepState};
 use mbqao_sim::QubitId;
 use mbqao_zx::diagram::{Diagram, EdgeType, NodeId};
-use mbqao_math::{PhaseExpr, Rational, C64};
 use std::collections::HashMap;
 
 /// An exported diagram plus the exact radian values of its synthetic
@@ -113,7 +113,14 @@ pub fn pattern_to_diagram(pattern: &Pattern, params: &[f64]) -> ExportedDiagram 
                 frontier.insert(*a, za);
                 frontier.insert(*b, zb);
             }
-            Command::Measure { q, plane, angle, s, t, .. } => {
+            Command::Measure {
+                q,
+                plane,
+                angle,
+                s,
+                t,
+                ..
+            } => {
                 // Reference branch: all outcomes 0, so only the constant
                 // parts of the domains survive.
                 let mut theta = angle.eval(params);
@@ -181,7 +188,6 @@ mod tests {
     use mbqao_problems::{generators, maxcut};
     use mbqao_qaoa::QaoaAnsatz;
     use mbqao_zx::circuit_import::circuit_to_diagram;
-    use mbqao_zx::tensor;
 
     #[test]
     fn j_step_pattern_diagram_is_h_rz() {
@@ -207,7 +213,10 @@ mod tests {
         let exported = pattern_to_diagram(&pat, &[]);
         let m = exported.to_matrix();
         let want = mbqao_math::gates::exp_i_theta_pauli(2, gamma, &[(0, 'Z'), (1, 'Z')]);
-        assert!(m.approx_eq_up_to_scalar(&want, 1e-9), "Eq. 7/8 export mismatch");
+        assert!(
+            m.approx_eq_up_to_scalar(&want, 1e-9),
+            "Eq. 7/8 export mismatch"
+        );
     }
 
     #[test]

@@ -48,19 +48,28 @@ impl C64 {
     /// Builds `e^{iθ} = cos θ + i sin θ`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Builds `r·e^{iθ}`.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        C64 { re: r * theta.cos(), im: r * theta.sin() }
+        C64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -85,13 +94,19 @@ impl C64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        C64 { re: self.re / d, im: -self.im / d }
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// `true` when both parts are within `eps` of `other`'s.
@@ -117,7 +132,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, rhs: C64) -> C64 {
-        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -125,7 +143,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
-        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -153,7 +174,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -56,7 +56,12 @@ pub fn rz(theta: f64) -> Matrix {
     Matrix::from_vec(
         2,
         2,
-        vec![C64::cis(-theta / 2.0), C64::ZERO, C64::ZERO, C64::cis(theta / 2.0)],
+        vec![
+            C64::cis(-theta / 2.0),
+            C64::ZERO,
+            C64::ZERO,
+            C64::cis(theta / 2.0),
+        ],
     )
 }
 
@@ -192,7 +197,10 @@ mod tests {
         assert!(rx(PI).approx_eq_up_to_scalar(&x(), 1e-12));
         // H rz(θ) H = rx(θ)
         let theta = 0.37;
-        assert!(h().matmul(&rz(theta)).matmul(&h()).approx_eq(&rx(theta), 1e-12));
+        assert!(h()
+            .matmul(&rz(theta))
+            .matmul(&h())
+            .approx_eq(&rx(theta), 1e-12));
     }
 
     #[test]

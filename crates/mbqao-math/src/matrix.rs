@@ -35,12 +35,20 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend(row.iter().map(|&x| C64::real(x)));
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The `n × n` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![C64::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -132,11 +140,20 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 
@@ -156,7 +173,11 @@ impl Matrix {
 
     /// Frobenius-norm distance to `rhs`.
     pub fn distance(&self, rhs: &Matrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&rhs.data)
@@ -168,7 +189,11 @@ impl Matrix {
     /// Entry-wise approximate equality.
     pub fn approx_eq(&self, rhs: &Matrix, eps: f64) -> bool {
         (self.rows, self.cols) == (rhs.rows, rhs.cols)
-            && self.data.iter().zip(&rhs.data).all(|(&a, &b)| a.approx_eq(b, eps))
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(&a, &b)| a.approx_eq(b, eps))
     }
 
     /// Equality up to a single global complex scalar `c` (with `|c| > 0`):
@@ -197,7 +222,10 @@ impl Matrix {
         if c.abs() < eps {
             return false;
         }
-        self.data.iter().zip(&rhs.data).all(|(&a, &b)| a.approx_eq(c * b, eps * (1.0 + c.abs())))
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .all(|(&a, &b)| a.approx_eq(c * b, eps * (1.0 + c.abs())))
     }
 
     /// `true` when `self† · self ≈ 1` (square matrices only).
@@ -205,7 +233,9 @@ impl Matrix {
         if self.rows != self.cols {
             return false;
         }
-        self.dagger().matmul(self).approx_eq(&Matrix::identity(self.rows), eps)
+        self.dagger()
+            .matmul(self)
+            .approx_eq(&Matrix::identity(self.rows), eps)
     }
 
     /// Trace (square matrices only).
@@ -246,7 +276,11 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 /// and MBQC patterns against exact matrices; `n` is expected to be small.
 pub fn embed(n: usize, targets: &[usize], gate: &Matrix) -> Matrix {
     let k = targets.len();
-    assert_eq!(gate.rows(), 1 << k, "gate dimension does not match target count");
+    assert_eq!(
+        gate.rows(),
+        1 << k,
+        "gate dimension does not match target count"
+    );
     assert!(targets.iter().all(|&t| t < n), "target out of range");
     let dim = 1usize << n;
     let mut out = Matrix::zeros(dim, dim);
@@ -299,7 +333,12 @@ mod tests {
         let i = Matrix::identity(2);
         let xi = x.kron(&i);
         // X⊗I swaps the upper/lower halves of a 4-vector.
-        let v = vec![C64::real(1.0), C64::real(2.0), C64::real(3.0), C64::real(4.0)];
+        let v = vec![
+            C64::real(1.0),
+            C64::real(2.0),
+            C64::real(3.0),
+            C64::real(4.0),
+        ];
         let w = xi.apply(&v);
         assert!(w[0].approx_eq(C64::real(3.0), 1e-12));
         assert!(w[1].approx_eq(C64::real(4.0), 1e-12));
@@ -342,11 +381,11 @@ mod tests {
     fn embed_cx_order_matters() {
         let cx01 = embed(2, &[0, 1], &gates::cx());
         let v = cx01.apply(&[C64::ZERO, C64::ZERO, C64::ONE, C64::ZERO]); // |10⟩
-        // control = qubit 0 set → target flips: |11⟩
+                                                                          // control = qubit 0 set → target flips: |11⟩
         assert!(v[3].approx_eq(C64::ONE, 1e-12));
         let cx10 = embed(2, &[1, 0], &gates::cx());
         let v = cx10.apply(&[C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO]); // |01⟩
-        // control = qubit 1 set → qubit 0 flips: |11⟩
+                                                                          // control = qubit 1 set → qubit 0 flips: |11⟩
         assert!(v[3].approx_eq(C64::ONE, 1e-12));
     }
 

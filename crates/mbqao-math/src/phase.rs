@@ -43,12 +43,18 @@ pub struct PhaseExpr {
 impl PhaseExpr {
     /// The zero phase.
     pub fn zero() -> Self {
-        PhaseExpr { pi: Rational::ZERO, terms: BTreeMap::new() }
+        PhaseExpr {
+            pi: Rational::ZERO,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant phase `π·r`.
     pub fn pi_times(r: Rational) -> Self {
-        PhaseExpr { pi: r.mod2(), terms: BTreeMap::new() }
+        PhaseExpr {
+            pi: r.mod2(),
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant phase π.
@@ -62,7 +68,10 @@ impl PhaseExpr {
         if !coeff.is_zero() {
             terms.insert(sym, coeff);
         }
-        PhaseExpr { pi: Rational::ZERO, terms }
+        PhaseExpr {
+            pi: Rational::ZERO,
+            terms,
+        }
     }
 
     /// Constant part as a multiple of π (in `[0,2)`).
@@ -105,7 +114,10 @@ impl PhaseExpr {
                 terms.insert(s, c);
             }
         }
-        PhaseExpr { pi: (self.pi * r).mod2(), terms }
+        PhaseExpr {
+            pi: (self.pi * r).mod2(),
+            terms,
+        }
     }
 
     /// Evaluates the phase in radians given numeric symbol bindings.
@@ -141,7 +153,10 @@ impl Add for PhaseExpr {
                 terms.remove(&s);
             }
         }
-        PhaseExpr { pi: (self.pi + rhs.pi).mod2(), terms }
+        PhaseExpr {
+            pi: (self.pi + rhs.pi).mod2(),
+            terms,
+        }
     }
 }
 

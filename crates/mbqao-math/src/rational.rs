@@ -49,7 +49,10 @@ impl Rational {
         if g == 0 {
             return Rational { num: 0, den: 1 };
         }
-        Rational { num: sign * num / g, den: sign * den / g }
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// Builds the integer `n`.
@@ -98,7 +101,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(self) -> Self {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 }
 
@@ -140,7 +146,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -38,7 +38,10 @@ impl Tensor {
 
     /// The scalar tensor (no legs).
     pub fn scalar(value: C64) -> Self {
-        Tensor { legs: vec![], data: vec![value] }
+        Tensor {
+            legs: vec![],
+            data: vec![value],
+        }
     }
 
     /// A Z-spider tensor with the given legs and phase:
@@ -139,10 +142,13 @@ impl Tensor {
     /// Reorders legs into the given order (must be a permutation of the
     /// current legs).
     pub fn permute(&self, new_order: &[u64]) -> Tensor {
-        assert_eq!(new_order.len(), self.legs.len(), "permutation length mismatch");
+        assert_eq!(
+            new_order.len(),
+            self.legs.len(),
+            "permutation length mismatch"
+        );
         let n = self.legs.len();
-        let pos: HashMap<u64, usize> =
-            self.legs.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let pos: HashMap<u64, usize> = self.legs.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         let perm: Vec<usize> = new_order
             .iter()
             .map(|l| *pos.get(l).expect("leg not present in tensor"))
@@ -158,18 +164,33 @@ impl Tensor {
             }
             *slot = self.data[old_idx];
         }
-        Tensor { legs: new_order.to_vec(), data }
+        Tensor {
+            legs: new_order.to_vec(),
+            data,
+        }
     }
 
     /// Contracts `self` with `other` along all shared legs (tensor product
     /// when none are shared).
     pub fn contract(&self, other: &Tensor) -> Tensor {
-        let shared: Vec<u64> =
-            self.legs.iter().copied().filter(|l| other.legs.contains(l)).collect();
-        let a_free: Vec<u64> =
-            self.legs.iter().copied().filter(|l| !shared.contains(l)).collect();
-        let b_free: Vec<u64> =
-            other.legs.iter().copied().filter(|l| !shared.contains(l)).collect();
+        let shared: Vec<u64> = self
+            .legs
+            .iter()
+            .copied()
+            .filter(|l| other.legs.contains(l))
+            .collect();
+        let a_free: Vec<u64> = self
+            .legs
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
+        let b_free: Vec<u64> = other
+            .legs
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
 
         // Reorder to [free..., shared...] for both operands, turning the
         // contraction into a matrix product.
@@ -215,7 +236,11 @@ impl Tensor {
     /// `outputs` (row index), both msb-first.
     pub fn to_matrix(&self, outputs: &[u64], inputs: &[u64]) -> Matrix {
         let ordered: Vec<u64> = outputs.iter().chain(inputs.iter()).copied().collect();
-        assert_eq!(ordered.len(), self.legs.len(), "to_matrix must mention every leg");
+        assert_eq!(
+            ordered.len(),
+            self.legs.len(),
+            "to_matrix must mention every leg"
+        );
         let t = self.permute(&ordered);
         Matrix::from_vec(1 << outputs.len(), 1 << inputs.len(), t.data)
     }
@@ -231,7 +256,9 @@ pub struct TensorNetwork {
 impl TensorNetwork {
     /// Empty network.
     pub fn new() -> Self {
-        TensorNetwork { tensors: Vec::new() }
+        TensorNetwork {
+            tensors: Vec::new(),
+        }
     }
 
     /// Adds a tensor to the network.
@@ -286,8 +313,7 @@ impl TensorNetwork {
                     if shared == 0 {
                         continue;
                     }
-                    let result_rank =
-                        self.tensors[i].rank() + self.tensors[j].rank() - 2 * shared;
+                    let result_rank = self.tensors[i].rank() + self.tensors[j].rank() - 2 * shared;
                     if best.is_none_or(|(_, _, r)| result_rank < r) {
                         best = Some((i, j, result_rank));
                     }
@@ -357,7 +383,8 @@ mod tests {
         let m = t.to_matrix(&[10, 11], &[0, 1]);
         let target = gates::cz();
         assert!(
-            m.scale(C64::real((2.0f64).sqrt())).approx_eq(&target, 1e-12),
+            m.scale(C64::real((2.0f64).sqrt()))
+                .approx_eq(&target, 1e-12),
             "√2 · diagram ≠ CZ"
         );
     }
@@ -380,10 +407,7 @@ mod tests {
 
     #[test]
     fn permute_roundtrip() {
-        let t = Tensor::new(
-            vec![5, 7, 9],
-            (0..8).map(|k| C64::real(k as f64)).collect(),
-        );
+        let t = Tensor::new(vec![5, 7, 9], (0..8).map(|k| C64::real(k as f64)).collect());
         let p = t.permute(&[9, 5, 7]).permute(&[5, 7, 9]);
         for (a, b) in t.data().iter().zip(p.data()) {
             assert!(a.approx_eq(*b, 1e-12));
@@ -403,11 +427,7 @@ mod tests {
         // X-basis... Direct check against explicit computation:
         // X-spider(0) arity-3 = Σ_{|±⟩} |±±⟩⟨±| scaled; ⟨0|±⟩ = 1/√2 both.
         // Result ∝ |++⟩ + |−−⟩ ∝ |00⟩ + |11⟩.
-        let expect = Matrix::from_vec(
-            4,
-            1,
-            vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ONE],
-        );
+        let expect = Matrix::from_vec(4, 1, vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ONE]);
         assert!(m.approx_eq_up_to_scalar(&expect, 1e-12));
     }
 }

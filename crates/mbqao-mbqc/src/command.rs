@@ -40,12 +40,18 @@ pub struct Angle {
 impl Angle {
     /// A constant angle.
     pub fn constant(c: f64) -> Self {
-        Angle { constant: c, terms: Vec::new() }
+        Angle {
+            constant: c,
+            terms: Vec::new(),
+        }
     }
 
     /// The angle `coeff · param`.
     pub fn param(coeff: f64, p: ParamId) -> Self {
-        Angle { constant: 0.0, terms: vec![(coeff, p)] }
+        Angle {
+            constant: 0.0,
+            terms: vec![(coeff, p)],
+        }
     }
 
     /// Evaluates with parameter bindings.
@@ -142,7 +148,14 @@ impl fmt::Display for Command {
                 write!(f, "N_{q}(|{s}⟩)")
             }
             Command::Entangle { a, b } => write!(f, "E_{{{a},{b}}}"),
-            Command::Measure { q, plane, angle, s, t, out } => {
+            Command::Measure {
+                q,
+                plane,
+                angle,
+                s,
+                t,
+                out,
+            } => {
                 write!(f, "M_{q}^{{{plane},{angle}}}[s={s},t={t}]→{out}")
             }
             Command::Correct { q, pauli, cond } => {
@@ -178,7 +191,11 @@ mod tests {
         let q1 = QubitId::new(1);
         assert_eq!(Command::Entangle { a: q0, b: q1 }.qubits(), vec![q0, q1]);
         assert_eq!(
-            Command::Prep { q: q1, state: PrepState::Plus }.qubits(),
+            Command::Prep {
+                q: q1,
+                state: PrepState::Plus
+            }
+            .qubits(),
             vec![q1]
         );
     }

@@ -46,7 +46,10 @@ pub fn check_determinism(
         .iter()
         .filter(|c| matches!(c, crate::command::Command::Measure { .. }))
         .count();
-    assert!(k <= 20, "branch enumeration over {k} measurements is too large");
+    assert!(
+        k <= 20,
+        "branch enumeration over {k} measurements is too large"
+    );
     let total = 1usize << k;
     let expect_prob = 1.0 / total as f64;
 
@@ -111,7 +114,13 @@ mod tests {
         let mut p = Pattern::new(vec![q(0)], 0);
         p.prep_plus(q(1));
         p.entangle(q(0), q(1));
-        let m0 = p.measure(q(0), Plane::XY, Angle::constant(0.4), Signal::zero(), Signal::zero());
+        let m0 = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.4),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.prep_plus(q(2));
         p.entangle(q(1), q(2));
         let m1 = p.measure(
@@ -138,7 +147,13 @@ mod tests {
         let mut p = Pattern::new(vec![q(0)], 0);
         p.prep_plus(q(1));
         p.entangle(q(0), q(1));
-        let _m = p.measure(q(0), Plane::XY, Angle::constant(0.4), Signal::zero(), Signal::zero());
+        let _m = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.4),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.set_outputs(vec![q(1)]);
 
         let mut input = State::zeros(&[q(0)]);

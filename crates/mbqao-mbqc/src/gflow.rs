@@ -55,6 +55,7 @@ fn solve_gf2(mut rows: Vec<BitVec>, mut rhs: Vec<bool>, ncols: usize) -> Option<
     let nrows = rows.len();
     let mut pivot_of_col: Vec<Option<usize>> = vec![None; ncols];
     let mut r = 0usize;
+    #[allow(clippy::needless_range_loop)]
     for c in 0..ncols {
         // Find a pivot for column c at or below row r.
         let Some(p) = (r..nrows).find(|&i| rows[i].get(c)) else {
@@ -91,6 +92,7 @@ fn solve_gf2(mut rows: Vec<BitVec>, mut rhs: Vec<bool>, ncols: usize) -> Option<
     }
     // Back-substitute with free variables = 0.
     let mut x = BitVec::zeros(ncols);
+    #[allow(clippy::needless_range_loop)]
     for c in 0..ncols {
         if let Some(p) = pivot_of_col[c] {
             x.set(c, rhs[p]);
@@ -240,7 +242,9 @@ pub fn verify_gflow(g: &OpenGraph, flow: &GFlow) -> bool {
         }
     }
     // every non-output has a correction set
-    (0..n).filter(|&i| !g.outputs().get(i)).all(|u| flow.g.contains_key(&u))
+    (0..n)
+        .filter(|&i| !g.outputs().get(i))
+        .all(|u| flow.g.contains_key(&u))
 }
 
 #[cfg(test)]
@@ -259,7 +263,10 @@ mod tests {
             &[(0, Plane::XY), (1, Plane::XY)],
         );
         let flow = find_gflow(&g).expect("line graph must have gflow");
-        assert!(verify_gflow(&g, &flow), "solver output fails the definition");
+        assert!(
+            verify_gflow(&g, &flow),
+            "solver output fails the definition"
+        );
         assert_eq!(flow.depth(), 2);
     }
 
@@ -293,7 +300,10 @@ mod tests {
         let g2 = OpenGraph::new(2, &[(0, 1)], &[], &[1], &[(0, Plane::YZ)]);
         let flow2 = find_gflow(&g2).expect("leaf YZ has gflow: g(0) = {0}");
         assert!(verify_gflow(&g2, &flow2));
-        assert!(flow2.g[&0].get(0), "YZ correction set contains the node itself");
+        assert!(
+            flow2.g[&0].get(0),
+            "YZ correction set contains the node itself"
+        );
     }
 
     #[test]

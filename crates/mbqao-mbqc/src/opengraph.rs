@@ -22,7 +22,10 @@ pub struct BitVec {
 impl BitVec {
     /// All-zero bitset over `len` positions.
     pub fn zeros(len: usize) -> Self {
-        BitVec { words: vec![0; len.div_ceil(64)], len }
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of positions.
@@ -156,7 +159,14 @@ impl OpenGraph {
         for q in p.outputs() {
             ov.set(index[q], true);
         }
-        OpenGraph { n, adj, inputs: iv, outputs: ov, planes, qubits }
+        OpenGraph {
+            n,
+            adj,
+            inputs: iv,
+            outputs: ov,
+            planes,
+            qubits,
+        }
     }
 
     /// Number of nodes.
@@ -222,7 +232,13 @@ mod tests {
     #[test]
     fn odd_neighborhood_path() {
         // Path 0-1-2: Odd({1}) = {0,2}; Odd({0,2}) = {1,1}⊕ = {1} xor {1}..
-        let g = OpenGraph::new(3, &[(0, 1), (1, 2)], &[0], &[2], &[(0, Plane::XY), (1, Plane::XY)]);
+        let g = OpenGraph::new(
+            3,
+            &[(0, 1), (1, 2)],
+            &[0],
+            &[2],
+            &[(0, Plane::XY), (1, Plane::XY)],
+        );
         let mut k = BitVec::zeros(3);
         k.set(1, true);
         let odd = g.odd_neighborhood(&k);

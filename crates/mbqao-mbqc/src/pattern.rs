@@ -112,7 +112,10 @@ impl Pattern {
 
     /// Appends `N_q(|+⟩)`.
     pub fn prep_plus(&mut self, q: QubitId) {
-        self.push(Command::Prep { q, state: PrepState::Plus });
+        self.push(Command::Prep {
+            q,
+            state: PrepState::Plus,
+        });
     }
 
     /// Appends `E_{ab}`.
@@ -130,7 +133,14 @@ impl Pattern {
         t: Signal,
     ) -> OutcomeId {
         let out = OutcomeId(self.n_outcomes);
-        self.push(Command::Measure { q, plane, angle, s, t, out });
+        self.push(Command::Measure {
+            q,
+            plane,
+            angle,
+            s,
+            t,
+            out,
+        });
         out
     }
 
@@ -160,19 +170,17 @@ impl Pattern {
         let mut measured: HashMap<QubitId, OutcomeId> = HashMap::new();
         let mut produced: HashSet<OutcomeId> = HashSet::new();
 
-        let check_signal = |sig: &Signal,
-                            produced: &HashSet<OutcomeId>,
-                            ctx: &str|
-         -> Result<(), PatternError> {
-            for v in sig.vars() {
-                if !produced.contains(&v) {
-                    return Err(PatternError::AcausalSignal(format!(
-                        "{ctx} references future outcome {v}"
-                    )));
+        let check_signal =
+            |sig: &Signal, produced: &HashSet<OutcomeId>, ctx: &str| -> Result<(), PatternError> {
+                for v in sig.vars() {
+                    if !produced.contains(&v) {
+                        return Err(PatternError::AcausalSignal(format!(
+                            "{ctx} references future outcome {v}"
+                        )));
+                    }
                 }
-            }
-            Ok(())
-        };
+                Ok(())
+            };
 
         for (idx, c) in self.commands.iter().enumerate() {
             match c {
@@ -194,7 +202,14 @@ impl Pattern {
                         }
                     }
                 }
-                Command::Measure { q, angle, s, t, out, .. } => {
+                Command::Measure {
+                    q,
+                    angle,
+                    s,
+                    t,
+                    out,
+                    ..
+                } => {
                     if !live.contains(q) {
                         return Err(PatternError::NotLive(format!(
                             "command {idx}: measure on dead/unprepared {q}"
@@ -285,7 +300,13 @@ mod tests {
         let mut p = Pattern::new(vec![q(0)], 0);
         p.prep_plus(q(1));
         p.entangle(q(0), q(1));
-        let m = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let m = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.correct(q(1), Pauli::X, Signal::var(m));
         p.set_outputs(vec![q(1)]);
         assert!(p.validate().is_ok(), "{:?}", p.validate());
@@ -319,8 +340,20 @@ mod tests {
     #[test]
     fn rejects_measure_dead_qubit() {
         let mut p = Pattern::new(vec![q(0)], 0);
-        let _ = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
-        let _ = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let _ = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
+        let _ = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.set_outputs(vec![]);
         assert!(matches!(p.validate(), Err(PatternError::NotLive(_))));
     }

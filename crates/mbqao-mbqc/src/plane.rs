@@ -89,8 +89,8 @@ mod tests {
             _ => unreachable!(),
         };
         for theta in [0.0, 0.31, 1.2, -0.7, 2.9] {
-            let adapted = if flip { -theta } else { theta }
-                + if add_pi { std::f64::consts::PI } else { 0.0 };
+            let adapted =
+                if flip { -theta } else { theta } + if add_pi { std::f64::consts::PI } else { 0.0 };
             let b = plane.basis(theta);
             let b2 = plane.basis(adapted);
             for (m, v) in [(0usize, b.v0), (1usize, b.v1)] {

@@ -110,7 +110,13 @@ mod tests {
         let mut p = Pattern::new(vec![q(0)], 0);
         p.prep_plus(q(1));
         p.entangle(q(0), q(1));
-        let m0 = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let m0 = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.prep_plus(q(2));
         p.entangle(q(1), q(2));
         let _m1 = p.measure(
@@ -135,8 +141,20 @@ mod tests {
     #[test]
     fn independent_measurements_are_one_round() {
         let mut p = Pattern::new(vec![q(0), q(1)], 0);
-        let _ = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
-        let _ = p.measure(q(1), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let _ = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
+        let _ = p.measure(
+            q(1),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.set_outputs(vec![]);
         let s = stats(&p);
         assert_eq!(s.rounds, 1);

@@ -17,69 +17,88 @@
 use crate::command::Command;
 use crate::pattern::Pattern;
 use mbqao_sim::QubitId;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Reorders `pattern`'s commands into a just-in-time schedule and returns
 /// the new pattern. The result validates iff the input did.
+///
+/// Runs in `O(commands + adjacency)`: `Prep` and `Entangle` commands are
+/// indexed by qubit once up front, so each emission is a constant-time
+/// lookup instead of a rescan of the whole command list (the engine
+/// JIT-schedules every compiled pattern, so this is on the compile path
+/// of every `PatternBackend`).
 pub fn just_in_time(pattern: &Pattern) -> Pattern {
     let cmds = pattern.commands();
     let mut emitted: Vec<bool> = vec![false; cmds.len()];
     let mut live: HashSet<QubitId> = pattern.inputs().iter().copied().collect();
     let mut out = Pattern::new(pattern.inputs().to_vec(), pattern.n_params());
 
-    // Emit the preparation of `q` (if not yet emitted) followed by nothing
-    // else; returns true if found.
-    let mut emit_prep = |q: QubitId,
-                         out: &mut Pattern,
-                         emitted: &mut Vec<bool>,
-                         live: &mut HashSet<QubitId>| {
+    // Index the deferred commands by qubit: the next unemitted Prep per
+    // qubit (FIFO over duplicates), and every Entangle touching a qubit.
+    let mut preps: HashMap<QubitId, Vec<usize>> = HashMap::new();
+    let mut entangles: HashMap<QubitId, Vec<usize>> = HashMap::new();
+    for (i, c) in cmds.iter().enumerate() {
+        match c {
+            Command::Prep { q, .. } => preps.entry(*q).or_default().push(i),
+            Command::Entangle { a, b } => {
+                entangles.entry(*a).or_default().push(i);
+                entangles.entry(*b).or_default().push(i);
+            }
+            _ => {}
+        }
+    }
+    // Reverse so emission can pop the earliest pending index in O(1).
+    for v in preps.values_mut() {
+        v.reverse();
+    }
+    // Cursor per qubit into its (ordered) entangler list.
+    let mut entangle_cursor: HashMap<QubitId, usize> = HashMap::new();
+
+    let emit_prep = |q: QubitId,
+                     out: &mut Pattern,
+                     emitted: &mut Vec<bool>,
+                     live: &mut HashSet<QubitId>,
+                     preps: &mut HashMap<QubitId, Vec<usize>>| {
         if live.contains(&q) {
             return;
         }
-        for (i, c) in cmds.iter().enumerate() {
-            if emitted[i] {
-                continue;
-            }
-            if let Command::Prep { q: pq, .. } = c {
-                if *pq == q {
-                    emitted[i] = true;
-                    live.insert(q);
-                    out.push(c.clone());
-                    return;
-                }
-            }
-        }
-        panic!("no preparation found for {q}");
+        let i = preps
+            .get_mut(&q)
+            .and_then(Vec::pop)
+            .unwrap_or_else(|| panic!("no preparation found for {q}"));
+        emitted[i] = true;
+        live.insert(q);
+        out.push(cmds[i].clone());
     };
 
-    // Emits every still-pending entangler (listed before position `i`)
-    // that touches `q`, prepping operands on demand. Deferred CZs commute
-    // with each other and with already-emitted CZs, and act on qubits that
-    // have seen no other emitted operation, so late emission is sound.
-    let emit_pending_entangles =
+    // Emits every still-pending entangler listed before position `i` that
+    // touches `q`, prepping operands on demand. Deferred CZs commute with
+    // each other and with already-emitted CZs, and act on qubits that have
+    // seen no other emitted operation, so late emission is sound.
+    let mut emit_pending_entangles =
         |q: QubitId,
          i: usize,
          out: &mut Pattern,
          emitted: &mut Vec<bool>,
          live: &mut HashSet<QubitId>,
-         emit_prep: &mut dyn FnMut(
-            QubitId,
-            &mut Pattern,
-            &mut Vec<bool>,
-            &mut HashSet<QubitId>,
-        )| {
-            for (j, cj) in cmds.iter().enumerate().take(i) {
+         preps: &mut HashMap<QubitId, Vec<usize>>| {
+            let Some(list) = entangles.get(&q) else {
+                return;
+            };
+            let cursor = entangle_cursor.entry(q).or_insert(0);
+            while *cursor < list.len() && list[*cursor] < i {
+                let j = list[*cursor];
+                *cursor += 1;
                 if emitted[j] {
                     continue;
                 }
-                if let Command::Entangle { a, b } = cj {
-                    if *a == q || *b == q {
-                        emit_prep(*a, out, emitted, live);
-                        emit_prep(*b, out, emitted, live);
-                        emitted[j] = true;
-                        out.push(cj.clone());
-                    }
-                }
+                let Command::Entangle { a, b } = &cmds[j] else {
+                    unreachable!()
+                };
+                emit_prep(*a, out, emitted, live, preps);
+                emit_prep(*b, out, emitted, live, preps);
+                emitted[j] = true;
+                out.push(cmds[j].clone());
             }
         };
 
@@ -92,15 +111,15 @@ pub fn just_in_time(pattern: &Pattern) -> Pattern {
             // correction forces them.
             Command::Prep { .. } | Command::Entangle { .. } => continue,
             Command::Measure { q, .. } => {
-                emit_pending_entangles(*q, i, &mut out, &mut emitted, &mut live, &mut emit_prep);
-                emit_prep(*q, &mut out, &mut emitted, &mut live);
+                emit_pending_entangles(*q, i, &mut out, &mut emitted, &mut live, &mut preps);
+                emit_prep(*q, &mut out, &mut emitted, &mut live, &mut preps);
                 emitted[i] = true;
                 live.remove(q);
                 out.push(c.clone());
             }
             Command::Correct { q, .. } => {
-                emit_pending_entangles(*q, i, &mut out, &mut emitted, &mut live, &mut emit_prep);
-                emit_prep(*q, &mut out, &mut emitted, &mut live);
+                emit_pending_entangles(*q, i, &mut out, &mut emitted, &mut live, &mut preps);
+                emit_prep(*q, &mut out, &mut emitted, &mut live, &mut preps);
                 emitted[i] = true;
                 out.push(c.clone());
             }
@@ -189,7 +208,13 @@ mod tests {
         for i in 0..len {
             let s = prev.map(Signal::var).unwrap_or_default();
             let t = prev_prev.map(Signal::var).unwrap_or_default();
-            let m = p.measure(q(i as u64), Plane::XY, Angle::constant(0.2 * i as f64), s, t);
+            let m = p.measure(
+                q(i as u64),
+                Plane::XY,
+                Angle::constant(0.2 * i as f64),
+                s,
+                t,
+            );
             prev_prev = prev;
             prev = Some(m);
         }

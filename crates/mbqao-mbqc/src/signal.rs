@@ -35,14 +35,20 @@ impl Signal {
 
     /// The constant-one signal.
     pub fn one() -> Self {
-        Signal { constant: true, vars: BTreeSet::new() }
+        Signal {
+            constant: true,
+            vars: BTreeSet::new(),
+        }
     }
 
     /// The signal equal to a single outcome variable.
     pub fn var(m: OutcomeId) -> Self {
         let mut vars = BTreeSet::new();
         vars.insert(m);
-        Signal { constant: false, vars }
+        Signal {
+            constant: false,
+            vars,
+        }
     }
 
     /// XORs another signal into this one.
@@ -133,7 +139,9 @@ mod tests {
 
     #[test]
     fn eval_parity() {
-        let s = Signal::var(m(0)).xor(&Signal::var(m(1))).xor(&Signal::one());
+        let s = Signal::var(m(0))
+            .xor(&Signal::var(m(1)))
+            .xor(&Signal::one());
         // 1 ⊕ m0 ⊕ m1 with m0=1, m1=0 → 0
         assert!(!s.eval(&|id| id == m(0)));
         // with m0=m1=0 → 1

@@ -55,7 +55,10 @@ pub fn run_with_input<R: Rng + ?Sized>(
         let mut want: Vec<_> = pattern.inputs().to_vec();
         have.sort_unstable();
         want.sort_unstable();
-        assert_eq!(have, want, "input state must cover exactly the pattern inputs");
+        assert_eq!(
+            have, want,
+            "input state must cover exactly the pattern inputs"
+        );
     }
 
     let mut state = input;
@@ -75,10 +78,19 @@ pub fn run_with_input<R: Rng + ?Sized>(
         match c {
             Command::Prep { q, state: ps } => match ps {
                 PrepState::Plus => state.add_plus(*q),
-                PrepState::Zero => state.add_qubit(*q, [mbqao_math::C64::ONE, mbqao_math::C64::ZERO]),
+                PrepState::Zero => {
+                    state.add_qubit(*q, [mbqao_math::C64::ONE, mbqao_math::C64::ZERO])
+                }
             },
             Command::Entangle { a, b } => state.apply_cz(*a, *b),
-            Command::Measure { q, plane, angle, s, t, out } => {
+            Command::Measure {
+                q,
+                plane,
+                angle,
+                s,
+                t,
+                out,
+            } => {
                 let mut theta = angle.eval(params);
                 if lookup(&outcomes, &measured, s) {
                     theta = -theta;
@@ -108,7 +120,11 @@ pub fn run_with_input<R: Rng + ?Sized>(
         }
     }
 
-    RunResult { state, outcomes, probability }
+    RunResult {
+        state,
+        outcomes,
+        probability,
+    }
 }
 
 /// Executes a self-contained pattern (no inputs).
@@ -173,13 +189,7 @@ mod tests {
 
         for branch in [[0u8], [1u8]] {
             let mut rng = StdRng::seed_from_u64(1);
-            let r = run_with_input(
-                &pattern,
-                mk_input(),
-                &[],
-                Branch::Forced(&branch),
-                &mut rng,
-            );
+            let r = run_with_input(&pattern, mk_input(), &[], Branch::Forced(&branch), &mut rng);
             assert!(
                 r.state.approx_eq_up_to_phase(&[q(1)], &ref_dense, 1e-9),
                 "branch {branch:?} does not implement J(θ)"
@@ -195,7 +205,13 @@ mod tests {
         let mut p = Pattern::new(vec![q(0)], 0);
         p.prep_plus(q(1));
         p.entangle(q(0), q(1));
-        let m0 = p.measure(q(0), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+        let m0 = p.measure(
+            q(0),
+            Plane::XY,
+            Angle::constant(0.0),
+            Signal::zero(),
+            Signal::zero(),
+        );
         p.prep_plus(q(2));
         p.entangle(q(1), q(2));
         // Second measurement: base angle −β; X^{m0} byproduct on q1 folds
@@ -226,13 +242,7 @@ mod tests {
         for b0 in 0..2u8 {
             for b1 in 0..2u8 {
                 let mut rng = StdRng::seed_from_u64(1);
-                let r = run_with_input(
-                    &p,
-                    mk_input(),
-                    &[],
-                    Branch::Forced(&[b0, b1]),
-                    &mut rng,
-                );
+                let r = run_with_input(&p, mk_input(), &[], Branch::Forced(&[b0, b1]), &mut rng);
                 assert!(
                     r.state.approx_eq_up_to_phase(&[q(2)], &ref_dense, 1e-9),
                     "branch ({b0},{b1}) wrong"
@@ -277,10 +287,14 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(3);
             let r = run_with_input(&p, mk_input(), &[], Branch::Forced(&[b]), &mut rng);
             assert!(
-                r.state.approx_eq_up_to_phase(&[q(0), q(1)], &ref_dense, 1e-9),
+                r.state
+                    .approx_eq_up_to_phase(&[q(0), q(1)], &ref_dense, 1e-9),
                 "branch {b} of the ZZ gadget is wrong"
             );
-            assert!((r.probability - 0.5).abs() < 1e-9, "branch prob not uniform");
+            assert!(
+                (r.probability - 0.5).abs() < 1e-9,
+                "branch prob not uniform"
+            );
         }
     }
 
@@ -338,12 +352,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let r = run(&p, &[], Branch::Random, &mut rng);
         let h = 0.5;
-        let expect = [
-            C64::real(h),
-            C64::real(h),
-            C64::real(h),
-            C64::real(-h),
-        ];
+        let expect = [C64::real(h), C64::real(h), C64::real(h), C64::real(-h)];
         assert!(r.state.approx_eq_up_to_phase(&[q(0), q(1)], &expect, 1e-9));
     }
 }

@@ -31,7 +31,13 @@ where
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|s| fold(s..(s + chunk).min(dim)))
-            .reduce_with(|a, b| if better(a.0, b.0) || (a.0 == b.0 && a.1 < b.1) { a } else { b })
+            .reduce_with(|a, b| {
+                if better(a.0, b.0) || (a.0 == b.0 && a.1 < b.1) {
+                    a
+                } else {
+                    b
+                }
+            })
             .expect("non-empty range")
     } else {
         fold(0..dim)

@@ -5,6 +5,7 @@
 //! complete graphs, planar grids and random Erdős–Rényi instances.
 
 use crate::graph::Graph;
+use crate::ising::Ising;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -119,6 +120,24 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
     }
 }
 
+/// Sherrington–Kirkpatrick spin glass: all-to-all couplings with
+/// uniform random signs `J_ij ∈ {+1, −1}`, no local fields — the
+/// classic mean-field hard-optimization family (and a natural stress
+/// test for QAOA on dense, weighted instances, in contrast to the
+/// unweighted MaxCut families above). The interaction graph is `K_n`;
+/// the energies live in the coupling signs, so the instance is returned
+/// as an [`Ising`] model.
+pub fn sherrington_kirkpatrick<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Ising {
+    let mut couplings = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let j = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            couplings.push((u, v, j));
+        }
+    }
+    Ising::new(n, 0.0, vec![0.0; n], couplings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +196,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(erdos_renyi(6, 0.0, &mut rng).m(), 0);
         assert_eq!(erdos_renyi(6, 1.0, &mut rng).m(), 15);
+    }
+
+    #[test]
+    fn sk_is_complete_with_unit_couplings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = sherrington_kirkpatrick(6, &mut rng);
+        assert_eq!(sk.n(), 6);
+        assert_eq!(sk.couplings().len(), 15);
+        assert!(sk
+            .couplings()
+            .iter()
+            .all(|&(_, _, j)| j == 1.0 || j == -1.0));
+        assert!(sk.fields().iter().all(|&h| h == 0.0));
+        // Both signs occur with overwhelming probability on 15 draws.
+        assert!(sk.couplings().iter().any(|&(_, _, j)| j > 0.0));
+        assert!(sk.couplings().iter().any(|&(_, _, j)| j < 0.0));
+        // Energies are symmetric under global spin flip (no fields).
+        for x in 0..(1u64 << 6) {
+            let flipped = !x & 0x3F;
+            assert_eq!(sk.energy(x), sk.energy(flipped));
+        }
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Graph {
             adj[u].push(v);
             adj[v].push(u);
         }
-        Graph { n, edges: norm, adj }
+        Graph {
+            n,
+            edges: norm,
+            adj,
+        }
     }
 
     /// Number of vertices.

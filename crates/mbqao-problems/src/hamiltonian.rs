@@ -38,7 +38,11 @@ impl ZPoly {
             support.sort_unstable();
             let len_before = support.len();
             support.dedup();
-            assert_eq!(len_before, support.len(), "support repeats a qubit (Z² = I should be pre-reduced)");
+            assert_eq!(
+                len_before,
+                support.len(),
+                "support repeats a qubit (Z² = I should be pre-reduced)"
+            );
             assert!(support.iter().all(|&q| q < n), "support out of range");
             if support.is_empty() {
                 c0 += w;
@@ -50,7 +54,11 @@ impl ZPoly {
             .into_iter()
             .filter(|&(_, w)| w.abs() > 1e-15)
             .collect();
-        ZPoly { n, constant: c0, terms }
+        ZPoly {
+            n,
+            constant: c0,
+            terms,
+        }
     }
 
     /// Number of qubits.
@@ -88,7 +96,9 @@ impl ZPoly {
     pub fn value(&self, x: u64) -> f64 {
         let mut v = self.constant;
         for (support, w) in &self.terms {
-            let parity = support.iter().fold(0u32, |acc, &q| acc ^ ((x >> q) as u32 & 1));
+            let parity = support
+                .iter()
+                .fold(0u32, |acc, &q| acc ^ ((x >> q) as u32 & 1));
             v += if parity == 0 { *w } else { -*w };
         }
         v
@@ -177,8 +187,11 @@ impl ZPoly {
     /// support), remapping them to `0..active.len()`. Returns the reduced
     /// polynomial; `active[i]` is the original index of new variable `i`.
     pub fn restrict(&self, active: &[usize]) -> ZPoly {
-        let map: std::collections::HashMap<usize, usize> =
-            active.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let map: std::collections::HashMap<usize, usize> = active
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let terms: Vec<(Vec<usize>, f64)> = self
             .terms
             .iter()
@@ -186,9 +199,8 @@ impl ZPoly {
                 let mapped: Vec<usize> = s
                     .iter()
                     .map(|v| {
-                        *map.get(v).unwrap_or_else(|| {
-                            panic!("support variable {v} not in the active set")
-                        })
+                        *map.get(v)
+                            .unwrap_or_else(|| panic!("support variable {v} not in the active set"))
                     })
                     .collect();
                 (mapped, *w)
@@ -237,7 +249,12 @@ mod tests {
         let c = ZPoly::new(
             2,
             1.0,
-            vec![(vec![1, 0], 0.25), (vec![0, 1], 0.75), (vec![], 2.0), (vec![0], 0.0)],
+            vec![
+                (vec![1, 0], 0.25),
+                (vec![0, 1], 0.75),
+                (vec![], 2.0),
+                (vec![0], 0.0),
+            ],
         );
         assert_eq!(c.constant(), 3.0);
         assert_eq!(c.terms().len(), 1);

@@ -119,7 +119,12 @@ mod tests {
 
     #[test]
     fn zpoly_and_qubo_agree() {
-        let m = Ising::new(3, 0.25, vec![0.5, -1.0, 0.0], vec![(0, 1, 1.0), (1, 2, -0.5)]);
+        let m = Ising::new(
+            3,
+            0.25,
+            vec![0.5, -1.0, 0.0],
+            vec![(0, 1, 1.0), (1, 2, -0.5)],
+        );
         let z = m.to_zpoly();
         let q = m.to_qubo();
         for x in 0..8u64 {

@@ -59,7 +59,10 @@ impl KSat {
             }
             clauses.push(
                 vars.into_iter()
-                    .map(|var| Literal { var, negated: rng.gen() })
+                    .map(|var| Literal {
+                        var,
+                        negated: rng.gen(),
+                    })
                     .collect(),
             );
         }
@@ -105,11 +108,18 @@ impl KSat {
         for clause in &self.clauses {
             // Expand the product over subsets of the *positive* literals:
             // factor for positive literal i: (1 − x_i); negative: x_j.
-            let pos: Vec<usize> =
-                clause.iter().filter(|l| !l.negated).map(|l| l.var).collect();
+            let pos: Vec<usize> = clause
+                .iter()
+                .filter(|l| !l.negated)
+                .map(|l| l.var)
+                .collect();
             let neg: Vec<usize> = clause.iter().filter(|l| l.negated).map(|l| l.var).collect();
             for subset in 0..(1u64 << pos.len()) {
-                let sign = if subset.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let sign = if subset.count_ones() % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let mut support = neg.clone();
                 for (b, &v) in pos.iter().enumerate() {
                     if (subset >> b) & 1 == 1 {
@@ -157,7 +167,10 @@ mod tests {
         let p = f.to_pubo();
         assert_eq!(p.degree(), 3);
         for x in 0..(1u64 << 6) {
-            assert!((p.value(x) - f.violated(x) as f64).abs() < 1e-10, "x={x:06b}");
+            assert!(
+                (p.value(x) - f.violated(x) as f64).abs() < 1e-10,
+                "x={x:06b}"
+            );
         }
     }
 }

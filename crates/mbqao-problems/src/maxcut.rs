@@ -12,8 +12,7 @@ use crate::qubo::Qubo;
 /// The minimization Hamiltonian for MaxCut on `g`:
 /// `−|E|/2 + ½ Σ_{(ij)∈E} ZᵢZⱼ` (value = −cut(x)).
 pub fn maxcut_zpoly(g: &Graph) -> ZPoly {
-    let terms: Vec<(Vec<usize>, f64)> =
-        g.edges().iter().map(|&(u, v)| (vec![u, v], 0.5)).collect();
+    let terms: Vec<(Vec<usize>, f64)> = g.edges().iter().map(|&(u, v)| (vec![u, v], 0.5)).collect();
     ZPoly::new(g.n(), -(g.m() as f64) / 2.0, terms)
 }
 

@@ -20,8 +20,7 @@ use crate::qubo::Qubo;
 pub fn mis_penalty_qubo(g: &Graph, penalty: f64) -> Qubo {
     assert!(penalty > 1.0, "penalty must exceed 1 for exactness");
     let linear = vec![-1.0; g.n()];
-    let quad: Vec<(usize, usize, f64)> =
-        g.edges().iter().map(|&(u, v)| (u, v, penalty)).collect();
+    let quad: Vec<(usize, usize, f64)> = g.edges().iter().map(|&(u, v)| (u, v, penalty)).collect();
     Qubo::new(g.n(), 0.0, linear, quad)
 }
 
@@ -84,7 +83,11 @@ mod tests {
 
     #[test]
     fn greedy_is_independent_and_maximal() {
-        for g in [generators::petersen(), generators::square(), generators::star(6)] {
+        for g in [
+            generators::petersen(),
+            generators::square(),
+            generators::star(6),
+        ] {
             let s = greedy_mis(&g);
             assert!(g.is_independent_set(s));
             // maximality: no vertex can be added
@@ -93,7 +96,10 @@ mod tests {
                     continue;
                 }
                 let extended = s | (1 << v);
-                assert!(!g.is_independent_set(extended), "greedy set not maximal at {v}");
+                assert!(
+                    !g.is_independent_set(extended),
+                    "greedy set not maximal at {v}"
+                );
             }
         }
     }

@@ -32,16 +32,30 @@ impl Pubo {
             support.sort_unstable();
             let before = support.len();
             support.dedup();
-            assert_eq!(before, support.len(), "monomial repeats a variable (x² = x should be pre-reduced)");
-            assert!(support.iter().all(|&q| q < n), "monomial variable out of range");
+            assert_eq!(
+                before,
+                support.len(),
+                "monomial repeats a variable (x² = x should be pre-reduced)"
+            );
+            assert!(
+                support.iter().all(|&q| q < n),
+                "monomial variable out of range"
+            );
             if support.is_empty() {
                 c0 += w;
                 continue;
             }
             *merged.entry(support).or_insert(0.0) += w;
         }
-        let terms = merged.into_iter().filter(|&(_, w)| w.abs() > 1e-15).collect();
-        Pubo { n, constant: c0, terms }
+        let terms = merged
+            .into_iter()
+            .filter(|&(_, w)| w.abs() > 1e-15)
+            .collect();
+        Pubo {
+            n,
+            constant: c0,
+            terms,
+        }
     }
 
     /// From a QUBO (degree ≤ 2 special case).
@@ -98,7 +112,11 @@ impl Pubo {
             let scale = w / (1u64 << k) as f64;
             // ∏ (1 − Z_i) = Σ_{S ⊆ T} (−1)^{|S|} Z_S
             for subset in 0..(1u64 << k) {
-                let sign = if (subset.count_ones() & 1) == 0 { 1.0 } else { -1.0 };
+                let sign = if (subset.count_ones() & 1) == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let z_support: Vec<usize> = (0..k)
                     .filter(|b| (subset >> b) & 1 == 1)
                     .map(|b| support[b])
@@ -171,7 +189,11 @@ mod tests {
 
     #[test]
     fn monomial_merge() {
-        let p = Pubo::new(3, 1.0, vec![(vec![2, 1], 1.0), (vec![1, 2], -1.0), (vec![], 0.5)]);
+        let p = Pubo::new(
+            3,
+            1.0,
+            vec![(vec![2, 1], 1.0), (vec![1, 2], -1.0), (vec![], 0.5)],
+        );
         assert_eq!(p.terms().len(), 0);
         assert_eq!(p.constant(), 1.5);
     }

@@ -23,7 +23,11 @@ impl Qubo {
     /// Panics on out-of-range indices or `i == j` quadratic terms
     /// (diagonal terms belong in `linear` since `x² = x`).
     pub fn new(n: usize, constant: f64, linear: Vec<f64>, quad: Vec<(usize, usize, f64)>) -> Self {
-        assert_eq!(linear.len(), n, "linear coefficient vector must have length n");
+        assert_eq!(
+            linear.len(),
+            n,
+            "linear coefficient vector must have length n"
+        );
         let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
             std::collections::BTreeMap::new();
         for (i, j, w) in quad {
@@ -36,7 +40,12 @@ impl Qubo {
             .filter(|&(_, w)| w.abs() > 1e-15)
             .map(|((i, j), w)| (i, j, w))
             .collect();
-        Qubo { n, constant, linear, quad }
+        Qubo {
+            n,
+            constant,
+            linear,
+            quad,
+        }
     }
 
     /// Number of variables.

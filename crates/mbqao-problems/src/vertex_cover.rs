@@ -31,7 +31,11 @@ mod tests {
 
     #[test]
     fn optimum_is_minimum_cover() {
-        for g in [generators::square(), generators::petersen(), generators::star(5)] {
+        for g in [
+            generators::square(),
+            generators::petersen(),
+            generators::star(5),
+        ] {
             let q = vertex_cover_qubo(&g, 2.0);
             let (v, x) = q.min_value();
             assert!(g.is_vertex_cover(x), "optimum is not a cover");

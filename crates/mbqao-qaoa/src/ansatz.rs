@@ -47,7 +47,12 @@ impl QaoaAnsatz {
     /// Standard QAOA for a cost Hamiltonian: `|+⟩` start, transverse
     /// mixer.
     pub fn standard(cost: ZPoly, p: usize) -> Self {
-        QaoaAnsatz { cost, p, mixer: Mixer::TransverseField, initial: InitialState::PlusAll }
+        QaoaAnsatz {
+            cost,
+            p,
+            mixer: Mixer::TransverseField,
+            initial: InitialState::PlusAll,
+        }
     }
 
     /// Constraint-preserving MIS ansatz (Sec. IV): start from a feasible
@@ -77,7 +82,12 @@ impl QaoaAnsatz {
     /// # Panics
     /// Panics when `params.len() != 2p`.
     pub fn split_params<'a>(&self, params: &'a [f64]) -> (&'a [f64], &'a [f64]) {
-        assert_eq!(params.len(), 2 * self.p, "expected 2p = {} parameters", 2 * self.p);
+        assert_eq!(
+            params.len(),
+            2 * self.p,
+            "expected 2p = {} parameters",
+            2 * self.p
+        );
         params.split_at(self.p)
     }
 

@@ -9,14 +9,20 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct QaoaRunner {
     ansatz: QaoaAnsatz,
-    cost_vector: Vec<f64>,
+    /// Dense `2^n` cost vector, built on the first `⟨C⟩` evaluation —
+    /// callers that only prepare states (e.g. equivalence verification)
+    /// never pay for it.
+    cost_vector: std::sync::OnceLock<Vec<f64>>,
 }
 
 impl QaoaRunner {
-    /// Builds a runner (precomputes the `2^n` cost vector).
+    /// Builds a runner (the `2^n` cost vector is computed lazily on the
+    /// first expectation evaluation).
     pub fn new(ansatz: QaoaAnsatz) -> Self {
-        let cost_vector = ansatz.cost.cost_vector_msb();
-        QaoaRunner { ansatz, cost_vector }
+        QaoaRunner {
+            ansatz,
+            cost_vector: std::sync::OnceLock::new(),
+        }
     }
 
     /// The wrapped ansatz.
@@ -26,7 +32,8 @@ impl QaoaRunner {
 
     /// The cached cost vector (msb-first basis order over `q0…q_{n−1}`).
     pub fn cost_vector(&self) -> &[f64] {
-        &self.cost_vector
+        self.cost_vector
+            .get_or_init(|| self.ansatz.cost.cost_vector_msb())
     }
 
     /// Prepares `|γβ⟩`.
@@ -37,7 +44,7 @@ impl QaoaRunner {
     /// `⟨γβ|C|γβ⟩` (including the Hamiltonian's constant).
     pub fn expectation(&self, params: &[f64]) -> f64 {
         let st = self.ansatz.prepare(params);
-        st.expectation_diag(&self.ansatz.qubit_order(), &self.cost_vector)
+        st.expectation_diag(&self.ansatz.qubit_order(), self.cost_vector())
     }
 
     /// Samples `shots` bitstrings (bit `v` of each sample = variable `v`,
@@ -100,8 +107,10 @@ mod tests {
         let g = generators::square();
         let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
         let e = runner.expectation(&[0.0, 0.0]);
-        let mean: f64 =
-            (0..16u64).map(|x| runner.ansatz().cost.value(x)).sum::<f64>() / 16.0;
+        let mean: f64 = (0..16u64)
+            .map(|x| runner.ansatz().cost.value(x))
+            .sum::<f64>()
+            / 16.0;
         assert!((e - mean).abs() < 1e-9, "{e} vs {mean}");
         // For MaxCut, mean cut = |E|/2 → ⟨C⟩ = −2 on the square.
         assert!((e + 2.0).abs() < 1e-9);
@@ -123,7 +132,10 @@ mod tests {
             }
         }
         let ratio = approximation_ratio(best, -4.0, 0.0);
-        assert!(ratio > 0.74, "p=1 ring ratio {ratio} below the analytic 3/4 − ε");
+        assert!(
+            ratio > 0.74,
+            "p=1 ring ratio {ratio} below the analytic 3/4 − ε"
+        );
     }
 
     #[test]
@@ -147,8 +159,10 @@ mod tests {
         let g = generators::square();
         let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
         let mut rng = StdRng::seed_from_u64(5);
-        let (x, v) = runner.best_of(&[0.5, 0.35], 200, &mut rng);
-        // With 200 shots on 4 qubits the optimum (cut 4) shows up.
+        // Near the p=1 landscape optimum the exact cut is drawn with
+        // probability ≈ 0.48 per shot, so 200 shots find it with
+        // overwhelming probability for any RNG stream.
+        let (x, v) = runner.best_of(&[0.6, 1.1], 200, &mut rng);
         assert_eq!(v, -4.0);
         assert_eq!(g.cut_value(x), 4);
     }

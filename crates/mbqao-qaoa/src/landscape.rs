@@ -3,6 +3,11 @@
 //! For `p = 1` the QAOA expectation is a smooth function of `(γ, β)`; a
 //! dense scan over the torus yields the landscape pictures used to
 //! sanity-check both backends against each other and to seed optimizers.
+//!
+//! The grid construction lives in [`scan_p1_with`], parameterized by a
+//! batch evaluator; [`scan_p1`] is the [`QaoaRunner`] front end and
+//! `mbqao_core::engine::Executor::scan_p1` is the backend-agnostic one —
+//! both share this single implementation.
 
 use crate::expectation::QaoaRunner;
 use rayon::prelude::*;
@@ -33,8 +38,48 @@ impl Landscape {
     }
 }
 
-/// Scans `⟨C⟩` over `[γ_lo, γ_hi] × [β_lo, β_hi]` with `steps²` points
-/// (rows in parallel).
+/// Scans `⟨C⟩` over `[γ_lo, γ_hi] × [β_lo, β_hi]` with `steps²` points:
+/// builds the flat point list `[γ_i, β_j]` (row-major) and hands it to
+/// `eval_batch` in one call.
+///
+/// # Panics
+/// Panics when `steps < 2` or `eval_batch` returns the wrong length.
+pub fn scan_p1_with<F>(
+    eval_batch: F,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    steps: usize,
+) -> Landscape
+where
+    F: FnOnce(&[Vec<f64>]) -> Vec<f64>,
+{
+    assert!(steps >= 2, "landscape scan needs at least 2 steps per axis");
+    let lin = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..steps)
+            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+            .collect()
+    };
+    let gammas = lin(gamma_range.0, gamma_range.1);
+    let betas = lin(beta_range.0, beta_range.1);
+    let points: Vec<Vec<f64>> = gammas
+        .iter()
+        .flat_map(|&g| betas.iter().map(move |&b| vec![g, b]))
+        .collect();
+    let flat = eval_batch(&points);
+    assert_eq!(
+        flat.len(),
+        steps * steps,
+        "batch evaluator returned wrong length"
+    );
+    let values: Vec<Vec<f64>> = flat.chunks(steps).map(|row| row.to_vec()).collect();
+    Landscape {
+        gammas,
+        betas,
+        values,
+    }
+}
+
+/// Scans a [`QaoaRunner`]'s `⟨C⟩` landscape (points evaluated with rayon).
 ///
 /// # Panics
 /// Panics unless the runner's ansatz has `p == 1`.
@@ -45,18 +90,12 @@ pub fn scan_p1(
     steps: usize,
 ) -> Landscape {
     assert_eq!(runner.ansatz().p, 1, "landscape scan requires p = 1");
-    let lin = |lo: f64, hi: f64| -> Vec<f64> {
-        (0..steps)
-            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
-            .collect()
-    };
-    let gammas = lin(gamma_range.0, gamma_range.1);
-    let betas = lin(beta_range.0, beta_range.1);
-    let values: Vec<Vec<f64>> = gammas
-        .par_iter()
-        .map(|&g| betas.iter().map(|&b| runner.expectation(&[g, b])).collect())
-        .collect();
-    Landscape { gammas, betas, values }
+    scan_p1_with(
+        |points| points.par_iter().map(|gb| runner.expectation(gb)).collect(),
+        gamma_range,
+        beta_range,
+        steps,
+    )
 }
 
 #[cfg(test)]
@@ -82,11 +121,29 @@ mod tests {
     fn scan_finds_a_nontrivial_minimum() {
         let g = generators::square();
         let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
-        let scan = scan_p1(&runner, (0.0, std::f64::consts::PI), (0.0, std::f64::consts::PI), 16);
+        let scan = scan_p1(
+            &runner,
+            (0.0, std::f64::consts::PI),
+            (0.0, std::f64::consts::PI),
+            16,
+        );
         let (v, _, _) = scan.min();
         // Must beat the random-assignment value ⟨C⟩ = −|E|/2 = −2.
         assert!(v < -2.5, "landscape min {v} too weak");
         assert_eq!(scan.values.len(), 16);
         assert_eq!(scan.values[0].len(), 16);
+    }
+
+    #[test]
+    fn scan_with_matches_pointwise_evaluation() {
+        let g = generators::triangle();
+        let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
+        let scan = scan_p1(&runner, (0.0, 1.0), (0.0, 1.0), 4);
+        for (i, &gamma) in scan.gammas.iter().enumerate() {
+            for (j, &beta) in scan.betas.iter().enumerate() {
+                let direct = runner.expectation(&[gamma, beta]);
+                assert!((scan.values[i][j] - direct).abs() < 1e-12);
+            }
+        }
     }
 }

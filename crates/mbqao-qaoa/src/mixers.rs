@@ -48,7 +48,11 @@ pub fn append_xy_ring_mixer(circuit: &mut Circuit, n: usize, beta: f64) {
     assert!(n >= 2, "ring mixer needs ≥ 2 qubits");
     // e^{iβ(XX+YY)} = Rxy(−2β) in our gate convention.
     let mut push = |a: usize, b: usize| {
-        circuit.push(Gate::Rxy(QubitId::new(a as u64), QubitId::new(b as u64), -2.0 * beta));
+        circuit.push(Gate::Rxy(
+            QubitId::new(a as u64),
+            QubitId::new(b as u64),
+            -2.0 * beta,
+        ));
     };
     let mut i = 0;
     while i + 1 < n {
@@ -100,9 +104,7 @@ mod tests {
             // random independent set via greedy on a random mask
             let mut mask = 0u64;
             for v in 0..g.n() {
-                if rng.gen::<bool>()
-                    && g.neighbors(v).iter().all(|&w| (mask >> w) & 1 == 0)
-                {
+                if rng.gen::<bool>() && g.neighbors(v).iter().all(|&w| (mask >> w) & 1 == 0) {
                     mask |= 1 << v;
                 }
             }

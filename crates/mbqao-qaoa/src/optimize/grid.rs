@@ -1,24 +1,38 @@
-//! Exhaustive grid search (rayon-parallel).
+//! Exhaustive grid search over the parameter hypercube.
 //!
-//! For small `p`, scanning the parameter hypercube is both a strong
-//! baseline and the source of the landscape tables; points are evaluated
-//! in parallel since every QAOA evaluation is independent.
+//! For small `p`, scanning the hypercube is both a strong baseline and
+//! the source of the landscape tables. Points are generated in fixed-size
+//! chunks and handed to [`BatchObjective::eval_batch`], so a batched
+//! backend (e.g. `mbqao_core::engine::Executor`) evaluates each chunk in
+//! parallel while memory stays bounded regardless of `steps^d`.
 
-use super::{Objective, OptResult};
-use rayon::prelude::*;
+use super::{BatchObjective, OptResult};
+
+/// Number of grid points evaluated per `eval_batch` call.
+const CHUNK: usize = 4096;
 
 /// Evaluates `obj` on a regular grid with `steps` points per dimension
 /// between `lo[i]` and `hi[i]` inclusive, returning the best point.
 ///
 /// # Panics
 /// Panics when dimensions disagree or `steps < 2`.
-pub fn grid_search(obj: &dyn Objective, lo: &[f64], hi: &[f64], steps: usize) -> OptResult {
+pub fn grid_search<O: BatchObjective + ?Sized>(
+    obj: &O,
+    lo: &[f64],
+    hi: &[f64],
+    steps: usize,
+) -> OptResult {
     let d = obj.dim();
     assert_eq!(lo.len(), d);
     assert_eq!(hi.len(), d);
     assert!(steps >= 2, "need at least 2 steps per dimension");
     if d == 0 {
-        return OptResult { params: vec![], value: obj.eval(&[]), evals: 1, history: vec![] };
+        return OptResult {
+            params: vec![],
+            value: obj.eval(&[]),
+            evals: 1,
+            history: vec![],
+        };
     }
     let total = steps.pow(d as u32);
     let point = |mut idx: usize| -> Vec<f64> {
@@ -30,14 +44,29 @@ pub fn grid_search(obj: &dyn Objective, lo: &[f64], hi: &[f64], steps: usize) ->
         }
         x
     };
-    let (value, best_idx) = (0..total)
-        .into_par_iter()
-        .map(|i| (obj.eval(&point(i)), i))
-        .reduce(
-            || (f64::INFINITY, usize::MAX),
-            |a, b| if a.0 <= b.0 { a } else { b },
-        );
-    OptResult { params: point(best_idx), value, evals: total, history: vec![value] }
+    let mut best = (f64::INFINITY, usize::MAX);
+    let mut start = 0usize;
+    while start < total {
+        let end = (start + CHUNK).min(total);
+        let points: Vec<Vec<f64>> = (start..end).map(point).collect();
+        let values = obj.eval_batch(&points);
+        debug_assert_eq!(values.len(), points.len());
+        // Strict `<` keeps the first-visited point on ties (indices are
+        // scanned in increasing order).
+        for (off, v) in values.into_iter().enumerate() {
+            if v < best.0 {
+                best = (v, start + off);
+            }
+        }
+        start = end;
+    }
+    let (value, best_idx) = best;
+    OptResult {
+        params: point(best_idx),
+        value,
+        evals: total,
+        history: vec![value],
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +88,18 @@ mod tests {
         let obj = FnObjective::new(1, |p: &[f64]| -p[0]);
         let r = grid_search(&obj, &[0.0], &[2.0], 5);
         assert_eq!(r.params, vec![2.0]);
+    }
+
+    #[test]
+    fn grids_larger_than_one_chunk() {
+        // 3^8 = 6561 points > one CHUNK: chunked evaluation must still
+        // visit every point and find the unique grid optimum.
+        let obj = FnObjective::new(8, |p: &[f64]| {
+            p.iter().map(|x| (x - 1.0) * (x - 1.0)).sum::<f64>()
+        });
+        let r = grid_search(&obj, &[-1.0; 8], &[1.0; 8], 3);
+        assert_eq!(r.evals, 6561);
+        assert_eq!(r.params, vec![1.0; 8]);
+        assert!(r.value.abs() < 1e-12);
     }
 }

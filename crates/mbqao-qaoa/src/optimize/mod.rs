@@ -23,6 +23,21 @@ pub trait Objective: Sync {
     fn dim(&self) -> usize;
 }
 
+/// An objective that can evaluate many points at once.
+///
+/// This is the seam the optimizers drive: every inner loop that has more
+/// than one candidate in hand (a grid chunk, SPSA's `±` pair, a simplex
+/// rebuild) hands the whole batch to `eval_batch` in one call, so a
+/// backend can amortize — or, like `mbqao_core::engine::Executor`,
+/// evaluate the batch on all cores in parallel. The default
+/// implementation is the sequential fallback.
+pub trait BatchObjective: Objective {
+    /// Evaluates every point, in order.
+    fn eval_batch(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        points.iter().map(|x| self.eval(x)).collect()
+    }
+}
+
 /// Blanket impl so closures can be used directly (dimension supplied).
 pub struct FnObjective<F: Fn(&[f64]) -> f64 + Sync> {
     f: F,
@@ -42,6 +57,21 @@ impl<F: Fn(&[f64]) -> f64 + Sync> Objective for FnObjective<F> {
     }
     fn dim(&self) -> usize {
         self.dim
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> BatchObjective for FnObjective<F> {
+    /// Closure objectives are embarrassingly parallel: evaluate the
+    /// batch with rayon. Tiny batches (SPSA's ± pair, small simplex
+    /// rebuilds) stay sequential — for an arbitrary closure the
+    /// per-dispatch thread cost is not worth two evaluations; heavy
+    /// backends get parallel pairs via `Executor`'s own `eval_batch`.
+    fn eval_batch(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        use rayon::prelude::*;
+        if points.len() < 4 {
+            return points.iter().map(|x| self.eval(x)).collect();
+        }
+        points.par_iter().map(|x| self.eval(x)).collect()
     }
 }
 
@@ -76,7 +106,12 @@ mod tests {
         let nm = NelderMead::default().run(&obj, &[0.0, 0.0, 0.0]);
         assert!(nm.value < 1.5 + 1e-6, "NM got {}", nm.value);
 
-        let spsa = Spsa { iterations: 4000, seed: 7, ..Spsa::default() }.run(&obj, &[0.0; 3]);
+        let spsa = Spsa {
+            iterations: 4000,
+            seed: 7,
+            ..Spsa::default()
+        }
+        .run(&obj, &[0.0; 3]);
         assert!(spsa.value < 1.5 + 1e-2, "SPSA got {}", spsa.value);
 
         let lo = vec![-1.0; 3];

@@ -4,7 +4,7 @@
 //! on noiseless simulators. Uses the adaptive coefficients of Gao & Han
 //! (2012) which behave better as the dimension grows.
 
-use super::{Objective, OptResult};
+use super::{BatchObjective, OptResult};
 
 /// Nelder–Mead configuration.
 #[derive(Debug, Clone)]
@@ -19,17 +19,28 @@ pub struct NelderMead {
 
 impl Default for NelderMead {
     fn default() -> Self {
-        NelderMead { max_iters: 600, tol: 1e-10, initial_step: 0.4 }
+        NelderMead {
+            max_iters: 600,
+            tol: 1e-10,
+            initial_step: 0.4,
+        }
     }
 }
 
 impl NelderMead {
-    /// Minimizes `obj` starting from `x0`.
-    pub fn run(&self, obj: &dyn Objective, x0: &[f64]) -> OptResult {
+    /// Minimizes `obj` starting from `x0`. The initial simplex and every
+    /// shrink step are evaluated through [`BatchObjective::eval_batch`],
+    /// so batched backends evaluate those `d`-point sets in parallel.
+    pub fn run<O: BatchObjective + ?Sized>(&self, obj: &O, x0: &[f64]) -> OptResult {
         let d = obj.dim();
         assert_eq!(x0.len(), d, "x0 has wrong dimension");
         if d == 0 {
-            return OptResult { params: vec![], value: obj.eval(&[]), evals: 1, history: vec![] };
+            return OptResult {
+                params: vec![],
+                value: obj.eval(&[]),
+                evals: 1,
+                history: vec![],
+            };
         }
         // Adaptive coefficients (Gao–Han).
         let df = d as f64;
@@ -44,16 +55,17 @@ impl NelderMead {
             obj.eval(x)
         };
 
-        // Initial simplex: x0 plus axis steps.
-        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(d + 1);
-        let f0 = eval(x0, &mut evals);
-        simplex.push((x0.to_vec(), f0));
+        // Initial simplex: x0 plus axis steps, evaluated as one batch.
+        let mut vertices: Vec<Vec<f64>> = Vec::with_capacity(d + 1);
+        vertices.push(x0.to_vec());
         for i in 0..d {
             let mut x = x0.to_vec();
             x[i] += self.initial_step;
-            let f = eval(&x, &mut evals);
-            simplex.push((x, f));
+            vertices.push(x);
         }
+        let values = obj.eval_batch(&vertices);
+        evals += vertices.len();
+        let mut simplex: Vec<(Vec<f64>, f64)> = vertices.into_iter().zip(values).collect();
 
         let mut history = Vec::with_capacity(self.max_iters);
         for _ in 0..self.max_iters {
@@ -102,20 +114,32 @@ impl NelderMead {
                 if fc < worst.1.min(fr) {
                     simplex[d] = (xc, fc);
                 } else {
-                    // Shrink toward the best vertex.
+                    // Shrink toward the best vertex; re-evaluate the d
+                    // moved vertices as one batch.
                     let best = simplex[0].0.clone();
                     for v in simplex.iter_mut().skip(1) {
                         for (xi, bi) in v.0.iter_mut().zip(&best) {
                             *xi = bi + delta * (*xi - bi);
                         }
-                        v.1 = eval(&v.0, &mut evals);
+                    }
+                    let moved: Vec<Vec<f64>> =
+                        simplex[1..].iter().map(|(x, _)| x.clone()).collect();
+                    let fs = obj.eval_batch(&moved);
+                    evals += fs.len();
+                    for (v, f) in simplex[1..].iter_mut().zip(fs) {
+                        v.1 = f;
                     }
                 }
             }
         }
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN objective"));
         let (params, value) = simplex.swap_remove(0);
-        OptResult { params, value, evals, history }
+        OptResult {
+            params,
+            value,
+            evals,
+            history,
+        }
     }
 }
 
@@ -130,7 +154,11 @@ mod tests {
             let (x, y) = (p[0], p[1]);
             (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
         });
-        let r = NelderMead { max_iters: 2000, ..Default::default() }.run(&obj, &[-1.2, 1.0]);
+        let r = NelderMead {
+            max_iters: 2000,
+            ..Default::default()
+        }
+        .run(&obj, &[-1.2, 1.0]);
         assert!(r.value < 1e-6, "Rosenbrock value {}", r.value);
         assert!((r.params[0] - 1.0).abs() < 1e-2);
         assert!((r.params[1] - 1.0).abs() < 1e-2);

@@ -4,7 +4,7 @@
 //! sampling noise — the optimizer of choice when `⟨C⟩` is estimated from
 //! shots (as it would be on the photonic hardware the paper targets).
 
-use super::{Objective, OptResult};
+use super::{BatchObjective, OptResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,8 +43,10 @@ impl Default for Spsa {
 }
 
 impl Spsa {
-    /// Minimizes `obj` from `x0`.
-    pub fn run(&self, obj: &dyn Objective, x0: &[f64]) -> OptResult {
+    /// Minimizes `obj` from `x0`. The two perturbed points of every step
+    /// go through [`BatchObjective::eval_batch`] as a pair, so a batched
+    /// backend evaluates both sides of the gradient estimate at once.
+    pub fn run<O: BatchObjective + ?Sized>(&self, obj: &O, x0: &[f64]) -> OptResult {
         let d = obj.dim();
         assert_eq!(x0.len(), d, "x0 has wrong dimension");
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -57,12 +59,15 @@ impl Spsa {
             let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
             let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
             // Rademacher perturbation.
-            let delta: Vec<f64> =
-                (0..d).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..d)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, di)| xi + ck * di).collect();
             let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, di)| xi - ck * di).collect();
-            let fp = obj.eval(&xp);
-            let fm = obj.eval(&xm);
+            let pair_points = [xp, xm];
+            let pair = obj.eval_batch(&pair_points);
+            let (fp, fm) = (pair[0], pair[1]);
+            let [xp, xm] = pair_points;
             evals += 2;
             for i in 0..d {
                 let ghat = (fp - fm) / (2.0 * ck * delta[i]);
@@ -81,7 +86,12 @@ impl Spsa {
         if f_final < best.1 {
             best = (x, f_final);
         }
-        OptResult { params: best.0, value: best.1, evals, history }
+        OptResult {
+            params: best.0,
+            value: best.1,
+            evals,
+            history,
+        }
     }
 }
 
@@ -93,7 +103,12 @@ mod tests {
     #[test]
     fn quadratic_bowl() {
         let obj = FnObjective::new(4, |p: &[f64]| p.iter().map(|x| x * x).sum::<f64>());
-        let r = Spsa { iterations: 2000, seed: 3, ..Default::default() }.run(&obj, &[0.8; 4]);
+        let r = Spsa {
+            iterations: 2000,
+            seed: 3,
+            ..Default::default()
+        }
+        .run(&obj, &[0.8; 4]);
         assert!(r.value < 1e-2, "SPSA value {}", r.value);
         assert_eq!(r.evals, 2 * 2000 + 1);
     }
@@ -106,7 +121,12 @@ mod tests {
             let h = (p[0] * 7919.0 + p[1] * 104729.0).sin() * 0.01;
             base + h
         });
-        let r = Spsa { iterations: 3000, seed: 11, ..Default::default() }.run(&obj, &[1.0, -1.0]);
+        let r = Spsa {
+            iterations: 3000,
+            seed: 11,
+            ..Default::default()
+        }
+        .run(&obj, &[1.0, -1.0]);
         assert!(r.value < 0.05, "noisy SPSA value {}", r.value);
     }
 }

@@ -75,12 +75,16 @@ mod tests {
 
     #[test]
     fn separator_entangling_count_is_coupling_terms() {
-        let cost = ZPoly::new(4, 0.0, vec![
-            (vec![0], 1.0),
-            (vec![0, 1], 1.0),
-            (vec![2, 3], 1.0),
-            (vec![0, 1, 2], 1.0),
-        ]);
+        let cost = ZPoly::new(
+            4,
+            0.0,
+            vec![
+                (vec![0], 1.0),
+                (vec![0, 1], 1.0),
+                (vec![2, 3], 1.0),
+                (vec![0, 1, 2], 1.0),
+            ],
+        );
         let c = phase_separator(&cost, 0.3);
         assert_eq!(c.entangling_count(), 3);
     }

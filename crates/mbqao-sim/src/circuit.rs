@@ -70,7 +70,9 @@ impl Gate {
                 vec![*a, *b]
             }
             Gate::ExpZz(qs, _) => qs.clone(),
-            Gate::ControlledRx { controls, target, .. } => {
+            Gate::ControlledRx {
+                controls, target, ..
+            } => {
                 let mut v: Vec<QubitId> = controls.iter().map(|&(q, _)| q).collect();
                 v.push(*target);
                 v
@@ -177,7 +179,11 @@ impl Circuit {
                 Gate::Rzz(a, b, t) => state.apply_rzz(*a, *b, *t),
                 Gate::ExpZz(qs, t) => state.apply_exp_zz(qs, *t),
                 Gate::Rxy(a, b, t) => state.apply_u4(*a, *b, &gates::rxy(*t)),
-                Gate::ControlledRx { controls, target, theta } => {
+                Gate::ControlledRx {
+                    controls,
+                    target,
+                    theta,
+                } => {
                     let m = gates::rx(*theta);
                     let d = m.data();
                     state.apply_controlled_u2(controls, *target, [d[0], d[1], d[2], d[3]]);
@@ -215,7 +221,11 @@ impl Circuit {
                     gates::exp_i_theta_pauli(n, *t, &paulis)
                 }
                 Gate::Rxy(a, b, t) => embed(n, &[pos(*a), pos(*b)], &gates::rxy(*t)),
-                Gate::ControlledRx { controls, target, theta } => {
+                Gate::ControlledRx {
+                    controls,
+                    target,
+                    theta,
+                } => {
                     // Build the controlled unitary explicitly on the full
                     // register: identity except on the fired subspace.
                     let dim = 1usize << n;
@@ -233,7 +243,11 @@ impl Circuit {
                         }
                         let tb = (col >> tbit) & 1;
                         for out_b in 0..2 {
-                            let row = if out_b == 1 { col | (1 << tbit) } else { col & !(1 << tbit) };
+                            let row = if out_b == 1 {
+                                col | (1 << tbit)
+                            } else {
+                                col & !(1 << tbit)
+                            };
                             m[(row, col)] += rx[(out_b, tb)];
                         }
                     }

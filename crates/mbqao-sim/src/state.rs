@@ -90,7 +90,10 @@ impl Default for State {
 impl State {
     /// The empty register (a scalar amplitude of 1).
     pub fn new() -> Self {
-        State { qubits: Vec::new(), amps: vec![C64::ONE] }
+        State {
+            qubits: Vec::new(),
+            amps: vec![C64::ONE],
+        }
     }
 
     /// A register of `ids` all initialized to `|0⟩`.
@@ -159,10 +162,12 @@ impl State {
         let old = std::mem::take(&mut self.amps);
         let mut new = vec![C64::ZERO; old.len() * 2];
         if new.len() >= PAR_THRESHOLD {
-            new.par_chunks_mut(2).zip(old.par_iter()).for_each(|(pair, &a)| {
-                pair[0] = a * init[0];
-                pair[1] = a * init[1];
-            });
+            new.par_chunks_mut(2)
+                .zip(old.par_iter())
+                .for_each(|(pair, &a)| {
+                    pair[0] = a * init[0];
+                    pair[1] = a * init[1];
+                });
         } else {
             for (i, &a) in old.iter().enumerate() {
                 new[2 * i] = a * init[0];
@@ -207,7 +212,11 @@ impl State {
 
     /// Applies a single-qubit unitary given as a 2×2 [`Matrix`].
     pub fn apply_1q(&mut self, id: QubitId, m: &Matrix) {
-        assert_eq!((m.rows(), m.cols()), (2, 2), "apply_1q expects a 2×2 matrix");
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (2, 2),
+            "apply_1q expects a 2×2 matrix"
+        );
         let d = m.data();
         self.apply_u2(id, [d[0], d[1], d[2], d[3]]);
     }
@@ -363,7 +372,11 @@ impl State {
     /// Applies a general 2-qubit unitary (row-major 4×4) on `(a, b)` with
     /// `a` the more significant qubit of the gate's basis `|ab⟩`.
     pub fn apply_u4(&mut self, a: QubitId, b: QubitId, u: &Matrix) {
-        assert_eq!((u.rows(), u.cols()), (4, 4), "apply_u4 expects a 4×4 matrix");
+        assert_eq!(
+            (u.rows(), u.cols()),
+            (4, 4),
+            "apply_u4 expects a 4×4 matrix"
+        );
         assert_ne!(a, b, "two-qubit gate needs distinct qubits");
         let ba = self.bit_of_pos(self.pos(a));
         let bb = self.bit_of_pos(self.pos(b));
@@ -503,7 +516,11 @@ impl State {
     /// Returns the amplitudes permuted so the register order matches
     /// `order` (msb-first). `order` must be a permutation of the live ids.
     pub fn aligned(&self, order: &[QubitId]) -> Vec<C64> {
-        assert_eq!(order.len(), self.qubits.len(), "order must list every live qubit");
+        assert_eq!(
+            order.len(),
+            self.qubits.len(),
+            "order must list every live qubit"
+        );
         let n = self.qubits.len();
         // perm[i] = current position of order[i]
         let perm: Vec<usize> = order.iter().map(|&id| self.pos(id)).collect();
@@ -545,7 +562,11 @@ impl State {
     /// Expectation of a diagonal observable: `cost[bits]` where `bits` is
     /// the basis index read off the qubits in `order` (msb-first).
     pub fn expectation_diag(&self, order: &[QubitId], cost: &[f64]) -> f64 {
-        assert_eq!(cost.len(), self.amps.len(), "cost vector must have dimension 2^n");
+        assert_eq!(
+            cost.len(),
+            self.amps.len(),
+            "cost vector must have dimension 2^n"
+        );
         let aligned = self.aligned(order);
         if aligned.len() >= PAR_THRESHOLD {
             aligned
@@ -554,7 +575,11 @@ impl State {
                 .map(|(z, &c)| z.norm_sqr() * c)
                 .sum()
         } else {
-            aligned.iter().zip(cost).map(|(z, &c)| z.norm_sqr() * c).sum()
+            aligned
+                .iter()
+                .zip(cost)
+                .map(|(z, &c)| z.norm_sqr() * c)
+                .sum()
         }
     }
 

@@ -108,7 +108,7 @@ proptest! {
         let new_order = [q(perm[0]), q(perm[1]), q(perm[2])];
         let a = st.aligned(&new_order);
         // Rebuild the original-order amplitudes from the permuted view.
-        let mut back = vec![mbqao_math::C64::ZERO; 8];
+        let mut back = [mbqao_math::C64::ZERO; 8];
         for (idx, &amp) in a.iter().enumerate() {
             let mut orig_idx = 0usize;
             for (pos, &pq) in perm.iter().enumerate() {

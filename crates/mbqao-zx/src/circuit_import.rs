@@ -35,16 +35,31 @@ impl CircuitImporter {
         let mut frontier = HashMap::new();
         for &q in order {
             let i = d.add_input();
-            frontier.insert(q, Frontier { node: i, pending_h: false });
+            frontier.insert(
+                q,
+                Frontier {
+                    node: i,
+                    pending_h: false,
+                },
+            );
         }
-        CircuitImporter { d, frontier, order: order.to_vec(), radian_symbols: Vec::new() }
+        CircuitImporter {
+            d,
+            frontier,
+            order: order.to_vec(),
+            radian_symbols: Vec::new(),
+        }
     }
 
     /// Connects a new node to the wire `q`'s frontier, consuming any
     /// pending Hadamard, and makes it the new frontier.
     fn extend_wire(&mut self, q: QubitId, node: NodeId) {
         let f = self.frontier.get_mut(&q).expect("unknown qubit");
-        let ty = if f.pending_h { EdgeType::Hadamard } else { EdgeType::Plain };
+        let ty = if f.pending_h {
+            EdgeType::Hadamard
+        } else {
+            EdgeType::Plain
+        };
         let prev = f.node;
         f.node = node;
         f.pending_h = false;
@@ -170,8 +185,7 @@ impl CircuitImporter {
         } else {
             let sym = mbqao_math::Symbol::new(self.radian_symbols.len() as u32 + SYM_BASE);
             self.radian_symbols.push(theta);
-            self.d.node_mut(node).expect("live").phase =
-                PhaseExpr::symbol(sym, Rational::ONE);
+            self.d.node_mut(node).expect("live").phase = PhaseExpr::symbol(sym, Rational::ONE);
         }
     }
 
@@ -180,11 +194,13 @@ impl CircuitImporter {
         let frac = theta / std::f64::consts::PI * 12.0;
         let rounded = frac.round();
         if (frac - rounded).abs() < 1e-12 && rounded.abs() < 1e6 {
-            self.d.add_scalar_phase(PhaseExpr::pi_times(Rational::new(rounded as i64, 12)));
+            self.d
+                .add_scalar_phase(PhaseExpr::pi_times(Rational::new(rounded as i64, 12)));
         } else {
             let sym = mbqao_math::Symbol::new(self.radian_symbols.len() as u32 + SYM_BASE);
             self.radian_symbols.push(theta);
-            self.d.add_scalar_phase(PhaseExpr::symbol(sym, Rational::ONE));
+            self.d
+                .add_scalar_phase(PhaseExpr::symbol(sym, Rational::ONE));
         }
     }
 
@@ -194,11 +210,18 @@ impl CircuitImporter {
         for q in self.order.clone() {
             let o = self.d.add_output();
             let f = self.frontier.get(&q).expect("unknown qubit");
-            let ty = if f.pending_h { EdgeType::Hadamard } else { EdgeType::Plain };
+            let ty = if f.pending_h {
+                EdgeType::Hadamard
+            } else {
+                EdgeType::Plain
+            };
             let prev = f.node;
             self.d.add_edge(prev, o, ty);
         }
-        ImportedDiagram { diagram: self.d, radian_symbols: self.radian_symbols }
+        ImportedDiagram {
+            diagram: self.d,
+            radian_symbols: self.radian_symbols,
+        }
     }
 }
 
@@ -219,10 +242,9 @@ impl ImportedDiagram {
     /// user symbols).
     pub fn bindings(&self) -> impl Fn(mbqao_math::Symbol) -> f64 + '_ {
         move |s: mbqao_math::Symbol| {
-            let idx = s
-                .0
-                .checked_sub(SYM_BASE)
-                .unwrap_or_else(|| panic!("unbound user symbol s{}", s.0));
+            let idx =
+                s.0.checked_sub(SYM_BASE)
+                    .unwrap_or_else(|| panic!("unbound user symbol s{}", s.0));
             self.radian_symbols[idx as usize]
         }
     }

@@ -8,7 +8,7 @@
 //! (γ, β) stay parameterized through rewriting. Rewrites that produce
 //! scalar factors track them exactly in `scalar` / `scalar_phase`.
 
-use mbqao_math::{C64, PhaseExpr};
+use mbqao_math::{PhaseExpr, C64};
 
 /// Node index within a diagram (stable across removals).
 pub type NodeId = usize;
@@ -82,23 +82,35 @@ impl Diagram {
 
     /// Adds a Z-spider.
     pub fn add_z(&mut self, phase: PhaseExpr) -> NodeId {
-        self.add_node(Node { kind: NodeKind::Z, phase })
+        self.add_node(Node {
+            kind: NodeKind::Z,
+            phase,
+        })
     }
 
     /// Adds an X-spider.
     pub fn add_x(&mut self, phase: PhaseExpr) -> NodeId {
-        self.add_node(Node { kind: NodeKind::X, phase })
+        self.add_node(Node {
+            kind: NodeKind::X,
+            phase,
+        })
     }
 
     /// Adds an H-box with the given label.
     pub fn add_hbox(&mut self, label: C64) -> NodeId {
-        self.add_node(Node { kind: NodeKind::HBox(label), phase: PhaseExpr::zero() })
+        self.add_node(Node {
+            kind: NodeKind::HBox(label),
+            phase: PhaseExpr::zero(),
+        })
     }
 
     /// Adds an input boundary node (order of calls = input order).
     pub fn add_input(&mut self) -> NodeId {
         let idx = self.inputs.len();
-        let n = self.add_node(Node { kind: NodeKind::Input(idx), phase: PhaseExpr::zero() });
+        let n = self.add_node(Node {
+            kind: NodeKind::Input(idx),
+            phase: PhaseExpr::zero(),
+        });
         self.inputs.push(n);
         n
     }
@@ -106,7 +118,10 @@ impl Diagram {
     /// Adds an output boundary node.
     pub fn add_output(&mut self) -> NodeId {
         let idx = self.outputs.len();
-        let n = self.add_node(Node { kind: NodeKind::Output(idx), phase: PhaseExpr::zero() });
+        let n = self.add_node(Node {
+            kind: NodeKind::Output(idx),
+            phase: PhaseExpr::zero(),
+        });
         self.outputs.push(n);
         n
     }
@@ -119,7 +134,10 @@ impl Diagram {
     /// Adds an edge; multi-edges and self-loops are representable (rules
     /// deal with them).
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, ty: EdgeType) -> usize {
-        assert!(self.node(a).is_some() && self.node(b).is_some(), "edge endpoint missing");
+        assert!(
+            self.node(a).is_some() && self.node(b).is_some(),
+            "edge endpoint missing"
+        );
         self.edges.push(Some((a, b, ty)));
         self.edges.len() - 1
     }
@@ -203,12 +221,16 @@ impl Diagram {
 
     /// Live node ids.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_some()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect()
     }
 
     /// Live edge indices.
     pub fn edge_ids(&self) -> Vec<usize> {
-        (0..self.edges.len()).filter(|&i| self.edges[i].is_some()).collect()
+        (0..self.edges.len())
+            .filter(|&i| self.edges[i].is_some())
+            .collect()
     }
 
     /// Number of live internal (non-boundary) nodes.

@@ -17,9 +17,9 @@ use mbqao_problems::Graph;
 pub fn graph_state_diagram(g: &Graph) -> (Diagram, Vec<NodeId>) {
     let mut d = Diagram::new();
     let spiders: Vec<NodeId> = (0..g.n()).map(|_| d.add_z(PhaseExpr::zero())).collect();
-    for v in 0..g.n() {
+    for &spider in &spiders {
         let o = d.add_output();
-        d.add_edge(spiders[v], o, EdgeType::Plain);
+        d.add_edge(spider, o, EdgeType::Plain);
     }
     for &(u, v) in g.edges() {
         d.add_edge(spiders[u], spiders[v], EdgeType::Hadamard);
@@ -56,7 +56,10 @@ mod tests {
         assert_eq!((m.rows(), m.cols()), (16, 1));
         let reference = reference_graph_state(&g);
         let want = mbqao_math::Matrix::from_vec(16, 1, reference);
-        assert!(m.approx_eq(&want, 1e-9), "Eq. (5) diagram ≠ CZ-circuit state");
+        assert!(
+            m.approx_eq(&want, 1e-9),
+            "Eq. (5) diagram ≠ CZ-circuit state"
+        );
     }
 
     #[test]
@@ -69,9 +72,12 @@ mod tests {
         ] {
             let (d, _) = graph_state_diagram(&g);
             let m = evaluate_const(&d);
-            let want =
-                mbqao_math::Matrix::from_vec(1 << g.n(), 1, reference_graph_state(&g));
-            assert!(m.approx_eq(&want, 1e-9), "graph state mismatch on {:?}", g.edges());
+            let want = mbqao_math::Matrix::from_vec(1 << g.n(), 1, reference_graph_state(&g));
+            assert!(
+                m.approx_eq(&want, 1e-9),
+                "graph state mismatch on {:?}",
+                g.edges()
+            );
         }
     }
 

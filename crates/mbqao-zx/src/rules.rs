@@ -114,7 +114,11 @@ pub fn try_remove_identity(d: &mut Diagram, id: NodeId) -> bool {
         return false; // self-loop: not an identity wire
     }
     let h_count = (t1 == EdgeType::Hadamard) as usize + (t2 == EdgeType::Hadamard) as usize;
-    let ty = if h_count.is_multiple_of(2) { EdgeType::Plain } else { EdgeType::Hadamard };
+    let ty = if h_count.is_multiple_of(2) {
+        EdgeType::Plain
+    } else {
+        EdgeType::Hadamard
+    };
     d.remove_edge(e1);
     d.remove_edge(e2);
     d.remove_node(id);
@@ -272,7 +276,8 @@ pub fn try_copy(d: &mut Diagram, state_node: NodeId) -> bool {
 /// two further legs, commute into a complete bipartite pattern; the
 /// scalar gains `√2` (LHS = √2 · RHS).
 pub fn try_bialgebra(d: &mut Diagram, z: NodeId, x: NodeId) -> bool {
-    if !matches!(is_spider(d, z), Some(NodeKind::Z)) || !matches!(is_spider(d, x), Some(NodeKind::X))
+    if !matches!(is_spider(d, z), Some(NodeKind::Z))
+        || !matches!(is_spider(d, x), Some(NodeKind::X))
     {
         return false;
     }
@@ -293,19 +298,23 @@ pub fn try_bialgebra(d: &mut Diagram, z: NodeId, x: NodeId) -> bool {
         return false;
     }
     let ce = connecting[0];
-    let z_ext: Vec<(usize, NodeId, EdgeType)> =
-        d.neighbors(z).into_iter().filter(|&(e, _, _)| e != ce).collect();
-    let x_ext: Vec<(usize, NodeId, EdgeType)> =
-        d.neighbors(x).into_iter().filter(|&(e, _, _)| e != ce).collect();
+    let z_ext: Vec<(usize, NodeId, EdgeType)> = d
+        .neighbors(z)
+        .into_iter()
+        .filter(|&(e, _, _)| e != ce)
+        .collect();
+    let x_ext: Vec<(usize, NodeId, EdgeType)> = d
+        .neighbors(x)
+        .into_iter()
+        .filter(|&(e, _, _)| e != ce)
+        .collect();
     if z_ext.len() != 2 || x_ext.len() != 2 {
         return false; // multi-edges / self-loops not handled here
     }
 
     // New nodes: X's on Z's external legs, Z's on X's external legs.
-    let x_new: Vec<NodeId> =
-        (0..2).map(|_| d.add_x(PhaseExpr::zero())).collect();
-    let z_new: Vec<NodeId> =
-        (0..2).map(|_| d.add_z(PhaseExpr::zero())).collect();
+    let x_new: Vec<NodeId> = (0..2).map(|_| d.add_x(PhaseExpr::zero())).collect();
+    let z_new: Vec<NodeId> = (0..2).map(|_| d.add_z(PhaseExpr::zero())).collect();
     for (i, &(e, _, _)) in z_ext.iter().enumerate() {
         let (ea, eb, ety) = d.edge(e).expect("live");
         let far = if ea == z { eb } else { ea };
@@ -361,16 +370,20 @@ mod tests {
     use mbqao_math::{Rational, Symbol};
 
     /// Asserts the transformation preserved exact tensor semantics.
-    fn assert_preserves(
-        before: &Diagram,
-        after: &Diagram,
-        bindings: &dyn Fn(Symbol) -> f64,
-    ) {
+    fn assert_preserves(before: &Diagram, after: &Diagram, bindings: &dyn Fn(Symbol) -> f64) {
         assert!(
             equal_exact(before, after, bindings, 1e-9),
             "rewrite changed the diagram's semantics:\nbefore = {:?}\nafter  = {:?}",
-            evaluate_const(before).data().iter().take(8).collect::<Vec<_>>(),
-            evaluate_const(after).data().iter().take(8).collect::<Vec<_>>(),
+            evaluate_const(before)
+                .data()
+                .iter()
+                .take(8)
+                .collect::<Vec<_>>(),
+            evaluate_const(after)
+                .data()
+                .iter()
+                .take(8)
+                .collect::<Vec<_>>(),
         );
     }
 

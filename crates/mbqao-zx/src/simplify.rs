@@ -148,7 +148,10 @@ mod tests {
         let stats = simplify(&mut d);
         assert_eq!(
             stats,
-            SimplifyStats { passes: 1, ..Default::default() },
+            SimplifyStats {
+                passes: 1,
+                ..Default::default()
+            },
             "second run must be a no-op"
         );
     }

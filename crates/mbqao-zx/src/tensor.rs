@@ -92,7 +92,10 @@ pub fn evaluate(d: &Diagram, bindings: &dyn Fn(Symbol) -> f64) -> Matrix {
     }
 
     let open = input_legs.len() + output_legs.len();
-    assert!(open <= 16, "diagram has too many open legs to contract densely");
+    assert!(
+        open <= 16,
+        "diagram has too many open legs to contract densely"
+    );
 
     let t = net.contract_all();
     let m = t.to_matrix(&output_legs, &input_legs);

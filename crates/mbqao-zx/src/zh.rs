@@ -106,9 +106,9 @@ pub fn mis_partial_mixer_dense(d_ctrl: usize, beta: f64) -> Matrix {
             continue;
         }
         let tbit = (col >> (n - 1)) & 1;
-        for out_b in 0..2usize {
+        for (out_b, rx_row) in rx.iter().enumerate() {
             let row = (out_b << (n - 1)) | (col & ((1 << (n - 1)) - 1));
-            m[(row, col)] += rx[out_b][tbit];
+            m[(row, col)] += rx_row[tbit];
         }
     }
     m

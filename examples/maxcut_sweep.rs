@@ -9,7 +9,6 @@
 //! cargo run --release --example maxcut_sweep
 //! ```
 
-use mbqao::mbqc::simulate::{run, Branch};
 use mbqao::prelude::*;
 use mbqao::problems::{exact, generators, maxcut};
 use rand::rngs::StdRng;
@@ -20,35 +19,35 @@ fn main() {
     let g = generators::random_regular(8, 3, &mut rng);
     let cost = maxcut::maxcut_zpoly(&g);
     let (_, opt) = exact::max_cut(&g);
-    println!("random 3-regular graph: n = {}, |E| = {}, maxcut = {opt}", g.n(), g.m());
+    println!(
+        "random 3-regular graph: n = {}, |E| = {}, maxcut = {opt}",
+        g.n(),
+        g.m()
+    );
     println!("\n p | gate <cut> | ratio  | MBQC <cut> (sampled) | evals");
     println!("---+------------+--------+----------------------+------");
 
     let mut prev_ratio = 0.0;
     for p in 1..=4 {
-        let runner = QaoaRunner::new(QaoaAnsatz::standard(cost.clone(), p));
-        let obj = FnObjective::new(2 * p, |params: &[f64]| runner.expectation(params));
-        let seed = vec![0.4; 2 * p];
-        let result = NelderMead { max_iters: 400, ..Default::default() }.run(&obj, &seed);
+        // Optimize on the gate backend: the executor *is* the (batched)
+        // objective, so Nelder–Mead's simplex rebuilds run in parallel.
+        let gate = Executor::new(GateBackend::new(QaoaAnsatz::standard(cost.clone(), p)));
+        let result = gate.nelder_mead(
+            &NelderMead {
+                max_iters: 400,
+                ..Default::default()
+            },
+            &vec![0.4; 2 * p],
+        );
         let ratio = approximation_ratio(result.value, -(opt as f64), 0.0);
 
         // Run the *measurement pattern* at the optimized parameters and
-        // estimate ⟨cut⟩ by sampling corrected readouts.
-        let opts = CompileOptions { measure_outputs: true, ..Default::default() };
-        let compiled = compile_qaoa(&cost, p, &opts);
+        // estimate ⟨cut⟩ by sampling corrected readouts (shots split
+        // across cores by the executor).
+        let pattern = Executor::new(PatternBackend::new(&cost, p));
         let shots = 600;
-        let mut srng = StdRng::seed_from_u64(7 + p as u64);
-        let mut acc = 0.0;
-        for _ in 0..shots {
-            let r = run(&compiled.pattern, &result.params, Branch::Random, &mut srng);
-            let mut x = 0u64;
-            for (v, m) in compiled.readout.iter().enumerate() {
-                if r.outcomes[m.0 as usize] == 1 {
-                    x |= 1 << v;
-                }
-            }
-            acc += g.cut_value(x) as f64;
-        }
+        let samples = pattern.sample(&result.params, shots, 7 + p as u64);
+        let acc: f64 = samples.iter().map(|&x| g.cut_value(x) as f64).sum();
         let mbqc_cut = acc / shots as f64;
 
         println!(

@@ -58,7 +58,11 @@ fn main() {
     let qubo = mis::mis_penalty_qubo(&g, 2.0);
     let runner_pen = QaoaRunner::new(QaoaAnsatz::standard(qubo.to_zpoly(), p));
     let obj = FnObjective::new(2 * p, |prm: &[f64]| runner_pen.expectation(prm));
-    let opt_pen = NelderMead { max_iters: 300, ..Default::default() }.run(&obj, &[0.3; 4]);
+    let opt_pen = NelderMead {
+        max_iters: 300,
+        ..Default::default()
+    }
+    .run(&obj, &[0.3; 4]);
     let (feas, mean, best) = feasibility_and_quality(&g, &runner_pen, &opt_pen.params, shots, 1);
     println!("penalty QUBO route (Sec. V):");
     println!("  feasible samples : {:5.1}%", feas * 100.0);
@@ -68,7 +72,11 @@ fn main() {
     // Route 2: constraint-preserving partial mixers.
     let runner_con = QaoaRunner::new(QaoaAnsatz::mis(&g, p, greedy));
     let obj = FnObjective::new(2 * p, |prm: &[f64]| runner_con.expectation(prm));
-    let opt_con = NelderMead { max_iters: 300, ..Default::default() }.run(&obj, &[0.5; 4]);
+    let opt_con = NelderMead {
+        max_iters: 300,
+        ..Default::default()
+    }
+    .run(&obj, &[0.5; 4]);
     let (feas, mean, best) = feasibility_and_quality(&g, &runner_con, &opt_con.params, shots, 2);
     println!("constraint-preserving route (Sec. IV):");
     println!("  feasible samples : {:5.1}%  (guaranteed)", feas * 100.0);

@@ -21,10 +21,16 @@ fn main() {
     let part = Partition::new(weights.clone());
     let cost = part.to_ising().to_zpoly();
     let n = part.n();
-    println!("number partitioning: weights = {weights:?} (total {})", 30.0);
+    println!(
+        "number partitioning: weights = {weights:?} (total {})",
+        30.0
+    );
 
     let p = 2;
-    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let opts = CompileOptions {
+        measure_outputs: true,
+        ..Default::default()
+    };
     let compiled = compile_qaoa(&cost, p, &opts);
     println!(
         "compiled pattern: {}\n",
@@ -53,7 +59,11 @@ fn main() {
     // SPSA tolerates the sampling noise.
     let mut best_params = vec![0.2; 2 * p];
     let mut best_val = f64::INFINITY;
-    let spsa = Spsa { iterations: 120, seed: 5, ..Default::default() };
+    let spsa = Spsa {
+        iterations: 120,
+        seed: 5,
+        ..Default::default()
+    };
     // SPSA needs Sync objectives; our sampler uses a RefCell'd RNG, so we
     // drive the loop manually with the same gain schedule.
     let mut x = best_params.clone();
@@ -62,8 +72,9 @@ fn main() {
         use rand::Rng;
         let ak = spsa.a / (k as f64 + 1.0 + spsa.big_a).powf(spsa.alpha);
         let ck = spsa.c / (k as f64 + 1.0).powf(spsa.gamma);
-        let delta: Vec<f64> =
-            (0..2 * p).map(|_| if rng2.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let delta: Vec<f64> = (0..2 * p)
+            .map(|_| if rng2.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, di)| xi + ck * di).collect();
         let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, di)| xi - ck * di).collect();
         let fp = sample_cost(&xp);
@@ -97,10 +108,14 @@ fn main() {
         }
     }
 
-    let group_a: Vec<f64> =
-        (0..n).filter(|v| (best_x >> v) & 1 == 0).map(|v| weights[v]).collect();
-    let group_b: Vec<f64> =
-        (0..n).filter(|v| (best_x >> v) & 1 == 1).map(|v| weights[v]).collect();
+    let group_a: Vec<f64> = (0..n)
+        .filter(|v| (best_x >> v) & 1 == 0)
+        .map(|v| weights[v])
+        .collect();
+    let group_b: Vec<f64> = (0..n)
+        .filter(|v| (best_x >> v) & 1 == 1)
+        .map(|v| weights[v])
+        .collect();
     println!("SPSA-optimized mean sampled cost: {best_val:.3}");
     println!("best sampled split: {group_a:?} | {group_b:?}  (discrepancy {best_disc})");
     // 4+5+6 = 15 = 7+8: a perfect partition exists.

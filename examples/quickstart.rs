@@ -16,7 +16,11 @@ fn main() {
     let g = generators::square();
     let cost = maxcut::maxcut_zpoly(&g);
     let p = 2;
-    println!("== MaxCut on the square graph (|V| = {}, |E| = {}) ==\n", g.n(), g.m());
+    println!(
+        "== MaxCut on the square graph (|V| = {}, |E| = {}) ==\n",
+        g.n(),
+        g.m()
+    );
 
     // --- gate model (Fig. 2 shape) ---------------------------------
     let ansatz = QaoaAnsatz::standard(cost.clone(), p);
@@ -24,7 +28,9 @@ fn main() {
     println!("gate-model circuit (p = {p}):");
     println!(
         "{}\n",
-        ansatz.full_circuit_from_zero(&params).to_ascii(&ansatz.qubit_order())
+        ansatz
+            .full_circuit_from_zero(&params)
+            .to_ascii(&ansatz.qubit_order())
     );
 
     let runner = QaoaRunner::new(ansatz.clone());
@@ -61,4 +67,22 @@ fn main() {
     );
     assert!(report.equivalent);
     println!("MBQC pattern ≡ gate-model QAOA ✓");
+
+    // --- unified engine ---------------------------------------------
+    // Both models are interchangeable backends of one batched executor:
+    // the same ⟨C⟩, whether states come from circuits or from jit-
+    // scheduled measurement patterns with qubit reuse.
+    let gate = Executor::new(GateBackend::new(ansatz));
+    let pattern = Executor::new(PatternBackend::new(&cost, p));
+    let e_gate = gate.expectation(&params);
+    let e_pattern = pattern.expectation(&params);
+    println!("\nengine: gate backend ⟨C⟩ = {e_gate:.9}, pattern backend ⟨C⟩ = {e_pattern:.9}");
+    assert!((e_gate - e_pattern).abs() < 1e-8);
+
+    // The batched path is what optimizers drive (parallel across cores).
+    let grid = gate.grid_search(&[0.0; 4], &[std::f64::consts::PI; 4], 5);
+    println!(
+        "engine: 5⁴-point batched grid search → best ⟨C⟩ = {:.6} ({} evaluations)",
+        grid.value, grid.evals
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let families: Vec<(String, Graph)> = vec![
         ("C8 ring".into(), generators::cycle(8)),
-        ("3-regular n=10".into(), generators::random_regular(10, 3, &mut rng)),
+        (
+            "3-regular n=10".into(),
+            generators::random_regular(10, 3, &mut rng),
+        ),
         ("Petersen".into(), generators::petersen()),
         ("grid 3x3".into(), generators::grid(3, 3)),
         ("K6".into(), generators::complete(6)),
@@ -40,8 +43,16 @@ fn main() {
             let jit = stats(&just_in_time(&compiled.pattern));
             println!(
                 "{:<16} {:>2} | {:>5} {:>5} {:>6} | {:>5} {:>5} | {:>5} {:>6} | {:>8}",
-                name, p, s.total_qubits, s.entangling, s.rounds, b.total_qubits,
-                b.entangling, gate.qubits, gate.entangling_cx, jit.max_live
+                name,
+                p,
+                s.total_qubits,
+                s.entangling,
+                s.rounds,
+                b.total_qubits,
+                b.entangling,
+                gate.qubits,
+                gate.entangling_cx,
+                jit.max_live
             );
             assert!(s.total_qubits <= b.total_qubits);
             assert!(s.entangling <= b.entangling);

@@ -24,7 +24,10 @@ fn main() {
     cz.push(Gate::Cz(q(0), q(1)));
     let imported = circuit_to_diagram(&cz, &[q(0), q(1)]);
     let m = imported.to_matrix();
-    println!("Eq. (4): CZ diagram evaluates to CZ exactly: {}", m.approx_eq(&mbqao::math::gates::cz(), 1e-10));
+    println!(
+        "Eq. (4): CZ diagram evaluates to CZ exactly: {}",
+        m.approx_eq(&mbqao::math::gates::cz(), 1e-10)
+    );
     println!("{}", dot::to_dot(&imported.diagram, "cz"));
 
     // --- Eq. 5: the square graph state -------------------------------
@@ -37,7 +40,10 @@ fn main() {
         reference.apply_cz(q(u as u64), q(v as u64));
     }
     let want = Matrix::from_vec(16, 1, reference.aligned(&order));
-    println!("Eq. (5): graph-state diagram ≡ ∏CZ|+⟩⁴: {}", gs_vec.approx_eq(&want, 1e-10));
+    println!(
+        "Eq. (5): graph-state diagram ≡ ∏CZ|+⟩⁴: {}",
+        gs_vec.approx_eq(&want, 1e-10)
+    );
 
     // --- Fig. 2: the 3-qubit QAOA circuit as a ZX-diagram -------------
     let line = generators::path(3);

@@ -1,0 +1,232 @@
+//! In-tree, dependency-free shim of the `criterion` API subset used by
+//! this workspace (offline build; see `shims/README.md`).
+//!
+//! Benches compile with `harness = false` and a `criterion_main!`-made
+//! `main`. Measurement is a plain wall-clock loop: a short warm-up, then
+//! timed batches until a time budget is met, reporting the mean
+//! time/iteration. No statistics, plots or baselines — good enough to
+//! compare kernels and catch order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver honoring a `<filter>` substring argument from the
+    /// command line (`cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b.report(id);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A parameterized benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `name/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        if self.parent.enabled(&full) {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Runs `name/<id>` with an input handed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.parent.enabled(&full) {
+            let mut b = Bencher::default();
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a closure. One bench closure gets exactly one `iter` call
+/// measured (calling `iter` again overwrites the measurement).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, up to the warm-up budget.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if start.elapsed() >= WARMUP_BUDGET || warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_call = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Measurement: batches sized from the warm-up estimate.
+        let batch =
+            ((MEASURE_BUDGET.as_secs_f64() / 10.0 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_BUDGET && iters < 10_000_000 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<48} (no measurement)");
+            return;
+        }
+        let (value, unit) = if self.mean_ns >= 1e9 {
+            (self.mean_ns / 1e9, "s ")
+        } else if self.mean_ns >= 1e6 {
+            (self.mean_ns / 1e6, "ms")
+        } else if self.mean_ns >= 1e3 {
+            (self.mean_ns / 1e3, "µs")
+        } else {
+            (self.mean_ns, "ns")
+        };
+        println!(
+            "{id:<48} time: {value:>10.3} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// Declares a group function running each listed bench function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 8).0, "a/8");
+        assert_eq!(BenchmarkId::from_parameter(12).0, "12");
+    }
+}

@@ -1,0 +1,643 @@
+//! In-tree, dependency-free shim of the `rayon` API subset used by this
+//! workspace (the build environment is offline; see `shims/README.md`).
+//!
+//! The model is a simplified rayon: a [`ParallelIterator`] is a
+//! *splittable, exactly-sized* pipeline. Terminal operations split the
+//! pipeline into one part per available core and run the parts on scoped
+//! OS threads (`std::thread::scope`), merging the partial results in
+//! order. There is no work-stealing pool; callers are expected to gate
+//! parallel dispatch on problem size (as `mbqao-sim::PAR_THRESHOLD`
+//! does), which keeps the spawn overhead off the small-problem path.
+//!
+//! Supported surface: `par_iter`, `par_iter_mut`, `par_chunks_mut`,
+//! `into_par_iter` (ranges and `Vec`), adapters `map` / `zip` /
+//! `enumerate`, terminals `for_each` / `collect` / `sum` / `reduce`.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Number of worker threads a terminal operation may use: the
+/// `RAYON_NUM_THREADS` environment variable when set (as in real
+/// rayon), otherwise `available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// A splittable, exactly-sized parallel pipeline.
+///
+/// The three `pi_*` methods are the producer contract (length, split,
+/// sequential drain); everything else is adapters and terminals built on
+/// top of them.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Exact number of remaining items.
+    fn pi_len(&self) -> usize;
+
+    /// Splits into the first `mid` items and the rest.
+    fn pi_split_at(self, mid: usize) -> (Self, Self);
+
+    /// Draws the next item (sequential drain of one part).
+    fn pi_next(&mut self) -> Option<Self::Item>;
+
+    /// Maps each item through `f`.
+    fn map<F, O>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Sync + Send + Clone,
+        O: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs with another pipeline of the same length.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Runs `f` on every item (parallel).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(
+            self,
+            &|mut part| {
+                while let Some(x) = part.pi_next() {
+                    f(x);
+                }
+            },
+            &|(), ()| (),
+        );
+    }
+
+    /// Collects into a container, preserving order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let parts: Vec<Vec<Self::Item>> = drive(
+            self,
+            &|mut part| {
+                let mut v = Vec::with_capacity(part.pi_len());
+                while let Some(x) = part.pi_next() {
+                    v.push(x);
+                }
+                vec![v]
+            },
+            &|mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let partials: Vec<S> = drive(
+            self,
+            &|mut part| {
+                let mut v = Vec::new();
+                while let Some(x) = part.pi_next() {
+                    v.push(x);
+                }
+                vec![v.into_iter().sum::<S>()]
+            },
+            &|mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        partials.into_iter().sum()
+    }
+
+    /// Folds all items with `op`; `None` on an empty pipeline.
+    fn reduce_with<Op>(self, op: Op) -> Option<Self::Item>
+    where
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        if self.pi_len() == 0 {
+            return None;
+        }
+        Some(drive(
+            self,
+            &|mut part| {
+                let mut acc = part.pi_next().expect("parts are non-empty");
+                while let Some(x) = part.pi_next() {
+                    acc = op(acc, x);
+                }
+                acc
+            },
+            &|a, b| op(a, b),
+        ))
+    }
+
+    /// Folds all items with `op`, seeding each part with `identity()`.
+    fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Id: Fn() -> Self::Item + Sync + Send,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(
+            self,
+            &|mut part| {
+                let mut acc = identity();
+                while let Some(x) = part.pi_next() {
+                    acc = op(acc, x);
+                }
+                acc
+            },
+            &|a, b| op(a, b),
+        )
+    }
+}
+
+std::thread_local! {
+    /// `true` on threads spawned by [`drive`]. Nested parallel calls
+    /// (e.g. a statevector kernel inside an `Executor` batch worker)
+    /// run sequentially instead of multiplying spawned threads — the
+    /// outer fan-out already saturates the cores.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Splits `iter` into up to `current_num_threads()` parts and runs `seq`
+/// on each part on a scoped thread, merging results in order. Already
+/// inside a worker thread, runs sequentially (no nested spawning).
+fn drive<P, R, S, M>(iter: P, seq: &S, merge: &M) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    S: Fn(P) -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    let n = iter.pi_len();
+    let threads = current_num_threads();
+    let k = threads.min(n);
+    if k <= 1 || IN_WORKER.with(|w| w.get()) {
+        return seq(iter);
+    }
+    let mut parts = Vec::with_capacity(k);
+    let mut rest = iter;
+    let chunk = n / k;
+    let extra = n % k;
+    for i in 0..k - 1 {
+        let take = chunk + usize::from(i < extra);
+        let (head, tail) = rest.pi_split_at(take);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    seq(part)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    results
+        .into_iter()
+        .reduce(merge)
+        .expect("at least one part")
+}
+
+// ---------------------------------------------------------------- adapters
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, O> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> O + Sync + Send + Clone,
+    O: Send,
+{
+    type Item = O;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(mid);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn pi_next(&mut self) -> Option<O> {
+        self.base.pi_next().map(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.pi_split_at(mid);
+        let (b1, b2) = self.b.pi_split_at(mid);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn pi_next(&mut self) -> Option<Self::Item> {
+        match (self.a.pi_next(), self.b.pi_next()) {
+            (Some(x), Some(y)) => Some((x, y)),
+            _ => None,
+        }
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(mid);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn pi_next(&mut self) -> Option<Self::Item> {
+        let x = self.base.pi_next()?;
+        let i = self.offset;
+        self.offset += 1;
+        Some((i, x))
+    }
+}
+
+// ---------------------------------------------------------------- producers
+
+/// Shared-slice producer (`par_iter`).
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+
+    fn pi_next(&mut self) -> Option<&'a T> {
+        let (first, rest) = self.slice.split_first()?;
+        self.slice = rest;
+        Some(first)
+    }
+}
+
+/// Mutable-slice producer (`par_iter_mut`).
+pub struct IterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+
+    fn pi_next(&mut self) -> Option<&'a mut T> {
+        let slice = std::mem::take(&mut self.slice);
+        let (first, rest) = slice.split_first_mut()?;
+        self.slice = rest;
+        Some(first)
+    }
+}
+
+/// Mutable-chunks producer (`par_chunks_mut`).
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(cut);
+        (
+            ChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn pi_next(&mut self) -> Option<&'a mut [T]> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let slice = std::mem::take(&mut self.slice);
+        let cut = self.size.min(slice.len());
+        let (chunk, rest) = slice.split_at_mut(cut);
+        self.slice = rest;
+        Some(chunk)
+    }
+}
+
+/// Integer-range producer (`(a..b).into_par_iter()`).
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn pi_len(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+
+            fn pi_split_at(self, mid: usize) -> (Self, Self) {
+                let cut = self.start.saturating_add(mid as $t).min(self.end);
+                (
+                    RangeIter { start: self.start, end: cut },
+                    RangeIter { start: cut, end: self.end },
+                )
+            }
+
+            fn pi_next(&mut self) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let v = self.start;
+                self.start += 1;
+                Some(v)
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+impl_range_iter!(usize, u64, u32);
+
+/// Owned-vector producer (`vec.into_par_iter()`).
+pub struct VecIter<T: Send> {
+    items: VecDeque<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn pi_split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.items.split_off(mid.min(self.items.len()));
+        (self, VecIter { items: tail })
+    }
+
+    fn pi_next(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------- entry traits
+
+/// `into_par_iter` for owning collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Producer type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self.into() }
+    }
+}
+
+/// `par_iter` on slices (and anything derefing to a slice).
+pub trait ParallelSlice<T: Sync> {
+    /// Borrowing parallel iterator.
+    fn par_iter(&self) -> Iter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+
+    /// Parallel iterator over mutable chunks of `size` elements
+    /// (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksMut { slice: self, size }
+    }
+}
+
+/// Everything a caller needs in scope.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let data: Vec<f64> = (0..5000).map(|i| i as f64 * 0.5).collect();
+        let par: f64 = data.par_iter().map(|&x| x).sum();
+        let seq: f64 = data.iter().sum();
+        assert!((par - seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_finds_minimum() {
+        let (v, i) = (0..100_000usize)
+            .into_par_iter()
+            .map(|i| (((i as f64) - 70_123.0).abs(), i))
+            .reduce(
+                || (f64::INFINITY, usize::MAX),
+                |a, b| if a.0 <= b.0 { a } else { b },
+            );
+        assert_eq!(i, 70_123);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn chunks_mut_zip_writes_all() {
+        let src: Vec<u64> = (0..4096).collect();
+        let mut dst = vec![0u64; 8192];
+        dst.par_chunks_mut(2)
+            .zip(src.par_iter())
+            .for_each(|(pair, &a)| {
+                pair[0] = a;
+                pair[1] = a + 1;
+            });
+        for (i, &s) in src.iter().enumerate() {
+            assert_eq!(dst[2 * i], s);
+            assert_eq!(dst[2 * i + 1], s + 1);
+        }
+    }
+
+    #[test]
+    fn enumerate_offsets_survive_split() {
+        let mut flags = vec![false; 9999];
+        let data = vec![1u8; 9999];
+        let idx: Vec<usize> = data.par_iter().enumerate().map(|(i, _)| i).collect();
+        for (expect, &got) in idx.iter().enumerate() {
+            assert_eq!(expect, got);
+            flags[got] = true;
+        }
+        assert!(flags.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn iter_mut_for_each_touches_everything() {
+        let mut v = vec![1i64; 50_000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as i64);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 1 + i as i64));
+    }
+
+    #[test]
+    fn nested_parallel_calls_are_correct() {
+        // An inner parallel pipeline inside a worker runs sequentially
+        // (the IN_WORKER guard) — results must be unchanged.
+        let sums: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                (0..1000u64)
+                    .into_par_iter()
+                    .map(|j| i * 1000 + j)
+                    .sum::<u64>()
+            })
+            .collect();
+        for (i, &s) in sums.iter().enumerate() {
+            let i = i as u64;
+            let expect: u64 = (0..1000u64).map(|j| i * 1000 + j).sum();
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_pipelines() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: u32 = vec![41u32].into_par_iter().map(|x| x + 1).sum();
+        assert_eq!(one, 42);
+    }
+}

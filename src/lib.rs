@@ -26,6 +26,13 @@
 //! let params = [0.4, 0.9, 0.3, 0.7]; // [γ₁, γ₂, β₁, β₂]
 //! let report = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
 //! assert!(report.equivalent);
+//!
+//! // Both models are interchangeable backends of one batched engine:
+//! // `Executor` evaluates parameter sweeps in parallel and plugs
+//! // directly into every optimizer.
+//! let exec = Executor::new(GateBackend::new(ansatz));
+//! let sweep = exec.expectation_batch(&[params.to_vec(), vec![0.1, 0.2, 0.3, 0.4]]);
+//! assert!((sweep[0] - exec.expectation(&params)).abs() < 1e-12);
 //! ```
 //!
 //! ## Crate map
@@ -37,8 +44,8 @@
 //! | [`problems`] | graphs, QUBO/PUBO/Ising, MaxCut/MIS/partition/vertex-cover/k-SAT, exact solvers |
 //! | [`zx`] | ZX-diagrams, Fig.-1 rewrite rules, circuit import, graph states, ZH boxes |
 //! | [`mbqc`] | measurement patterns, signals, simulation, determinism, scheduling, gflow |
-//! | [`qaoa`] | gate-model ansätze, mixers, expectation, Nelder–Mead/SPSA/grid optimizers |
-//! | [`core`] | the paper's contribution: the QAOA → MBQC compiler, resources, verification |
+//! | [`qaoa`] | gate-model ansätze, mixers, expectation, batched Nelder–Mead/SPSA/grid optimizers |
+//! | [`core`] | the paper's contribution: the QAOA → MBQC compiler, resources, verification, and the unified `Backend`/`Executor` engine |
 
 pub use mbqao_core as core;
 pub use mbqao_math as math;
@@ -51,8 +58,9 @@ pub use mbqao_zx as zx;
 /// The most common imports in one place.
 pub mod prelude {
     pub use mbqao_core::{
-        compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence, CompileOptions,
-        CompiledQaoa, MixerKind, PatternBuilder,
+        compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence, Backend,
+        CompileOptions, CompiledQaoa, Executor, GateBackend, MixerKind, PatternBackend,
+        PatternBuilder,
     };
     pub use mbqao_math::{Matrix, C64};
     pub use mbqao_mbqc::{
@@ -63,7 +71,7 @@ pub mod prelude {
     pub use mbqao_problems::{Graph, Ising, Pubo, Qubo, ZPoly};
     pub use mbqao_qaoa::{
         approximation_ratio,
-        optimize::{grid_search, FnObjective, NelderMead, Objective, Spsa},
+        optimize::{grid_search, BatchObjective, FnObjective, NelderMead, Objective, Spsa},
         InitialState, Mixer, QaoaAnsatz, QaoaRunner,
     };
     pub use mbqao_sim::{Circuit, Gate, MeasBasis, QubitId, State};

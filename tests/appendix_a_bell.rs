@@ -27,9 +27,21 @@ fn appendix_a_pattern() -> Pattern {
         p.entangle(q(a), q(b));
     }
     // M⁴_Z → n  (computational basis = YZ plane at angle 0)
-    let _n = p.measure(q(3), Plane::YZ, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    let _n = p.measure(
+        q(3),
+        Plane::YZ,
+        Angle::constant(0.0),
+        Signal::zero(),
+        Signal::zero(),
+    );
     // M²_X → m  (X basis = XY plane at angle 0)
-    let m = p.measure(q(1), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    let m = p.measure(
+        q(1),
+        Plane::XY,
+        Angle::constant(0.0),
+        Signal::zero(),
+        Signal::zero(),
+    );
     // Λ³_m(X)
     p.correct(q(2), Pauli::X, Signal::var(m));
     p.set_outputs(vec![q(0), q(2)]);
@@ -111,8 +123,20 @@ fn z_then_x_measurement_without_correction_is_not_deterministic() {
     for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
         p.entangle(q(a), q(b));
     }
-    let _ = p.measure(q(3), Plane::YZ, Angle::constant(0.0), Signal::zero(), Signal::zero());
-    let _ = p.measure(q(1), Plane::XY, Angle::constant(0.0), Signal::zero(), Signal::zero());
+    let _ = p.measure(
+        q(3),
+        Plane::YZ,
+        Angle::constant(0.0),
+        Signal::zero(),
+        Signal::zero(),
+    );
+    let _ = p.measure(
+        q(1),
+        Plane::XY,
+        Angle::constant(0.0),
+        Signal::zero(),
+        Signal::zero(),
+    );
     p.set_outputs(vec![q(0), q(2)]);
 
     let mut rng = StdRng::seed_from_u64(1);
@@ -120,5 +144,8 @@ fn z_then_x_measurement_without_correction_is_not_deterministic() {
     let mut rng = StdRng::seed_from_u64(1);
     let b = run(&p, &[], Branch::Forced(&[0, 1]), &mut rng);
     let fid = a.state.fidelity(&b.state, &[q(0), q(2)]);
-    assert!(fid < 0.99, "uncorrected branches should differ, fidelity {fid}");
+    assert!(
+        fid < 0.99,
+        "uncorrected branches should differ, fidelity {fid}"
+    );
 }

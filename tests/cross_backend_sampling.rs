@@ -30,7 +30,10 @@ fn sampled_cost_mean_matches_gate_model_expectation() {
     let g = generators::square();
     let cost = maxcut::maxcut_zpoly(&g);
     let params = [0.55, 0.31];
-    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let opts = CompileOptions {
+        measure_outputs: true,
+        ..Default::default()
+    };
     let compiled = compile_qaoa(&cost, 1, &opts);
 
     let runner = QaoaRunner::new(QaoaAnsatz::standard(cost.clone(), 1));
@@ -38,8 +41,7 @@ fn sampled_cost_mean_matches_gate_model_expectation() {
 
     let shots = 3000;
     let samples = mbqc_samples(&compiled, &params, shots, 42);
-    let empirical: f64 =
-        samples.iter().map(|&x| cost.value(x)).sum::<f64>() / shots as f64;
+    let empirical: f64 = samples.iter().map(|&x| cost.value(x)).sum::<f64>() / shots as f64;
     assert!(
         (empirical - exact).abs() < 0.12,
         "MBQC sampling mean {empirical} vs gate ⟨C⟩ {exact}"
@@ -51,7 +53,10 @@ fn bitstring_distributions_agree_in_total_variation() {
     let g = generators::triangle();
     let cost = maxcut::maxcut_zpoly(&g);
     let params = [0.8, 0.4];
-    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let opts = CompileOptions {
+        measure_outputs: true,
+        ..Default::default()
+    };
     let compiled = compile_qaoa(&cost, 1, &opts);
 
     // Exact Born distribution from the gate model (bit v of index x =
@@ -78,8 +83,12 @@ fn bitstring_distributions_agree_in_total_variation() {
     for &x in &samples {
         emp[x as usize] += 1.0 / shots as f64;
     }
-    let tv: f64 =
-        born.iter().zip(&emp).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+    let tv: f64 = born
+        .iter()
+        .zip(&emp)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / 2.0;
     assert!(tv < 0.05, "total variation {tv} too large");
 }
 
@@ -89,7 +98,10 @@ fn best_sampled_solution_reaches_the_optimum() {
     let cost = maxcut::maxcut_zpoly(&g);
     // Decent p=1 parameters found by a coarse scan offline.
     let params = [0.45, 0.35];
-    let opts = CompileOptions { measure_outputs: true, ..Default::default() };
+    let opts = CompileOptions {
+        measure_outputs: true,
+        ..Default::default()
+    };
     let compiled = compile_qaoa(&cost, 1, &opts);
     let samples = mbqc_samples(&compiled, &params, 400, 3);
     let best = samples

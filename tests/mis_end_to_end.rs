@@ -16,7 +16,11 @@ fn feasible_fraction(g: &Graph, runner: &QaoaRunner, params: &[f64], shots: usiz
 
 #[test]
 fn constrained_ansatz_samples_are_always_feasible() {
-    for g in [generators::square(), generators::petersen(), generators::cycle(5)] {
+    for g in [
+        generators::square(),
+        generators::petersen(),
+        generators::cycle(5),
+    ] {
         let initial = mis::greedy_mis(&g);
         let ansatz = QaoaAnsatz::mis(&g, 2, initial);
         let runner = QaoaRunner::new(ansatz);
@@ -33,7 +37,10 @@ fn penalty_ansatz_does_violate_without_penalty_weight() {
     let ansatz = QaoaAnsatz::standard(mis::mis_objective(&g), 1);
     let runner = QaoaRunner::new(ansatz);
     let frac = feasible_fraction(&g, &runner, &[0.6, 0.4], 300);
-    assert!(frac < 0.999, "transverse mixer should sample infeasible sets");
+    assert!(
+        frac < 0.999,
+        "transverse mixer should sample infeasible sets"
+    );
 }
 
 #[test]

@@ -88,8 +88,8 @@ fn gflow_exists_on_compiled_open_graphs() {
         let cost = maxcut::maxcut_zpoly(&g);
         let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
         let og = OpenGraph::from_pattern(&compiled.pattern);
-        let flow = gflow::find_gflow(&og)
-            .unwrap_or_else(|| panic!("no gflow for n={} p={p}", g.n()));
+        let flow =
+            gflow::find_gflow(&og).unwrap_or_else(|| panic!("no gflow for n={} p={p}", g.n()));
         assert!(gflow::verify_gflow(&og, &flow));
     }
 }

@@ -31,7 +31,12 @@ fn random_qubos_with_linear_terms() {
 fn random_ising_instances() {
     let mut rng = StdRng::seed_from_u64(6);
     let h: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let ising = Ising::new(4, 0.3, h, vec![(0, 1, 0.7), (1, 2, -0.5), (2, 3, 1.1), (0, 3, 0.2)]);
+    let ising = Ising::new(
+        4,
+        0.3,
+        h,
+        vec![(0, 1, 0.7), (1, 2, -0.5), (2, 3, 1.1), (0, 3, 0.2)],
+    );
     check_cost(&ising.to_zpoly(), 2, 200);
 }
 

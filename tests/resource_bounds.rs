@@ -25,10 +25,7 @@ fn bounds_hold_with_equality_for_maxcut_families() {
             let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
             let s = stats(&compiled.pattern);
             let b = paper_bounds(&cost, p);
-            assert_eq!(
-                s.total_qubits, b.total_qubits,
-                "{name} p={p}: N_Q mismatch"
-            );
+            assert_eq!(s.total_qubits, b.total_qubits, "{name} p={p}: N_Q mismatch");
             assert_eq!(s.entangling, b.entangling, "{name} p={p}: N_E mismatch");
             // And the closed forms of Sec. III-A:
             assert_eq!(b.total_qubits - g.n(), p * (g.m() + 2 * g.n()));

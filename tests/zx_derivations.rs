@@ -112,7 +112,10 @@ fn eq7_phase_gadget_form_of_the_separator() {
         .node_ids()
         .into_iter()
         .filter(|&n| {
-            matches!(imported.diagram.node(n).expect("live").kind, mbqao::zx::NodeKind::X)
+            matches!(
+                imported.diagram.node(n).expect("live").kind,
+                mbqao::zx::NodeKind::X
+            )
         })
         .count();
     assert_eq!(hubs, 1, "Eq. (7) structure: one X hub per coupling");
@@ -135,7 +138,10 @@ fn pi_rule_on_paper_shaped_diagram() {
     let before = tensor::evaluate_const(&d);
     assert!(rules::try_pi_commute(&mut d, xpi));
     let after = tensor::evaluate_const(&d);
-    assert!(before.approx_eq(&after, 1e-9), "(π) rule must be scalar-exact");
+    assert!(
+        before.approx_eq(&after, 1e-9),
+        "(π) rule must be scalar-exact"
+    );
     // Structure: two new π spiders, negated center phase.
     assert_eq!(
         d.node(z).expect("live").phase,
@@ -158,6 +164,10 @@ fn graph_state_zx_equals_simulator_for_random_graphs() {
             st.apply_cz(q(u as u64), q(v as u64));
         }
         let want = Matrix::from_vec(32, 1, st.aligned(&order));
-        assert!(m.approx_eq(&want, 1e-9), "graph state mismatch: {:?}", g.edges());
+        assert!(
+            m.approx_eq(&want, 1e-9),
+            "graph state mismatch: {:?}",
+            g.edges()
+        );
     }
 }
