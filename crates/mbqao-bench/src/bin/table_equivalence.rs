@@ -1,8 +1,10 @@
 //! E8/E9 — the headline equivalence table: MBQC-QAOA ≡ gate-model QAOA
-//! across problems, depths and random parameters (fidelity per branch).
+//! across problems, depths and random parameters (fidelity per branch),
+//! upgraded to the three-way jury: gate vs. compiled pattern vs. the
+//! ZX-simplified re-extraction.
 
-use mbqao_bench::standard_families;
-use mbqao_core::{compile_qaoa, verify_equivalence, CompileOptions};
+use mbqao_bench::{mis_families, standard_families};
+use mbqao_core::{verify_equivalence_three_way, CompileOptions};
 use mbqao_problems::Qubo;
 use mbqao_qaoa::QaoaAnsatz;
 use rand::rngs::StdRng;
@@ -10,9 +12,26 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     println!("# E8/E9: equivalence of the compiled patterns (Sec. III)\n");
-    println!("| instance | n | p | params | branches | min fidelity | pass |");
-    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| instance | n | p | params | branches | min fidelity | zx fidelity | zx saved | pass |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
     let mut rng = StdRng::seed_from_u64(2403);
+
+    let row = |name: &str, n: usize, p: usize, rep: &mbqao_core::ThreeWayReport| {
+        println!(
+            "| {} | {} | {} | random | {} | {:.12} | {:.12} | {} | {} |",
+            name,
+            n,
+            p,
+            rep.gate_vs_pattern.fidelities.len(),
+            rep.gate_vs_pattern.min_fidelity,
+            rep.gate_vs_zx.min(rep.pattern_vs_zx),
+            rep.simplify.qubit_savings(),
+            if rep.equivalent { "yes" } else { "NO" }
+        );
+        assert!(rep.equivalent);
+    };
 
     // MaxCut families and SK spin glasses (skip the largest to keep
     // runtime modest).
@@ -22,39 +41,51 @@ fn main() {
         }
         for p in 1..=2 {
             let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
-            let compiled = compile_qaoa(&fam.cost, p, &CompileOptions::default());
             let ansatz = QaoaAnsatz::standard(fam.cost.clone(), p);
-            let rep = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
-            println!(
-                "| {} | {} | {} | random | {} | {:.12} | {} |",
-                fam.name,
-                fam.graph.n(),
+            let rep = verify_equivalence_three_way(
+                &fam.cost,
+                &ansatz,
+                &CompileOptions::default(),
                 p,
-                rep.fidelities.len(),
-                rep.min_fidelity,
-                if rep.equivalent { "yes" } else { "NO" }
+                &params,
+                3,
+                1e-8,
             );
-            assert!(rep.equivalent);
+            row(&fam.name, fam.graph.n(), p, &rep);
         }
     }
 
-    // General QUBOs with linear terms (Eq. 12).
+    // General QUBOs with linear terms (Eq. 12) — where the ZX backend's
+    // gadget absorption actually saves ancillae.
     for i in 0..4 {
         let q = Qubo::random(5, 0.6, &mut rng);
         let cost = q.to_zpoly();
         let p = 1 + i % 2;
         let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
-        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
-        let ansatz = QaoaAnsatz::standard(cost, p);
-        let rep = verify_equivalence(&compiled, &ansatz, &params, 3, 1e-8);
-        println!(
-            "| qubo-rand-{i} | 5 | {p} | random | {} | {:.12} | {} |",
-            rep.fidelities.len(),
-            rep.min_fidelity,
-            if rep.equivalent { "yes" } else { "NO" }
+        let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+        let rep = verify_equivalence_three_way(
+            &cost,
+            &ansatz,
+            &CompileOptions::default(),
+            p,
+            &params,
+            3,
+            1e-8,
         );
-        assert!(rep.equivalent);
+        row(&format!("qubo-rand-{i}"), 5, p, &rep);
     }
+
+    // Constraint-preserving MIS ansätze (Sec. IV).
+    for inst in mis_families() {
+        let opts = inst.compile_options();
+        let ansatz = QaoaAnsatz::mis(&inst.graph, 1, inst.initial);
+        let params: Vec<f64> = (0..2).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let rep = verify_equivalence_three_way(&inst.cost, &ansatz, &opts, 1, &params, 3, 1e-8);
+        row(&inst.name, inst.graph.n(), 1, &rep);
+    }
+
     println!("\nall minimum fidelities = 1 within 1e-8: the compiled measurement");
-    println!("patterns implement QAOA exactly, for arbitrary depth and parameters.");
+    println!("patterns implement QAOA exactly, for arbitrary depth and parameters —");
+    println!("and so do their ZX-simplified re-extractions (rewrite soundness,");
+    println!("machine-checked across every family).");
 }

@@ -6,8 +6,8 @@
 //! only assembles workloads and formats tables.
 
 use mbqao_core::engine::sample_compiled;
-use mbqao_core::{compile_qaoa, CompileOptions, CompiledQaoa};
-use mbqao_problems::{maxcut, Graph, ZPoly};
+use mbqao_core::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
+use mbqao_problems::{maxcut, mis, Graph, ZPoly};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,6 +62,56 @@ pub fn standard_families(seed: u64) -> Vec<FamilyInstance> {
         });
     }
     fams
+}
+
+/// A constrained-ansatz (MIS) instance: the graph, the MIS objective,
+/// and the compile options selecting the Sec.-IV partial mixer with a
+/// feasible greedy initial state.
+pub struct MisInstance {
+    /// Display name.
+    pub name: String,
+    /// The problem graph.
+    pub graph: Graph,
+    /// The MIS objective Hamiltonian.
+    pub cost: ZPoly,
+    /// Greedy feasible initial state (bit `v` = vertex `v`).
+    pub initial: u64,
+}
+
+impl MisInstance {
+    /// Compile options for this instance (state form).
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            mixer: MixerKind::Mis(self.graph.clone()),
+            initial_basis_state: Some(self.initial),
+            measure_outputs: false,
+        }
+    }
+}
+
+/// The MIS family sweep: small graphs where the constraint-preserving
+/// mixer (and therefore the ZX backend's handling of `|0⟩`
+/// preparations, X-corrections and controlled mixers) gets exercised.
+pub fn mis_families() -> Vec<MisInstance> {
+    use mbqao_problems::generators as gen;
+    [
+        ("mis-path3", gen::path(3)),
+        ("mis-path4", gen::path(4)),
+        ("mis-star4", gen::star(4)),
+        ("mis-C5", gen::cycle(5)),
+    ]
+    .into_iter()
+    .map(|(name, graph)| {
+        let cost = mis::mis_objective(&graph);
+        let initial = mis::greedy_mis(&graph);
+        MisInstance {
+            name: name.into(),
+            graph,
+            cost,
+            initial,
+        }
+    })
+    .collect()
 }
 
 /// Samples `shots` corrected bitstrings from a sampling-form pattern
@@ -121,6 +171,18 @@ mod tests {
         assert!(sk.cost.terms().iter().any(|(_, w)| *w > 0.0));
         assert!(sk.cost.terms().iter().any(|(_, w)| *w < 0.0));
         assert_eq!(sk.cost.coupling_term_count(), sk.graph.m());
+    }
+
+    #[test]
+    fn mis_families_are_feasible() {
+        for inst in mis_families() {
+            assert_eq!(inst.cost.n(), inst.graph.n(), "{}", inst.name);
+            assert!(
+                inst.graph.is_independent_set(inst.initial),
+                "{}: greedy initial state must be independent",
+                inst.name
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Process-wide memoization of compiled patterns.
+//!
+//! Parameter sweeps and table generators routinely rebuild backends for
+//! the same `(cost, p, mixer)` triple; compilation + JIT scheduling is
+//! pure, so the artifacts are shared behind `Arc`s keyed by the exact
+//! problem structure (no lossy hashing — the key *is* the data, with
+//! float weights compared bit-for-bit). Both the
+//! [`crate::engine::PatternBackend`] forms and the
+//! [`crate::engine::ZxBackend`]'s simplified extraction go through this
+//! cache; [`pattern_cache_stats`] / [`zx_cache_stats`] expose hit
+//! counters for regression tests and capacity planning.
+
+use crate::compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
+use mbqao_mbqc::schedule::just_in_time;
+use mbqao_problems::ZPoly;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Exact structural key of a compilation request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CompileKey {
+    n: usize,
+    constant_bits: u64,
+    /// Terms `(support, weight bits)` — `ZPoly` keeps them sorted and
+    /// deduplicated, so equal Hamiltonians produce equal keys.
+    terms: Vec<(Vec<usize>, u64)>,
+    p: usize,
+    mixer: MixerKey,
+    initial_basis_state: Option<u64>,
+    measure_outputs: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MixerKey {
+    TransverseField,
+    Mis {
+        n: usize,
+        edges: Vec<(usize, usize)>,
+    },
+    XyRing,
+}
+
+pub(crate) fn compile_key(cost: &ZPoly, p: usize, options: &CompileOptions) -> CompileKey {
+    CompileKey {
+        n: cost.n(),
+        constant_bits: cost.constant().to_bits(),
+        terms: cost
+            .terms()
+            .iter()
+            .map(|(s, w)| (s.clone(), w.to_bits()))
+            .collect(),
+        p,
+        mixer: match &options.mixer {
+            MixerKind::TransverseField => MixerKey::TransverseField,
+            MixerKind::Mis(g) => MixerKey::Mis {
+                n: g.n(),
+                edges: g.edges().to_vec(),
+            },
+            MixerKind::XyRing => MixerKey::XyRing,
+        },
+        initial_basis_state: options.initial_basis_state,
+        measure_outputs: options.measure_outputs,
+    }
+}
+
+/// Cache hit/miss counters (process lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: usize,
+    /// Requests that compiled fresh.
+    pub misses: usize,
+}
+
+struct Shared<V> {
+    map: Mutex<HashMap<CompileKey, Arc<V>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<V> Shared<V> {
+    fn new() -> Self {
+        Shared {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn get_or_insert(&self, key: CompileKey, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        // Build outside the lock: compilation can be expensive and other
+        // keys shouldn't wait on it. A racing builder for the same key
+        // wastes one compilation but stays correct (first insert wins).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(build());
+        let mut map = self.map.lock().expect("cache lock");
+        Arc::clone(map.entry(key).or_insert(fresh))
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn pattern_cache() -> &'static Shared<CompiledQaoa> {
+    static CACHE: OnceLock<Shared<CompiledQaoa>> = OnceLock::new();
+    CACHE.get_or_init(Shared::new)
+}
+
+fn zx_cache() -> &'static Shared<crate::zx_backend::ZxCompiled> {
+    static CACHE: OnceLock<Shared<crate::zx_backend::ZxCompiled>> = OnceLock::new();
+    CACHE.get_or_init(Shared::new)
+}
+
+/// Compiles + JIT-schedules `QAOA_p` for `cost`, memoized on the exact
+/// `(cost, p, mixer, initial state, form)` key. The returned `Arc` is
+/// shared by every backend asking for the same artifact.
+pub fn compile_qaoa_cached(cost: &ZPoly, p: usize, options: &CompileOptions) -> Arc<CompiledQaoa> {
+    pattern_cache().get_or_insert(compile_key(cost, p, options), || {
+        let mut compiled = compile_qaoa(cost, p, options);
+        compiled.pattern = just_in_time(&compiled.pattern);
+        compiled
+    })
+}
+
+/// Memoizes a ZX-simplified extraction under the same key family
+/// (always the state form — `measure_outputs` is forced off).
+pub(crate) fn zx_compiled_cached(
+    cost: &ZPoly,
+    p: usize,
+    options: &CompileOptions,
+    build: impl FnOnce() -> crate::zx_backend::ZxCompiled,
+) -> Arc<crate::zx_backend::ZxCompiled> {
+    let opts = CompileOptions {
+        measure_outputs: false,
+        ..options.clone()
+    };
+    zx_cache().get_or_insert(compile_key(cost, p, &opts), build)
+}
+
+/// Hit/miss counters of the compiled-pattern cache.
+pub fn pattern_cache_stats() -> CacheStats {
+    pattern_cache().stats()
+}
+
+/// Hit/miss counters of the ZX-extraction cache.
+pub fn zx_cache_stats() -> CacheStats {
+    zx_cache().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqao_problems::{generators, maxcut};
+
+    #[test]
+    fn same_request_shares_the_artifact() {
+        // A weight unique to this test keeps the key disjoint from every
+        // other test sharing the process-wide cache.
+        let g = generators::triangle();
+        let mut cost = maxcut::maxcut_zpoly(&g);
+        cost = ZPoly::new(
+            cost.n(),
+            cost.constant() + 0.123_456_789,
+            cost.terms().to_vec(),
+        );
+        let a = compile_qaoa_cached(&cost, 1, &CompileOptions::default());
+        let b = compile_qaoa_cached(&cost, 1, &CompileOptions::default());
+        assert!(Arc::ptr_eq(&a, &b), "second compile must be a cache hit");
+        // A different form misses.
+        let sampling = compile_qaoa_cached(
+            &cost,
+            1,
+            &CompileOptions {
+                measure_outputs: true,
+                ..Default::default()
+            },
+        );
+        assert!(!Arc::ptr_eq(&a, &sampling));
+    }
+
+    #[test]
+    fn keys_distinguish_structure_not_identity() {
+        let g = generators::square();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let rebuilt = maxcut::maxcut_zpoly(&generators::square());
+        assert_eq!(
+            compile_key(&cost, 2, &CompileOptions::default()),
+            compile_key(&rebuilt, 2, &CompileOptions::default()),
+            "structurally equal problems must share a key"
+        );
+        assert_ne!(
+            compile_key(&cost, 2, &CompileOptions::default()),
+            compile_key(&cost, 3, &CompileOptions::default())
+        );
+    }
+}

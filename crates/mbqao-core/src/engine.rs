@@ -12,14 +12,22 @@
 //! * [`PatternBackend`] prepares it by executing the compiled
 //!   measurement pattern — just-in-time scheduled so qubits are reused
 //!   and the live register (and therefore the statevector) stays small,
-//! * [`Executor`] wraps either and adds the batched entry points the
-//!   classical outer loop hammers: [`Executor::expectation_batch`]
+//! * [`ZxBackend`] (re-exported from [`crate::zx_backend`]) routes the
+//!   compiled pattern through ZX-calculus simplification and executes
+//!   the re-extracted pattern — same semantics, machine-checked,
+//! * [`Executor`] wraps any of them and adds the batched entry points
+//!   the classical outer loop hammers: [`Executor::expectation_batch`]
 //!   fans a parameter sweep out over all cores, and the
 //!   [`BatchObjective`] implementation plugs the same batching into
 //!   every optimizer in [`mbqao_qaoa::optimize`].
+//!
+//! Pattern compilation is memoized process-wide (see [`crate::cache`]):
+//! sweeps that rebuild backends for the same `(cost, p, mixer)` reuse
+//! the compiled artifacts instead of recompiling.
 
-use crate::compiler::{compile_qaoa, CompileOptions, CompiledQaoa};
-use mbqao_mbqc::schedule::just_in_time;
+use crate::cache;
+use crate::compiler::{CompileOptions, CompiledQaoa};
+pub use crate::zx_backend::ZxBackend;
 use mbqao_mbqc::simulate::{run, run_with_input, Branch};
 use mbqao_problems::ZPoly;
 use mbqao_qaoa::landscape::{scan_p1_with, Landscape};
@@ -238,8 +246,8 @@ pub struct PatternBackend {
     /// [`PatternBackend::from_compiled`] backends (verification wraps a
     /// fixed artifact — nothing further may be compiled).
     options: Option<CompileOptions>,
-    state_form: std::sync::OnceLock<CompiledQaoa>,
-    sampling_form: std::sync::OnceLock<CompiledQaoa>,
+    state_form: std::sync::OnceLock<std::sync::Arc<CompiledQaoa>>,
+    sampling_form: std::sync::OnceLock<std::sync::Arc<CompiledQaoa>>,
     /// Dense `2^n` cost vector, built on first `expectation` call —
     /// verification-only backends never pay for it.
     cost_vector: std::sync::OnceLock<Vec<f64>>,
@@ -287,13 +295,15 @@ impl PatternBackend {
         };
         backend
             .state_form
-            .set(compiled)
+            .set(std::sync::Arc::new(compiled))
             .expect("fresh OnceLock is empty");
         backend
     }
 
-    /// Compiles + JIT-schedules a form on demand.
-    fn build_form(&self, measure_outputs: bool) -> CompiledQaoa {
+    /// Compiles + JIT-schedules a form on demand, through the
+    /// process-wide memoization of [`crate::cache`] — rebuilding a
+    /// backend for the same `(cost, p, mixer)` shares the artifact.
+    fn build_form(&self, measure_outputs: bool) -> std::sync::Arc<CompiledQaoa> {
         let options = self.options.as_ref().expect(
             "this PatternBackend wraps a fixed compiled pattern and cannot build other forms",
         );
@@ -301,9 +311,7 @@ impl PatternBackend {
             measure_outputs,
             ..options.clone()
         };
-        let mut compiled = compile_qaoa(&self.cost, self.p, &opts);
-        compiled.pattern = just_in_time(&compiled.pattern);
-        compiled
+        cache::compile_qaoa_cached(&self.cost, self.p, &opts)
     }
 
     /// The state-form compiled pattern (compiled on first use).

@@ -23,20 +23,34 @@
 //! * [`verify`] — equivalence of the compiled pattern against the
 //!   gate-model ansatz (state fidelity per branch + determinism).
 //! * [`engine`] — the unified execution layer: a [`Backend`] trait with
-//!   [`GateBackend`] / [`PatternBackend`] implementations and a batched,
-//!   rayon-parallel [`Executor`] shared by the optimizers, landscape
-//!   scans, verification and the benchmark tables.
+//!   [`GateBackend`] / [`PatternBackend`] / [`ZxBackend`]
+//!   implementations and a batched, rayon-parallel [`Executor`] shared
+//!   by the optimizers, landscape scans, verification and the benchmark
+//!   tables.
+//! * [`zx_backend`] — the ZX-simplified backend: compiled patterns are
+//!   exported to ZX (symbolically in γ/β), simplified to a fixpoint,
+//!   re-extracted and executed, with a [`SimplifyReport`] quantifying
+//!   the rewriting.
+//! * [`cache`] — process-wide memoization of compiled patterns keyed by
+//!   `(cost, p, mixer)` so backend-rebuilding sweeps never recompile.
 
 pub mod byproduct;
+pub mod cache;
 pub mod compiler;
 pub mod engine;
 pub mod gadgets;
 pub mod resources;
 pub mod verify;
+pub mod zx_backend;
 pub mod zx_bridge;
 
+pub use cache::{pattern_cache_stats, zx_cache_stats, CacheStats};
 pub use compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
-pub use engine::{Backend, Executor, GateBackend, PatternBackend};
+pub use engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
 pub use gadgets::PatternBuilder;
 pub use resources::{gate_model_resources, paper_bounds, PaperBounds};
-pub use verify::{equivalence_report, verify_equivalence, EquivalenceReport};
+pub use verify::{
+    equivalence_report, verify_equivalence, verify_equivalence_three_way, EquivalenceReport,
+    ThreeWayReport,
+};
+pub use zx_backend::SimplifyReport;

@@ -1,8 +1,11 @@
 //! End-to-end equivalence verification: compiled MBQC pattern vs.
-//! gate-model QAOA — the referee for the paper's headline claim.
+//! gate-model QAOA — the referee for the paper's headline claim — plus
+//! the three-way mode that adds the ZX-simplified backend to the jury.
 
-use crate::compiler::CompiledQaoa;
-use crate::engine::{Backend, GateBackend, PatternBackend};
+use crate::cache;
+use crate::compiler::{CompileOptions, CompiledQaoa};
+use crate::engine::{Backend, GateBackend, PatternBackend, ZxBackend};
+use mbqao_problems::ZPoly;
 use mbqao_qaoa::QaoaAnsatz;
 
 /// Result of an equivalence check.
@@ -78,6 +81,79 @@ pub fn verify_equivalence(
     equivalence_report(&gate, &pattern, params, trials, tol)
 }
 
+/// `|⟨a|b⟩|` of two backends' prepared states at the same parameters,
+/// aligned on their variable wires.
+///
+/// # Panics
+/// Panics when the backends disagree on the number of variables.
+pub fn backend_fidelity(a: &dyn Backend, b: &dyn Backend, params: &[f64]) -> f64 {
+    assert_eq!(a.n(), b.n(), "backends disagree on n");
+    let va = a.prepare(params).aligned(&a.variable_wires());
+    let vb = b.prepare(params).aligned(&b.variable_wires());
+    va.iter()
+        .zip(&vb)
+        .map(|(&x, &y)| x.conj() * y)
+        .fold(mbqao_math::C64::ZERO, |acc, z| acc + z)
+        .abs()
+}
+
+/// Result of a three-way equivalence check: gate vs. pattern vs.
+/// ZX-simplified pattern.
+#[derive(Debug, Clone)]
+pub struct ThreeWayReport {
+    /// Gate vs. directly compiled pattern, per random outcome branch.
+    pub gate_vs_pattern: EquivalenceReport,
+    /// Gate vs. ZX-simplified backend (whose preparation is branch-free
+    /// postselection, hence a single fidelity).
+    pub gate_vs_zx: f64,
+    /// Directly compiled pattern vs. ZX-simplified backend.
+    pub pattern_vs_zx: f64,
+    /// What ZX rewriting did to the pattern on the way.
+    pub simplify: crate::zx_backend::SimplifyReport,
+    /// `true` when every comparison is within tolerance.
+    pub equivalent: bool,
+}
+
+/// Three-way verification of the paper's equivalence claim: the
+/// gate-model ansatz, the compiled measurement pattern, and the
+/// ZX-simplified re-extraction must all prepare the same `|γβ⟩`.
+/// `options.mixer` / `options.initial_basis_state` select the ansatz
+/// family; the pattern is compiled through the process-wide cache.
+///
+/// # Panics
+/// Panics when `ansatz` disagrees with `cost` on the variable count.
+pub fn verify_equivalence_three_way(
+    cost: &ZPoly,
+    ansatz: &QaoaAnsatz,
+    options: &CompileOptions,
+    p: usize,
+    params: &[f64],
+    trials: usize,
+    tol: f64,
+) -> ThreeWayReport {
+    let state_opts = CompileOptions {
+        measure_outputs: false,
+        ..options.clone()
+    };
+    let compiled = cache::compile_qaoa_cached(cost, p, &state_opts);
+    let gate = GateBackend::new(ansatz.clone());
+    let pattern = PatternBackend::from_compiled((*compiled).clone(), ansatz.cost.clone());
+    let zx = ZxBackend::with_options(cost, p, &state_opts);
+
+    let gate_vs_pattern = equivalence_report(&gate, &pattern, params, trials, tol);
+    let gate_vs_zx = backend_fidelity(&gate, &zx, params);
+    let pattern_vs_zx = backend_fidelity(&pattern, &zx, params);
+    let equivalent =
+        gate_vs_pattern.equivalent && gate_vs_zx > 1.0 - tol && pattern_vs_zx > 1.0 - tol;
+    ThreeWayReport {
+        gate_vs_pattern,
+        gate_vs_zx,
+        pattern_vs_zx,
+        simplify: *zx.report(),
+        equivalent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +200,42 @@ mod tests {
         let ansatz = QaoaAnsatz::standard(cost, p);
         let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let report = verify_equivalence(&compiled, &ansatz, &params, 4, 1e-8);
+        assert!(report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn three_way_equivalence_on_maxcut() {
+        let g = generators::square();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let p = 2;
+        let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+        let mut rng = StdRng::seed_from_u64(99);
+        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let report = verify_equivalence_three_way(
+            &cost,
+            &ansatz,
+            &CompileOptions::default(),
+            p,
+            &params,
+            3,
+            1e-8,
+        );
+        assert!(report.equivalent, "{report:?}");
+        assert!(report.simplify.simplify.fusions > 0);
+    }
+
+    #[test]
+    fn three_way_equivalence_on_mis_ansatz() {
+        let g = generators::path(3);
+        let cost = mis::mis_objective(&g);
+        let initial = mis::greedy_mis(&g);
+        let opts = CompileOptions {
+            mixer: MixerKind::Mis(g.clone()),
+            initial_basis_state: Some(initial),
+            measure_outputs: false,
+        };
+        let ansatz = QaoaAnsatz::mis(&g, 1, initial);
+        let report = verify_equivalence_three_way(&cost, &ansatz, &opts, 1, &[0.8, 0.5], 3, 1e-8);
         assert!(report.equivalent, "{report:?}");
     }
 

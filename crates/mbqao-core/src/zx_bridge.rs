@@ -1,9 +1,14 @@
-//! Pattern → ZX-diagram export: the bridge that closes the paper's loop.
+//! Pattern ↔ ZX-diagram bridge: the module that closes the paper's loop
+//! in *both* directions.
 //!
-//! Sec. III derives measurement patterns *from* ZX-diagrams; this module
-//! goes the other way, turning a compiled pattern (with parameters bound
-//! and every outcome fixed to the reference branch `m = 0`) back into a
-//! ZX-diagram:
+//! Sec. III derives measurement patterns *from* ZX-diagrams. This module
+//! first goes the other way — turning a compiled pattern (every outcome
+//! fixed to the reference branch `m = 0`) into a ZX-diagram — and then
+//! back again: a simplified, graph-like diagram re-extracts into a
+//! runnable pattern ([`diagram_to_pattern`]), which is how the
+//! [`crate::engine::ZxBackend`] executes ZX-simplified QAOA.
+//!
+//! Export conventions (scalar-exact):
 //!
 //! * `N_q(|+⟩)` → arity-1 Z-spider (the `√2|+⟩` of Eq. 3; scalar `1/√2`),
 //! * `N_q(|0⟩)` → arity-1 X-spider (the `√2|0⟩` of Eq. 3; scalar `1/√2`),
@@ -14,15 +19,47 @@
 //!   behind a Hadamard edge,
 //! * constant-condition corrections → π-spiders on the wire.
 //!
-//! Evaluating the exported diagram and the [`mbqao_zx::circuit_import`]
-//! of the gate-model ansatz must then agree up to a scalar — the paper's
-//! central equivalence, checked *diagrammatically*.
+//! Measurement angles stay **symbolic**: every parameterized [`Angle`]
+//! becomes an atom bound to a fresh [`mbqao_math::Symbol`], so the
+//! exported diagram — and everything ZX rewriting does to it — remains a
+//! function of the QAOA parameters `[γ₁…γ_p, β₁…β_p]`. One export +
+//! simplify + re-extract then serves the entire variational loop.
 
 use mbqao_math::{PhaseExpr, Rational, C64};
-use mbqao_mbqc::{Command, Pattern, Pauli, Plane, PrepState};
+use mbqao_mbqc::command::ParamId;
+use mbqao_mbqc::reimport::{GraphMeasurement, GraphPatternSpec};
+use mbqao_mbqc::{Angle, Command, Pattern, Pauli, Plane, PrepState};
 use mbqao_sim::QubitId;
-use mbqao_zx::diagram::{Diagram, EdgeType, NodeId};
+use mbqao_zx::diagram::{Diagram, EdgeType, NodeId, NodeKind};
 use std::collections::HashMap;
+
+/// Base id for the exporter's synthetic symbols (shared convention with
+/// `mbqao_zx::circuit_import`).
+pub const SYM_BASE: u32 = mbqao_zx::circuit_import::SYM_BASE;
+
+// ---------------------------------------------------------------- export
+
+/// A diagram whose synthetic angle symbols stand for [`Angle`] *atoms* —
+/// affine forms in the pattern's free parameters. Binding the parameters
+/// yields an [`ExportedDiagram`]; leaving them free lets ZX rewriting
+/// act once for the whole parameter space.
+pub struct SymbolicDiagram {
+    /// The ZX-diagram of the pattern's reference branch.
+    pub diagram: Diagram,
+    /// Atom per synthetic symbol (symbol id = `SYM_BASE + index`): the
+    /// angle in radians as a function of the pattern parameters.
+    pub atoms: Vec<Angle>,
+}
+
+impl SymbolicDiagram {
+    /// Binds the parameters, producing the numeric view.
+    pub fn bind(&self, params: &[f64]) -> ExportedDiagram {
+        ExportedDiagram {
+            diagram: self.diagram.clone(),
+            angles: self.atoms.iter().map(|a| a.eval(params)).collect(),
+        }
+    }
+}
 
 /// An exported diagram plus the exact radian values of its synthetic
 /// angle symbols (arbitrary angles cannot be exact rational multiples of
@@ -33,10 +70,6 @@ pub struct ExportedDiagram {
     /// Radian value per synthetic symbol (symbol id = `SYM_BASE + index`).
     pub angles: Vec<f64>,
 }
-
-/// Base id for the exporter's synthetic symbols (shared convention with
-/// `mbqao_zx::circuit_import`).
-pub const SYM_BASE: u32 = mbqao_zx::circuit_import::SYM_BASE;
 
 impl ExportedDiagram {
     /// Binding function for the synthetic symbols.
@@ -56,31 +89,96 @@ impl ExportedDiagram {
     }
 }
 
-/// Stores a radian angle exactly: as a rational multiple of π when it is
-/// one (π/12 grid), otherwise through a synthetic symbol.
-fn radians_to_phase(theta: f64, angles: &mut Vec<f64>) -> PhaseExpr {
+/// Interns `angle` as an atom and returns its symbol.
+fn atom_symbol(angle: &Angle, atoms: &mut Vec<Angle>) -> mbqao_math::Symbol {
+    let idx = atoms.iter().position(|a| a == angle).unwrap_or_else(|| {
+        atoms.push(angle.clone());
+        atoms.len() - 1
+    });
+    mbqao_math::Symbol::new(SYM_BASE + idx as u32)
+}
+
+/// Stores a radian constant exactly: as a rational multiple of π when it
+/// is one (π/12 grid), otherwise through an atom symbol.
+fn constant_to_phase(theta: f64, atoms: &mut Vec<Angle>) -> PhaseExpr {
     let frac = theta / std::f64::consts::PI;
     let twelve = frac * 12.0;
     if (twelve - twelve.round()).abs() < 1e-12 && twelve.abs() < 1e6 {
         return PhaseExpr::pi_times(Rational::new(twelve.round() as i64, 12));
     }
-    let sym = mbqao_math::Symbol::new(SYM_BASE + angles.len() as u32);
-    angles.push(theta);
-    PhaseExpr::symbol(sym, Rational::ONE)
+    PhaseExpr::symbol(atom_symbol(&Angle::constant(theta), atoms), Rational::ONE)
+}
+
+/// The phase of the spider exporting a measurement at base angle
+/// `sign·angle + (add_pi ? π : 0)`, with `sign = ±1`. Constant angles
+/// are stored exactly on the π/12 grid; parameterized ones become
+/// `±atom` so opposite-sign pairs cancel under spider fusion.
+fn angle_to_phase(
+    angle: &Angle,
+    negative: bool,
+    add_pi: bool,
+    atoms: &mut Vec<Angle>,
+) -> PhaseExpr {
+    let pi_offset = if add_pi {
+        PhaseExpr::pi()
+    } else {
+        PhaseExpr::zero()
+    };
+    if angle.terms.is_empty() {
+        let theta = if negative {
+            -angle.constant
+        } else {
+            angle.constant
+        };
+        return constant_to_phase(theta, atoms) + pi_offset;
+    }
+    let coeff = Rational::from_int(if negative { -1 } else { 1 });
+    PhaseExpr::symbol(atom_symbol(angle, atoms), coeff) + pi_offset
+}
+
+/// Converts a spider phase back into an [`Angle`] over the pattern
+/// parameters, resolving atom symbols through `atoms`.
+///
+/// # Panics
+/// Panics on symbols outside the atom range (user symbols cannot appear
+/// in exported diagrams).
+pub fn phase_to_angle(phase: &PhaseExpr, atoms: &[Angle]) -> Angle {
+    let mut constant = phase.pi_part().to_f64() * std::f64::consts::PI;
+    let mut acc: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    for (&sym, &coeff) in phase.terms() {
+        let idx = sym
+            .0
+            .checked_sub(SYM_BASE)
+            .unwrap_or_else(|| panic!("phase references user symbol s{}", sym.0))
+            as usize;
+        let atom = &atoms[idx];
+        let c = coeff.to_f64();
+        constant += c * atom.constant;
+        for &(k, ParamId(i)) in &atom.terms {
+            *acc.entry(i).or_insert(0.0) += c * k;
+        }
+    }
+    Angle {
+        constant,
+        terms: acc
+            .into_iter()
+            .filter(|&(_, c)| c != 0.0)
+            .map(|(i, c)| (c, ParamId(i)))
+            .collect(),
+    }
 }
 
 /// Exports the reference branch (`every outcome = 0`) of `pattern` as a
-/// ZX-diagram over the given parameter bindings. The diagram's open
+/// ZX-diagram with **symbolic** measurement angles. The diagram's open
 /// outputs follow `pattern.outputs()` order; open inputs follow
 /// `pattern.inputs()`.
 ///
 /// # Panics
-/// Panics on sampling-form patterns touching outcomes in angle domains
-/// with non-constant signals — those are zero on the reference branch, so
-/// arbitrary patterns produced by this crate's compiler are fine.
-pub fn pattern_to_diagram(pattern: &Pattern, params: &[f64]) -> ExportedDiagram {
+/// Panics on XZ-plane measurements (never produced by this crate's
+/// compiler).
+pub fn pattern_to_symbolic_diagram(pattern: &Pattern) -> SymbolicDiagram {
     let mut d = Diagram::new();
-    let mut angles: Vec<f64> = Vec::new();
+    let mut atoms: Vec<Angle> = Vec::new();
     let mut frontier: HashMap<QubitId, NodeId> = HashMap::new();
 
     for &q in pattern.inputs() {
@@ -122,35 +220,29 @@ pub fn pattern_to_diagram(pattern: &Pattern, params: &[f64]) -> ExportedDiagram 
                 ..
             } => {
                 // Reference branch: all outcomes 0, so only the constant
-                // parts of the domains survive.
-                let mut theta = angle.eval(params);
-                if s.constant() {
-                    theta = -theta;
-                }
-                if t.constant() {
-                    theta += std::f64::consts::PI;
-                }
+                // parts of the domains survive. The adapted angle is
+                // `(−1)^s·angle + t·π`.
+                let negate = s.constant();
+                let add_pi = t.constant();
                 let f = frontier[q];
                 match plane {
                     Plane::XY => {
                         // ⟨0| + e^{−iθ}⟨1| (normalized 1/√2): Z(−θ) leaf.
-                        let leaf = d.add_z(radians_to_phase(-theta, &mut angles));
+                        let phase = angle_to_phase(angle, !negate, add_pi, &mut atoms);
+                        let leaf = d.add_z(phase);
                         d.add_edge(f, leaf, EdgeType::Plain);
                         d.multiply_scalar(C64::real(std::f64::consts::FRAC_1_SQRT_2));
                     }
                     Plane::YZ => {
-                        // YZ(θ) projector = XY(−θ) projector ∘ H:
-                        // e^{iθ/2}·(cos(θ/2)⟨0| − i sin(θ/2)⟨1|)… exported
+                        // YZ(θ) projector = XY(−θ) projector ∘ H: exported
                         // as Z(θ) leaf behind an H-edge (scalar-checked in
                         // tests; global phase irrelevant up-to-scalar).
-                        let leaf = d.add_z(radians_to_phase(theta, &mut angles));
+                        let phase = angle_to_phase(angle, negate, add_pi, &mut atoms);
+                        let leaf = d.add_z(phase);
                         d.add_edge(f, leaf, EdgeType::Hadamard);
                         d.multiply_scalar(C64::real(std::f64::consts::FRAC_1_SQRT_2));
                     }
                     Plane::XZ => {
-                        // cos(θ/2)⟨0| + sin(θ/2)⟨1| = H ∘ XY-like family:
-                        // XZ(θ).v0 = H·XY? Use: XZ(θ) basis = H·YZ-dual —
-                        // not needed by the compiler; keep unimplemented.
                         unimplemented!("XZ-plane export not needed by compiled patterns")
                     }
                 }
@@ -176,7 +268,205 @@ pub fn pattern_to_diagram(pattern: &Pattern, params: &[f64]) -> ExportedDiagram 
         let o = d.add_output();
         d.add_edge(frontier[&q], o, EdgeType::Plain);
     }
-    ExportedDiagram { diagram: d, angles }
+    SymbolicDiagram { diagram: d, atoms }
+}
+
+/// Exports the reference branch of `pattern` as a ZX-diagram over the
+/// given parameter bindings (the numeric view of
+/// [`pattern_to_symbolic_diagram`]).
+pub fn pattern_to_diagram(pattern: &Pattern, params: &[f64]) -> ExportedDiagram {
+    pattern_to_symbolic_diagram(pattern).bind(params)
+}
+
+// ---------------------------------------------------------------- extract
+
+/// Result of re-extracting a pattern from a graph-like diagram.
+pub struct ZxExtraction {
+    /// The combinatorial spec (kept for introspection/stats).
+    pub spec: GraphPatternSpec,
+    /// The runnable reference-branch pattern (execute with
+    /// `Branch::Forced(&zeros)` and renormalize).
+    pub pattern: Pattern,
+    /// Qubits carrying the diagram outputs, in interface order.
+    pub output_wires: Vec<QubitId>,
+    /// Degree-1 spiders re-absorbed as YZ measurements instead of extra
+    /// qubits (the inverse of the phase-gadget export convention).
+    pub absorbed_leaves: usize,
+}
+
+/// `true` when `id` is a boundary node.
+fn is_boundary(d: &Diagram, id: NodeId) -> bool {
+    matches!(
+        d.node(id).expect("live").kind,
+        NodeKind::Input(_) | NodeKind::Output(_)
+    )
+}
+
+/// Number of boundary legs on `id`.
+fn boundary_legs(d: &Diagram, id: NodeId) -> usize {
+    d.neighbors(id)
+        .into_iter()
+        .filter(|&(_, o, _)| is_boundary(d, o))
+        .count()
+}
+
+/// Normalizes every output interface of a graph-like diagram so each
+/// output boundary hangs off a dedicated phaseless spider by a plain
+/// edge, inserting identity spiders where needed (inverse identity
+/// removal — exact semantics).
+fn normalize_boundaries(d: &mut Diagram) {
+    for k in 0..d.outputs().len() {
+        let o = d.outputs()[k];
+        let nb = d.neighbors(o);
+        assert_eq!(nb.len(), 1, "output boundary must have degree 1");
+        let (edge, s, ty) = nb[0];
+        assert!(
+            !is_boundary(d, s),
+            "output boundary connects to another boundary; not a pattern interface"
+        );
+        let direct = ty == EdgeType::Plain
+            && d.node(s).expect("live").phase.is_zero()
+            && boundary_legs(d, s) == 1;
+        if direct {
+            continue;
+        }
+        d.remove_edge(edge);
+        match ty {
+            // s —H— o  ⇒  s —H— a(0) —plain— o  (identity insertion).
+            EdgeType::Hadamard => {
+                let a = d.add_z(PhaseExpr::zero());
+                d.add_edge(s, a, EdgeType::Hadamard);
+                d.add_edge(a, o, EdgeType::Plain);
+            }
+            // s —plain— o with s phased or shared ⇒ two identity spiders:
+            // s —H— a(0) —H— b(0) —plain— o.
+            EdgeType::Plain => {
+                let a = d.add_z(PhaseExpr::zero());
+                let b = d.add_z(PhaseExpr::zero());
+                d.add_edge(s, a, EdgeType::Hadamard);
+                d.add_edge(a, b, EdgeType::Hadamard);
+                d.add_edge(b, o, EdgeType::Plain);
+            }
+        }
+    }
+}
+
+/// Re-extracts a runnable measurement pattern from a **graph-like**
+/// diagram (see [`mbqao_zx::extract::to_graph_like`]) with no open
+/// inputs. The correspondence inverts the export conventions above:
+/// every spider is a `|+⟩`-prepared qubit, every Hadamard edge a CZ,
+/// every measured spider an `XY(−phase)` measurement — except degree-1
+/// spiders hanging off a phaseless measured spider, which fold back into
+/// `YZ(phase)` measurements (the phase-gadget form, saving their qubit).
+///
+/// The returned pattern is just-in-time scheduled and reproduces the
+/// diagram's normalized semantics on the all-zero forced branch.
+///
+/// # Panics
+/// Panics when the diagram has open inputs or violates graph-like form.
+pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -> ZxExtraction {
+    assert!(
+        diagram.inputs().is_empty(),
+        "extraction needs a self-contained (input-free) diagram"
+    );
+    assert!(
+        mbqao_zx::extract::is_graph_like(diagram),
+        "extraction needs a graph-like diagram"
+    );
+    let mut d = diagram.clone();
+    normalize_boundaries(&mut d);
+
+    // Output spider per diagram output, in interface order.
+    let output_spiders: Vec<NodeId> = d.outputs().iter().map(|&o| d.neighbors(o)[0].1).collect();
+    let is_output: std::collections::HashSet<NodeId> = output_spiders.iter().copied().collect();
+
+    // YZ re-absorption: a degree-1 spider `l` on an H-edge to a measured
+    // phaseless spider `s` is the export of `M_s^{YZ, phase(l)}`.
+    let mut absorbed_into: HashMap<NodeId, NodeId> = HashMap::new(); // s → l
+    let mut absorbed: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for l in d.node_ids() {
+        if is_boundary(&d, l) || d.degree(l) != 1 {
+            continue;
+        }
+        let (_, s, ty) = d.neighbors(l)[0];
+        if ty != EdgeType::Hadamard
+            || is_boundary(&d, s)
+            || is_output.contains(&s)
+            || d.degree(s) <= 1
+            || absorbed_into.contains_key(&s)
+            || absorbed.contains(&s)
+            || !d.node(s).expect("live").phase.is_zero()
+        {
+            continue;
+        }
+        absorbed_into.insert(s, l);
+        absorbed.insert(l);
+    }
+
+    // Qubit assignment: every live internal spider that is neither an
+    // absorbed leaf nor an isolated scalar spider (degree 0 — a pure
+    // scalar factor, dropped since execution renormalizes).
+    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    for n in d.node_ids() {
+        if is_boundary(&d, n) || absorbed.contains(&n) || d.degree(n) == 0 {
+            continue;
+        }
+        let i = index.len();
+        index.insert(n, i);
+    }
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for e in d.edge_ids() {
+        let (a, b, ty) = d.edge(e).expect("live");
+        let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else {
+            continue; // boundary legs and absorbed-leaf edges
+        };
+        assert_eq!(
+            ty,
+            EdgeType::Hadamard,
+            "inter-spider edges must be Hadamard"
+        );
+        edges.push((ia, ib));
+    }
+
+    let mut measures: Vec<GraphMeasurement> = Vec::new();
+    for (&n, &i) in &index {
+        if is_output.contains(&n) {
+            continue;
+        }
+        let m = if let Some(&leaf) = absorbed_into.get(&n) {
+            GraphMeasurement {
+                node: i,
+                plane: Plane::YZ,
+                angle: phase_to_angle(&d.node(leaf).expect("live").phase, atoms),
+            }
+        } else {
+            GraphMeasurement {
+                node: i,
+                plane: Plane::XY,
+                angle: phase_to_angle(&(-d.node(n).expect("live").phase.clone()), atoms),
+            }
+        };
+        measures.push(m);
+    }
+    measures.sort_by_key(|m| m.node);
+
+    let spec = GraphPatternSpec {
+        nodes: index.len(),
+        edges,
+        measures,
+        outputs: output_spiders.iter().map(|s| index[s]).collect(),
+        n_params,
+    };
+    let pattern = mbqao_mbqc::schedule::just_in_time(&spec.to_pattern());
+    let output_wires = spec.output_wires();
+    let absorbed_leaves = absorbed.len();
+    ZxExtraction {
+        spec,
+        pattern,
+        output_wires,
+        absorbed_leaves,
+    }
 }
 
 #[cfg(test)]
@@ -184,10 +474,15 @@ mod tests {
     use super::*;
     use crate::compiler::{compile_qaoa, CompileOptions};
     use crate::gadgets::PatternBuilder;
+    use mbqao_mbqc::simulate::{run, Branch};
     use mbqao_mbqc::Angle;
     use mbqao_problems::{generators, maxcut};
     use mbqao_qaoa::QaoaAnsatz;
     use mbqao_zx::circuit_import::circuit_to_diagram;
+    use mbqao_zx::extract::to_graph_like;
+    use mbqao_zx::simplify::simplify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn j_step_pattern_diagram_is_h_rz() {
@@ -270,5 +565,67 @@ mod tests {
             .count();
         // One H-edge per CZ (16) plus one per YZ-measurement leaf (4).
         assert_eq!(h_edges, 16 + 4);
+    }
+
+    #[test]
+    fn symbolic_export_keeps_parameters_free() {
+        let g = generators::triangle();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let compiled = compile_qaoa(&cost, 1, &CompileOptions::default());
+        let sym = pattern_to_symbolic_diagram(&compiled.pattern);
+        assert!(
+            !sym.atoms.is_empty(),
+            "parameterized angles must become atoms"
+        );
+        // Binding two different parameter points evaluates to two
+        // different states from the *same* diagram.
+        let a = sym.bind(&[0.3, 0.9]).to_matrix();
+        let b = sym.bind(&[1.1, 0.2]).to_matrix();
+        assert!(!a.approx_eq_up_to_scalar(&b, 1e-6));
+    }
+
+    #[test]
+    fn phase_to_angle_round_trips() {
+        let mut atoms = Vec::new();
+        let angle = Angle {
+            constant: 0.25,
+            terms: vec![(2.0, ParamId(0)), (-0.5, ParamId(1))],
+        };
+        let phase = angle_to_phase(&angle, true, true, &mut atoms);
+        let back = phase_to_angle(&phase, &atoms);
+        let params = [0.7, -1.3];
+        let want = -angle.eval(&params) + std::f64::consts::PI;
+        assert!((back.eval(&params) - want).abs() < 1e-12);
+    }
+
+    /// End-to-end bridge round trip: compile → export → simplify →
+    /// graph-like → re-extract → run forced branch 0; the state must
+    /// match the original pattern's prepared state.
+    #[test]
+    fn simplified_extraction_round_trips_qaoa_state() {
+        let g = generators::square();
+        let cost = maxcut::maxcut_zpoly(&g);
+        let p = 1;
+        let compiled = compile_qaoa(&cost, p, &CompileOptions::default());
+        let sym = pattern_to_symbolic_diagram(&compiled.pattern);
+        let mut d = sym.diagram.clone();
+        let stats = simplify(&mut d);
+        assert!(stats.fusions > 0, "QAOA exports must fuse substantially");
+        to_graph_like(&mut d);
+        let ext = diagram_to_pattern(&d, &sym.atoms, 2 * p);
+
+        let params = [0.8, 0.45];
+        let zeros = vec![0u8; ext.spec.measures.len()];
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = run(&ext.pattern, &params, Branch::Forced(&zeros), &mut rng);
+
+        let ansatz = QaoaAnsatz::standard(cost, p);
+        let reference = ansatz.prepare(&params);
+        let want = reference.aligned(&ansatz.qubit_order());
+        assert!(
+            r.state
+                .approx_eq_up_to_phase(&ext.output_wires, &want, 1e-8),
+            "extracted pattern deviates from |γβ⟩"
+        );
     }
 }

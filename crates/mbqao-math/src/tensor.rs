@@ -61,27 +61,22 @@ impl Tensor {
     }
 
     /// An X-spider tensor: the Z-spider conjugated by Hadamards on every
-    /// leg, i.e. `Σ_{parity even} …` structure. Built by explicit basis
-    /// change so the semantics match Eq. (2) of the paper exactly.
+    /// leg, matching Eq. (2) of the paper exactly. The basis change has
+    /// the closed form `data[x] = (1 + e^{iα}·(−1)^{|x|}) / √2^n` (the
+    /// Z-spider's two nonzero entries are `y = 0…0` and `y = 1…1`, whose
+    /// Hadamard overlaps are `1` and `(−1)^{|x|}`), so construction is
+    /// `O(2^n)` — high-arity spiders (self-loop-heavy diagrams) stay
+    /// cheap to evaluate.
     pub fn x_spider(legs: Vec<u64>, alpha: f64) -> Self {
-        // X-spider = H^{⊗n} · Z-spider(α) · (applied on every leg).
         let n = legs.len();
-        let z = Tensor::z_spider((0..n as u64).collect(), alpha);
-        let mut data = vec![C64::ZERO; 1usize << n];
-        let s = 1.0 / (2.0f64).sqrt();
-        // data[x] = Σ_y H(x,y)... per leg: ⟨x|H|y⟩ = s·(−1)^{x·y}
-        for (x, out) in data.iter_mut().enumerate() {
-            let mut acc = C64::ZERO;
-            for (y, &zy) in z.data.iter().enumerate() {
-                if zy.is_zero(0.0) {
-                    continue;
-                }
-                let dot = (x & y).count_ones();
-                let sign = if dot % 2 == 0 { 1.0 } else { -1.0 };
-                acc += zy * sign;
-            }
-            *out = acc * s.powi(n as i32);
-        }
+        let norm = (1.0 / (2.0f64).sqrt()).powi(n as i32);
+        let phase = C64::cis(alpha);
+        let data = (0..1usize << n)
+            .map(|x| {
+                let sign = if x.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                (C64::ONE + phase * sign) * norm
+            })
+            .collect();
         Tensor { legs, data }
     }
 

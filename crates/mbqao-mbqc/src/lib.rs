@@ -28,6 +28,8 @@
 //!   pattern determinism.
 //! * [`resources`] — qubit/entangling/round accounting compared against
 //!   the paper's Sec. III-A bounds.
+//! * [`reimport`] — graph-state specs (graph-like ZX-diagrams) back into
+//!   runnable reference-branch patterns.
 
 pub mod command;
 pub mod determinism;
@@ -35,6 +37,7 @@ pub mod gflow;
 pub mod opengraph;
 pub mod pattern;
 pub mod plane;
+pub mod reimport;
 pub mod resources;
 pub mod schedule;
 pub mod signal;

@@ -1,0 +1,169 @@
+//! Pattern re-import: graph-state specifications → runnable patterns.
+//!
+//! Sec. III of the paper derives measurement patterns *from* simplified
+//! ZX-diagrams; this module is the runtime half of that arrow. A
+//! graph-like diagram (one Z-spider per vertex, Hadamard edges, measured
+//! or output vertices) is exactly a graph state with single-qubit
+//! measurements, so it re-imports as the pattern
+//!
+//! ```text
+//!     ∏ M_v^{plane_v, θ_v}  ∏_{(u,v)∈E} E_{u,v}  ∏_v N_v(|+⟩)
+//! ```
+//!
+//! with **no corrections**: the re-imported pattern reproduces the
+//! diagram's reference branch (every outcome 0), so executors run it
+//! with `Branch::Forced(&zeros)` and renormalize — postselection, not
+//! feed-forward. That keeps re-import sound without requiring the
+//! simplified graph to retain a gflow.
+
+use crate::command::Angle;
+use crate::pattern::Pattern;
+use crate::plane::Plane;
+use mbqao_sim::QubitId;
+
+/// One measured vertex of a [`GraphPatternSpec`].
+#[derive(Debug, Clone)]
+pub struct GraphMeasurement {
+    /// Vertex index (into the spec's `0..nodes` range).
+    pub node: usize,
+    /// Measurement plane.
+    pub plane: Plane,
+    /// Measurement angle (may reference pattern parameters).
+    pub angle: Angle,
+}
+
+/// A combinatorial pattern specification: the open graph plus per-vertex
+/// measurements — what a graph-like ZX-diagram reduces to.
+#[derive(Debug, Clone, Default)]
+pub struct GraphPatternSpec {
+    /// Number of vertices; vertex `i` becomes qubit `i`.
+    pub nodes: usize,
+    /// Graph-state edges (CZ entanglers).
+    pub edges: Vec<(usize, usize)>,
+    /// Measurements, one per non-output vertex.
+    pub measures: Vec<GraphMeasurement>,
+    /// Output vertices in interface order.
+    pub outputs: Vec<usize>,
+    /// Number of free angle parameters.
+    pub n_params: usize,
+}
+
+impl GraphPatternSpec {
+    /// Builds the reference-branch pattern: prepare every vertex in
+    /// `|+⟩`, entangle along the edges, measure the non-output vertices
+    /// (no adaptive signals), leave `outputs` open. The caller typically
+    /// reorders it with [`crate::schedule::just_in_time`] so the live
+    /// register stays small.
+    ///
+    /// # Panics
+    /// Panics when the spec is inconsistent (a vertex measured twice or
+    /// both measured and output, an edge out of range) — the built
+    /// pattern is validated before being returned.
+    pub fn to_pattern(&self) -> Pattern {
+        let q = |i: usize| QubitId::new(i as u64);
+        let mut p = Pattern::new(vec![], self.n_params);
+        for i in 0..self.nodes {
+            p.prep_plus(q(i));
+        }
+        for &(a, b) in &self.edges {
+            assert!(
+                a < self.nodes && b < self.nodes && a != b,
+                "bad edge ({a},{b})"
+            );
+            p.entangle(q(a), q(b));
+        }
+        for m in &self.measures {
+            assert!(m.node < self.nodes, "measured vertex out of range");
+            let _ = p.measure(
+                q(m.node),
+                m.plane,
+                m.angle.clone(),
+                crate::signal::Signal::zero(),
+                crate::signal::Signal::zero(),
+            );
+        }
+        p.set_outputs(self.outputs.iter().map(|&i| q(i)).collect());
+        p.validate().expect("re-imported pattern must validate");
+        p
+    }
+
+    /// Qubit ids of the outputs, in interface order (matches the pattern
+    /// returned by [`GraphPatternSpec::to_pattern`]).
+    pub fn output_wires(&self) -> Vec<QubitId> {
+        self.outputs
+            .iter()
+            .map(|&i| QubitId::new(i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{run, Branch};
+    use mbqao_sim::State;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// J(θ)|+⟩ on the reference branch: vertex 0 measured XY(−θ),
+    /// vertex 1 output — must give H·Rz(θ)|+⟩ after renormalization.
+    #[test]
+    fn single_edge_reference_branch_is_j_on_plus() {
+        let theta = 0.731;
+        let spec = GraphPatternSpec {
+            nodes: 2,
+            edges: vec![(0, 1)],
+            measures: vec![GraphMeasurement {
+                node: 0,
+                plane: Plane::XY,
+                angle: Angle::constant(-theta),
+            }],
+            outputs: vec![1],
+            n_params: 0,
+        };
+        let p = spec.to_pattern();
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = run(&p, &[], Branch::Forced(&[0]), &mut rng);
+
+        let q0 = QubitId::new(0);
+        let mut reference = State::plus(&[q0]);
+        reference.apply_rz(q0, theta);
+        reference.apply_h(q0);
+        let want = reference.aligned(&[q0]);
+        assert!(
+            r.state
+                .approx_eq_up_to_phase(&spec.output_wires(), &want, 1e-9),
+            "reference branch must implement J(θ) on |+⟩"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edge")]
+    fn rejects_out_of_range_edges() {
+        let spec = GraphPatternSpec {
+            nodes: 1,
+            edges: vec![(0, 3)],
+            measures: vec![],
+            outputs: vec![0],
+            n_params: 0,
+        };
+        let _ = spec.to_pattern();
+    }
+
+    #[test]
+    #[should_panic(expected = "re-imported pattern must validate")]
+    fn rejects_measured_outputs() {
+        let spec = GraphPatternSpec {
+            nodes: 1,
+            edges: vec![],
+            measures: vec![GraphMeasurement {
+                node: 0,
+                plane: Plane::XY,
+                angle: Angle::constant(0.0),
+            }],
+            outputs: vec![0],
+            n_params: 0,
+        };
+        let _ = spec.to_pattern();
+    }
+}

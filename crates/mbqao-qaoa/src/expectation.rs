@@ -52,21 +52,7 @@ impl QaoaRunner {
     pub fn sample<R: Rng + ?Sized>(&self, params: &[f64], shots: usize, rng: &mut R) -> Vec<u64> {
         let st = self.ansatz.prepare(params);
         let order = self.ansatz.qubit_order();
-        (0..shots)
-            .map(|_| {
-                let msb = st.sample(&order, rng);
-                // convert msb-first sample (order[0] = high bit) to
-                // lsb-first variable convention
-                let n = order.len();
-                let mut x = 0u64;
-                for v in 0..n {
-                    if (msb >> (n - 1 - v)) & 1 == 1 {
-                        x |= 1 << v;
-                    }
-                }
-                x
-            })
-            .collect()
+        (0..shots).map(|_| st.sample_lsb(&order, rng)).collect()
     }
 
     /// Best (lowest-cost) sample among `shots`.

@@ -612,6 +612,23 @@ impl State {
         out
     }
 
+    /// Samples a basis state and reports the bits of `order`
+    /// **lsb-first**: bit `i` of the result is the outcome of
+    /// `order[i]` — the variable convention of
+    /// `mbqao_problems::ZPoly::value`, shared by every backend's
+    /// `sample` path.
+    pub fn sample_lsb<R: Rng + ?Sized>(&self, order: &[QubitId], rng: &mut R) -> u64 {
+        let msb = self.sample(order, rng);
+        let n = order.len();
+        let mut out = 0u64;
+        for v in 0..n {
+            if (msb >> (n - 1 - v)) & 1 == 1 {
+                out |= 1 << v;
+            }
+        }
+        out
+    }
+
     /// Removes a qubit known to be in a product state with the rest
     /// (projects onto outcome 0 of the computational basis after
     /// verifying the qubit is `|0⟩` up to `eps`). Used by tests.

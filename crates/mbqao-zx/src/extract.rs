@@ -1,0 +1,167 @@
+//! Graph-like normal form — the launchpad for pattern re-extraction.
+//!
+//! A diagram is *graph-like* when every internal node is a Z-spider,
+//! spiders connect to each other only through single Hadamard edges (no
+//! parallel pairs, no self-loops), and boundaries hang off spiders.
+//! Graph-like diagrams are exactly graph states with measured/phased
+//! vertices (Sec. II-B of the paper), which is what lets a simplified
+//! diagram be turned back into a runnable measurement pattern
+//! (`mbqao_core::zx_bridge::diagram_to_pattern`).
+//!
+//! [`to_graph_like`] gets there with the Fig.-1 rules only: colour-change
+//! every X-spider to Z (scalar-exact, `X = H Z H`), then re-run the
+//! terminating fuse / identity / self-loop / Hopf set to a fixpoint —
+//! colour changes expose new plain Z–Z edges (fusion) and parallel
+//! H-edges (same-colour Hopf), so the two phases iterate together.
+
+use crate::diagram::{Diagram, EdgeType, NodeId, NodeKind};
+use crate::rules;
+use crate::simplify::{simplify, SimplifyStats};
+
+/// Statistics of a [`to_graph_like`] normalization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphLikeStats {
+    /// X-spiders recoloured to Z.
+    pub color_changes: usize,
+    /// Rule applications of the interleaved simplification passes.
+    pub simplify: SimplifyStats,
+}
+
+/// Converts `d` to graph-like form in place (exact semantics preserved;
+/// the tracked scalar absorbs every rewrite factor).
+///
+/// # Panics
+/// Panics when the diagram contains ZH H-boxes (the QAOA export never
+/// produces them; extraction does not support them).
+pub fn to_graph_like(d: &mut Diagram) -> GraphLikeStats {
+    let mut stats = GraphLikeStats::default();
+    loop {
+        let mut recolored = 0usize;
+        for n in d.node_ids() {
+            match d.node(n).expect("live").kind {
+                NodeKind::X => {
+                    assert!(rules::color_change(d, n), "X-spider must recolour");
+                    recolored += 1;
+                }
+                NodeKind::HBox(_) => panic!("graph-like conversion does not support H-boxes"),
+                _ => {}
+            }
+        }
+        stats.color_changes += recolored;
+        let pass = simplify(d);
+        // `simplify` never produces X-spiders, so once a pass recoloured
+        // nothing the diagram is stable.
+        if recolored == 0 && pass.total() == 0 {
+            stats.simplify.merge(&pass);
+            break;
+        }
+        stats.simplify.merge(&pass);
+    }
+    debug_assert!(is_graph_like(d), "normalization must reach graph-like form");
+    stats
+}
+
+/// `true` when `d` satisfies the graph-like invariants: internal nodes
+/// are Z-spiders only, inter-spider edges are single Hadamard edges, and
+/// there are no self-loops.
+pub fn is_graph_like(d: &Diagram) -> bool {
+    let is_boundary = |id: NodeId| {
+        matches!(
+            d.node(id).expect("live").kind,
+            NodeKind::Input(_) | NodeKind::Output(_)
+        )
+    };
+    for n in d.node_ids() {
+        match d.node(n).expect("live").kind {
+            NodeKind::Z | NodeKind::Input(_) | NodeKind::Output(_) => {}
+            _ => return false,
+        }
+    }
+    for e in d.edge_ids() {
+        let (a, b, ty) = d.edge(e).expect("live");
+        if a == b {
+            return false;
+        }
+        if !is_boundary(a) && !is_boundary(b) {
+            if ty != EdgeType::Hadamard {
+                return false;
+            }
+            // No parallel H-edges between the same spider pair.
+            let parallel = d
+                .neighbors(a)
+                .into_iter()
+                .filter(|&(_, o, t)| o == b && t == EdgeType::Hadamard)
+                .count();
+            if parallel != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::equal_exact;
+    use mbqao_math::{PhaseExpr, Rational};
+
+    const NOB: fn(mbqao_math::Symbol) -> f64 = |_| 0.0;
+
+    #[test]
+    fn x_spiders_recolour_and_fuse() {
+        // i — X(π/3) — X(π/4) — o  ⇒  one Z spider between H-toggled
+        // boundary edges.
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let a = d.add_x(PhaseExpr::pi_times(Rational::new(1, 3)));
+        let b = d.add_x(PhaseExpr::pi_times(Rational::new(1, 4)));
+        let o = d.add_output();
+        d.add_edge(i, a, EdgeType::Plain);
+        d.add_edge(a, b, EdgeType::Plain);
+        d.add_edge(b, o, EdgeType::Plain);
+        let before = d.clone();
+        let stats = to_graph_like(&mut d);
+        assert_eq!(stats.color_changes, 2);
+        assert!(is_graph_like(&d));
+        assert_eq!(d.internal_node_count(), 1);
+        assert!(equal_exact(&before, &d, &NOB, 1e-9));
+    }
+
+    #[test]
+    fn recolouring_exposes_parallel_h_pairs() {
+        // Z and X doubly connected by plain edges: recolour → parallel
+        // H-pair → same-colour Hopf (the interleaving case).
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let o = d.add_output();
+        let z = d.add_z(PhaseExpr::pi_times(Rational::new(1, 5)));
+        let x = d.add_x(PhaseExpr::pi_times(Rational::new(1, 7)));
+        d.add_edge(i, z, EdgeType::Plain);
+        d.add_edge(z, x, EdgeType::Plain);
+        d.add_edge(z, x, EdgeType::Plain);
+        d.add_edge(x, o, EdgeType::Plain);
+        let before = d.clone();
+        let stats = to_graph_like(&mut d);
+        assert!(is_graph_like(&d));
+        assert_eq!(stats.simplify.parallel_h, 1);
+        assert!(equal_exact(&before, &d, &NOB, 1e-9));
+    }
+
+    #[test]
+    fn graph_like_diagrams_pass_unchanged() {
+        let mut d = Diagram::new();
+        let i = d.add_input();
+        let a = d.add_z(PhaseExpr::pi_times(Rational::new(1, 2)));
+        let b = d.add_z(PhaseExpr::pi_times(Rational::new(1, 3)));
+        let o = d.add_output();
+        d.add_edge(i, a, EdgeType::Plain);
+        d.add_edge(a, b, EdgeType::Hadamard);
+        d.add_edge(b, o, EdgeType::Plain);
+        let before = d.clone();
+        let stats = to_graph_like(&mut d);
+        assert_eq!(stats.color_changes, 0);
+        assert_eq!(stats.simplify.total(), 0);
+        assert!(equal_exact(&before, &d, &NOB, 1e-9));
+    }
+}

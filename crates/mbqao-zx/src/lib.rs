@@ -15,12 +15,15 @@
 //! * [`graphstate`] — graph states as ZX-diagrams (Eq. 5).
 //! * [`zh`] — H-boxes of the ZH-calculus and the Sec. IV partial-mixer
 //!   identity.
-//! * [`simplify`] — fuse/id/self-loop normalization to fixpoint.
+//! * [`simplify`] — fuse/id/self-loop/Hopf normalization to fixpoint.
+//! * [`extract`] — graph-like normal form (the launchpad for turning
+//!   simplified diagrams back into measurement patterns).
 //! * [`dot`] — Graphviz export for inspecting diagrams.
 
 pub mod circuit_import;
 pub mod diagram;
 pub mod dot;
+pub mod extract;
 pub mod graphstate;
 pub mod rules;
 pub mod simplify;

@@ -338,6 +338,37 @@ pub fn try_bialgebra(d: &mut Diagram, z: NodeId, x: NodeId) -> bool {
     true
 }
 
+/// **(hopf) on Hadamard edges**: two *same-colour* spiders joined by two
+/// parallel Hadamard edges lose the pair; the scalar gains `1/2`.
+///
+/// Derivation from the Fig.-1 set: colour-change one endpoint (its H
+/// edges to the other become plain), apply the plain Hopf law (`1/2`),
+/// colour-change back — every step scalar-exact. This is the rule that
+/// keeps *graph-like* diagrams simple graphs (at most one H-edge per
+/// spider pair), which the pattern extractor requires.
+pub fn try_parallel_h_cancel(d: &mut Diagram, a: NodeId, b: NodeId) -> bool {
+    let colors_ok = matches!(
+        (is_spider(d, a), is_spider(d, b)),
+        (Some(NodeKind::Z), Some(NodeKind::Z)) | (Some(NodeKind::X), Some(NodeKind::X))
+    );
+    if !colors_ok || a == b {
+        return false;
+    }
+    let between: Vec<usize> = d
+        .neighbors(a)
+        .into_iter()
+        .filter(|&(_, o, ty)| o == b && ty == EdgeType::Hadamard)
+        .map(|(e, _, _)| e)
+        .collect();
+    if between.len() < 2 {
+        return false;
+    }
+    d.remove_edge(between[0]);
+    d.remove_edge(between[1]);
+    d.multiply_scalar(C64::real(0.5));
+    true
+}
+
 /// **(hopf)**: a Z-spider and an X-spider joined by exactly two plain
 /// edges disconnect (both edges removed); the scalar gains `1/2`.
 pub fn try_hopf(d: &mut Diagram, a: NodeId, b: NodeId) -> bool {
@@ -581,6 +612,46 @@ mod tests {
         let mut after = before.clone();
         assert!(try_bialgebra(&mut after, z, x));
         assert_preserves(&before, &after, &NOB);
+    }
+
+    #[test]
+    fn parallel_h_cancel_preserves_semantics() {
+        for make in [Diagram::add_z, Diagram::add_x] {
+            let mut before = Diagram::new();
+            let i = before.add_input();
+            let o = before.add_output();
+            let a = make(&mut before, PhaseExpr::pi_times(Rational::new(1, 3)));
+            let b = make(&mut before, PhaseExpr::pi_times(Rational::new(1, 5)));
+            before.add_edge(i, a, EdgeType::Plain);
+            before.add_edge(a, b, EdgeType::Hadamard);
+            before.add_edge(a, b, EdgeType::Hadamard);
+            before.add_edge(b, o, EdgeType::Plain);
+            let mut after = before.clone();
+            assert!(try_parallel_h_cancel(&mut after, a, b));
+            assert!(
+                after.neighbors(a).iter().all(|&(_, other, _)| other != b),
+                "the H-pair must be fully removed"
+            );
+            assert_preserves(&before, &after, &NOB);
+        }
+    }
+
+    #[test]
+    fn parallel_h_cancel_rejects_single_edges_and_mixed_colors() {
+        let mut d = Diagram::new();
+        let a = d.add_z(PhaseExpr::zero());
+        let b = d.add_z(PhaseExpr::zero());
+        d.add_edge(a, b, EdgeType::Hadamard);
+        assert!(!try_parallel_h_cancel(&mut d, a, b), "one H-edge must stay");
+        let mut d2 = Diagram::new();
+        let z = d2.add_z(PhaseExpr::zero());
+        let x = d2.add_x(PhaseExpr::zero());
+        d2.add_edge(z, x, EdgeType::Hadamard);
+        d2.add_edge(z, x, EdgeType::Hadamard);
+        assert!(
+            !try_parallel_h_cancel(&mut d2, z, x),
+            "Z–X H-pairs are not the same-colour Hopf law"
+        );
     }
 
     #[test]

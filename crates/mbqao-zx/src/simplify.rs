@@ -1,7 +1,8 @@
 //! Fixpoint simplification.
 //!
 //! Applies the terminating subset of the Fig.-1 rules — spider fusion,
-//! identity removal, self-loop cleanup and Hopf cancellation — until no
+//! identity removal, self-loop cleanup and Hopf cancellation (both the
+//! plain Z–X form and the parallel-Hadamard same-colour form) — until no
 //! rule fires. This is the normalization the paper's derivations perform
 //! between the labelled steps, and it preserves exact semantics (each
 //! constituent rule does).
@@ -20,8 +21,27 @@ pub struct SimplifyStats {
     pub self_loops: usize,
     /// Hopf pairs cancelled.
     pub hopf: usize,
+    /// Parallel Hadamard-edge pairs cancelled (same-colour Hopf).
+    pub parallel_h: usize,
     /// Fixpoint iterations.
     pub passes: usize,
+}
+
+impl SimplifyStats {
+    /// Total rule applications across all passes.
+    pub fn total(&self) -> usize {
+        self.fusions + self.identities + self.self_loops + self.hopf + self.parallel_h
+    }
+
+    /// Accumulates another run's counts (passes add up too).
+    pub fn merge(&mut self, other: &SimplifyStats) {
+        self.fusions += other.fusions;
+        self.identities += other.identities;
+        self.self_loops += other.self_loops;
+        self.hopf += other.hopf;
+        self.parallel_h += other.parallel_h;
+        self.passes += other.passes;
+    }
 }
 
 /// Simplifies in place to a fixpoint; returns counts of applied rules.
@@ -45,7 +65,8 @@ pub fn simplify(d: &mut Diagram) -> SimplifyStats {
                 changed = true;
             }
         }
-        // Hopf between every adjacent opposite-colour pair.
+        // Hopf between every adjacent pair: opposite-colour plain pairs
+        // and same-colour parallel-Hadamard pairs.
         let nodes = d.node_ids();
         for &a in &nodes {
             if d.node(a).is_none() {
@@ -53,8 +74,15 @@ pub fn simplify(d: &mut Diagram) -> SimplifyStats {
             }
             let neighbors: Vec<_> = d.neighbors(a).into_iter().map(|(_, o, _)| o).collect();
             for b in neighbors {
-                if d.node(b).is_some() && rules::try_hopf(d, a, b) {
+                if d.node(b).is_none() {
+                    continue;
+                }
+                if rules::try_hopf(d, a, b) {
                     stats.hopf += 1;
+                    changed = true;
+                }
+                if rules::try_parallel_h_cancel(d, a, b) {
+                    stats.parallel_h += 1;
                     changed = true;
                 }
             }

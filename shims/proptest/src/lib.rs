@@ -42,8 +42,18 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (read once per process) — the scheduled CI job bumps it
+    /// for deep runs without slowing the default `cargo test`.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        static CASES: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+        let cases = *CASES.get_or_init(|| {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64)
+        });
+        ProptestConfig { cases }
     }
 }
 
@@ -236,6 +246,28 @@ impl_strategy_tuple! {
     (A 0, B 1, C 2)
     (A 0, B 1, C 2, D 3)
     (A 0, B 1, C 2, D 3, E 4)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Uniform boolean strategy (the `proptest::bool::ANY` shape).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Samples `true`/`false` uniformly.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, runner: &mut TestRunner) -> bool {
+            runner.rng().gen()
+        }
+    }
 }
 
 pub mod collection {

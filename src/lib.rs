@@ -58,9 +58,9 @@ pub use mbqao_zx as zx;
 /// The most common imports in one place.
 pub mod prelude {
     pub use mbqao_core::{
-        compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence, Backend,
-        CompileOptions, CompiledQaoa, Executor, GateBackend, MixerKind, PatternBackend,
-        PatternBuilder,
+        compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence,
+        verify_equivalence_three_way, Backend, CompileOptions, CompiledQaoa, Executor, GateBackend,
+        MixerKind, PatternBackend, PatternBuilder, SimplifyReport, ZxBackend,
     };
     pub use mbqao_math::{Matrix, C64};
     pub use mbqao_mbqc::{
