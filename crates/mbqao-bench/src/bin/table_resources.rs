@@ -1,8 +1,9 @@
 //! E10 — the Sec. III-A resource table (the paper's only quantitative
 //! "table"): N_Q, N_E, rounds vs. the paper's bounds vs. the gate model,
 //! across graph families and depths — now with the ZX-simplified
-//! backend's re-extracted resources alongside (zx N_Q and the
-//! ancilla/node savings the rewriting achieves).
+//! backend's re-extracted resources alongside (zx N_Q, the
+//! ancilla/node savings the rewriting achieves, and the determinism
+//! certificate of the gflow-synthesized corrections).
 
 use mbqao_bench::standard_families;
 use mbqao_core::{compile_qaoa, gate_model_resources, paper_bounds, CompileOptions, ZxBackend};
@@ -12,9 +13,10 @@ use mbqao_mbqc::schedule::just_in_time;
 fn main() {
     println!("# E10: resource estimates (Sec. III-A)\n");
     println!(
-        "| graph | |V| | |E| | p | N_Q | bound N_Q | N_E | bound N_E | rounds | gate qubits | gate CX (2p|E|) | max_live (reuse) | zx N_Q | zx saved | zx nodes pruned |"
+        "| graph | |V| | |E| | p | N_Q | bound N_Q | N_E | bound N_E | rounds | gate qubits | gate CX (2p|E|) | max_live (reuse) | zx N_Q | zx saved | zx pivots+lc | zx determinism |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let mut dense_savings = 0isize;
     for fam in standard_families(7) {
         let g = &fam.graph;
         let cost = &fam.cost;
@@ -31,8 +33,18 @@ fn main() {
                 r.zx.total_qubits <= s.total_qubits,
                 "ZX extraction must never need more qubits than the direct compilation"
             );
+            assert!(
+                r.deterministic,
+                "{} p={p}: every QAOA extraction must admit a gflow",
+                fam.name
+            );
+            // Dense = complete graph (K_n MaxCut and the SK instances,
+            // which live on K_n too) — detected structurally, not by name.
+            if g.m() == g.n() * (g.n() - 1) / 2 {
+                dense_savings += r.qubit_savings();
+            }
             println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | gflow, {} layers |",
                 fam.name,
                 g.n(),
                 g.m(),
@@ -47,15 +59,23 @@ fn main() {
                 jit.max_live,
                 r.zx.total_qubits,
                 r.qubit_savings(),
-                r.node_savings(),
+                r.clifford.pivots + r.clifford.local_complements + r.clifford.boundary_pivots,
+                r.gflow_depth.expect("deterministic"),
             );
         }
     }
+    assert!(
+        dense_savings > 0,
+        "pivot/LC must save qubits on dense instances"
+    );
     println!("\nbounds met on every instance (MaxCut and SK); gate model needs");
     println!("|V| qubits / 2p|E| CX (fewer circuit resources, as the paper states).");
     println!("The zx columns re-derive the counts by exporting each pattern to a");
-    println!("ZX-diagram, simplifying (fuse/id/Hopf to fixpoint) and re-extracting:");
-    println!("dense instances land exactly on the compiler's counts (the Sec. III-A");
-    println!("compilation is already ZX-normal-form minimal), while leaf vertices");
-    println!("and single-qubit phase gadgets genuinely save ancillae.");
+    println!("ZX-diagram, simplifying (fuse/id/Hopf, then pivot + local");
+    println!("complementation to a fixpoint) and re-extracting with");
+    println!("gflow-synthesized corrections: the extraction is strongly");
+    println!("deterministic (no 2^-k postselection) and now undercuts the");
+    println!("Sec. III-A counts on *dense* MaxCut/SK instances too — the pivot");
+    println!("pass eliminates the XY(0) mixer wire spiders together with the");
+    println!("phase-gadget hubs that the fuse/id/Hopf set could not touch.");
 }

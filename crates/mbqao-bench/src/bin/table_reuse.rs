@@ -1,4 +1,4 @@
-//! E11 — the qubit-reuse ablation ([51]): maximum simultaneously live
+//! E11 — the qubit-reuse ablation (\[51\]): maximum simultaneously live
 //! qubits under JIT scheduling vs. the full resource state, and the
 //! adaptive-round depth.
 

@@ -9,6 +9,12 @@
 //! [`crate::engine::ZxBackend`]'s simplified extraction go through this
 //! cache; [`pattern_cache_stats`] / [`zx_cache_stats`] expose hit
 //! counters for regression tests and capacity planning.
+//!
+//! Each cache is bounded to [`CACHE_CAPACITY`] entries with
+//! least-recently-used eviction, so long-running sweeps over many
+//! distinct problems (disorder averaging, family scans in a service
+//! loop) cannot grow the process footprint without bound. Evicted
+//! artifacts stay alive as long as a backend still holds their `Arc`.
 
 use crate::compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
 use mbqao_mbqc::schedule::just_in_time;
@@ -16,6 +22,12 @@ use mbqao_problems::ZPoly;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum entries per cache (patterns and ZX extractions separately).
+/// Table/bench workloads use a few dozen keys; this is headroom, not a
+/// tuning parameter — eviction exists so unbounded problem streams
+/// cannot leak memory.
+pub const CACHE_CAPACITY: usize = 256;
 
 /// Exact structural key of a compilation request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -73,16 +85,70 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
+/// An LRU map: entries carry a monotonically increasing use stamp; when
+/// an insert would exceed `capacity`, the stalest entry is dropped.
+struct LruMap<V> {
+    entries: HashMap<CompileKey, (Arc<V>, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<V> LruMap<V> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruMap {
+            entries: HashMap::new(),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &CompileKey) -> Option<Arc<V>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(v, stamp)| {
+            *stamp = clock;
+            Arc::clone(v)
+        })
+    }
+
+    fn insert(&mut self, key: CompileKey, value: Arc<V>) -> Arc<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let v = Arc::clone(&self.entries.entry(key).or_insert((value, clock)).0);
+        // Evict the least recently used entries beyond capacity (O(n) —
+        // fine at CACHE_CAPACITY scale, and only on overflowing inserts).
+        while self.entries.len() > self.capacity {
+            let stalest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            self.entries.remove(&stalest);
+        }
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 struct Shared<V> {
-    map: Mutex<HashMap<CompileKey, Arc<V>>>,
+    map: Mutex<LruMap<V>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
 impl<V> Shared<V> {
     fn new() -> Self {
+        Self::with_capacity(CACHE_CAPACITY)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
         Shared {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(LruMap::new(capacity)),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -91,15 +157,14 @@ impl<V> Shared<V> {
     fn get_or_insert(&self, key: CompileKey, build: impl FnOnce() -> V) -> Arc<V> {
         if let Some(v) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            return v;
         }
         // Build outside the lock: compilation can be expensive and other
         // keys shouldn't wait on it. A racing builder for the same key
         // wastes one compilation but stays correct (first insert wins).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(build());
-        let mut map = self.map.lock().expect("cache lock");
-        Arc::clone(map.entry(key).or_insert(fresh))
+        self.map.lock().expect("cache lock").insert(key, fresh)
     }
 
     fn stats(&self) -> CacheStats {
@@ -107,6 +172,10 @@ impl<V> Shared<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
     }
 }
 
@@ -156,6 +225,12 @@ pub fn zx_cache_stats() -> CacheStats {
     zx_cache().stats()
 }
 
+/// Current entry counts of the two caches — both bounded by
+/// [`CACHE_CAPACITY`].
+pub fn cache_lens() -> (usize, usize) {
+    (pattern_cache().len(), zx_cache().len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +260,56 @@ mod tests {
             },
         );
         assert!(!Arc::ptr_eq(&a, &sampling));
+    }
+
+    /// Eviction is tested on a dedicated instance, not the process-wide
+    /// caches (other tests run concurrently against those).
+    #[test]
+    fn lru_eviction_bounds_the_cache() {
+        let shared: Shared<usize> = Shared::with_capacity(4);
+        let key = |i: usize| {
+            let cost = ZPoly::new(2, i as f64, vec![]);
+            compile_key(&cost, 1, &CompileOptions::default())
+        };
+        for i in 0..10 {
+            let v = shared.get_or_insert(key(i), || i);
+            assert_eq!(*v, i);
+        }
+        assert_eq!(shared.len(), 4, "capacity must bound the entry count");
+        // The most recent keys survive…
+        let before = shared.stats();
+        let v = shared.get_or_insert(key(9), || usize::MAX);
+        assert_eq!(*v, 9);
+        assert_eq!(shared.stats().hits, before.hits + 1);
+        // …and the evicted ones rebuild (a miss).
+        let v0 = shared.get_or_insert(key(0), || 77);
+        assert_eq!(*v0, 77, "evicted entry must rebuild");
+        assert_eq!(shared.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn lru_refreshes_on_access() {
+        let shared: Shared<usize> = Shared::with_capacity(2);
+        let key = |i: usize| {
+            let cost = ZPoly::new(3, i as f64 + 0.5, vec![]);
+            compile_key(&cost, 1, &CompileOptions::default())
+        };
+        shared.get_or_insert(key(0), || 0);
+        shared.get_or_insert(key(1), || 1);
+        // Touch 0 so 1 becomes the LRU entry, then insert 2.
+        shared.get_or_insert(key(0), || usize::MAX);
+        shared.get_or_insert(key(2), || 2);
+        let before = shared.stats();
+        shared.get_or_insert(key(0), || usize::MAX);
+        assert_eq!(shared.stats().hits, before.hits + 1, "0 must have survived");
+        shared.get_or_insert(key(1), || 11);
+        assert_eq!(shared.stats().misses, before.misses + 1, "1 was evicted");
+    }
+
+    #[test]
+    fn global_caches_stay_within_capacity() {
+        let (p, z) = cache_lens();
+        assert!(p <= CACHE_CAPACITY && z <= CACHE_CAPACITY);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! execution are backends of one variational loop):
 //!
 //! * [`GateBackend`] prepares `|γβ⟩` by running the
-//!   [`QaoaAnsatz`](mbqao_qaoa::QaoaAnsatz) circuit,
+//!   [`mbqao_qaoa::QaoaAnsatz`] circuit,
 //! * [`PatternBackend`] prepares it by executing the compiled
 //!   measurement pattern — just-in-time scheduled so qubits are reused
 //!   and the live register (and therefore the statevector) stays small,

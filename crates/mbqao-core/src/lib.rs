@@ -31,8 +31,12 @@
 //!   exported to ZX (symbolically in γ/β), simplified to a fixpoint,
 //!   re-extracted and executed, with a [`SimplifyReport`] quantifying
 //!   the rewriting.
-//! * [`cache`] — process-wide memoization of compiled patterns keyed by
-//!   `(cost, p, mixer)` so backend-rebuilding sweeps never recompile.
+//! * [`cache`] — process-wide, LRU-bounded memoization of compiled
+//!   patterns keyed by `(cost, p, mixer)` so backend-rebuilding sweeps
+//!   never recompile.
+//! * [`walkthrough`] — the documented derivation pipeline: the worked
+//!   triangle-MaxCut example embedded (and kept fresh by a test) in
+//!   `docs/PIPELINE.md`.
 
 pub mod byproduct;
 pub mod cache;
@@ -41,10 +45,11 @@ pub mod engine;
 pub mod gadgets;
 pub mod resources;
 pub mod verify;
+pub mod walkthrough;
 pub mod zx_backend;
 pub mod zx_bridge;
 
-pub use cache::{pattern_cache_stats, zx_cache_stats, CacheStats};
+pub use cache::{cache_lens, pattern_cache_stats, zx_cache_stats, CacheStats, CACHE_CAPACITY};
 pub use compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
 pub use engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
 pub use gadgets::PatternBuilder;

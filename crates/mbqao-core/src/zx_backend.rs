@@ -7,21 +7,27 @@
 //! ([`crate::zx_bridge::pattern_to_symbolic_diagram`]), simplify to a
 //! fixpoint with the Fig.-1 rules ([`mbqao_zx::simplify::simplify`]),
 //! normalize to graph-like form
-//! ([`mbqao_zx::extract::to_graph_like`]), and re-extract a runnable
-//! pattern ([`crate::zx_bridge::diagram_to_pattern`]). Execution then
-//! forces the all-zero branch and renormalizes (postselection), which
-//! reproduces `|γβ⟩` exactly because every rewrite is semantics-
-//! preserving — the machine-checked heart of the paper's claim that
-//! diagram rewriting never changes the computed state.
+//! ([`mbqao_zx::extract::to_graph_like`]), run the Clifford-complete
+//! pivot/local-complementation pass
+//! ([`mbqao_zx::simplify::clifford_simp`]) and re-extract a runnable
+//! pattern ([`crate::zx_bridge::diagram_to_pattern`]) whose corrections
+//! are re-synthesized from a gflow of the simplified open graph.
+//! Execution runs the corrected pattern on *random* outcome branches —
+//! strong determinism makes every branch land on `|γβ⟩` exactly,
+//! because every rewrite is semantics-preserving and the gflow
+//! certifies the corrections — the machine-checked heart of the paper's
+//! claim that diagram rewriting never changes the computed state. (A
+//! flowless extraction — never observed for QAOA exports — would fall
+//! back to reference-branch postselection, flagged in the report.)
 //!
 //! The [`SimplifyReport`] quantifies what the rewriting bought: rule
 //! applications, diagram-node reduction, and qubit/entangler deltas
 //! against the direct pattern compilation. Single-qubit phase gadgets
-//! (Eq. 10) collapse into wire rotations and low-degree vertices shed
-//! mixer plumbing, so general QUBOs and leafy graphs genuinely save
-//! ancillae; for dense MaxCut instances the roundtrip lands on the
-//! paper's counts — evidence the Sec. III-A compilation is already
-//! fuse/id/Hopf-minimal.
+//! (Eq. 10) collapse into wire rotations, low-degree vertices shed
+//! mixer plumbing, and the pivot pass eliminates the `XY(0)` mixer wire
+//! spiders together with phase-gadget hubs — so the extraction now beats
+//! the paper's Sec. III-A counts on *dense* MaxCut/SK instances too, not
+//! just on leafy graphs and linear-term QUBOs.
 
 use crate::cache;
 use crate::compiler::CompileOptions;
@@ -33,7 +39,7 @@ use mbqao_mbqc::Pattern;
 use mbqao_problems::ZPoly;
 use mbqao_sim::{QubitId, State};
 use mbqao_zx::extract::{to_graph_like, GraphLikeStats};
-use mbqao_zx::simplify::SimplifyStats;
+use mbqao_zx::simplify::{clifford_simp, CliffordStats, SimplifyStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, OnceLock};
@@ -49,8 +55,16 @@ pub struct SimplifyReport {
     pub simplify: SimplifyStats,
     /// Rule counts of the graph-like normalization pass.
     pub graph_like: GraphLikeStats,
+    /// Pivot / local-complementation counts of the Clifford-complete
+    /// pass (including its interleaved re-normalizations).
+    pub clifford: CliffordStats,
     /// Degree-1 spiders folded back into YZ measurements.
     pub absorbed_leaves: usize,
+    /// `true` when the extracted pattern carries gflow-synthesized
+    /// corrections (postselection-free, per-shot samplable).
+    pub deterministic: bool,
+    /// Adaptive-layer count of the gflow (when one was found).
+    pub gflow_depth: Option<usize>,
     /// Resources of the directly compiled pattern (same cost/p/mixer).
     pub pattern: ResourceStats,
     /// Resources of the ZX-extracted pattern.
@@ -151,6 +165,7 @@ fn build_zx_compiled(cost: &ZPoly, p: usize, options: &CompileOptions) -> ZxComp
     let export_nodes = d.internal_node_count();
     let simplify_stats = mbqao_zx::simplify::simplify(&mut d);
     let graph_like = to_graph_like(&mut d);
+    let clifford = clifford_simp(&mut d);
     let graph_nodes = d.internal_node_count();
 
     let ext = diagram_to_pattern(&d, &sym.atoms, compiled.pattern.n_params());
@@ -165,7 +180,10 @@ fn build_zx_compiled(cost: &ZPoly, p: usize, options: &CompileOptions) -> ZxComp
             graph_nodes,
             simplify: simplify_stats,
             graph_like,
+            clifford,
             absorbed_leaves: ext.absorbed_leaves,
+            deterministic: ext.deterministic,
+            gflow_depth: ext.gflow_depth,
             pattern: pattern_stats,
             zx: zx_stats,
         },
@@ -193,15 +211,21 @@ impl Backend for ZxBackend {
         self.compiled().output_wires.clone()
     }
 
-    /// Runs the extracted pattern on the all-zero forced branch
-    /// (postselection on the reference branch); `measure_remove`
-    /// renormalizes after every projection, so the returned state is the
-    /// normalized `|γβ⟩`.
+    /// Runs the extracted pattern. With gflow-synthesized corrections
+    /// (the normal case) the branch is drawn *randomly* — strong
+    /// determinism guarantees every branch prepares the same `|γβ⟩`, so
+    /// this is a genuine postselection-free protocol run (seeded for
+    /// reproducibility). A flowless extraction falls back to forcing the
+    /// all-zero reference branch and renormalizing.
     fn prepare(&self, params: &[f64]) -> State {
         let zx = self.compiled();
-        let zeros = vec![0u8; zx.n_measurements];
         let mut rng = StdRng::seed_from_u64(0);
-        run(&zx.pattern, params, Branch::Forced(&zeros), &mut rng).state
+        if zx.report.deterministic {
+            run(&zx.pattern, params, Branch::Random, &mut rng).state
+        } else {
+            let zeros = vec![0u8; zx.n_measurements];
+            run(&zx.pattern, params, Branch::Forced(&zeros), &mut rng).state
+        }
     }
 
     fn expectation(&self, params: &[f64]) -> f64 {
@@ -288,6 +312,50 @@ mod tests {
         );
         let gate = GateBackend::standard(cost, 1);
         assert!((gate.expectation(&[0.8, 0.3]) - zx.expectation(&[0.8, 0.3])).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dense_maxcut_saves_qubits_via_pivots() {
+        // PR 2's fuse/id/Hopf set reported zero savings on dense
+        // instances; the pivot pass eliminates the XY(0) mixer wire
+        // spiders together with the phase-gadget hubs, so dense MaxCut
+        // must now come in strictly below the compiled pattern.
+        for (name, g) in [
+            ("triangle", generators::triangle()),
+            ("square", generators::square()),
+            ("complete5", generators::complete(5)),
+        ] {
+            let cost = maxcut::maxcut_zpoly(&g);
+            let zx = ZxBackend::new(&cost, 1);
+            let r = zx.report();
+            assert!(r.clifford.pivots > 0, "{name}: pivots must fire: {r:?}");
+            assert!(
+                r.qubit_savings() > 0,
+                "{name}: dense instance must save qubits: {r:?}"
+            );
+            assert!(r.deterministic, "{name}: extraction must carry a gflow");
+            let gate = GateBackend::standard(cost, 1);
+            let params = [0.8, 0.3];
+            assert!(
+                (gate.expectation(&params) - zx.expectation(&params)).abs() < 1e-8,
+                "{name}: savings must not cost correctness"
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_is_postselection_free_with_gflow_depth() {
+        let cost = maxcut::maxcut_zpoly(&generators::cycle(4));
+        for p in [1usize, 2] {
+            let zx = ZxBackend::new(&cost, p);
+            let r = zx.report();
+            assert!(r.deterministic);
+            let depth = r.gflow_depth.expect("deterministic ⇒ depth");
+            assert!(
+                depth >= 1 && depth <= r.zx.measurements,
+                "implausible gflow depth {depth}"
+            );
+        }
     }
 
     #[test]

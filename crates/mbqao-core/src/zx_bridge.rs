@@ -284,7 +284,10 @@ pub fn pattern_to_diagram(pattern: &Pattern, params: &[f64]) -> ExportedDiagram 
 pub struct ZxExtraction {
     /// The combinatorial spec (kept for introspection/stats).
     pub spec: GraphPatternSpec,
-    /// The runnable reference-branch pattern (execute with
+    /// The runnable pattern. When [`ZxExtraction::deterministic`] is
+    /// `true` this is the gflow-corrected pattern (run with
+    /// `Branch::Random` — every branch yields the same state); otherwise
+    /// it is the bare reference-branch pattern (run with
     /// `Branch::Forced(&zeros)` and renormalize).
     pub pattern: Pattern,
     /// Qubits carrying the diagram outputs, in interface order.
@@ -292,6 +295,16 @@ pub struct ZxExtraction {
     /// Degree-1 spiders re-absorbed as YZ measurements instead of extra
     /// qubits (the inverse of the phase-gadget export convention).
     pub absorbed_leaves: usize,
+    /// `true` when the spec's open graph admitted a gflow and the
+    /// pattern carries re-synthesized corrections (postselection-free).
+    pub deterministic: bool,
+    /// Adaptive-layer count of the gflow (when one was found).
+    pub gflow_depth: Option<usize>,
+    /// Internal spiders dropped because their connected component holds
+    /// no output: such components evaluate to a pure scalar, which the
+    /// normalized execution discards anyway (pivoting on dense graphs
+    /// routinely splits these off).
+    pub dropped_scalar_nodes: usize,
 }
 
 /// `true` when `id` is a boundary node.
@@ -359,11 +372,39 @@ fn normalize_boundaries(d: &mut Diagram) {
 /// spiders hanging off a phaseless measured spider, which fold back into
 /// `YZ(phase)` measurements (the phase-gadget form, saving their qubit).
 ///
+/// Corrections are then **re-synthesized from a gflow** of the spec's
+/// open graph ([`GraphPatternSpec::to_deterministic_pattern`]): when one
+/// exists — QAOA extractions always admit one, because every rewrite in
+/// the pipeline preserves gflow existence — the returned pattern is
+/// strongly deterministic and per-shot samplable. When no gflow exists
+/// the extraction falls back to the bare reference-branch pattern
+/// (postselection), flagged by [`ZxExtraction::deterministic`].
+///
 /// The returned pattern is just-in-time scheduled and reproduces the
-/// diagram's normalized semantics on the all-zero forced branch.
+/// diagram's normalized semantics (on every branch when deterministic,
+/// on the all-zero forced branch otherwise).
 ///
 /// # Panics
 /// Panics when the diagram has open inputs or violates graph-like form.
+///
+/// ```
+/// use mbqao_core::zx_bridge::diagram_to_pattern;
+/// use mbqao_math::{PhaseExpr, Rational};
+/// use mbqao_zx::diagram::{Diagram, EdgeType};
+///
+/// // Z(−θ) —H— Z(0) —plain— out: the ZX form of J(θ)|+⟩.
+/// let mut d = Diagram::new();
+/// let meas = d.add_z(PhaseExpr::pi_times(Rational::new(1, 4)));
+/// let out_spider = d.add_z(PhaseExpr::zero());
+/// let out = d.add_output();
+/// d.add_edge(meas, out_spider, EdgeType::Hadamard);
+/// d.add_edge(out_spider, out, EdgeType::Plain);
+///
+/// let ext = diagram_to_pattern(&d, &[], 0);
+/// assert!(ext.deterministic, "a single wire always has gflow");
+/// assert_eq!(ext.spec.nodes, 2);
+/// assert_eq!(ext.output_wires.len(), 1);
+/// ```
 pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -> ZxExtraction {
     assert!(
         diagram.inputs().is_empty(),
@@ -381,7 +422,10 @@ pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -
     let is_output: std::collections::HashSet<NodeId> = output_spiders.iter().copied().collect();
 
     // YZ re-absorption: a degree-1 spider `l` on an H-edge to a measured
-    // phaseless spider `s` is the export of `M_s^{YZ, phase(l)}`.
+    // *Pauli-phased* spider `s` is the export of `M_s^{YZ, phase(l)}` —
+    // with the angle negated when `s` carries π (a Z byproduct folds
+    // into a YZ measurement by flipping the angle sign,
+    // `mbqao_mbqc::Plane::fold_z`).
     let mut absorbed_into: HashMap<NodeId, NodeId> = HashMap::new(); // s → l
     let mut absorbed: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
     for l in d.node_ids() {
@@ -395,7 +439,7 @@ pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -
             || d.degree(s) <= 1
             || absorbed_into.contains_key(&s)
             || absorbed.contains(&s)
-            || !d.node(s).expect("live").phase.is_zero()
+            || !d.node(s).expect("live").phase.is_pauli()
         {
             continue;
         }
@@ -403,12 +447,42 @@ pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -
         absorbed.insert(l);
     }
 
+    // Spiders in a connected component without any boundary contribute a
+    // pure scalar factor (their indices sum out completely); execution
+    // renormalizes, so they are dropped — they could never satisfy a
+    // gflow anyway (the component's last measurement has no future
+    // correctors). Reachability is computed from the boundary nodes.
+    let mut reachable: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut frontier_nodes: Vec<NodeId> = d
+        .node_ids()
+        .into_iter()
+        .filter(|&n| is_boundary(&d, n))
+        .collect();
+    while let Some(n) = frontier_nodes.pop() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        for (_, o, _) in d.neighbors(n) {
+            if !reachable.contains(&o) {
+                frontier_nodes.push(o);
+            }
+        }
+    }
+    let mut dropped_scalar_nodes = 0usize;
+
     // Qubit assignment: every live internal spider that is neither an
-    // absorbed leaf nor an isolated scalar spider (degree 0 — a pure
-    // scalar factor, dropped since execution renormalizes).
+    // absorbed leaf nor part of a pure-scalar component (which includes
+    // the old degree-0 case).
     let mut index: HashMap<NodeId, usize> = HashMap::new();
     for n in d.node_ids() {
-        if is_boundary(&d, n) || absorbed.contains(&n) || d.degree(n) == 0 {
+        if is_boundary(&d, n) {
+            continue;
+        }
+        if !reachable.contains(&n) {
+            dropped_scalar_nodes += 1;
+            continue;
+        }
+        if absorbed.contains(&n) {
             continue;
         }
         let i = index.len();
@@ -435,10 +509,14 @@ pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -
             continue;
         }
         let m = if let Some(&leaf) = absorbed_into.get(&n) {
+            let mut leaf_phase = d.node(leaf).expect("live").phase.clone();
+            if d.node(n).expect("live").phase.is_pi() {
+                leaf_phase = -leaf_phase; // fold the hub's Z byproduct
+            }
             GraphMeasurement {
                 node: i,
                 plane: Plane::YZ,
-                angle: phase_to_angle(&d.node(leaf).expect("live").phase, atoms),
+                angle: phase_to_angle(&leaf_phase, atoms),
             }
         } else {
             GraphMeasurement {
@@ -458,14 +536,23 @@ pub fn diagram_to_pattern(diagram: &Diagram, atoms: &[Angle], n_params: usize) -
         outputs: output_spiders.iter().map(|s| index[s]).collect(),
         n_params,
     };
-    let pattern = mbqao_mbqc::schedule::just_in_time(&spec.to_pattern());
+    // Gflow re-synthesis first; bare reference-branch pattern as the
+    // postselection fallback.
+    let (pattern, deterministic, gflow_depth) = match spec.to_deterministic_pattern() {
+        Some((p, depth)) => (p, true, Some(depth)),
+        None => (spec.to_pattern(), false, None),
+    };
+    let pattern = mbqao_mbqc::schedule::just_in_time(&pattern);
     let output_wires = spec.output_wires();
-    let absorbed_leaves = absorbed.len();
+    let absorbed_leaves = absorbed.iter().filter(|l| reachable.contains(l)).count();
     ZxExtraction {
         spec,
         pattern,
         output_wires,
         absorbed_leaves,
+        deterministic,
+        gflow_depth,
+        dropped_scalar_nodes,
     }
 }
 

@@ -105,6 +105,23 @@ impl PhaseExpr {
         self.is_constant() && self.pi.is_integer()
     }
 
+    /// `Some(+1)` for the constant phase `π/2`, `Some(−1)` for `3π/2`
+    /// (i.e. `−π/2`), `None` otherwise — the *proper Clifford* phases
+    /// that local complementation eliminates (a Clifford phase that is
+    /// not Pauli).
+    pub fn proper_clifford_sign(&self) -> Option<i64> {
+        if !self.is_constant() {
+            return None;
+        }
+        if self.pi == Rational::HALF {
+            Some(1)
+        } else if self.pi == Rational::new(3, 2) {
+            Some(-1)
+        } else {
+            None
+        }
+    }
+
     /// Scales the whole expression by an exact rational.
     pub fn scale(&self, r: Rational) -> Self {
         let mut terms = BTreeMap::new();
@@ -240,6 +257,30 @@ mod tests {
         assert!(PhaseExpr::zero().is_pauli());
         assert!(!PhaseExpr::pi_times(Rational::HALF).is_pauli());
         assert!(!PhaseExpr::symbol(Symbol::new(3), Rational::ONE).is_pauli());
+    }
+
+    #[test]
+    fn proper_clifford_detection() {
+        assert_eq!(
+            PhaseExpr::pi_times(Rational::HALF).proper_clifford_sign(),
+            Some(1)
+        );
+        assert_eq!(
+            (-PhaseExpr::pi_times(Rational::HALF)).proper_clifford_sign(),
+            Some(-1)
+        );
+        assert_eq!(PhaseExpr::zero().proper_clifford_sign(), None);
+        assert_eq!(PhaseExpr::pi().proper_clifford_sign(), None);
+        assert_eq!(
+            PhaseExpr::pi_times(Rational::new(1, 4)).proper_clifford_sign(),
+            None
+        );
+        assert_eq!(
+            (PhaseExpr::pi_times(Rational::HALF)
+                + PhaseExpr::symbol(Symbol::new(0), Rational::ONE))
+            .proper_clifford_sign(),
+            None
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! A pattern whose open graph admits a gflow can be driven
 //! deterministically by correcting byproducts forward (Browne, Kashefi,
 //! Mhalla, Perdrix, *Generalized flow and determinism in measurement-based
-//! quantum computation*, NJP 2007 — refs. [32,33] of the paper). This
+//! quantum computation*, NJP 2007 — refs. \[32,33\] of the paper). This
 //! module implements the layered gflow-finding algorithm over GF(2) for
 //! the three measurement planes:
 //!
@@ -103,6 +103,26 @@ fn solve_gf2(mut rows: Vec<BitVec>, mut rhs: Vec<bool>, ncols: usize) -> Option<
 
 /// Attempts to find a gflow for the open graph. Returns `None` when the
 /// graph has none (the pattern cannot be uniformly deterministic).
+///
+/// ```
+/// use mbqao_mbqc::gflow::{find_gflow, verify_gflow};
+/// use mbqao_mbqc::opengraph::OpenGraph;
+/// use mbqao_mbqc::Plane;
+///
+/// // The 1D cluster wire 0 – 1 – 2 (input 0, output 2) has the classic
+/// // causal flow g(0) = {1}, g(1) = {2} — a special case of gflow.
+/// let g = OpenGraph::new(
+///     3,
+///     &[(0, 1), (1, 2)],
+///     &[0],
+///     &[2],
+///     &[(0, Plane::XY), (1, Plane::XY)],
+/// );
+/// let flow = find_gflow(&g).expect("a line graph always has gflow");
+/// assert!(verify_gflow(&g, &flow));
+/// assert_eq!(flow.depth(), 2);
+/// assert!(flow.g[&0].get(1), "g(0) = {{1}}");
+/// ```
 pub fn find_gflow(g: &OpenGraph) -> Option<GFlow> {
     let n = g.n();
     let mut done = g.outputs().clone();

@@ -19,17 +19,27 @@
 //!   random or *forced* outcomes (branch enumeration).
 //! * [`determinism`] — exhaustive branch verification: a correct pattern
 //!   gives the same output state on every branch, each with uniform
-//!   probability (strong determinism, cf. the flow condition of [32,33]).
+//!   probability (strong determinism, cf. the flow condition of \[32,33\]).
 //! * [`schedule`] — just-in-time reordering so ancillas are prepared late
-//!   and measured early; realizes the qubit-reuse observation ([51]) and
+//!   and measured early; realizes the qubit-reuse observation (\[51\]) and
 //!   keeps simulation memory proportional to the *live* register.
 //! * [`gflow`] — generalized flow (Browne–Kashefi–Mhalla–Perdrix) over
-//!   open graphs with mixed measurement planes: the structural witness of
-//!   pattern determinism.
+//!   open graphs with mixed measurement planes: the structural witness
+//!   of pattern determinism. A gflow assigns each measured vertex `u` a
+//!   correction set `g(u)` of later-measured vertices with
+//!   * XY plane: `u ∉ g(u)`, `u ∈ Odd(g(u))`,
+//!   * XZ plane: `u ∈ g(u)`, `u ∈ Odd(g(u))`,
+//!   * YZ plane: `u ∈ g(u)`, `u ∉ Odd(g(u))`,
+//!
+//!   where `Odd(K)` is the odd neighbourhood; applying `X^{m_u}` on
+//!   `g(u)∖{u}` and `Z^{m_u}` on `Odd(g(u))∖{u}` after each measurement
+//!   makes the pattern strongly deterministic.
 //! * [`resources`] — qubit/entangling/round accounting compared against
 //!   the paper's Sec. III-A bounds.
 //! * [`reimport`] — graph-state specs (graph-like ZX-diagrams) back into
-//!   runnable reference-branch patterns.
+//!   runnable patterns: the reference-branch form, or — when the spec's
+//!   open graph admits a gflow — the corrected, postselection-free form
+//!   ([`reimport::GraphPatternSpec::to_deterministic_pattern`]).
 
 pub mod command;
 pub mod determinism;

@@ -2,7 +2,7 @@
 //!
 //! An open graph is the resource-state graph together with the input and
 //! output subsets and each measured node's plane; it is the object on
-//! which flow conditions (Sec. II-B, refs. [32,33] of the paper) are
+//! which flow conditions (Sec. II-B, refs. \[32,33\] of the paper) are
 //! stated. Extracted from a [`Pattern`] by [`OpenGraph::from_pattern`].
 
 use crate::command::Command;

@@ -10,16 +10,30 @@
 //!     ∏ M_v^{plane_v, θ_v}  ∏_{(u,v)∈E} E_{u,v}  ∏_v N_v(|+⟩)
 //! ```
 //!
-//! with **no corrections**: the re-imported pattern reproduces the
-//! diagram's reference branch (every outcome 0), so executors run it
-//! with `Branch::Forced(&zeros)` and renormalize — postselection, not
-//! feed-forward. That keeps re-import sound without requiring the
-//! simplified graph to retain a gflow.
+//! Two execution modes exist:
+//!
+//! * [`GraphPatternSpec::to_pattern`] emits **no corrections**: the
+//!   pattern reproduces the diagram's reference branch (every outcome
+//!   0), so executors run it with `Branch::Forced(&zeros)` and
+//!   renormalize — postselection, not feed-forward.
+//! * [`GraphPatternSpec::to_deterministic_pattern`] finds a **gflow** of
+//!   the spec's open graph ([`crate::gflow::find_gflow`]) and
+//!   re-synthesizes the corrections it certifies: measurements run in
+//!   gflow order with signal-shifted `s`/`t` domains, outputs receive
+//!   explicit `X`/`Z` corrections, and the resulting pattern is
+//!   **strongly deterministic** — every outcome branch yields the same
+//!   output state, so it is per-shot samplable with no `2^{−k}`
+//!   postselection overhead (Browne–Kashefi–Mhalla–Perdrix, refs.
+//!   \[32,33\] of the paper).
 
-use crate::command::Angle;
+use crate::command::{Angle, Pauli};
+use crate::gflow::{find_gflow, verify_gflow};
+use crate::opengraph::OpenGraph;
 use crate::pattern::Pattern;
 use crate::plane::Plane;
+use crate::signal::Signal;
 use mbqao_sim::QubitId;
+use std::collections::HashMap;
 
 /// One measured vertex of a [`GraphPatternSpec`].
 #[derive(Debug, Clone)]
@@ -95,6 +109,98 @@ impl GraphPatternSpec {
             .map(|&i| QubitId::new(i as u64))
             .collect()
     }
+
+    /// The spec's open graph `(G, I = ∅, O, planes)` — the object gflow
+    /// conditions are stated on. Re-imported specs are self-contained,
+    /// so the input set is empty.
+    pub fn open_graph(&self) -> OpenGraph {
+        let planes: Vec<(usize, Plane)> = self.measures.iter().map(|m| (m.node, m.plane)).collect();
+        OpenGraph::new(self.nodes, &self.edges, &[], &self.outputs, &planes)
+    }
+
+    /// Builds the **strongly deterministic** pattern certified by a gflow
+    /// of [`GraphPatternSpec::open_graph`], or `None` when the open graph
+    /// admits no gflow (the caller then falls back to reference-branch
+    /// postselection).
+    ///
+    /// Construction (the Browne–Kashefi–Mhalla–Perdrix recipe):
+    /// measurements run in gflow order (earliest layer first); measuring
+    /// `u` with outcome `m_u` owes byproducts `X^{m_u}` to every `w ∈
+    /// g(u)∖{u}` and `Z^{m_u}` to every `w ∈ Odd(g(u))∖{u}`. Byproducts
+    /// owed to a later-measured qubit are folded into its `s`/`t`
+    /// domains through the plane's folding rules
+    /// ([`Plane::fold_x`]/[`Plane::fold_z`] — signal shifting);
+    /// byproducts owed to outputs become explicit `C` commands. On the
+    /// all-zero branch every signal vanishes, so the pattern reproduces
+    /// the reference branch exactly — and the gflow conditions make every
+    /// other branch land on the same state.
+    ///
+    /// Returns the pattern together with the gflow depth (number of
+    /// adaptive layers).
+    pub fn to_deterministic_pattern(&self) -> Option<(Pattern, usize)> {
+        let og = self.open_graph();
+        let flow = find_gflow(&og)?;
+        debug_assert!(verify_gflow(&og, &flow), "solver output must verify");
+
+        let meas: HashMap<usize, &GraphMeasurement> =
+            self.measures.iter().map(|m| (m.node, m)).collect();
+        let q = |i: usize| QubitId::new(i as u64);
+        let mut p = Pattern::new(vec![], self.n_params);
+        for i in 0..self.nodes {
+            p.prep_plus(q(i));
+        }
+        for &(a, b) in &self.edges {
+            assert!(
+                a < self.nodes && b < self.nodes && a != b,
+                "bad edge ({a},{b})"
+            );
+            p.entangle(q(a), q(b));
+        }
+
+        // Pending byproducts per vertex, accumulated in GF(2).
+        let mut sx: Vec<Signal> = vec![Signal::zero(); self.nodes];
+        let mut sz: Vec<Signal> = vec![Signal::zero(); self.nodes];
+        for u in flow.measurement_order() {
+            let m = meas.get(&u)?; // measured node without a measurement: bail
+            let (x_flips, x_adds_pi) = m.plane.fold_x();
+            let (z_flips, z_adds_pi) = m.plane.fold_z();
+            let mut s = Signal::zero();
+            let mut t = Signal::zero();
+            if x_flips {
+                s.xor_assign(&sx[u]);
+            }
+            if x_adds_pi {
+                t.xor_assign(&sx[u]);
+            }
+            if z_flips {
+                s.xor_assign(&sz[u]);
+            }
+            if z_adds_pi {
+                t.xor_assign(&sz[u]);
+            }
+            let out = p.measure(q(u), m.plane, m.angle.clone(), s, t);
+            let mu = Signal::var(out);
+            let k = &flow.g[&u];
+            for w in k.iter_ones() {
+                if w != u {
+                    sx[w].xor_assign(&mu);
+                }
+            }
+            for w in og.odd_neighborhood(k).iter_ones() {
+                if w != u {
+                    sz[w].xor_assign(&mu);
+                }
+            }
+        }
+        for &o in &self.outputs {
+            p.correct(q(o), Pauli::X, sx[o].clone());
+            p.correct(q(o), Pauli::Z, sz[o].clone());
+        }
+        p.set_outputs(self.outputs.iter().map(|&i| q(i)).collect());
+        p.validate()
+            .expect("gflow-synthesized pattern must validate");
+        Some((p, flow.depth()))
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +241,102 @@ mod tests {
                 .approx_eq_up_to_phase(&spec.output_wires(), &want, 1e-9),
             "reference branch must implement J(θ) on |+⟩"
         );
+    }
+
+    /// The J(θ) spec must synthesize the textbook corrected pattern and
+    /// pass exhaustive determinism.
+    #[test]
+    fn deterministic_single_edge_matches_reference_on_every_branch() {
+        let theta = 0.731;
+        let spec = GraphPatternSpec {
+            nodes: 2,
+            edges: vec![(0, 1)],
+            measures: vec![GraphMeasurement {
+                node: 0,
+                plane: Plane::XY,
+                angle: Angle::constant(-theta),
+            }],
+            outputs: vec![1],
+            n_params: 0,
+        };
+        let (p, depth) = spec.to_deterministic_pattern().expect("line has gflow");
+        assert_eq!(depth, 1);
+        let report = crate::determinism::check_determinism(&p, &State::new(), &[], 1e-9);
+        assert!(report.deterministic, "{report:?}");
+
+        // And the common output is the reference branch's state.
+        let q0 = QubitId::new(0);
+        let mut reference = State::plus(&[q0]);
+        reference.apply_rz(q0, theta);
+        reference.apply_h(q0);
+        let want = reference.aligned(&[q0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = run(&p, &[], Branch::Random, &mut rng);
+        assert!(r
+            .state
+            .approx_eq_up_to_phase(&spec.output_wires(), &want, 1e-9));
+    }
+
+    /// A mixed-plane spec (XY chain + YZ gadget hub) synthesizes a
+    /// deterministic pattern: exactly the structure ZX extraction
+    /// produces for QAOA.
+    #[test]
+    fn deterministic_mixed_plane_spec_passes_branch_enumeration() {
+        let spec = GraphPatternSpec {
+            nodes: 5,
+            edges: vec![(0, 1), (1, 2), (3, 0), (3, 2), (3, 4)],
+            measures: vec![
+                GraphMeasurement {
+                    node: 0,
+                    plane: Plane::XY,
+                    angle: Angle::constant(0.4),
+                },
+                GraphMeasurement {
+                    node: 1,
+                    plane: Plane::XY,
+                    angle: Angle::constant(-0.9),
+                },
+                GraphMeasurement {
+                    node: 3,
+                    plane: Plane::YZ,
+                    angle: Angle::constant(1.3),
+                },
+            ],
+            outputs: vec![2, 4],
+            n_params: 0,
+        };
+        let (p, _) = spec.to_deterministic_pattern().expect("spec has gflow");
+        let report = crate::determinism::check_determinism(&p, &State::new(), &[], 1e-8);
+        assert!(report.deterministic, "{report:?}");
+
+        // Branch 0 of the corrected pattern equals the uncorrected
+        // reference-branch pattern's output (corrections vanish there).
+        let zeros = [0u8; 3];
+        let mut rng = StdRng::seed_from_u64(0);
+        let corrected = run(&p, &[], Branch::Forced(&zeros), &mut rng);
+        let mut rng = StdRng::seed_from_u64(0);
+        let reference = run(&spec.to_pattern(), &[], Branch::Forced(&zeros), &mut rng);
+        let wires = spec.output_wires();
+        let fid = corrected.state.fidelity(&reference.state, &wires);
+        assert!((fid - 1.0).abs() < 1e-9, "branch 0 must match: {fid}");
+    }
+
+    /// A spec without gflow (isolated XY-measured vertex) falls back to
+    /// `None` instead of producing a bogus pattern.
+    #[test]
+    fn flowless_spec_returns_none() {
+        let spec = GraphPatternSpec {
+            nodes: 2,
+            edges: vec![],
+            measures: vec![GraphMeasurement {
+                node: 0,
+                plane: Plane::XY,
+                angle: Angle::constant(0.2),
+            }],
+            outputs: vec![1],
+            n_params: 0,
+        };
+        assert!(spec.to_deterministic_pattern().is_none());
     }
 
     #[test]

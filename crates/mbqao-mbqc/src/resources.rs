@@ -3,7 +3,7 @@
 //! For a compiled pattern we report exactly the quantities the paper
 //! bounds: total qubits `N_Q`, entangling (CZ / graph-state edge) count
 //! `N_E`, measurement count, the *maximum simultaneously live* register
-//! (what a qubit-reusing device per [51] actually needs), and the number
+//! (what a qubit-reusing device per \[51\] actually needs), and the number
 //! of adaptive measurement rounds (the depth of the signal-dependency
 //! DAG — how many feed-forward steps the protocol takes).
 

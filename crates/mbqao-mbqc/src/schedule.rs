@@ -1,4 +1,4 @@
-//! Just-in-time scheduling (the qubit-reuse compilation of [51]).
+//! Just-in-time scheduling (the qubit-reuse compilation of \[51\]).
 //!
 //! A pattern is usually built "resource state first": all preparations,
 //! then all entanglers, then measurements — which means the whole `N_Q`

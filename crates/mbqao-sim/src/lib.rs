@@ -9,7 +9,7 @@
 //!    the fly, measure them mid-circuit in arbitrary bases (XY/XZ/YZ
 //!    planes), and *remove* them from the register once measured. The
 //!    paper's protocols need thousands of ancillas in total but only a few
-//!    alive at a time (the qubit-reuse observation of [51]); the simulator
+//!    alive at a time (the qubit-reuse observation of \[51\]); the simulator
 //!    therefore supports dynamic qubit allocation and deallocation so the
 //!    live register — not the total ancilla count — bounds memory.
 //!

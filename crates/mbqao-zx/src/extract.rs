@@ -27,6 +27,14 @@ pub struct GraphLikeStats {
     pub simplify: SimplifyStats,
 }
 
+impl GraphLikeStats {
+    /// Accumulates another run's counts.
+    pub fn merge(&mut self, other: &GraphLikeStats) {
+        self.color_changes += other.color_changes;
+        self.simplify.merge(&other.simplify);
+    }
+}
+
 /// Converts `d` to graph-like form in place (exact semantics preserved;
 /// the tracked scalar absorbs every rewrite factor).
 ///

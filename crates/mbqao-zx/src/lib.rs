@@ -1,24 +1,50 @@
 //! ZX-calculus engine — the diagrammatic language the paper uses to
 //! derive its measurement patterns (Sec. II-A, Fig. 1, Appendices A–E).
 //!
+//! # The rewrite-rule catalogue
+//!
+//! Every rule is *scalar-exact* (the tracked global scalar absorbs each
+//! rewrite factor) and property-tested against the tensor semantics in
+//! `tests/rule_properties.rs`:
+//!
+//! | rule | function | effect |
+//! |---|---|---|
+//! | (f) spider fusion | [`rules::try_fuse`] | same-colour spiders on a plain edge merge, phases add |
+//! | (h) colour change | [`rules::color_change`] | flip a spider's colour, toggle its edges (`X = HZH`) |
+//! | (id) identity removal | [`rules::try_remove_identity`] | phaseless degree-2 spider vanishes (subsumes (hh) by edge parity) |
+//! | loop cleanup | [`rules::try_cancel_self_loop`] | plain loop drops; H-loop adds π and `1/√2` |
+//! | (π) π-commutation | [`rules::try_pi_commute`] | π-spider pushes through, negating the phase |
+//! | (c) state copy | [`rules::try_copy`] | Pauli state copies through an opposite-colour spider |
+//! | (b) bialgebra | [`rules::try_bialgebra`] | the canonical 2+2 commutation, `√2` scalar |
+//! | (hopf) | [`rules::try_hopf`], [`rules::try_parallel_h_cancel`] | double edges cancel, `1/2` scalar |
+//! | (lc) local complementation | [`rules::try_local_complement`] | interior ±π/2 spider removed, neighbourhood complemented |
+//! | (p) pivot | [`rules::try_pivot`] | adjacent interior Pauli pair removed, cross neighbourhoods complemented |
+//!
+//! The last two (Duncan–Kissinger–Perdrix–van de Wetering) make the
+//! simplifier *Clifford-complete*: together with the Fig.-1 subset they
+//! eliminate every interior Clifford spider —
+//! [`simplify::clifford_simp`] drives them to a fixpoint, which is what
+//! removes the `XY(0)` mixer wire spiders and phase-gadget hubs of
+//! compiled QAOA patterns.
+//!
+//! # Modules
+//!
 //! * [`diagram::Diagram`] — open multigraphs of Z/X spiders (and ZH
 //!   H-boxes) with plain/Hadamard edges, symbolic phases and a tracked
 //!   global scalar.
-//! * [`rules`] — the Fig.-1 rewrite rules: spider fusion `(f)`, color
-//!   change `(h)`, identity removal `(id)`, Hadamard cancellation `(hh)`
-//!   (as edge-parity), π-commutation `(π)`, state copy `(c)`, bialgebra
-//!   `(b)` and the Hopf law — each *scalar-exact* and property-tested
-//!   against the tensor semantics.
+//! * [`rules`] — the rewrite rules above.
 //! * [`tensor`] — evaluates a diagram to its linear map by tensor-network
 //!   contraction (the ground truth for every rewrite).
 //! * [`circuit_import`] — quantum circuits → diagrams (Fig. 2 path).
 //! * [`graphstate`] — graph states as ZX-diagrams (Eq. 5).
 //! * [`zh`] — H-boxes of the ZH-calculus and the Sec. IV partial-mixer
 //!   identity.
-//! * [`simplify`] — fuse/id/self-loop/Hopf normalization to fixpoint.
+//! * [`simplify`] — fuse/id/self-loop/Hopf normalization to fixpoint,
+//!   plus the Clifford-complete [`simplify::clifford_simp`].
 //! * [`extract`] — graph-like normal form (the launchpad for turning
 //!   simplified diagrams back into measurement patterns).
-//! * [`dot`] — Graphviz export for inspecting diagrams.
+//! * [`dot`] — Graphviz export for inspecting diagrams (the rendering
+//!   `docs/PIPELINE.md` embeds).
 
 pub mod circuit_import;
 pub mod diagram;

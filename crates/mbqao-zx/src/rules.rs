@@ -18,7 +18,7 @@
 //! | (hopf) | [`try_hopf`] |
 
 use crate::diagram::{Diagram, EdgeType, NodeId, NodeKind};
-use mbqao_math::{PhaseExpr, C64};
+use mbqao_math::{PhaseExpr, Rational, C64};
 
 /// `true` when the node is a plain spider of the given kind.
 fn is_spider(d: &Diagram, id: NodeId) -> Option<NodeKind> {
@@ -369,6 +369,220 @@ pub fn try_parallel_h_cancel(d: &mut Diagram, a: NodeId, b: NodeId) -> bool {
     true
 }
 
+/// The *graph-like neighbourhood* of `u`: `Some(neighbours)` when `u` is
+/// an internal Z-spider whose every incident edge is a single Hadamard
+/// edge to a distinct internal Z-spider (no boundaries, no self-loops,
+/// no parallel edges). This is the "interior spider" precondition shared
+/// by local complementation and pivoting.
+pub(crate) fn interior_spider_neighbors(d: &Diagram, u: NodeId) -> Option<Vec<NodeId>> {
+    if !matches!(is_spider(d, u), Some(NodeKind::Z)) {
+        return None;
+    }
+    let mut out: Vec<NodeId> = Vec::new();
+    for (_, w, ty) in d.neighbors(u) {
+        if ty != EdgeType::Hadamard || w == u {
+            return None;
+        }
+        if !matches!(is_spider(d, w), Some(NodeKind::Z)) {
+            return None; // boundary, X-spider or H-box neighbour
+        }
+        if out.contains(&w) {
+            return None; // parallel H-edges (not graph-like)
+        }
+        out.push(w);
+    }
+    Some(out)
+}
+
+/// Counts the Hadamard edges between two distinct nodes; `None` when a
+/// plain edge connects them (toggling is then undefined).
+fn h_edges_between(d: &Diagram, a: NodeId, b: NodeId) -> Option<Vec<usize>> {
+    let mut edges = Vec::new();
+    for (e, o, ty) in d.neighbors(a) {
+        if o != b {
+            continue;
+        }
+        match ty {
+            EdgeType::Hadamard => edges.push(e),
+            EdgeType::Plain => return None,
+        }
+    }
+    Some(edges)
+}
+
+/// Toggles the Hadamard edge between `a` and `b`; returns `true` when an
+/// edge existed (and was removed).
+fn toggle_h_edge(d: &mut Diagram, a: NodeId, b: NodeId) -> bool {
+    let edges = h_edges_between(d, a, b).expect("toggle pairs are H-only by precondition");
+    debug_assert!(edges.len() <= 1, "toggle pairs are simple by precondition");
+    if let Some(&e) = edges.first() {
+        d.remove_edge(e);
+        true
+    } else {
+        d.add_edge(a, b, EdgeType::Hadamard);
+        false
+    }
+}
+
+/// Removes every edge incident to `id`, then the node itself.
+fn remove_with_edges(d: &mut Diagram, id: NodeId) {
+    for e in d.incident_edges(id) {
+        d.remove_edge(e);
+    }
+    d.remove_node(id);
+}
+
+/// **(lc) Local complementation** (Duncan–Kissinger–Perdrix–van de
+/// Wetering, lemma 2.1; pyzx `lcomp`): an *interior proper-Clifford*
+/// spider `u` — internal Z-spider with phase `σ·π/2` (`σ = ±1`) whose
+/// legs are all single Hadamard edges to internal Z-spiders — is removed
+/// by complementing the edges among its neighbourhood and subtracting
+/// `σ·π/2` from every neighbour's phase.
+///
+/// Scalar-exact: with `n` neighbours and `E` pre-existing edges among
+/// them, the tracked scalar gains
+/// `e^{iσπ/4} · √2^{n(n−1)/2 − 2E − n + 1}`
+/// (each toggled-away edge is a Hopf pair worth `1/2`; the remaining
+/// power is the pyzx `(n−1)(n−2)/2` once `E = 0`). Property-tested
+/// against the tensor semantics in `tests/rule_properties.rs`.
+///
+/// Returns `false` when the precondition does not match.
+pub fn try_local_complement(d: &mut Diagram, u: NodeId) -> bool {
+    let Some(sigma) = d.node(u).and_then(|n| n.phase.proper_clifford_sign()) else {
+        return false;
+    };
+    let Some(nb) = interior_spider_neighbors(d, u) else {
+        return false;
+    };
+    // Every neighbour pair must be H-simple for the toggle to be defined.
+    for (i, &a) in nb.iter().enumerate() {
+        for &b in &nb[i + 1..] {
+            match h_edges_between(d, a, b) {
+                Some(edges) if edges.len() <= 1 => {}
+                _ => return false,
+            }
+        }
+    }
+
+    let half = PhaseExpr::pi_times(Rational::new(sigma, 2));
+    for &w in &nb {
+        let node = d.node_mut(w).expect("live");
+        node.phase = node.phase.clone() - half.clone();
+    }
+    let mut existing = 0i32;
+    for (i, &a) in nb.iter().enumerate() {
+        for &b in &nb[i + 1..] {
+            if toggle_h_edge(d, a, b) {
+                existing += 1;
+            }
+        }
+    }
+    remove_with_edges(d, u);
+
+    let n = nb.len() as i32;
+    let power = n * (n - 1) / 2 - 2 * existing - n + 1;
+    d.multiply_scalar(C64::real(std::f64::consts::SQRT_2.powi(power)));
+    d.add_scalar_phase(PhaseExpr::pi_times(Rational::new(sigma, 4)));
+    true
+}
+
+/// **(p) Pivot** (Duncan–Kissinger–Perdrix–van de Wetering, lemma 2.2;
+/// pyzx `pivot`): a pair of adjacent *interior Pauli* spiders `u`, `v` —
+/// internal Z-spiders with phases `aπ`, `bπ` (`a, b ∈ {0,1}`) joined by
+/// a single Hadamard edge, with every other leg a single Hadamard edge
+/// to an internal Z-spider — is removed by complementing the edges
+/// between the three neighbourhood classes
+/// `A = N(u)∖(N(v)∪{v})`, `B = N(v)∖(N(u)∪{u})`, `C = N(u)∩N(v)`
+/// pairwise, adding `bπ` to every phase in `A`, `aπ` to every phase in
+/// `B`, and `(a+b+1)π` to every phase in `C`.
+///
+/// Scalar-exact: with `k₀ = |A|`, `k₁ = |B|`, `k₂ = |C|` and `E`
+/// pre-existing cross edges, the tracked scalar gains
+/// `(−1)^{ab} · √2^{k₀k₁ + k₀k₂ + k₁k₂ − 2E − k₀ − k₁ − 2k₂ + 1}`
+/// (derived by summing the `u`, `v` indices out of the tensor
+/// semantics; property-tested in `tests/rule_properties.rs`).
+///
+/// Returns `false` when the precondition does not match.
+pub fn try_pivot(d: &mut Diagram, u: NodeId, v: NodeId) -> bool {
+    if u == v {
+        return false;
+    }
+    let pauli = |d: &Diagram, id: NodeId| d.node(id).is_some_and(|n| n.phase.is_pauli());
+    if !pauli(d, u) || !pauli(d, v) {
+        return false;
+    }
+    let (Some(nu), Some(nv)) = (
+        interior_spider_neighbors(d, u),
+        interior_spider_neighbors(d, v),
+    ) else {
+        return false;
+    };
+    if !nu.contains(&v) {
+        return false; // needs the connecting H-edge
+    }
+    let a_pi = d.node(u).expect("live").phase.is_pi();
+    let b_pi = d.node(v).expect("live").phase.is_pi();
+
+    let aa: Vec<NodeId> = nu
+        .iter()
+        .copied()
+        .filter(|&w| w != v && !nv.contains(&w))
+        .collect();
+    let bb: Vec<NodeId> = nv
+        .iter()
+        .copied()
+        .filter(|&w| w != u && !nu.contains(&w))
+        .collect();
+    let cc: Vec<NodeId> = nu.iter().copied().filter(|w| nv.contains(w)).collect();
+
+    // Every toggled pair must be H-simple.
+    let cross: Vec<(NodeId, NodeId)> = aa
+        .iter()
+        .flat_map(|&x| bb.iter().map(move |&y| (x, y)))
+        .chain(aa.iter().flat_map(|&x| cc.iter().map(move |&y| (x, y))))
+        .chain(bb.iter().flat_map(|&x| cc.iter().map(move |&y| (x, y))))
+        .collect();
+    for &(x, y) in &cross {
+        match h_edges_between(d, x, y) {
+            Some(edges) if edges.len() <= 1 => {}
+            _ => return false,
+        }
+    }
+
+    let add_phase = |d: &mut Diagram, w: NodeId, flip: bool| {
+        if flip {
+            let node = d.node_mut(w).expect("live");
+            node.phase = node.phase.clone() + PhaseExpr::pi();
+        }
+    };
+    for &w in &aa {
+        add_phase(d, w, b_pi);
+    }
+    for &w in &bb {
+        add_phase(d, w, a_pi);
+    }
+    for &w in &cc {
+        add_phase(d, w, a_pi ^ b_pi ^ true);
+    }
+
+    let mut existing = 0i32;
+    for &(x, y) in &cross {
+        if toggle_h_edge(d, x, y) {
+            existing += 1;
+        }
+    }
+    remove_with_edges(d, u);
+    remove_with_edges(d, v);
+
+    let (k0, k1, k2) = (aa.len() as i32, bb.len() as i32, cc.len() as i32);
+    let power = k0 * k1 + k0 * k2 + k1 * k2 - 2 * existing - k0 - k1 - 2 * k2 + 1;
+    d.multiply_scalar(C64::real(std::f64::consts::SQRT_2.powi(power)));
+    if a_pi && b_pi {
+        d.add_scalar_phase(PhaseExpr::pi());
+    }
+    true
+}
+
 /// **(hopf)**: a Z-spider and an X-spider joined by exactly two plain
 /// edges disconnect (both edges removed); the scalar gains `1/2`.
 pub fn try_hopf(d: &mut Diagram, a: NodeId, b: NodeId) -> bool {
@@ -652,6 +866,142 @@ mod tests {
             !try_parallel_h_cancel(&mut d2, z, x),
             "Z–X H-pairs are not the same-colour Hopf law"
         );
+    }
+
+    /// A star fixture for local complementation: centre `u` with phase
+    /// `σ·π/2`, H-edges to `n` phased neighbours, each neighbour with a
+    /// boundary leg, and a pre-existing H-edge between the first two
+    /// neighbours (exercising the toggle-off path).
+    fn lcomp_fixture(sigma: i64, n: usize) -> (Diagram, NodeId, Vec<NodeId>) {
+        let mut d = Diagram::new();
+        let u = d.add_z(PhaseExpr::pi_times(Rational::new(sigma, 2)));
+        let mut nb = Vec::new();
+        for k in 0..n {
+            let w = d.add_z(PhaseExpr::pi_times(Rational::new(k as i64, 4)));
+            d.add_edge(u, w, EdgeType::Hadamard);
+            let o = d.add_output();
+            d.add_edge(w, o, EdgeType::Plain);
+            nb.push(w);
+        }
+        if n >= 2 {
+            d.add_edge(nb[0], nb[1], EdgeType::Hadamard);
+        }
+        (d, u, nb)
+    }
+
+    #[test]
+    fn local_complement_preserves_semantics() {
+        for sigma in [1i64, -1] {
+            for n in 0..=4usize {
+                let (before, u, nb) = lcomp_fixture(sigma, n);
+                let mut after = before.clone();
+                assert!(try_local_complement(&mut after, u), "σ={sigma} n={n}");
+                assert!(after.node(u).is_none(), "centre must be removed");
+                assert_preserves(&before, &after, &NOB);
+                // Neighbourhood is complemented: first pair lost its edge,
+                // every other pair gained one.
+                if n >= 2 {
+                    assert!(
+                        after.neighbors(nb[0]).iter().all(|&(_, o, _)| o != nb[1]),
+                        "pre-existing edge must toggle off"
+                    );
+                }
+                if n >= 3 {
+                    assert!(after
+                        .neighbors(nb[0])
+                        .iter()
+                        .any(|&(_, o, ty)| o == nb[2] && ty == EdgeType::Hadamard));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_complement_rejects_non_clifford_and_non_interior() {
+        // Pauli phase: not proper Clifford.
+        let mut d = Diagram::new();
+        let u = d.add_z(PhaseExpr::pi());
+        let w = d.add_z(PhaseExpr::zero());
+        d.add_edge(u, w, EdgeType::Hadamard);
+        assert!(!try_local_complement(&mut d, u));
+        // Proper Clifford but boundary-adjacent: not interior.
+        let mut d2 = Diagram::new();
+        let u2 = d2.add_z(PhaseExpr::pi_times(Rational::HALF));
+        let o = d2.add_output();
+        d2.add_edge(u2, o, EdgeType::Plain);
+        assert!(!try_local_complement(&mut d2, u2));
+        // Plain edge to a spider: not graph-like.
+        let mut d3 = Diagram::new();
+        let u3 = d3.add_z(PhaseExpr::pi_times(Rational::HALF));
+        let w3 = d3.add_z(PhaseExpr::zero());
+        d3.add_edge(u3, w3, EdgeType::Plain);
+        assert!(!try_local_complement(&mut d3, u3));
+    }
+
+    /// A pivot fixture: `u(aπ) —H— v(bπ)` with exclusive neighbours
+    /// `A`/`B`, one common neighbour `C`, boundary legs on all
+    /// neighbours, and a pre-existing cross edge `A–B`.
+    fn pivot_fixture(a: bool, b: bool) -> (Diagram, NodeId, NodeId, [NodeId; 3]) {
+        let phase = |on: bool| {
+            if on {
+                PhaseExpr::pi()
+            } else {
+                PhaseExpr::zero()
+            }
+        };
+        let mut d = Diagram::new();
+        let u = d.add_z(phase(a));
+        let v = d.add_z(phase(b));
+        d.add_edge(u, v, EdgeType::Hadamard);
+        let wa = d.add_z(PhaseExpr::pi_times(Rational::new(1, 4)));
+        let wb = d.add_z(PhaseExpr::pi_times(Rational::new(3, 4)));
+        let wc = d.add_z(PhaseExpr::pi_times(Rational::new(1, 2)));
+        d.add_edge(u, wa, EdgeType::Hadamard);
+        d.add_edge(v, wb, EdgeType::Hadamard);
+        d.add_edge(u, wc, EdgeType::Hadamard);
+        d.add_edge(v, wc, EdgeType::Hadamard);
+        d.add_edge(wa, wb, EdgeType::Hadamard); // pre-existing cross edge
+        for w in [wa, wb, wc] {
+            let o = d.add_output();
+            d.add_edge(w, o, EdgeType::Plain);
+        }
+        (d, u, v, [wa, wb, wc])
+    }
+
+    #[test]
+    fn pivot_preserves_semantics() {
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            let (before, u, v, [wa, wb, wc]) = pivot_fixture(a, b);
+            let mut after = before.clone();
+            assert!(try_pivot(&mut after, u, v), "a={a} b={b}");
+            assert!(after.node(u).is_none() && after.node(v).is_none());
+            assert_preserves(&before, &after, &NOB);
+            // Cross edges toggled: A–B off, A–C and B–C on.
+            assert!(after.neighbors(wa).iter().all(|&(_, o, _)| o != wb));
+            assert!(after.neighbors(wa).iter().any(|&(_, o, _)| o == wc));
+            assert!(after.neighbors(wb).iter().any(|&(_, o, _)| o == wc));
+        }
+    }
+
+    #[test]
+    fn pivot_rejects_non_pauli_and_non_adjacent() {
+        // Non-Pauli phase on u.
+        let mut d = Diagram::new();
+        let u = d.add_z(PhaseExpr::pi_times(Rational::HALF));
+        let v = d.add_z(PhaseExpr::zero());
+        d.add_edge(u, v, EdgeType::Hadamard);
+        assert!(!try_pivot(&mut d, u, v));
+        // Pauli but not adjacent.
+        let mut d2 = Diagram::new();
+        let u2 = d2.add_z(PhaseExpr::zero());
+        let v2 = d2.add_z(PhaseExpr::pi());
+        assert!(!try_pivot(&mut d2, u2, v2));
+        // Adjacent by a plain edge: not graph-like.
+        let mut d3 = Diagram::new();
+        let u3 = d3.add_z(PhaseExpr::zero());
+        let v3 = d3.add_z(PhaseExpr::zero());
+        d3.add_edge(u3, v3, EdgeType::Plain);
+        assert!(!try_pivot(&mut d3, u3, v3));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use mbqao_math::{PhaseExpr, Rational, Symbol};
 use mbqao_zx::diagram::{Diagram, EdgeType, NodeId, NodeKind};
 use mbqao_zx::extract::{is_graph_like, to_graph_like};
 use mbqao_zx::rules;
-use mbqao_zx::simplify::simplify;
+use mbqao_zx::simplify::{clifford_simp, simplify};
 use mbqao_zx::tensor::evaluate;
 use proptest::prelude::*;
 
@@ -273,6 +273,128 @@ proptest! {
         let mut after = before.clone();
         prop_assert!(rules::try_bialgebra(&mut after, z, x));
         assert_preserved(&before, &after, "bialgebra");
+    }
+
+    /// Local complementation on a random graph-like star: centre with
+    /// phase ±π/2, random neighbour phases, a random subset of the
+    /// neighbour pairs pre-connected, random boundary legs.
+    #[test]
+    fn local_complement_preserves_semantics(
+        sigma_plus in proptest::bool::ANY,
+        phases in proptest::collection::vec((-3i64..5, proptest::bool::ANY), 1..5),
+        pair_bits in 0u32..64,
+        boundary_bits in 0u32..32,
+    ) {
+        let mut before = Diagram::new();
+        let sigma = if sigma_plus { 1 } else { -1 };
+        let u = before.add_z(PhaseExpr::pi_times(Rational::new(sigma, 2)));
+        let nb: Vec<NodeId> = phases
+            .iter()
+            .map(|&(num, symbolic)| {
+                let mut phase = PhaseExpr::pi_times(Rational::new(num, 4));
+                if symbolic {
+                    phase = phase + PhaseExpr::symbol(SYM, Rational::ONE);
+                }
+                let w = before.add_z(phase);
+                before.add_edge(u, w, EdgeType::Hadamard);
+                w
+            })
+            .collect();
+        let mut pair = 0;
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                if (pair_bits >> pair) & 1 == 1 {
+                    before.add_edge(nb[i], nb[j], EdgeType::Hadamard);
+                }
+                pair += 1;
+            }
+        }
+        for (i, &w) in nb.iter().enumerate() {
+            if (boundary_bits >> i) & 1 == 1 {
+                let o = before.add_output();
+                before.add_edge(w, o, EdgeType::Plain);
+            }
+        }
+        let mut after = before.clone();
+        prop_assert!(rules::try_local_complement(&mut after, u));
+        prop_assert!(after.node(u).is_none());
+        assert_preserved(&before, &after, "local complementation");
+    }
+
+    /// Pivot on a random interior Pauli pair: random A/B/C neighbourhood
+    /// sizes, random neighbour phases, random pre-existing cross edges,
+    /// random boundary legs.
+    #[test]
+    fn pivot_preserves_semantics(
+        a_pi in proptest::bool::ANY,
+        b_pi in proptest::bool::ANY,
+        sizes in (0usize..3, 0usize..3, 0usize..3),
+        phases in proptest::collection::vec(-3i64..5, 9..10),
+        cross_bits in 0u32..512,
+        boundary_bits in 0u32..512,
+    ) {
+        let pauli = |on: bool| if on { PhaseExpr::pi() } else { PhaseExpr::zero() };
+        let mut before = Diagram::new();
+        let u = before.add_z(pauli(a_pi));
+        let v = before.add_z(pauli(b_pi));
+        before.add_edge(u, v, EdgeType::Hadamard);
+        let (ka, kb, kc) = sizes;
+        let mk = |k: usize, hosts: &[NodeId], d: &mut Diagram, phase_idx: &mut usize| -> Vec<NodeId> {
+            (0..k)
+                .map(|_| {
+                    let w = d.add_z(PhaseExpr::pi_times(Rational::new(
+                        phases[*phase_idx % phases.len()],
+                        4,
+                    )));
+                    *phase_idx += 1;
+                    for &h in hosts {
+                        d.add_edge(h, w, EdgeType::Hadamard);
+                    }
+                    w
+                })
+                .collect()
+        };
+        let mut pi = 0usize;
+        let aa = mk(ka, &[u], &mut before, &mut pi);
+        let bb = mk(kb, &[v], &mut before, &mut pi);
+        let cc = mk(kc, &[u, v], &mut before, &mut pi);
+        let all: Vec<NodeId> = aa.iter().chain(&bb).chain(&cc).copied().collect();
+        // Random cross edges between the toggled classes.
+        let cross: Vec<(NodeId, NodeId)> = aa
+            .iter()
+            .flat_map(|&x| bb.iter().map(move |&y| (x, y)))
+            .chain(aa.iter().flat_map(|&x| cc.iter().map(move |&y| (x, y))))
+            .chain(bb.iter().flat_map(|&x| cc.iter().map(move |&y| (x, y))))
+            .collect();
+        for (bit, (x, y)) in cross.into_iter().enumerate() {
+            if (cross_bits >> (bit % 9)) & 1 == 1 {
+                before.add_edge(x, y, EdgeType::Hadamard);
+            }
+        }
+        for (i, &w) in all.iter().enumerate() {
+            if (boundary_bits >> (i % 9)) & 1 == 1 {
+                let o = before.add_output();
+                before.add_edge(w, o, EdgeType::Plain);
+            }
+        }
+        let mut after = before.clone();
+        prop_assert!(rules::try_pivot(&mut after, u, v));
+        prop_assert!(after.node(u).is_none() && after.node(v).is_none());
+        assert_preserved(&before, &after, "pivot");
+    }
+
+    /// The Clifford-complete pass preserves semantics on arbitrary random
+    /// diagrams, lands on graph-like form, and is idempotent.
+    #[test]
+    fn clifford_simp_is_sound_and_idempotent(recipe in recipe_strategy()) {
+        let before = build(&recipe);
+        let mut d = before.clone();
+        clifford_simp(&mut d);
+        assert_preserved(&before, &d, "clifford_simp");
+        prop_assert!(is_graph_like(&d));
+        let again = clifford_simp(&mut d);
+        prop_assert_eq!(again.total(), 0);
+        prop_assert_eq!(again.graph_like.simplify.total(), 0);
     }
 
     /// `simplify` preserves semantics and is idempotent: a second run

@@ -2,7 +2,11 @@
 //!
 //! Builds the Eq. 4 CZ diagram, the Eq. 5 square graph state, imports the
 //! Fig. 2 QAOA circuit, applies Fig.-1 rewrite rules step by step with a
-//! semantics check after each, and prints DOT renderings.
+//! semantics check after each, prints DOT renderings — and then replays
+//! the full compile → ZX → pivot/LC → gflow → deterministic-pattern
+//! walkthrough that `docs/PIPELINE.md` documents (the printed trace is
+//! the exact text embedded there; `tests/pipeline_doc.rs` keeps the two
+//! in sync).
 //!
 //! ```sh
 //! cargo run --release --example zx_derivation
@@ -64,4 +68,12 @@ fn main() {
     );
     println!("{}", dot::to_dot(&d, "fig2_simplified"));
     assert!(still_equal);
+
+    // --- The full derivation pipeline (docs/PIPELINE.md) --------------
+    // Compile → export → fuse/id/Hopf → graph-like → pivot/LC → gflow →
+    // deterministic pattern, on triangle MaxCut at p = 1.
+    println!(
+        "{}",
+        mbqao::core::walkthrough::triangle_pipeline_walkthrough()
+    );
 }

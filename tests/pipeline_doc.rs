@@ -1,0 +1,42 @@
+//! `docs/PIPELINE.md` embeds the generated triangle-MaxCut derivation
+//! walkthrough between `BEGIN GENERATED` / `END GENERATED` markers. This
+//! test regenerates the walkthrough and diffs it against the document,
+//! so the documented derivation can never drift from the code. To
+//! refresh after a pipeline change:
+//!
+//! ```sh
+//! cargo run --release --example zx_derivation   # prints the new trace
+//! ```
+//!
+//! and paste the walkthrough section between the markers.
+
+use mbqao::core::walkthrough::triangle_pipeline_walkthrough;
+
+#[test]
+fn pipeline_doc_embeds_the_current_walkthrough() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/PIPELINE.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/PIPELINE.md must exist");
+
+    let begin = doc
+        .find("<!-- BEGIN GENERATED: triangle-walkthrough")
+        .expect("missing BEGIN GENERATED marker");
+    let end = doc
+        .find("<!-- END GENERATED: triangle-walkthrough -->")
+        .expect("missing END GENERATED marker");
+    assert!(begin < end, "markers out of order");
+    let block = &doc[begin..end];
+
+    // The generated block is fenced as ```text … ```.
+    let fence_open = block.find("```text\n").expect("missing ```text fence");
+    let body_start = fence_open + "```text\n".len();
+    let fence_close = block.rfind("```").expect("missing closing fence");
+    let embedded = &block[body_start..fence_close];
+
+    let fresh = triangle_pipeline_walkthrough();
+    assert_eq!(
+        embedded, fresh,
+        "docs/PIPELINE.md is stale: regenerate with \
+         `cargo run --release --example zx_derivation` and update the \
+         GENERATED block"
+    );
+}

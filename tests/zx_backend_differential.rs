@@ -136,6 +136,106 @@ fn three_way_verification_passes_on_constrained_ansatze() {
 }
 
 #[test]
+fn resynthesized_patterns_are_deterministic_on_random_branches() {
+    // The tentpole guarantee of the gflow re-synthesis: every extracted
+    // pattern is *strongly deterministic* — any measurement-outcome
+    // branch yields the same output state (1e-8) with the uniform
+    // probability 2^{−k}. Postselection is gone.
+    use mbqao_mbqc::simulate::{run, Branch};
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let cases: Vec<(&str, mbqao::problems::ZPoly, usize)> = vec![
+        (
+            "triangle-p2",
+            maxcut::maxcut_zpoly(&generators::triangle()),
+            2,
+        ),
+        ("square-p1", maxcut::maxcut_zpoly(&generators::square()), 1),
+        ("star5-p1", maxcut::maxcut_zpoly(&generators::star(5)), 1),
+        (
+            "qubo-linear-p1",
+            Qubo::random(4, 0.8, &mut rng).to_zpoly(),
+            1,
+        ),
+    ];
+    for (name, cost, p) in cases {
+        let zx = ZxBackend::new(&cost, p);
+        let compiled = zx.compiled();
+        assert!(
+            compiled.report.deterministic,
+            "{name}: extraction must carry gflow corrections"
+        );
+        let k = compiled.n_measurements;
+        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let wires = &compiled.output_wires;
+
+        let zeros = vec![0u8; k];
+        let mut run_rng = StdRng::seed_from_u64(0);
+        let reference = run(
+            &compiled.pattern,
+            &params,
+            Branch::Forced(&zeros),
+            &mut run_rng,
+        );
+        let uniform = 0.5f64.powi(k as i32);
+        for trial in 0..6 {
+            let bits: Vec<u8> = (0..k).map(|_| u8::from(rng.gen_bool(0.5))).collect();
+            let mut run_rng = StdRng::seed_from_u64(trial);
+            let r = run(
+                &compiled.pattern,
+                &params,
+                Branch::Forced(&bits),
+                &mut run_rng,
+            );
+            let fid = r.state.fidelity(&reference.state, wires);
+            assert!(
+                (fid - 1.0).abs() < 1e-8,
+                "{name} trial {trial}: branch {bits:?} deviates, fidelity {fid}"
+            );
+            assert!(
+                (r.probability / uniform - 1.0).abs() < 1e-6,
+                "{name} trial {trial}: branch probability {} ≠ 2^-{k}",
+                r.probability
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_instances_save_qubits_and_stay_correct() {
+    // PR 2 reported zero savings on dense MaxCut/SK; the pivot/LC pass
+    // must now show strictly positive qubit savings there while the
+    // three-way equivalence keeps holding to 1e-8.
+    let mut rng = StdRng::seed_from_u64(1123);
+    for (name, g) in [
+        ("complete4", generators::complete(4)),
+        ("complete5", generators::complete(5)),
+    ] {
+        let cost = maxcut::maxcut_zpoly(&g);
+        let p = 1;
+        let zx = ZxBackend::new(&cost, p);
+        let r = zx.report();
+        assert!(
+            r.qubit_savings() > 0,
+            "{name}: dense instance must save qubits: {r:?}"
+        );
+        assert!(r.clifford.pivots > 0, "{name}: pivots must fire");
+        let ansatz = QaoaAnsatz::standard(cost.clone(), p);
+        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let rep = verify_equivalence_three_way(
+            &cost,
+            &ansatz,
+            &CompileOptions::default(),
+            p,
+            &params,
+            3,
+            1e-8,
+        );
+        assert!(rep.equivalent, "{name}: {rep:?}");
+    }
+}
+
+#[test]
 fn zx_expectation_batch_is_bit_identical_to_pointwise() {
     let cost = maxcut::maxcut_zpoly(&generators::square());
     let exec = Executor::new(ZxBackend::new(&cost, 1));
