@@ -28,7 +28,7 @@
 use crate::cache;
 use crate::compiler::{CompileOptions, CompiledQaoa};
 pub use crate::zx_backend::ZxBackend;
-use mbqao_mbqc::simulate::{run, run_with_input, Branch};
+use mbqao_mbqc::simulate::{run_with_input, Branch, PatternRunner};
 use mbqao_problems::ZPoly;
 use mbqao_qaoa::landscape::{scan_p1_with, Landscape};
 use mbqao_qaoa::optimize::{BatchObjective, Objective, OptResult};
@@ -211,20 +211,31 @@ pub fn sample_compiled(
     shots: usize,
     seed: u64,
 ) -> Vec<u64> {
+    std::thread_local! {
+        /// Per-thread execution context: every shot re-runs the whole
+        /// measurement sequence, so the register's amplitude buffers are
+        /// the hot allocation — shared across shots, blocks and calls on
+        /// each (pool) thread.
+        static RUNNER: std::cell::RefCell<PatternRunner> =
+            std::cell::RefCell::new(PatternRunner::new());
+    }
     assert!(!compiled.readout.is_empty(), "need a sampling-form pattern");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..shots)
-        .map(|_| {
-            let r = run(&compiled.pattern, params, Branch::Random, &mut rng);
-            let mut x = 0u64;
-            for (v, m) in compiled.readout.iter().enumerate() {
-                if r.outcomes[m.0 as usize] == 1 {
-                    x |= 1 << v;
+    RUNNER.with(|runner| {
+        let mut runner = runner.borrow_mut();
+        (0..shots)
+            .map(|_| {
+                runner.run(&compiled.pattern, params, Branch::Random, &mut rng);
+                let mut x = 0u64;
+                for (v, m) in compiled.readout.iter().enumerate() {
+                    if runner.outcomes()[m.0 as usize] == 1 {
+                        x |= 1 << v;
+                    }
                 }
-            }
-            x
-        })
-        .collect()
+                x
+            })
+            .collect()
+    })
 }
 
 /// The measurement-pattern backend: executes compiled QAOA patterns on

@@ -55,7 +55,7 @@ pub use engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
 pub use gadgets::PatternBuilder;
 pub use resources::{gate_model_resources, paper_bounds, PaperBounds};
 pub use verify::{
-    equivalence_report, verify_equivalence, verify_equivalence_three_way, EquivalenceReport,
-    ThreeWayReport,
+    equivalence_report, equivalence_report_borrowed, verify_equivalence,
+    verify_equivalence_three_way, EquivalenceReport, ThreeWayReport,
 };
 pub use zx_backend::SimplifyReport;

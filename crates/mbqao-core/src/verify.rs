@@ -35,16 +35,61 @@ pub fn equivalence_report(
 ) -> EquivalenceReport {
     assert_eq!(gate.n(), pattern.n(), "backends disagree on n");
     let ref_dense = gate.prepare(params).aligned(&gate.variable_wires());
-    let wires = pattern.variable_wires();
+    report_against_reference(&ref_dense, pattern.compiled(), params, trials, tol)
+}
 
+/// The zero-copy equivalence entry point: compares the compiled pattern
+/// (borrowed) against the gate-model ansatz (borrowed) on `trials`
+/// random outcome branches, without cloning either into an owning
+/// backend. Seeds, branch draws and fidelity arithmetic are identical to
+/// [`equivalence_report`].
+///
+/// # Panics
+/// Panics when `compiled` is in sampling form (no output wires) or the
+/// interfaces disagree on the number of variables.
+pub fn equivalence_report_borrowed(
+    compiled: &CompiledQaoa,
+    ansatz: &QaoaAnsatz,
+    params: &[f64],
+    trials: usize,
+    tol: f64,
+) -> EquivalenceReport {
+    assert!(
+        !compiled.output_wires.is_empty(),
+        "equivalence verification needs the state-form pattern"
+    );
+    assert_eq!(
+        ansatz.n(),
+        compiled.output_wires.len(),
+        "backends disagree on n"
+    );
+    let ref_dense = ansatz.prepare(params).aligned(&ansatz.qubit_order());
+    report_against_reference(&ref_dense, compiled, params, trials, tol)
+}
+
+/// Shared trial loop: runs the compiled pattern on `trials` seeded
+/// random branches and scores `|⟨ψ_branch|ψ_ref⟩|` against the dense
+/// reference (given in variable order).
+fn report_against_reference(
+    ref_dense: &[mbqao_math::C64],
+    compiled: &CompiledQaoa,
+    params: &[f64],
+    trials: usize,
+    tol: f64,
+) -> EquivalenceReport {
+    use mbqao_mbqc::simulate::{Branch, PatternRunner};
+    use rand::SeedableRng;
+
+    let mut runner = PatternRunner::new();
     let mut fidelities = Vec::with_capacity(trials);
     for trial in 0..trials {
-        let (state, _) = pattern.prepare_seeded(params, 0xC0FFEE ^ trial as u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE ^ trial as u64);
+        runner.run(&compiled.pattern, params, Branch::Random, &mut rng);
         // Align the pattern's output wires to the variable order.
-        let got = state.aligned(&wires);
+        let got = runner.state().aligned(&compiled.output_wires);
         let ip: mbqao_math::C64 = got
             .iter()
-            .zip(&ref_dense)
+            .zip(ref_dense)
             .map(|(&a, &b)| a.conj() * b)
             .fold(mbqao_math::C64::ZERO, |acc, z| acc + z);
         fidelities.push(ip.abs());
@@ -57,10 +102,12 @@ pub fn equivalence_report(
     }
 }
 
-/// Verifies a compiled pattern against the gate-model ansatz by wrapping
-/// both in their engine backends and comparing prepared states branch by
-/// branch. The compiled pattern is executed with its *own* command order
-/// (no rescheduling), so this checks exactly the compiler's artifact.
+/// Verifies a compiled pattern against the gate-model ansatz by
+/// comparing prepared states branch by branch — now a thin wrapper over
+/// the zero-copy [`equivalence_report_borrowed`] (neither artifact is
+/// cloned). The compiled pattern is executed with its *own* command
+/// order (no rescheduling), so this checks exactly the compiler's
+/// artifact.
 ///
 /// # Panics
 /// Panics when the compiled pattern is in sampling form (no output
@@ -72,13 +119,7 @@ pub fn verify_equivalence(
     trials: usize,
     tol: f64,
 ) -> EquivalenceReport {
-    assert!(
-        !compiled.output_wires.is_empty(),
-        "verify_equivalence needs the state-form pattern"
-    );
-    let gate = GateBackend::new(ansatz.clone());
-    let pattern = PatternBackend::from_compiled(compiled.clone(), ansatz.cost.clone());
-    equivalence_report(&gate, &pattern, params, trials, tol)
+    equivalence_report_borrowed(compiled, ansatz, params, trials, tol)
 }
 
 /// `|⟨a|b⟩|` of two backends' prepared states at the same parameters,
@@ -90,8 +131,13 @@ pub fn backend_fidelity(a: &dyn Backend, b: &dyn Backend, params: &[f64]) -> f64
     assert_eq!(a.n(), b.n(), "backends disagree on n");
     let va = a.prepare(params).aligned(&a.variable_wires());
     let vb = b.prepare(params).aligned(&b.variable_wires());
-    va.iter()
-        .zip(&vb)
+    dot_abs(&va, &vb)
+}
+
+/// `|⟨a|b⟩|` of two dense vectors in the same basis order.
+fn dot_abs(a: &[mbqao_math::C64], b: &[mbqao_math::C64]) -> f64 {
+    a.iter()
+        .zip(b)
         .map(|(&x, &y)| x.conj() * y)
         .fold(mbqao_math::C64::ZERO, |acc, z| acc + z)
         .abs()
@@ -136,13 +182,23 @@ pub fn verify_equivalence_three_way(
         ..options.clone()
     };
     let compiled = cache::compile_qaoa_cached(cost, p, &state_opts);
-    let gate = GateBackend::new(ansatz.clone());
-    let pattern = PatternBackend::from_compiled((*compiled).clone(), ansatz.cost.clone());
     let zx = ZxBackend::with_options(cost, p, &state_opts);
 
-    let gate_vs_pattern = equivalence_report(&gate, &pattern, params, trials, tol);
-    let gate_vs_zx = backend_fidelity(&gate, &zx, params);
-    let pattern_vs_zx = backend_fidelity(&pattern, &zx, params);
+    // All three states are prepared without cloning the compiled
+    // pattern or the ansatz into owning backends.
+    let gate_vs_pattern = equivalence_report_borrowed(&compiled, ansatz, params, trials, tol);
+    let gate_dense = ansatz.prepare(params).aligned(&ansatz.qubit_order());
+    let zx_dense = zx.prepare(params).aligned(&zx.variable_wires());
+    let pattern_dense = {
+        use mbqao_mbqc::simulate::{Branch, PatternRunner};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut runner = PatternRunner::new();
+        runner.run(&compiled.pattern, params, Branch::Random, &mut rng);
+        runner.state().aligned(&compiled.output_wires)
+    };
+    let gate_vs_zx = dot_abs(&gate_dense, &zx_dense);
+    let pattern_vs_zx = dot_abs(&pattern_dense, &zx_dense);
     let equivalent =
         gate_vs_pattern.equivalent && gate_vs_zx > 1.0 - tol && pattern_vs_zx > 1.0 - tol;
     ThreeWayReport {

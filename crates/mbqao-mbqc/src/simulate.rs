@@ -2,6 +2,7 @@
 
 use crate::command::{Command, Pauli, PrepState};
 use crate::pattern::Pattern;
+use crate::plane::Plane;
 use crate::signal::{OutcomeId, Signal};
 use mbqao_sim::State;
 use rand::Rng;
@@ -27,11 +28,247 @@ pub struct RunResult {
     pub probability: f64,
 }
 
+/// Reusable pattern-execution context.
+///
+/// Holds the register (whose ping-pong amplitude buffers are the
+/// expensive part) and the outcome bookkeeping, so shot loops that
+/// execute the same pattern thousands of times amortize every
+/// allocation: after the first run, re-running a pattern of the same
+/// shape allocates nothing.
+#[derive(Debug, Default)]
+pub struct PatternRunner {
+    state: State,
+    outcomes: Vec<u8>,
+    measured: Vec<bool>,
+}
+
+impl PatternRunner {
+    /// An empty context (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes a self-contained pattern (no inputs) in place, reusing
+    /// this runner's buffers. Returns the branch's joint probability;
+    /// [`PatternRunner::outcomes`] and [`PatternRunner::state`] hold the
+    /// rest of the result until the next run.
+    ///
+    /// # Panics
+    /// As [`run_with_input`].
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        pattern: &Pattern,
+        params: &[f64],
+        branch: Branch<'_>,
+        rng: &mut R,
+    ) -> f64 {
+        self.state.reset();
+        self.execute(pattern, params, branch, rng)
+    }
+
+    /// As [`PatternRunner::run`], seeding the register from `input`
+    /// (copied into the reusable buffers).
+    ///
+    /// # Panics
+    /// As [`run_with_input`].
+    pub fn run_with_input<R: Rng + ?Sized>(
+        &mut self,
+        pattern: &Pattern,
+        input: &State,
+        params: &[f64],
+        branch: Branch<'_>,
+        rng: &mut R,
+    ) -> f64 {
+        self.state.clone_from(input);
+        self.execute(pattern, params, branch, rng)
+    }
+
+    /// Measurement outcomes of the last run, indexed by [`OutcomeId`].
+    pub fn outcomes(&self) -> &[u8] {
+        &self.outcomes
+    }
+
+    /// Final state of the last run (over the pattern's output qubits).
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    fn execute<R: Rng + ?Sized>(
+        &mut self,
+        pattern: &Pattern,
+        params: &[f64],
+        branch: Branch<'_>,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(
+            params.len() >= pattern.n_params(),
+            "pattern needs {} params, got {}",
+            pattern.n_params(),
+            params.len()
+        );
+        {
+            let mut have: Vec<_> = self.state.qubit_ids().to_vec();
+            let mut want: Vec<_> = pattern.inputs().to_vec();
+            have.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(
+                have, want,
+                "input state must cover exactly the pattern inputs"
+            );
+        }
+
+        let state = &mut self.state;
+        let n_out = pattern.n_outcomes() as usize;
+        self.outcomes.clear();
+        self.outcomes.resize(n_out, 0);
+        self.measured.clear();
+        self.measured.resize(n_out, false);
+        let outcomes = &mut self.outcomes;
+        let measured = &mut self.measured;
+        let mut probability = 1.0f64;
+        let mut meas_counter = 0usize;
+
+        let lookup = |outcomes: &[u8], measured: &[bool], sig: &Signal| -> bool {
+            sig.eval(&|OutcomeId(i)| {
+                assert!(measured[i as usize], "signal reads unmeasured outcome m{i}");
+                outcomes[i as usize] == 1
+            })
+        };
+
+        let commands = pattern.commands();
+        let mut ci = 0usize;
+        let mut partners: Vec<mbqao_sim::QubitId> = Vec::new();
+        while ci < commands.len() {
+            let c = &commands[ci];
+            ci += 1;
+            match c {
+                Command::Prep { q, state: ps } => match ps {
+                    PrepState::Plus => {
+                        // Fusion peepholes over the canonical MBQC node
+                        // shapes (all mathematically exact — see the
+                        // `State` docs of the fused kernels):
+                        //
+                        // * `prep a · E(a,p)… · M_YZ(a)` — the phase
+                        //   gadget: one diagonal in-place pass, the
+                        //   ancilla never enters the register.
+                        // * `prep a · E(a,w) · M_XY(w)` — the J-step
+                        //   teleport: one butterfly pass at constant
+                        //   dimension.
+                        // * `prep a · E(a,p)` — fused grow+CZ pass.
+                        let mut j = ci;
+                        partners.clear();
+                        while let Some(Command::Entangle { a, b }) = commands.get(j) {
+                            let p = if a == q {
+                                b
+                            } else if b == q {
+                                a
+                            } else {
+                                break;
+                            };
+                            if !state.contains(*p) {
+                                break;
+                            }
+                            partners.push(*p);
+                            j += 1;
+                        }
+                        if let Some(Command::Measure {
+                            q: mq,
+                            plane,
+                            angle,
+                            s,
+                            t,
+                            out,
+                        }) = commands.get(j)
+                        {
+                            let gadget = *plane == Plane::YZ && mq == q;
+                            let teleport =
+                                *plane == Plane::XY && partners.len() == 1 && *mq == partners[0];
+                            if gadget || teleport {
+                                let mut theta = angle.eval(params);
+                                if lookup(outcomes, measured, s) {
+                                    theta = -theta;
+                                }
+                                if lookup(outcomes, measured, t) {
+                                    theta += std::f64::consts::PI;
+                                }
+                                let basis = plane.basis(theta);
+                                let forced = match branch {
+                                    Branch::Random => None,
+                                    Branch::Forced(bits) => Some(bits[meas_counter]),
+                                };
+                                let (m, pr) = if gadget {
+                                    state.gadget_measure(&partners, &basis, forced, rng)
+                                } else {
+                                    state.teleport_measure(partners[0], *q, &basis, forced, rng)
+                                };
+                                outcomes[out.0 as usize] = m;
+                                measured[out.0 as usize] = true;
+                                probability *= pr;
+                                meas_counter += 1;
+                                ci = j + 1;
+                                continue;
+                            }
+                        }
+                        if let Some(&p) = partners.first() {
+                            state.add_plus_cz(*q, p);
+                            ci += 1;
+                            continue;
+                        }
+                        state.add_plus(*q);
+                    }
+                    PrepState::Zero => {
+                        state.add_qubit(*q, [mbqao_math::C64::ONE, mbqao_math::C64::ZERO])
+                    }
+                },
+                Command::Entangle { a, b } => state.apply_cz(*a, *b),
+                Command::Measure {
+                    q,
+                    plane,
+                    angle,
+                    s,
+                    t,
+                    out,
+                } => {
+                    let mut theta = angle.eval(params);
+                    if lookup(outcomes, measured, s) {
+                        theta = -theta;
+                    }
+                    if lookup(outcomes, measured, t) {
+                        theta += std::f64::consts::PI;
+                    }
+                    let basis = plane.basis(theta);
+                    let forced = match branch {
+                        Branch::Random => None,
+                        Branch::Forced(bits) => Some(bits[meas_counter]),
+                    };
+                    let (m, pr) = state.measure_remove(*q, &basis, forced, rng);
+                    outcomes[out.0 as usize] = m;
+                    measured[out.0 as usize] = true;
+                    probability *= pr;
+                    meas_counter += 1;
+                }
+                Command::Correct { q, pauli, cond } => {
+                    if lookup(outcomes, measured, cond) {
+                        match pauli {
+                            Pauli::X => state.apply_x(*q),
+                            Pauli::Z => state.apply_z(*q),
+                        }
+                    }
+                }
+            }
+        }
+        probability
+    }
+}
+
 /// Executes `pattern` starting from `input` (a state over exactly the
 /// pattern's input qubits; use [`State::new`] when the pattern has none).
 ///
 /// `params` binds the pattern's free angle parameters (`γ`s and `β`s for
 /// QAOA patterns).
+///
+/// One-shot convenience over [`PatternRunner`] — shot loops should hold
+/// a runner instead to amortize the buffer allocations.
 ///
 /// # Panics
 /// Panics when the input state doesn't match the pattern's inputs, when
@@ -44,85 +281,14 @@ pub fn run_with_input<R: Rng + ?Sized>(
     branch: Branch<'_>,
     rng: &mut R,
 ) -> RunResult {
-    assert!(
-        params.len() >= pattern.n_params(),
-        "pattern needs {} params, got {}",
-        pattern.n_params(),
-        params.len()
-    );
-    {
-        let mut have: Vec<_> = input.qubit_ids().to_vec();
-        let mut want: Vec<_> = pattern.inputs().to_vec();
-        have.sort_unstable();
-        want.sort_unstable();
-        assert_eq!(
-            have, want,
-            "input state must cover exactly the pattern inputs"
-        );
-    }
-
-    let mut state = input;
-    let mut outcomes: Vec<u8> = vec![0; pattern.n_outcomes() as usize];
-    let mut measured = vec![false; pattern.n_outcomes() as usize];
-    let mut probability = 1.0f64;
-    let mut meas_counter = 0usize;
-
-    let lookup = |outcomes: &Vec<u8>, measured: &Vec<bool>, sig: &Signal| -> bool {
-        sig.eval(&|OutcomeId(i)| {
-            assert!(measured[i as usize], "signal reads unmeasured outcome m{i}");
-            outcomes[i as usize] == 1
-        })
+    let mut runner = PatternRunner {
+        state: input,
+        ..PatternRunner::default()
     };
-
-    for c in pattern.commands() {
-        match c {
-            Command::Prep { q, state: ps } => match ps {
-                PrepState::Plus => state.add_plus(*q),
-                PrepState::Zero => {
-                    state.add_qubit(*q, [mbqao_math::C64::ONE, mbqao_math::C64::ZERO])
-                }
-            },
-            Command::Entangle { a, b } => state.apply_cz(*a, *b),
-            Command::Measure {
-                q,
-                plane,
-                angle,
-                s,
-                t,
-                out,
-            } => {
-                let mut theta = angle.eval(params);
-                if lookup(&outcomes, &measured, s) {
-                    theta = -theta;
-                }
-                if lookup(&outcomes, &measured, t) {
-                    theta += std::f64::consts::PI;
-                }
-                let basis = plane.basis(theta);
-                let forced = match branch {
-                    Branch::Random => None,
-                    Branch::Forced(bits) => Some(bits[meas_counter]),
-                };
-                let (m, pr) = state.measure_remove(*q, &basis, forced, rng);
-                outcomes[out.0 as usize] = m;
-                measured[out.0 as usize] = true;
-                probability *= pr;
-                meas_counter += 1;
-            }
-            Command::Correct { q, pauli, cond } => {
-                if lookup(&outcomes, &measured, cond) {
-                    match pauli {
-                        Pauli::X => state.apply_x(*q),
-                        Pauli::Z => state.apply_z(*q),
-                    }
-                }
-            }
-        }
-    }
-
+    let probability = runner.execute(pattern, params, branch, rng);
     RunResult {
-        state,
-        outcomes,
+        state: runner.state,
+        outcomes: runner.outcomes,
         probability,
     }
 }

@@ -9,7 +9,14 @@ use crate::register::QubitId;
 /// Statevector dimension at which kernels switch to rayon. Below this the
 /// parallel dispatch overhead dominates; above it the kernels are
 /// embarrassingly parallel over amplitude blocks.
-pub const PAR_THRESHOLD: usize = 1 << 14;
+///
+/// Tuned against the shim's persistent worker pool (PR 4): the pool's
+/// round-trip dispatch latency measured ≈ 8 µs (`pool_stress.rs`'s
+/// `dispatch_latency` probe) and the amplitude kernels run at ≈ 1.5–3
+/// ns/amp sequentially, putting break-even near 4–5 k amplitudes; the
+/// old scoped-spawn shim cost 20–40 µs per terminal call, which is why
+/// this used to sit at `1 << 14`.
+pub const PAR_THRESHOLD: usize = 1 << 13;
 
 /// An orthonormal single-qubit measurement basis `{|v₀⟩, |v₁⟩}`.
 ///
@@ -71,19 +78,125 @@ impl MeasBasis {
     }
 }
 
+/// The measurement gather: projects every (`a0`, `a1`) amplitude pair of
+/// the measured qubit through `comb` into both branch buffers in a
+/// single pass, returning the accumulated squared norm of branch 0 (the
+/// Born probability of outcome 0 for a normalized state).
+///
+/// `b` is the bit offset of the measured qubit; index `i` of the halved
+/// space expands to the pair (`i0`, `i0 | 1<<b`) by inserting a zero bit
+/// at `b`.
+fn dual_pass<F>(
+    amps: &[C64],
+    out0: &mut [C64],
+    out1: &mut [C64],
+    b: usize,
+    par: bool,
+    comb: F,
+) -> f64
+where
+    F: Fn(C64, C64) -> (C64, C64) + Sync + Send + Copy,
+{
+    let gather = move |(i, (g0, g1)): (usize, (&mut C64, &mut C64))| -> f64 {
+        let low = i & ((1 << b) - 1);
+        let i0 = (i >> b) << (b + 1) | low;
+        let (r0, r1) = comb(amps[i0], amps[i0 | (1 << b)]);
+        *g0 = r0;
+        *g1 = r1;
+        r0.norm_sqr()
+    };
+    if par {
+        out0.par_iter_mut()
+            .zip(out1.par_iter_mut())
+            .enumerate()
+            .map(gather)
+            .sum()
+    } else {
+        out0.iter_mut()
+            .zip(out1.iter_mut())
+            .enumerate()
+            .map(gather)
+            .sum()
+    }
+}
+
+/// A fast, allocation-free hasher for [`QubitId`] keys: one odd-constant
+/// multiply (Fibonacci hashing) of the raw id. Qubit ids are small and
+/// essentially sequential, so this mixes more than enough while costing
+/// a few cycles per lookup — the id→position index sits on the
+/// per-command MBQC hot path.
+#[derive(Debug, Default, Clone, Copy)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdIndex = std::collections::HashMap<QubitId, usize, std::hash::BuildHasherDefault<IdHasher>>;
+
 /// An n-qubit pure state over a dynamic register.
 ///
 /// Position 0 in the register is the most significant bit of the amplitude
 /// index, matching the `mbqao-math` matrix/embedding conventions.
-#[derive(Debug, Clone)]
+///
+/// The MBQC hot loop (`add_qubit` / `apply_cz` / `measure_remove` per
+/// pattern node) is allocation-free in steady state: grow/project
+/// kernels write into a reusable ping-pong `scratch` buffer that swaps
+/// with `amps`, and qubit lookup goes through a maintained id→position
+/// index instead of scanning the register.
+#[derive(Debug)]
 pub struct State {
     qubits: Vec<QubitId>,
     amps: Vec<C64>,
+    /// Maintained id → register-position index (kept in sync by
+    /// `add_qubit` / `measure_remove`).
+    index: IdIndex,
+    /// Ping-pong partner of `amps`: `add_qubit` and `measure_remove`
+    /// write their output here, then swap. Its contents are garbage
+    /// between calls; only the capacity is meaningful.
+    scratch: Vec<C64>,
+    /// Second projection target of `measure_remove`'s dual-branch pass
+    /// (outcome-1 amplitudes land here while outcome 0 lands in
+    /// `scratch`; the chosen one swaps with `amps`).
+    scratch2: Vec<C64>,
 }
 
 impl Default for State {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for State {
+    fn clone(&self) -> Self {
+        State {
+            qubits: self.qubits.clone(),
+            amps: self.amps.clone(),
+            index: self.index.clone(),
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
+        }
+    }
+
+    /// Clones without discarding `self`'s buffers (shot loops
+    /// re-seeding a register from a template state reuse capacity).
+    fn clone_from(&mut self, source: &Self) {
+        self.qubits.clone_from(&source.qubits);
+        self.amps.clone_from(&source.amps);
+        self.index.clone_from(&source.index);
+        // `scratch` is scratch — keep ours.
     }
 }
 
@@ -93,7 +206,20 @@ impl State {
         State {
             qubits: Vec::new(),
             amps: vec![C64::ONE],
+            index: IdIndex::default(),
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
         }
+    }
+
+    /// Resets to the empty register (a scalar amplitude of 1) while
+    /// keeping every allocation — the shot-loop alternative to
+    /// [`State::new`].
+    pub fn reset(&mut self) {
+        self.qubits.clear();
+        self.index.clear();
+        self.amps.clear();
+        self.amps.push(C64::ONE);
     }
 
     /// A register of `ids` all initialized to `|0⟩`.
@@ -136,31 +262,34 @@ impl State {
         &self.amps
     }
 
-    /// Position of a live qubit.
+    /// Position of a live qubit (via the maintained index).
     ///
     /// # Panics
     /// Panics when `id` is not in the register.
     fn pos(&self, id: QubitId) -> usize {
-        self.qubits
-            .iter()
-            .position(|&q| q == id)
+        *self
+            .index
+            .get(&id)
             .unwrap_or_else(|| panic!("qubit {id} not in register"))
     }
 
     /// `true` when `id` is currently allocated.
     pub fn contains(&self, id: QubitId) -> bool {
-        self.qubits.contains(&id)
+        self.index.contains_key(&id)
     }
 
     /// Appends a fresh qubit in state `amp0|0⟩ + amp1|1⟩` as the least
-    /// significant position.
+    /// significant position. Grows into the reusable scratch buffer —
+    /// no allocation once the buffers have reached the register's peak
+    /// size.
     ///
     /// # Panics
     /// Panics when `id` is already allocated.
     pub fn add_qubit(&mut self, id: QubitId, init: [C64; 2]) {
         assert!(!self.contains(id), "qubit {id} already allocated");
-        let old = std::mem::take(&mut self.amps);
-        let mut new = vec![C64::ZERO; old.len() * 2];
+        self.scratch.clear();
+        self.scratch.resize(self.amps.len() * 2, C64::ZERO);
+        let (old, new) = (&self.amps, &mut self.scratch);
         if new.len() >= PAR_THRESHOLD {
             new.par_chunks_mut(2)
                 .zip(old.par_iter())
@@ -174,7 +303,8 @@ impl State {
                 new[2 * i + 1] = a * init[1];
             }
         }
-        self.amps = new;
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+        self.index.insert(id, self.qubits.len());
         self.qubits.push(id);
     }
 
@@ -221,14 +351,36 @@ impl State {
         self.apply_u2(id, [d[0], d[1], d[2], d[3]]);
     }
 
-    /// Pauli X.
+    /// Pauli X (specialized swap kernel — no complex multiplies).
     pub fn apply_x(&mut self, id: QubitId) {
-        self.apply_u2(id, [C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]);
+        let b = self.bit_of_pos(self.pos(id));
+        let stride = 1usize << b;
+        let kernel = |chunk: &mut [C64]| {
+            for i in 0..stride {
+                chunk.swap(i, i + stride);
+            }
+        };
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_chunks_mut(stride * 2).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(stride * 2).for_each(kernel);
+        }
     }
 
-    /// Pauli Z.
+    /// Pauli Z (specialized sign kernel — touches only the `|1⟩` half).
     pub fn apply_z(&mut self, id: QubitId) {
-        self.apply_u2(id, [C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE]);
+        let b = self.bit_of_pos(self.pos(id));
+        let stride = 1usize << b;
+        let kernel = |chunk: &mut [C64]| {
+            for amp in &mut chunk[stride..] {
+                *amp = -*amp;
+            }
+        };
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_chunks_mut(stride * 2).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(stride * 2).for_each(kernel);
+        }
     }
 
     /// Pauli Y.
@@ -261,22 +413,67 @@ impl State {
         self.apply_u2(id, [C64::ONE, C64::ZERO, C64::ZERO, C64::cis(theta)]);
     }
 
-    /// CZ between two qubits (symmetric).
+    /// CZ between two qubits (symmetric). The kernel walks only the
+    /// `|11⟩` quarter of the statevector in contiguous runs instead of
+    /// testing a mask on every amplitude — CZ is the entangling step of
+    /// every MBQC node, so this pass is on the per-node hot path.
     pub fn apply_cz(&mut self, a: QubitId, b: QubitId) {
         assert_ne!(a, b, "CZ needs two distinct qubits");
         let ba = self.bit_of_pos(self.pos(a));
         let bb = self.bit_of_pos(self.pos(b));
-        let mask = (1usize << ba) | (1usize << bb);
-        let flip = |(i, amp): (usize, &mut C64)| {
-            if i & mask == mask {
-                *amp = -*amp;
+        let (hi, lo) = if ba > bb {
+            (1usize << ba, 1usize << bb)
+        } else {
+            (1usize << bb, 1usize << ba)
+        };
+        // Within one 2·hi block, the hi bit is set in the upper half;
+        // there the lo-bit-set indices form runs of `lo` every 2·lo.
+        let kernel = |chunk: &mut [C64]| {
+            let mut j = hi + lo;
+            while j < 2 * hi {
+                for amp in &mut chunk[j..j + lo] {
+                    *amp = -*amp;
+                }
+                j += 2 * lo;
             }
         };
         if self.amps.len() >= PAR_THRESHOLD {
-            self.amps.par_iter_mut().enumerate().for_each(flip);
+            self.amps.par_chunks_mut(hi * 2).for_each(kernel);
         } else {
-            self.amps.iter_mut().enumerate().for_each(flip);
+            self.amps.chunks_mut(hi * 2).for_each(kernel);
         }
+    }
+
+    /// Appends a fresh qubit in `|+⟩` already CZ-entangled with the live
+    /// `partner` — the fused MBQC ancilla preparation (`prep_plus` +
+    /// `entangle` in one pass over the grown statevector). Bit-exact
+    /// with the unfused pair of calls.
+    ///
+    /// # Panics
+    /// Panics when `id` is live or `partner` is not.
+    pub fn add_plus_cz(&mut self, id: QubitId, partner: QubitId) {
+        assert!(!self.contains(id), "qubit {id} already allocated");
+        let pb = self.bit_of_pos(self.pos(partner));
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        self.scratch.clear();
+        self.scratch.resize(self.amps.len() * 2, C64::ZERO);
+        let (old, new) = (&self.amps, &mut self.scratch);
+        let fill = |(i, (pair, &a)): (usize, (&mut [C64], &C64))| {
+            let v = a * s;
+            pair[0] = v;
+            pair[1] = if (i >> pb) & 1 == 1 { -v } else { v };
+        };
+        if new.len() >= PAR_THRESHOLD {
+            new.par_chunks_mut(2)
+                .zip(old.par_iter())
+                .enumerate()
+                .for_each(fill);
+        } else {
+            new.chunks_mut(2).zip(old.iter()).enumerate().for_each(fill);
+        }
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+        self.index.insert(id, self.qubits.len());
+        self.qubits.push(id);
     }
 
     /// CNOT with `control` and `target`.
@@ -415,6 +612,128 @@ impl State {
         }
     }
 
+    /// Fused MBQC J-step: `add_plus(anc)` + `apply_cz(wire, anc)` +
+    /// `measure_remove(wire, basis, …)` in **one pass at constant
+    /// dimension** — the grown `2^{n+1}` intermediate is never
+    /// materialized. Requires a *balanced* basis (`|v₀| = |v₁|`
+    /// componentwise up to phase, as every `XY(θ)` basis is), for which
+    /// both outcomes have Born probability exactly ½ on a normalized
+    /// state:
+    ///
+    /// `out(r, anc) = c₀·ψ(r, w=0) + (−1)^anc · c₁·ψ(r, w=1)`,
+    /// `c_α = conj(v_o[α])`, already normalized.
+    ///
+    /// Returns `(outcome, ½)`.
+    ///
+    /// # Panics
+    /// Panics when `wire` is not live or `anc` is.
+    pub fn teleport_measure<R: Rng + ?Sized>(
+        &mut self,
+        wire: QubitId,
+        anc: QubitId,
+        basis: &MeasBasis,
+        forced: Option<u8>,
+        rng: &mut R,
+    ) -> (u8, f64) {
+        debug_assert!(
+            (basis.v0[0].norm_sqr() - basis.v0[1].norm_sqr()).abs() < 1e-12
+                && (basis.v1[0].norm_sqr() - basis.v1[1].norm_sqr()).abs() < 1e-12,
+            "teleport_measure needs a balanced (XY-plane) basis"
+        );
+        assert!(!self.contains(anc), "qubit {anc} already allocated");
+        let kw = self.pos(wire);
+        let bw = self.bit_of_pos(kw);
+        let outcome = match forced {
+            Some(m) => m,
+            None => u8::from(rng.gen::<f64>() >= 0.5),
+        };
+        let v = if outcome == 0 { &basis.v0 } else { &basis.v1 };
+        let c0 = v[0].conj();
+        let c1 = v[1].conj();
+        let dim = self.amps.len();
+        self.scratch.clear();
+        self.scratch.resize(dim, C64::ZERO);
+        {
+            let amps = &self.amps;
+            let fill = move |(r, pair): (usize, &mut [C64])| {
+                let low = r & ((1 << bw) - 1);
+                let i0 = (r >> bw) << (bw + 1) | low;
+                let x = c0 * amps[i0];
+                let y = c1 * amps[i0 | (1 << bw)];
+                pair[0] = x + y;
+                pair[1] = x - y;
+            };
+            if dim >= PAR_THRESHOLD {
+                self.scratch.par_chunks_mut(2).enumerate().for_each(fill);
+            } else {
+                self.scratch.chunks_mut(2).enumerate().for_each(fill);
+            }
+        }
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+        // Register: `wire` out (positions above shift down), `anc` in as lsb.
+        self.qubits.remove(kw);
+        self.index.remove(&wire);
+        for q in &self.qubits[kw..] {
+            *self.index.get_mut(q).expect("indexed qubit") -= 1;
+        }
+        self.index.insert(anc, self.qubits.len());
+        self.qubits.push(anc);
+        (outcome, 0.5)
+    }
+
+    /// Fused MBQC phase gadget: `add_plus(anc)` + `apply_cz(anc, p)` for
+    /// every partner `p` + `measure_remove(anc, basis, …)`, collapsed
+    /// into a **diagonal in-place pass** — the ancilla never enters the
+    /// register. Requires a basis whose branch multipliers
+    /// `c_o0 ± c_o1` both have unit modulus (as every `YZ(θ)` basis
+    /// does), for which both outcomes have Born probability exactly ½ on
+    /// a normalized state:
+    ///
+    /// `out(i) = ψ(i) · (c_o0 + (−1)^{parity(i & partners)} c_o1)`.
+    ///
+    /// Returns `(outcome, ½)`.
+    ///
+    /// # Panics
+    /// Panics when a partner is not live.
+    pub fn gadget_measure<R: Rng + ?Sized>(
+        &mut self,
+        partners: &[QubitId],
+        basis: &MeasBasis,
+        forced: Option<u8>,
+        rng: &mut R,
+    ) -> (u8, f64) {
+        let outcome = match forced {
+            Some(m) => m,
+            None => u8::from(rng.gen::<f64>() >= 0.5),
+        };
+        let v = if outcome == 0 { &basis.v0 } else { &basis.v1 };
+        let c0 = v[0].conj();
+        let c1 = v[1].conj();
+        let (even, odd) = (c0 + c1, c0 - c1);
+        debug_assert!(
+            (even.norm_sqr() - 1.0).abs() < 1e-9 && (odd.norm_sqr() - 1.0).abs() < 1e-9,
+            "gadget_measure needs unit branch multipliers (YZ-plane basis)"
+        );
+        let mut mask = 0usize;
+        for &p in partners {
+            // XOR, not OR: a repeated partner means two CZs, which cancel.
+            mask ^= 1usize << self.bit_of_pos(self.pos(p));
+        }
+        let phase = move |(i, amp): (usize, &mut C64)| {
+            *amp *= if (i & mask).count_ones() & 1 == 0 {
+                even
+            } else {
+                odd
+            };
+        };
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_iter_mut().enumerate().for_each(phase);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(phase);
+        }
+        (outcome, 0.5)
+    }
+
     /// Measures qubit `id` in `basis` and removes it from the register.
     ///
     /// * `forced = Some(m)` projects deterministically onto outcome `m`
@@ -436,30 +755,57 @@ impl State {
     ) -> (u8, f64) {
         let k = self.pos(id);
         let b = self.bit_of_pos(k);
-        let project = |v: &[C64; 2], amps: &[C64]| -> Vec<C64> {
-            let half = amps.len() / 2;
-            let c0 = v[0].conj();
-            let c1 = v[1].conj();
-            let gather = |i: usize| -> C64 {
-                // Expand i by inserting a 0 bit at offset b.
-                let low = i & ((1 << b) - 1);
-                let high = (i >> b) << (b + 1);
-                let i0 = high | low;
-                let i1 = i0 | (1 << b);
-                c0 * amps[i0] + c1 * amps[i1]
-            };
-            if amps.len() >= PAR_THRESHOLD {
-                (0..half).into_par_iter().map(gather).collect()
-            } else {
-                (0..half).map(gather).collect()
-            }
-        };
+        let half = self.amps.len() / 2;
+        let par = self.amps.len() >= PAR_THRESHOLD;
 
-        let proj0 = project(&basis.v0, &self.amps);
-        let p0: f64 = if proj0.len() >= PAR_THRESHOLD {
-            proj0.par_iter().map(|z| z.norm_sqr()).sum()
+        // One dual-projection gather: both branch projections land in
+        // the scratch buffers while the Born weight of branch 0
+        // accumulates — each amplitude is read exactly once, nothing is
+        // allocated in steady state, and a forced branch never pays for
+        // the projection it discards beyond the shared gather.
+        self.scratch.clear();
+        self.scratch.resize(half, C64::ZERO);
+        self.scratch2.clear();
+        self.scratch2.resize(half, C64::ZERO);
+        let c00 = basis.v0[0].conj();
+        let c01 = basis.v0[1].conj();
+        let c10 = basis.v1[0].conj();
+        let c11 = basis.v1[1].conj();
+        let p0: f64 = if c10 == c00 && c11 == -c01 {
+            // Butterfly basis (every XY(θ) measurement): one multiply
+            // pair yields both branches.
+            dual_pass(
+                &self.amps,
+                &mut self.scratch,
+                &mut self.scratch2,
+                b,
+                par,
+                move |a0, a1| {
+                    let x = c00 * a0;
+                    let y = c01 * a1;
+                    (x + y, x - y)
+                },
+            )
+        } else if c01 == C64::ZERO && c10 == C64::ZERO {
+            // Diagonal basis (computational readout): plain strided
+            // selection.
+            dual_pass(
+                &self.amps,
+                &mut self.scratch,
+                &mut self.scratch2,
+                b,
+                par,
+                move |a0, a1| (c00 * a0, c11 * a1),
+            )
         } else {
-            proj0.iter().map(|z| z.norm_sqr()).sum()
+            dual_pass(
+                &self.amps,
+                &mut self.scratch,
+                &mut self.scratch2,
+                b,
+                par,
+                move |a0, a1| (c00 * a0 + c01 * a1, c10 * a0 + c11 * a1),
+            )
         };
 
         let outcome = match forced {
@@ -472,26 +818,38 @@ impl State {
                 }
             }
         };
-
-        let (new_amps, prob) = if outcome == 0 {
-            (proj0, p0)
+        let prob = if outcome == 0 {
+            p0
         } else {
-            let proj1 = project(&basis.v1, &self.amps);
-            (proj1, (1.0 - p0).max(0.0))
+            (1.0 - p0).max(0.0)
         };
         assert!(
             prob > 1e-12,
             "measurement branch m={outcome} on {id} has probability ~0 ({prob:.3e})"
         );
+
+        // Renormalize the chosen projection in place (a cheap
+        // real-scale pass) and ping-pong it into `amps`.
         let scale = 1.0 / prob.sqrt();
-        self.amps = new_amps;
-        let renorm = |amp: &mut C64| *amp = amp.scale(scale);
-        if self.amps.len() >= PAR_THRESHOLD {
-            self.amps.par_iter_mut().for_each(renorm);
+        let chosen = if outcome == 0 {
+            &mut self.scratch
         } else {
-            self.amps.iter_mut().for_each(renorm);
+            &mut self.scratch2
+        };
+        let renorm = |amp: &mut C64| *amp = amp.scale(scale);
+        if par {
+            chosen.par_iter_mut().for_each(renorm);
+        } else {
+            chosen.iter_mut().for_each(renorm);
         }
+        std::mem::swap(&mut self.amps, chosen);
+
+        // Register maintenance: drop `id`, shift later positions down.
         self.qubits.remove(k);
+        self.index.remove(&id);
+        for q in &self.qubits[k..] {
+            *self.index.get_mut(q).expect("indexed qubit") -= 1;
+        }
         (outcome, prob)
     }
 
@@ -513,23 +871,32 @@ impl State {
         }
     }
 
-    /// Returns the amplitudes permuted so the register order matches
-    /// `order` (msb-first). `order` must be a permutation of the live ids.
-    pub fn aligned(&self, order: &[QubitId]) -> Vec<C64> {
+    /// `perm[i]` = current register position of `order[i]`, validated to
+    /// be a permutation of the live qubits.
+    fn perm_of(&self, order: &[QubitId]) -> Vec<usize> {
         assert_eq!(
             order.len(),
             self.qubits.len(),
             "order must list every live qubit"
         );
-        let n = self.qubits.len();
-        // perm[i] = current position of order[i]
         let perm: Vec<usize> = order.iter().map(|&id| self.pos(id)).collect();
-        {
-            let mut seen = vec![false; n];
-            for &p in &perm {
-                assert!(!seen[p], "order repeats a qubit");
-                seen[p] = true;
-            }
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(!seen[p], "order repeats a qubit");
+            seen[p] = true;
+        }
+        perm
+    }
+
+    /// Returns the amplitudes permuted so the register order matches
+    /// `order` (msb-first). `order` must be a permutation of the live ids.
+    /// When `order` already matches the register order the bit-gather is
+    /// skipped entirely (one memcpy).
+    pub fn aligned(&self, order: &[QubitId]) -> Vec<C64> {
+        let n = self.qubits.len();
+        let perm = self.perm_of(order);
+        if perm.iter().enumerate().all(|(i, &p)| p == i) {
+            return self.amps.clone();
         }
         let gather = |new_idx: usize| -> C64 {
             let mut old_idx = 0usize;
@@ -561,25 +928,52 @@ impl State {
 
     /// Expectation of a diagonal observable: `cost[bits]` where `bits` is
     /// the basis index read off the qubits in `order` (msb-first).
+    ///
+    /// Never materializes the aligned amplitude vector: the cost lookup
+    /// is folded through the index permutation directly, and an
+    /// identity-order register short-circuits to a plain zip.
     pub fn expectation_diag(&self, order: &[QubitId], cost: &[f64]) -> f64 {
         assert_eq!(
             cost.len(),
             self.amps.len(),
             "cost vector must have dimension 2^n"
         );
-        let aligned = self.aligned(order);
-        if aligned.len() >= PAR_THRESHOLD {
-            aligned
-                .par_iter()
-                .zip(cost.par_iter())
-                .map(|(z, &c)| z.norm_sqr() * c)
-                .sum()
+        let perm = self.perm_of(order);
+        let par = self.amps.len() >= PAR_THRESHOLD;
+        if perm.iter().enumerate().all(|(i, &p)| p == i) {
+            return if par {
+                self.amps
+                    .par_iter()
+                    .zip(cost.par_iter())
+                    .map(|(z, &c)| z.norm_sqr() * c)
+                    .sum()
+            } else {
+                self.amps
+                    .iter()
+                    .zip(cost)
+                    .map(|(z, &c)| z.norm_sqr() * c)
+                    .sum()
+            };
+        }
+        // (source shift, destination shift) per aligned bit: aligned
+        // index bit (n−1−i) is register index bit (n−1−perm[i]).
+        let n = self.qubits.len();
+        let shifts: Vec<(u32, u32)> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ((n - 1 - p) as u32, (n - 1 - i) as u32))
+            .collect();
+        let term = |(old_idx, z): (usize, &C64)| -> f64 {
+            let mut new_idx = 0usize;
+            for &(src, dst) in &shifts {
+                new_idx |= ((old_idx >> src) & 1) << dst;
+            }
+            z.norm_sqr() * cost[new_idx]
+        };
+        if par {
+            self.amps.par_iter().enumerate().map(term).sum()
         } else {
-            aligned
-                .iter()
-                .zip(cost)
-                .map(|(z, &c)| z.norm_sqr() * c)
-                .sum()
+            self.amps.iter().enumerate().map(term).sum()
         }
     }
 

@@ -350,6 +350,19 @@ macro_rules! prop_assert {
     };
 }
 
+/// `prop_assume!`: skips the rest of the current case when the
+/// precondition fails. (Real proptest rejects and resamples; the shim
+/// counts the case as a vacuous pass, which is equivalent for
+/// preconditions that hold on most of the sample space.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
 /// `prop_assert_eq!`.
 #[macro_export]
 macro_rules! prop_assert_eq {
@@ -379,8 +392,8 @@ macro_rules! prop_oneof {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError, TestRunner,
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRunner,
     };
 }
 

@@ -3,11 +3,16 @@
 //!
 //! The model is a simplified rayon: a [`ParallelIterator`] is a
 //! *splittable, exactly-sized* pipeline. Terminal operations split the
-//! pipeline into one part per available core and run the parts on scoped
-//! OS threads (`std::thread::scope`), merging the partial results in
-//! order. There is no work-stealing pool; callers are expected to gate
+//! pipeline into one part per available core and run the parts on a
+//! **lazily-initialized persistent worker pool** (`current_num_threads()
+//! − 1` parked OS threads plus the calling thread itself), claiming
+//! parts off a shared atomic counter and merging the partial results in
+//! order. After the pool starts, terminal calls spawn no threads — the
+//! dispatch cost is a channel send and an unpark per worker. There is no
+//! work stealing *between* jobs; callers are still expected to gate
 //! parallel dispatch on problem size (as `mbqao-sim::PAR_THRESHOLD`
-//! does), which keeps the spawn overhead off the small-problem path.
+//! does), which keeps even the cheap dispatch off the small-problem
+//! path.
 //!
 //! Supported surface: `par_iter`, `par_iter_mut`, `par_chunks_mut`,
 //! `into_par_iter` (ranges and `Vec`), adapters `map` / `zip` /
@@ -173,16 +178,169 @@ pub trait ParallelIterator: Sized + Send {
 }
 
 std::thread_local! {
-    /// `true` on threads spawned by [`drive`]. Nested parallel calls
+    /// `true` on the persistent pool workers (and on a caller thread
+    /// while it runs its own share of a job). Nested parallel calls
     /// (e.g. a statevector kernel inside an `Executor` batch worker)
-    /// run sequentially instead of multiplying spawned threads — the
-    /// outer fan-out already saturates the cores.
+    /// run sequentially instead of multiplying dispatches — the outer
+    /// fan-out already saturates the cores.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// The persistent worker pool behind every terminal operation.
+mod pool {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::sync::OnceLock;
+    use std::thread::Thread;
+
+    /// Handle to one job, shared between the caller's stack frame and
+    /// the ticket-holding workers.
+    ///
+    /// The `run` pointer targets a closure living in the caller's
+    /// `drive` frame; the lifetime erasure is sound because the caller
+    /// blocks in [`JobShared::wait`] until every ticket is retired, and
+    /// a worker never touches the job again after retiring its ticket
+    /// (the final `fetch_sub(Release)` — paired with the caller's
+    /// `Acquire` load — is its last access).
+    pub(crate) struct JobShared {
+        /// Type-erased claim-and-run loop (catches panics internally).
+        run: *const (dyn Fn() + Sync),
+        /// Worker tickets not yet retired.
+        pending: AtomicUsize,
+    }
+
+    impl JobShared {
+        /// # Safety
+        /// The caller must keep `run`'s referent alive and must not
+        /// return before [`JobShared::wait`] has returned.
+        pub(crate) unsafe fn new(run: &(dyn Fn() + Sync), tickets: usize) -> Self {
+            JobShared {
+                run: unsafe {
+                    std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync)>(run)
+                },
+                pending: AtomicUsize::new(tickets),
+            }
+        }
+
+        /// Blocks until every ticket holder has retired its ticket.
+        pub(crate) fn wait(&self) {
+            while self.pending.load(Ordering::Acquire) > 0 {
+                std::thread::park();
+            }
+        }
+    }
+
+    /// One unit of "come help with this job", sent to a worker.
+    pub(crate) struct Ticket {
+        job: *const JobShared,
+        /// The caller to unpark once the last ticket retires. Each
+        /// worker receives its own clone, so the unpark never reads the
+        /// (possibly already freed) job.
+        waiter: Thread,
+    }
+
+    // SAFETY: the raw job pointer stays valid until `JobShared::wait`
+    // returns (see `JobShared::new`), and `Thread` is `Send`.
+    unsafe impl Send for Ticket {}
+
+    /// Lazily-started set of persistent workers, one channel each.
+    pub(crate) struct Pool {
+        workers: Vec<Sender<Ticket>>,
+        /// Round-robin cursor so concurrent jobs spread their tickets.
+        cursor: AtomicUsize,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+    /// Total pool threads ever spawned by this process — constant after
+    /// initialization (asserted by the shim's stress tests).
+    pub(crate) fn spawn_count() -> usize {
+        SPAWNED.load(Ordering::Relaxed)
+    }
+
+    impl Pool {
+        /// The process-wide pool (`current_num_threads() − 1` workers;
+        /// the calling thread is the remaining executor). Started on
+        /// first use.
+        pub(crate) fn global() -> &'static Pool {
+            POOL.get_or_init(|| {
+                let n = super::current_num_threads().saturating_sub(1);
+                let workers = (0..n)
+                    .map(|i| {
+                        let (tx, rx) = channel::<Ticket>();
+                        std::thread::Builder::new()
+                            .name(format!("rayon-shim-{i}"))
+                            .spawn(move || worker_main(rx))
+                            .expect("spawning pool worker");
+                        SPAWNED.fetch_add(1, Ordering::Relaxed);
+                        tx
+                    })
+                    .collect();
+                Pool {
+                    workers,
+                    cursor: AtomicUsize::new(0),
+                }
+            })
+        }
+
+        /// Number of persistent workers.
+        pub(crate) fn workers(&self) -> usize {
+            self.workers.len()
+        }
+
+        /// Invites up to `m` workers to help with `job`.
+        ///
+        /// # Safety
+        /// `job` must stay alive until its `wait` returns.
+        pub(crate) unsafe fn send_tickets(&self, job: &JobShared, m: usize) {
+            let me = std::thread::current();
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            for i in 0..m {
+                let tx = &self.workers[(start + i) % self.workers.len()];
+                tx.send(Ticket {
+                    job,
+                    waiter: me.clone(),
+                })
+                .expect("pool worker alive");
+            }
+        }
+    }
+
+    fn worker_main(rx: Receiver<Ticket>) {
+        super::IN_WORKER.with(|w| w.set(true));
+        while let Ok(t) = rx.recv() {
+            // SAFETY: the sending `drive` frame blocks until this
+            // ticket is retired below, keeping both pointers valid.
+            let run = unsafe { &*(*t.job).run };
+            run();
+            // SAFETY: as above — `pending` is the job's own atomic.
+            if unsafe { &*t.job }.pending.fetch_sub(1, Ordering::Release) == 1 {
+                t.waiter.unpark();
+            }
+        }
+    }
+}
+
+/// Total pool threads ever spawned by this process. Constant once the
+/// pool is initialized — terminal operations reuse the persistent
+/// workers instead of spawning (diagnostics/tests).
+pub fn pool_spawn_count() -> usize {
+    pool::spawn_count()
+}
+
+/// Locks a mutex, ignoring poisoning (the shim's slots hold plain data;
+/// a poisoned lock only means some part panicked, which is tracked
+/// separately and re-thrown on the caller).
+fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Splits `iter` into up to `current_num_threads()` parts and runs `seq`
-/// on each part on a scoped thread, merging results in order. Already
-/// inside a worker thread, runs sequentially (no nested spawning).
+/// on each part across the persistent pool (the calling thread claims
+/// parts too), merging results in order. Worker panics are propagated to
+/// the caller after the job fully drains. Already inside a worker
+/// thread, runs sequentially (no nested dispatch).
 fn drive<P, R, S, M>(iter: P, seq: &S, merge: &M) -> R
 where
     P: ParallelIterator,
@@ -190,10 +348,17 @@ where
     S: Fn(P) -> R + Sync,
     M: Fn(R, R) -> R + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let n = iter.pi_len();
     let threads = current_num_threads();
     let k = threads.min(n);
     if k <= 1 || IN_WORKER.with(|w| w.get()) {
+        return seq(iter);
+    }
+    let pool = pool::Pool::global();
+    if pool.workers() == 0 {
         return seq(iter);
     }
     let mut parts = Vec::with_capacity(k);
@@ -207,23 +372,47 @@ where
         rest = tail;
     }
     parts.push(rest);
-    let results: Vec<R> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|part| {
-                scope.spawn(move || {
-                    IN_WORKER.with(|w| w.set(true));
-                    seq(part)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+
+    // Parts are claimed exactly once off the shared counter; slots and
+    // results are per-part mutexes only to keep the hand-off safe code.
+    let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let run = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= k {
+            break;
+        }
+        let part = lock(&slots[i]).take().expect("each part is claimed once");
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| seq(part))) {
+            Ok(r) => *lock(&results[i]) = Some(r),
+            Err(payload) => *lock(&panicked) = Some(payload),
+        }
+    };
+
+    let tickets = pool.workers().min(k - 1);
+    // SAFETY: this frame keeps `run` (and everything it captures) alive
+    // and blocks in `job.wait()` below before any of it drops.
+    let job = unsafe { pool::JobShared::new(&run, tickets) };
+    unsafe { pool.send_tickets(&job, tickets) };
+
+    // The caller claims parts too; its share must not re-dispatch.
+    let prev = IN_WORKER.with(|w| w.replace(true));
+    run();
+    IN_WORKER.with(|w| w.set(prev));
+    job.wait();
+
+    if let Some(payload) = lock(&panicked).take() {
+        std::panic::resume_unwind(payload);
+    }
     results
         .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every part produced a result")
+        })
         .reduce(merge)
         .expect("at least one part")
 }

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use mbqao_math::{Matrix, C64};
     pub use mbqao_mbqc::{
         determinism::check_determinism,
-        simulate::{run, run_with_input, Branch},
+        simulate::{run, run_with_input, Branch, PatternRunner},
         Angle, Pattern, Plane, Signal,
     };
     pub use mbqao_problems::{Graph, Ising, Pubo, Qubo, ZPoly};
