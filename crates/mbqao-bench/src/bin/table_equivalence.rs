@@ -1,101 +1,25 @@
 //! E8/E9 — the headline equivalence table: MBQC-QAOA ≡ gate-model QAOA
 //! across problems, depths and random parameters (fidelity per branch),
-//! upgraded to the three-way jury: gate vs. compiled pattern vs. the
+//! as the three-way jury: gate vs. compiled pattern vs. the
 //! ZX-simplified re-extraction.
+//!
+//! Rows are generated through the sharded sweep engine
+//! (`mbqao_bench::sweep`): every row draws its random parameters from a
+//! per-item seed (not RNG state threaded across rows), so any `--shards
+//! N` split merges back byte-identical to the monolithic table — and
+//! `sweep_shard --workload equivalence` produces the same bytes from
+//! worker subprocesses. The three-way equivalence assert runs wherever
+//! the row is rendered.
 
-use mbqao_bench::{mis_families, standard_families};
-use mbqao_core::{verify_equivalence_three_way, CompileOptions};
-use mbqao_problems::Qubo;
-use mbqao_qaoa::QaoaAnsatz;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mbqao_bench::sweep::{run_in_process, shards_flag, SweepOutput, Workload};
+use mbqao_bench::tables::EquivalenceSpec;
 
 fn main() {
-    println!("# E8/E9: equivalence of the compiled patterns (Sec. III)\n");
-    println!(
-        "| instance | n | p | params | branches | min fidelity | zx fidelity | zx saved | zx determinism | pass |"
-    );
-    println!("|---|---|---|---|---|---|---|---|---|---|");
-    let mut rng = StdRng::seed_from_u64(2403);
-
-    let row = |name: &str, n: usize, p: usize, rep: &mbqao_core::ThreeWayReport| {
-        println!(
-            "| {} | {} | {} | random | {} | {:.12} | {:.12} | {} | {} | {} |",
-            name,
-            n,
-            p,
-            rep.gate_vs_pattern.fidelities.len(),
-            rep.gate_vs_pattern.min_fidelity,
-            rep.gate_vs_zx.min(rep.pattern_vs_zx),
-            rep.simplify.qubit_savings(),
-            if rep.simplify.deterministic {
-                "gflow-corrected"
-            } else {
-                "postselected"
-            },
-            if rep.equivalent { "yes" } else { "NO" }
-        );
-        assert!(rep.equivalent);
-        assert!(
-            rep.simplify.deterministic,
-            "{name}: extraction must be postselection-free"
-        );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = Workload::EquivalenceTable(EquivalenceSpec::full());
+    let output = run_in_process(&workload, shards_flag(&args));
+    let SweepOutput::Table { text, .. } = output else {
+        unreachable!("equivalence workload assembles to a table");
     };
-
-    // MaxCut families and SK spin glasses (skip the largest to keep
-    // runtime modest).
-    for fam in standard_families(7) {
-        if fam.graph.n() > 8 {
-            continue;
-        }
-        for p in 1..=2 {
-            let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
-            let ansatz = QaoaAnsatz::standard(fam.cost.clone(), p);
-            let rep = verify_equivalence_three_way(
-                &fam.cost,
-                &ansatz,
-                &CompileOptions::default(),
-                p,
-                &params,
-                3,
-                1e-8,
-            );
-            row(&fam.name, fam.graph.n(), p, &rep);
-        }
-    }
-
-    // General QUBOs with linear terms (Eq. 12) — where the ZX backend's
-    // gadget absorption actually saves ancillae.
-    for i in 0..4 {
-        let q = Qubo::random(5, 0.6, &mut rng);
-        let cost = q.to_zpoly();
-        let p = 1 + i % 2;
-        let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
-        let ansatz = QaoaAnsatz::standard(cost.clone(), p);
-        let rep = verify_equivalence_three_way(
-            &cost,
-            &ansatz,
-            &CompileOptions::default(),
-            p,
-            &params,
-            3,
-            1e-8,
-        );
-        row(&format!("qubo-rand-{i}"), 5, p, &rep);
-    }
-
-    // Constraint-preserving MIS ansätze (Sec. IV).
-    for inst in mis_families() {
-        let opts = inst.compile_options();
-        let ansatz = QaoaAnsatz::mis(&inst.graph, 1, inst.initial);
-        let params: Vec<f64> = (0..2).map(|_| rng.gen_range(-1.5..1.5)).collect();
-        let rep = verify_equivalence_three_way(&inst.cost, &ansatz, &opts, 1, &params, 3, 1e-8);
-        row(&inst.name, inst.graph.n(), 1, &rep);
-    }
-
-    println!("\nall minimum fidelities = 1 within 1e-8: the compiled measurement");
-    println!("patterns implement QAOA exactly, for arbitrary depth and parameters —");
-    println!("and so do their ZX-simplified re-extractions (rewrite soundness,");
-    println!("machine-checked across every family). Every extraction runs");
-    println!("gflow-corrected: random outcome branches, no postselection.");
+    println!("{text}");
 }

@@ -1,81 +1,35 @@
 //! E10 — the Sec. III-A resource table (the paper's only quantitative
 //! "table"): N_Q, N_E, rounds vs. the paper's bounds vs. the gate model,
-//! across graph families and depths — now with the ZX-simplified
-//! backend's re-extracted resources alongside (zx N_Q, the
-//! ancilla/node savings the rewriting achieves, and the determinism
-//! certificate of the gflow-synthesized corrections).
+//! across graph families and depths, with the ZX-simplified backend's
+//! re-extracted resources alongside.
+//!
+//! Rows are generated through the sharded sweep engine
+//! (`mbqao_bench::sweep`): each row is a pure function of its item
+//! index, so `--shards N` splits the table across N merged shards —
+//! byte-identical to the monolithic run by the engine's merge
+//! guarantees (and to `sweep_shard --workload resources`, which runs
+//! the same workload as worker subprocesses). Per-row asserts (paper
+//! bounds, gflow determinism) run wherever the row is rendered.
 
-use mbqao_bench::standard_families;
-use mbqao_core::{compile_qaoa, gate_model_resources, paper_bounds, CompileOptions, ZxBackend};
-use mbqao_mbqc::resources::stats;
-use mbqao_mbqc::schedule::just_in_time;
+use mbqao_bench::sweep::{run_in_process, shards_flag, SweepOutput, Workload};
+use mbqao_bench::tables::ResourcesSpec;
 
 fn main() {
-    println!("# E10: resource estimates (Sec. III-A)\n");
-    println!(
-        "| graph | |V| | |E| | p | N_Q | bound N_Q | N_E | bound N_E | rounds | gate qubits | gate CX (2p|E|) | max_live (reuse) | zx N_Q | zx saved | zx pivots+lc | zx determinism |"
-    );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
-    let mut dense_savings = 0isize;
-    for fam in standard_families(7) {
-        let g = &fam.graph;
-        let cost = &fam.cost;
-        for p in [1usize, 2, 4, 8] {
-            let compiled = compile_qaoa(cost, p, &CompileOptions::default());
-            let s = stats(&compiled.pattern);
-            let b = paper_bounds(cost, p);
-            let gate = gate_model_resources(cost, p);
-            let jit = stats(&just_in_time(&compiled.pattern));
-            assert!(s.total_qubits <= b.total_qubits && s.entangling <= b.entangling);
-            let zx = ZxBackend::new(cost, p);
-            let r = zx.report();
-            assert!(
-                r.zx.total_qubits <= s.total_qubits,
-                "ZX extraction must never need more qubits than the direct compilation"
-            );
-            assert!(
-                r.deterministic,
-                "{} p={p}: every QAOA extraction must admit a gflow",
-                fam.name
-            );
-            // Dense = complete graph (K_n MaxCut and the SK instances,
-            // which live on K_n too) — detected structurally, not by name.
-            if g.m() == g.n() * (g.n() - 1) / 2 {
-                dense_savings += r.qubit_savings();
-            }
-            println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | gflow, {} layers |",
-                fam.name,
-                g.n(),
-                g.m(),
-                p,
-                s.total_qubits,
-                b.total_qubits,
-                s.entangling,
-                b.entangling,
-                s.rounds,
-                gate.qubits,
-                gate.entangling_cx,
-                jit.max_live,
-                r.zx.total_qubits,
-                r.qubit_savings(),
-                r.clifford.pivots + r.clifford.local_complements + r.clifford.boundary_pivots,
-                r.gflow_depth.expect("deterministic"),
-            );
-        }
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = ResourcesSpec::full();
+    let expects_savings = spec.expects_dense_savings();
+    let workload = Workload::ResourceTable(spec);
+    let output = run_in_process(&workload, shards_flag(&args));
+    let SweepOutput::Table {
+        text,
+        dense_savings,
+    } = output
+    else {
+        unreachable!("resource workload assembles to a table");
+    };
     assert!(
-        dense_savings > 0,
+        !expects_savings || dense_savings > 0,
         "pivot/LC must save qubits on dense instances"
     );
-    println!("\nbounds met on every instance (MaxCut and SK); gate model needs");
-    println!("|V| qubits / 2p|E| CX (fewer circuit resources, as the paper states).");
-    println!("The zx columns re-derive the counts by exporting each pattern to a");
-    println!("ZX-diagram, simplifying (fuse/id/Hopf, then pivot + local");
-    println!("complementation to a fixpoint) and re-extracting with");
-    println!("gflow-synthesized corrections: the extraction is strongly");
-    println!("deterministic (no 2^-k postselection) and now undercuts the");
-    println!("Sec. III-A counts on *dense* MaxCut/SK instances too — the pivot");
-    println!("pass eliminates the XY(0) mixer wire spiders together with the");
-    println!("phase-gadget hubs that the fuse/id/Hopf set could not touch.");
+    println!("{text}");
 }

@@ -5,6 +5,9 @@
 //! itself. Execution plumbing lives in `mbqao_core::engine` — this crate
 //! only assembles workloads and formats tables.
 
+pub mod sweep;
+pub mod tables;
+
 use mbqao_core::engine::sample_compiled;
 use mbqao_core::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
 use mbqao_problems::{maxcut, mis, Graph, ZPoly};

@@ -1,0 +1,1076 @@
+//! The sharded sweep engine: every sweep-shaped workload of this crate
+//! — p=1 landscape scans, grid searches, the resource and equivalence
+//! tables, disorder-averaged SK sweeps — expressed as a [`Workload`]
+//! over a totally ordered item space, executed shard by shard, and
+//! merged deterministically.
+//!
+//! The shard mechanics (partitioning, the commutative/associative
+//! [`Merger`], the subprocess plumbing) live in
+//! [`mbqao_core::engine::shard`]; this module binds them to the
+//! concrete workloads:
+//!
+//! * [`run_shard`] is the worker: it computes one [`Shard`]'s slice of
+//!   a workload into a [`Payload`] (landscape values, a reduced
+//!   [`GridBest`], table rows, per-seed energies) with provenance.
+//! * [`assemble`] folds the merged parts — **in the canonical total
+//!   order** — into the final [`SweepOutput`]; because every per-item
+//!   computation is a pure function of its index, any shard count and
+//!   any arrival order reproduces the monolithic output bit-for-bit
+//!   (`tests/shard_equivalence.rs` is the proof harness).
+//! * [`drive_subprocess`] executes one worker process per shard,
+//!   speaking the bit-exact JSON of [`mbqao_core::engine::wire`] over
+//!   stdio (this environment has no network; the transport is a seam —
+//!   the jobs and results are self-describing strings). A worker that
+//!   panics or truncates its output fails *that shard by name* and
+//!   never pollutes the merge; [`run_shard_subprocess`] re-runs exactly
+//!   the failed slice.
+//!
+//! `cargo run -p mbqao-bench --bin sweep_shard` is the CLI front end.
+
+use crate::tables::{EquivalenceSpec, ResourcesSpec, TableRow};
+use crate::FamilyInstance;
+use mbqao_core::engine::shard::{
+    run_worker, run_workers, Merger, Provenance, Shard, ShardError, ShardResult, WorkerCommand,
+};
+use mbqao_core::engine::wire::{Value, WireError};
+use mbqao_core::{pattern_cache_stats, Backend, Executor, GateBackend, PatternBackend, ZxBackend};
+use mbqao_problems::generators;
+use mbqao_qaoa::landscape::{p1_axes, scan_p1_slice_with, Landscape};
+use mbqao_qaoa::optimize::{grid_search_range, grid_total, GridBest, OptResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+// ------------------------------------------------------------- workloads
+
+/// Which execution backend a sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Gate-model circuit simulation.
+    Gate,
+    /// Compiled measurement patterns.
+    Pattern,
+    /// ZX-simplified re-extracted patterns.
+    Zx,
+}
+
+impl BackendKind {
+    /// All three backends (the cross-backend test axis).
+    pub const ALL: [BackendKind; 3] = [BackendKind::Gate, BackendKind::Pattern, BackendKind::Zx];
+
+    /// The backend's canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Gate => "gate",
+            BackendKind::Pattern => "pattern",
+            BackendKind::Zx => "zx",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn from_name(s: &str) -> Result<BackendKind, WireError> {
+        match s {
+            "gate" => Ok(BackendKind::Gate),
+            "pattern" => Ok(BackendKind::Pattern),
+            "zx" => Ok(BackendKind::Zx),
+            other => Err(WireError(format!("unknown backend {other:?}"))),
+        }
+    }
+
+    /// Builds the backend for `cost` at depth `p`.
+    pub fn build(&self, cost: &mbqao_problems::ZPoly, p: usize) -> Box<dyn Backend> {
+        match self {
+            BackendKind::Gate => Box::new(GateBackend::standard(cost.clone(), p)),
+            BackendKind::Pattern => Box::new(PatternBackend::new(cost, p)),
+            BackendKind::Zx => Box::new(ZxBackend::new(cost, p)),
+        }
+    }
+}
+
+/// A standard-families instance referenced by name (resolvable in any
+/// process — the generator seed travels with the name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyRef {
+    /// Seed for [`crate::standard_families`].
+    pub seed: u64,
+    /// Family display name (`"square"`, `"SK5"`, …).
+    pub name: String,
+}
+
+impl FamilyRef {
+    /// Resolves to the instance.
+    ///
+    /// # Panics
+    /// Panics when no family of that name exists for the seed.
+    pub fn resolve(&self) -> FamilyInstance {
+        crate::standard_families(self.seed)
+            .into_iter()
+            .find(|f| f.name == self.name)
+            .unwrap_or_else(|| panic!("no standard family named {:?}", self.name))
+    }
+}
+
+/// Spec for a disorder-averaged SK sweep: `instances` Gaussian-coupling
+/// SK draws at size `n` (seeds `base_seed + item`), each grid-optimized
+/// at depth `p`, averaged into an energy density. The item axis is the
+/// disorder seed — the same shard machinery that splits parameter grids
+/// splits the disorder average.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisorderSpec {
+    /// Spins per instance.
+    pub n: usize,
+    /// Number of disorder draws.
+    pub instances: usize,
+    /// Seed of draw 0 (draw `i` uses `base_seed + i`).
+    pub base_seed: u64,
+    /// QAOA depth of the per-draw optimization.
+    pub p: usize,
+    /// Grid-search steps per parameter axis.
+    pub grid_steps: usize,
+    /// Backend the per-draw optimization runs on.
+    pub backend: BackendKind,
+}
+
+impl DisorderSpec {
+    /// The optimized energy density `⟨C⟩/n` of disorder draw `item` —
+    /// a pure function of `(spec, item)`, which is what makes the
+    /// average shardable and its merge order-invariant.
+    pub fn value(&self, item: usize) -> f64 {
+        let ising = generators::sherrington_kirkpatrick_gaussian(
+            self.n,
+            &mut StdRng::seed_from_u64(self.base_seed.wrapping_add(item as u64)),
+        );
+        let cost = ising.to_zpoly();
+        let exec = Executor::new(self.backend.build(&cost, self.p));
+        let lo = vec![0.0; 2 * self.p];
+        let hi = vec![std::f64::consts::PI; 2 * self.p];
+        let r = exec.grid_search(&lo, &hi, self.grid_steps);
+        r.value / self.n as f64
+    }
+}
+
+/// Encodes a `u64` seed as its bit pattern — any seed round-trips,
+/// unlike a `usize` cast (which would panic past `2^63` and truncate
+/// on 32-bit targets).
+fn seed_to_wire(seed: u64) -> Value {
+    Value::Int(seed as i64)
+}
+
+/// Decodes a [`seed_to_wire`] seed.
+fn seed_from_wire(v: &Value) -> Result<u64, WireError> {
+    Ok(v.as_int()? as u64)
+}
+
+/// A complete sweep-shaped workload: a pure function from item indices
+/// `0..total()` to per-item results, plus how to fold them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Dense p=1 `(γ, β)` landscape scan (items: grid points,
+    /// row-major).
+    Landscape {
+        /// Problem instance.
+        family: FamilyRef,
+        /// Execution backend.
+        backend: BackendKind,
+        /// Steps per axis (`steps²` items).
+        steps: usize,
+        /// γ range.
+        gamma: (f64, f64),
+        /// β range.
+        beta: (f64, f64),
+    },
+    /// Grid search over `[lo, hi]^2p` (items: flat grid indices).
+    Grid {
+        /// Problem instance.
+        family: FamilyRef,
+        /// Execution backend.
+        backend: BackendKind,
+        /// QAOA depth (dimension is `2p`).
+        p: usize,
+        /// Steps per axis.
+        steps: usize,
+        /// Lower corner (length `2p`).
+        lo: Vec<f64>,
+        /// Upper corner (length `2p`).
+        hi: Vec<f64>,
+    },
+    /// The E10 resource table (items: rows).
+    ResourceTable(ResourcesSpec),
+    /// The E8/E9 equivalence table (items: rows).
+    EquivalenceTable(EquivalenceSpec),
+    /// Disorder-averaged SK sweep (items: disorder seeds).
+    Disorder(DisorderSpec),
+}
+
+impl Workload {
+    /// Size of the item space.
+    pub fn total(&self) -> usize {
+        match self {
+            Workload::Landscape { steps, .. } => steps * steps,
+            Workload::Grid { p, steps, .. } => grid_total(2 * p, *steps),
+            Workload::ResourceTable(spec) => spec.item_count(),
+            Workload::EquivalenceTable(spec) => spec.item_count(),
+            Workload::Disorder(spec) => spec.instances,
+        }
+    }
+
+    /// A short provenance label (backend name where one applies).
+    pub fn backend_label(&self) -> String {
+        match self {
+            Workload::Landscape { backend, .. } | Workload::Grid { backend, .. } => {
+                backend.name().to_string()
+            }
+            Workload::ResourceTable(_) => "table-resources".to_string(),
+            Workload::EquivalenceTable(_) => "table-equivalence".to_string(),
+            Workload::Disorder(spec) => format!("disorder-{}", spec.backend.name()),
+        }
+    }
+
+    /// Wire encoding.
+    pub fn to_wire(&self) -> Value {
+        match self {
+            Workload::Landscape {
+                family,
+                backend,
+                steps,
+                gamma,
+                beta,
+            } => Value::obj(vec![
+                ("kind", Value::Str("landscape".into())),
+                ("family_seed", seed_to_wire(family.seed)),
+                ("family", Value::Str(family.name.clone())),
+                ("backend", Value::Str(backend.name().into())),
+                ("steps", Value::uint(*steps)),
+                ("gamma_lo", Value::f64_bits(gamma.0)),
+                ("gamma_hi", Value::f64_bits(gamma.1)),
+                ("beta_lo", Value::f64_bits(beta.0)),
+                ("beta_hi", Value::f64_bits(beta.1)),
+            ]),
+            Workload::Grid {
+                family,
+                backend,
+                p,
+                steps,
+                lo,
+                hi,
+            } => Value::obj(vec![
+                ("kind", Value::Str("grid".into())),
+                ("family_seed", seed_to_wire(family.seed)),
+                ("family", Value::Str(family.name.clone())),
+                ("backend", Value::Str(backend.name().into())),
+                ("p", Value::uint(*p)),
+                ("steps", Value::uint(*steps)),
+                ("lo", Value::f64_array(lo)),
+                ("hi", Value::f64_array(hi)),
+            ]),
+            Workload::ResourceTable(spec) => Value::obj(vec![
+                ("kind", Value::Str("resources".into())),
+                ("family_seed", seed_to_wire(spec.family_seed)),
+                ("max_n", Value::uint(spec.max_n)),
+                (
+                    "depths",
+                    Value::Arr(spec.depths.iter().map(|&d| Value::uint(d)).collect()),
+                ),
+            ]),
+            Workload::EquivalenceTable(spec) => Value::obj(vec![
+                ("kind", Value::Str("equivalence".into())),
+                ("family_seed", seed_to_wire(spec.family_seed)),
+                ("param_seed", seed_to_wire(spec.param_seed)),
+                ("max_n", Value::uint(spec.max_n)),
+                (
+                    "depths",
+                    Value::Arr(spec.depths.iter().map(|&d| Value::uint(d)).collect()),
+                ),
+                ("qubos", Value::uint(spec.qubos)),
+                ("include_mis", Value::Bool(spec.include_mis)),
+            ]),
+            Workload::Disorder(spec) => Value::obj(vec![
+                ("kind", Value::Str("disorder".into())),
+                ("n", Value::uint(spec.n)),
+                ("instances", Value::uint(spec.instances)),
+                ("base_seed", seed_to_wire(spec.base_seed)),
+                ("p", Value::uint(spec.p)),
+                ("grid_steps", Value::uint(spec.grid_steps)),
+                ("backend", Value::Str(spec.backend.name().into())),
+            ]),
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(v: &Value) -> Result<Workload, WireError> {
+        let uints = |key: &str| -> Result<Vec<usize>, WireError> {
+            let xs: Vec<usize> = v
+                .field(key)?
+                .as_arr()?
+                .iter()
+                .map(Value::as_uint)
+                .collect::<Result<_, _>>()?;
+            // Wire-decoded specs are attacker-shaped data: an empty
+            // depth list would panic the row renderers (modulo by zero)
+            // instead of erroring here by name.
+            if xs.is_empty() {
+                return Err(WireError(format!("empty {key:?} in table spec")));
+            }
+            Ok(xs)
+        };
+        match v.field("kind")?.as_str()? {
+            "landscape" => Ok(Workload::Landscape {
+                family: FamilyRef {
+                    seed: seed_from_wire(v.field("family_seed")?)?,
+                    name: v.field("family")?.as_str()?.to_string(),
+                },
+                backend: BackendKind::from_name(v.field("backend")?.as_str()?)?,
+                steps: v.field("steps")?.as_uint()?,
+                gamma: (
+                    v.field("gamma_lo")?.as_f64_bits()?,
+                    v.field("gamma_hi")?.as_f64_bits()?,
+                ),
+                beta: (
+                    v.field("beta_lo")?.as_f64_bits()?,
+                    v.field("beta_hi")?.as_f64_bits()?,
+                ),
+            }),
+            "grid" => Ok(Workload::Grid {
+                family: FamilyRef {
+                    seed: seed_from_wire(v.field("family_seed")?)?,
+                    name: v.field("family")?.as_str()?.to_string(),
+                },
+                backend: BackendKind::from_name(v.field("backend")?.as_str()?)?,
+                p: v.field("p")?.as_uint()?,
+                steps: v.field("steps")?.as_uint()?,
+                lo: v.field("lo")?.as_f64_array()?,
+                hi: v.field("hi")?.as_f64_array()?,
+            }),
+            "resources" => Ok(Workload::ResourceTable(ResourcesSpec {
+                family_seed: seed_from_wire(v.field("family_seed")?)?,
+                max_n: v.field("max_n")?.as_uint()?,
+                depths: uints("depths")?,
+            })),
+            "equivalence" => Ok(Workload::EquivalenceTable(EquivalenceSpec {
+                family_seed: seed_from_wire(v.field("family_seed")?)?,
+                param_seed: seed_from_wire(v.field("param_seed")?)?,
+                max_n: v.field("max_n")?.as_uint()?,
+                depths: uints("depths")?,
+                qubos: v.field("qubos")?.as_uint()?,
+                include_mis: v.field("include_mis")?.as_bool()?,
+            })),
+            "disorder" => Ok(Workload::Disorder(DisorderSpec {
+                n: v.field("n")?.as_uint()?,
+                instances: v.field("instances")?.as_uint()?,
+                base_seed: seed_from_wire(v.field("base_seed")?)?,
+                p: v.field("p")?.as_uint()?,
+                grid_steps: v.field("grid_steps")?.as_uint()?,
+                backend: BackendKind::from_name(v.field("backend")?.as_str()?)?,
+            })),
+            other => Err(WireError(format!("unknown workload kind {other:?}"))),
+        }
+    }
+}
+
+// --------------------------------------------------------------- payload
+
+/// A shard's partial result, per workload shape.
+///
+/// Equality is **bit-level** on floats (`to_bits`), matching the
+/// engine's bit-for-bit contract: the [`Merger`]'s duplicate-delivery
+/// idempotence check must accept a bit-identical NaN-bearing retry and
+/// must distinguish `0.0` from `-0.0` (semantic `==` would do neither).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Per-item `f64`s in item order (landscape values, disorder
+    /// energies).
+    Values(Vec<f64>),
+    /// The reduced grid-search winner of the shard's slice.
+    Best(GridBest),
+    /// Rendered table rows in item order.
+    Rows(Vec<TableRow>),
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        let bits = |xs: &[f64]| -> Vec<u64> { xs.iter().map(|x| x.to_bits()).collect() };
+        match (self, other) {
+            (Payload::Values(a), Payload::Values(b)) => bits(a) == bits(b),
+            (Payload::Best(a), Payload::Best(b)) => {
+                a.value.to_bits() == b.value.to_bits() && a.index == b.index
+            }
+            (Payload::Rows(a), Payload::Rows(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Payload {
+    /// Wire encoding.
+    pub fn to_wire(&self) -> Value {
+        match self {
+            Payload::Values(xs) => Value::obj(vec![
+                ("kind", Value::Str("values".into())),
+                ("values", Value::f64_array(xs)),
+            ]),
+            Payload::Best(best) => Value::obj(vec![
+                ("kind", Value::Str("best".into())),
+                ("value", Value::f64_bits(best.value)),
+                // usize::MAX (the empty-slice sentinel) exceeds i64 —
+                // encode the index shifted into signed range via -1 for
+                // the sentinel.
+                (
+                    "index",
+                    if best.index == usize::MAX {
+                        Value::Int(-1)
+                    } else {
+                        Value::uint(best.index)
+                    },
+                ),
+            ]),
+            Payload::Rows(rows) => Value::obj(vec![
+                ("kind", Value::Str("rows".into())),
+                (
+                    "rows",
+                    Value::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Value::obj(vec![
+                                    ("text", Value::Str(r.text.clone())),
+                                    ("dense_saving", Value::Int(r.dense_saving)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(v: &Value) -> Result<Payload, WireError> {
+        match v.field("kind")?.as_str()? {
+            "values" => Ok(Payload::Values(v.field("values")?.as_f64_array()?)),
+            "best" => {
+                let index = match v.field("index")?.as_int()? {
+                    -1 => usize::MAX, // the GridBest::NONE sentinel
+                    raw => usize::try_from(raw)
+                        .map_err(|_| WireError(format!("bad grid index {raw}")))?,
+                };
+                Ok(Payload::Best(GridBest {
+                    value: v.field("value")?.as_f64_bits()?,
+                    index,
+                }))
+            }
+            "rows" => Ok(Payload::Rows(
+                v.field("rows")?
+                    .as_arr()?
+                    .iter()
+                    .map(|r| {
+                        Ok(TableRow {
+                            text: r.field("text")?.as_str()?.to_string(),
+                            dense_saving: r.field("dense_saving")?.as_int()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
+            )),
+            other => Err(WireError(format!("unknown payload kind {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- worker
+
+/// Computes one shard of a workload (the worker's entire job).
+///
+/// Provenance records the backend label and the compiled-pattern cache
+/// traffic this shard generated in the current process.
+pub fn run_shard(workload: &Workload, shard: Shard) -> ShardResult<Payload> {
+    if shard.is_empty() {
+        // Nothing to compute (fleet larger than the item space):
+        // return the empty payload of the right shape without
+        // resolving families or building backends.
+        let payload = match workload {
+            Workload::Landscape { .. } | Workload::Disorder(_) => Payload::Values(Vec::new()),
+            Workload::Grid { .. } => Payload::Best(GridBest::NONE),
+            Workload::ResourceTable(_) | Workload::EquivalenceTable(_) => Payload::Rows(Vec::new()),
+        };
+        return ShardResult {
+            provenance: Provenance {
+                shard,
+                backend: workload.backend_label(),
+                cache_hits: 0,
+                cache_misses: 0,
+            },
+            payload,
+        };
+    }
+    let before = pattern_cache_stats();
+    let payload = match workload {
+        Workload::Landscape {
+            family,
+            backend,
+            steps,
+            gamma,
+            beta,
+        } => {
+            let fam = family.resolve();
+            let exec = Executor::new(backend.build(&fam.cost, 1));
+            Payload::Values(scan_p1_slice_with(
+                |points| exec.expectation_batch(points),
+                *gamma,
+                *beta,
+                *steps,
+                shard.start,
+                shard.end,
+            ))
+        }
+        Workload::Grid {
+            family,
+            backend,
+            p,
+            steps,
+            lo,
+            hi,
+        } => {
+            let fam = family.resolve();
+            let exec = Executor::new(backend.build(&fam.cost, *p));
+            Payload::Best(grid_search_range(
+                &exec,
+                lo,
+                hi,
+                *steps,
+                shard.start,
+                shard.end,
+            ))
+        }
+        Workload::ResourceTable(spec) => Payload::Rows(spec.rows(shard.start, shard.end)),
+        Workload::EquivalenceTable(spec) => Payload::Rows(spec.rows(shard.start, shard.end)),
+        Workload::Disorder(spec) => {
+            Payload::Values((shard.start..shard.end).map(|i| spec.value(i)).collect())
+        }
+    };
+    let after = pattern_cache_stats();
+    ShardResult {
+        provenance: Provenance {
+            shard,
+            backend: workload.backend_label(),
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
+        },
+        payload,
+    }
+}
+
+// -------------------------------------------------------------- assembly
+
+/// A fully merged sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepOutput {
+    /// Landscape scan result.
+    Landscape(Landscape),
+    /// Grid-search result.
+    Opt(OptResult),
+    /// A rendered table plus its cross-row accounting.
+    Table {
+        /// Header + rows + footer, ready to print.
+        text: String,
+        /// Summed dense-instance qubit savings (resource table).
+        dense_savings: i64,
+    },
+    /// Disorder-average result.
+    Disorder {
+        /// Per-seed optimized energy densities, in seed order.
+        per_seed: Vec<f64>,
+        /// Their mean (folded in canonical seed order).
+        mean: f64,
+    },
+}
+
+impl SweepOutput {
+    /// Bit-level equality (f64s compared as raw bits, so `-0.0 ≠ 0.0`
+    /// and differing NaNs differ — stricter than `==`). This is the
+    /// predicate the shard⇔monolithic differential harness asserts.
+    pub fn bit_identical(&self, other: &SweepOutput) -> bool {
+        let bits = |xs: &[f64]| -> Vec<u64> { xs.iter().map(|x| x.to_bits()).collect() };
+        match (self, other) {
+            (SweepOutput::Landscape(a), SweepOutput::Landscape(b)) => {
+                bits(&a.gammas) == bits(&b.gammas)
+                    && bits(&a.betas) == bits(&b.betas)
+                    && a.values.len() == b.values.len()
+                    && a.values
+                        .iter()
+                        .zip(&b.values)
+                        .all(|(ra, rb)| bits(ra) == bits(rb))
+            }
+            (SweepOutput::Opt(a), SweepOutput::Opt(b)) => {
+                bits(&a.params) == bits(&b.params)
+                    && a.value.to_bits() == b.value.to_bits()
+                    && a.evals == b.evals
+                    && bits(&a.history) == bits(&b.history)
+            }
+            (
+                SweepOutput::Table {
+                    text: ta,
+                    dense_savings: da,
+                },
+                SweepOutput::Table {
+                    text: tb,
+                    dense_savings: db,
+                },
+            ) => ta == tb && da == db,
+            (
+                SweepOutput::Disorder {
+                    per_seed: pa,
+                    mean: ma,
+                },
+                SweepOutput::Disorder {
+                    per_seed: pb,
+                    mean: mb,
+                },
+            ) => bits(pa) == bits(pb) && ma.to_bits() == mb.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+/// Folds merged parts (canonical order — [`Merger::finish`]'s output)
+/// into the final result. Every fold here is a deterministic
+/// left-to-right reduction over that order, which is why arrival order
+/// can never leak into the output.
+///
+/// # Panics
+/// Panics when the parts do not match the workload's shape (wrong
+/// payload kind or per-shard lengths) — corrupted results never
+/// assemble silently.
+pub fn assemble(workload: &Workload, parts: Vec<ShardResult<Payload>>) -> SweepOutput {
+    let values = |parts: Vec<ShardResult<Payload>>| -> Vec<f64> {
+        parts
+            .into_iter()
+            .flat_map(|part| {
+                let len = part.provenance.shard.len();
+                match part.payload {
+                    Payload::Values(v) => {
+                        assert_eq!(v.len(), len, "shard payload length mismatch");
+                        v
+                    }
+                    other => panic!("expected Values payload, got {other:?}"),
+                }
+            })
+            .collect()
+    };
+    match workload {
+        Workload::Landscape {
+            steps, gamma, beta, ..
+        } => {
+            let (gammas, betas) = p1_axes(*gamma, *beta, *steps);
+            SweepOutput::Landscape(Landscape::from_flat(gammas, betas, values(parts)))
+        }
+        Workload::Grid {
+            p, steps, lo, hi, ..
+        } => {
+            let total = grid_total(2 * p, *steps);
+            let best = parts
+                .into_iter()
+                .map(|part| {
+                    let shard = part.provenance.shard;
+                    match part.payload {
+                        // A slice's winner must come from that slice
+                        // (or be the empty-slice sentinel) — a corrupt
+                        // index would otherwise assemble into garbage
+                        // parameters without complaint.
+                        Payload::Best(b) => {
+                            assert!(
+                                b.index == usize::MAX
+                                    || (shard.start..shard.end).contains(&b.index),
+                                "shard {}..{} claims winning index {} outside its range",
+                                shard.start,
+                                shard.end,
+                                b.index
+                            );
+                            b
+                        }
+                        other => panic!("expected Best payload, got {other:?}"),
+                    }
+                })
+                .fold(GridBest::NONE, GridBest::merge);
+            SweepOutput::Opt(best.into_result(lo, hi, *steps, total))
+        }
+        Workload::ResourceTable(spec) => {
+            let (text, dense) = assemble_table(parts, &spec.header(), &spec.footer());
+            SweepOutput::Table {
+                text,
+                dense_savings: dense,
+            }
+        }
+        Workload::EquivalenceTable(spec) => {
+            let (text, dense) = assemble_table(parts, &spec.header(), &spec.footer());
+            SweepOutput::Table {
+                text,
+                dense_savings: dense,
+            }
+        }
+        Workload::Disorder(_) => {
+            let per_seed = values(parts);
+            let mean = per_seed.iter().sum::<f64>() / per_seed.len().max(1) as f64;
+            SweepOutput::Disorder { per_seed, mean }
+        }
+    }
+}
+
+fn assemble_table(parts: Vec<ShardResult<Payload>>, header: &str, footer: &str) -> (String, i64) {
+    let mut text = String::from(header);
+    let mut dense = 0i64;
+    for part in parts {
+        let len = part.provenance.shard.len();
+        match part.payload {
+            Payload::Rows(rows) => {
+                assert_eq!(rows.len(), len, "shard row count mismatch");
+                for row in rows {
+                    text.push('\n');
+                    text.push_str(&row.text);
+                    dense += row.dense_saving;
+                }
+            }
+            other => panic!("expected Rows payload, got {other:?}"),
+        }
+    }
+    text.push('\n');
+    text.push_str(footer);
+    (text, dense)
+}
+
+// ------------------------------------------------------------- protocol
+
+/// Injectable worker faults (test hooks for the fault harness; carried
+/// in the job itself so no environment leaks between driver and
+/// worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics mid-shard.
+    Panic,
+    /// The worker emits only half of its result JSON.
+    Truncate,
+}
+
+/// Encodes one worker job.
+pub fn job_to_json(workload: &Workload, shard: Shard, fault: Option<Fault>) -> String {
+    let mut entries = vec![("workload", workload.to_wire()), ("shard", shard.to_wire())];
+    if let Some(fault) = fault {
+        entries.push((
+            "fault",
+            Value::Str(
+                match fault {
+                    Fault::Panic => "panic",
+                    Fault::Truncate => "truncate",
+                }
+                .into(),
+            ),
+        ));
+    }
+    Value::obj(entries).to_json()
+}
+
+/// Decodes one worker job.
+pub fn job_from_json(input: &str) -> Result<(Workload, Shard, Option<Fault>), WireError> {
+    let v = Value::parse(input)?;
+    let workload = Workload::from_wire(v.field("workload")?)?;
+    let shard = Shard::from_wire(v.field("shard")?)?;
+    let fault = match v.field("fault") {
+        Err(_) => None,
+        Ok(f) => Some(match f.as_str()? {
+            "panic" => Fault::Panic,
+            "truncate" => Fault::Truncate,
+            other => return Err(WireError(format!("unknown fault {other:?}"))),
+        }),
+    };
+    Ok((workload, shard, fault))
+}
+
+/// Encodes one shard result.
+pub fn result_to_json(result: &ShardResult<Payload>) -> String {
+    Value::obj(vec![
+        ("provenance", result.provenance.to_wire()),
+        ("payload", result.payload.to_wire()),
+    ])
+    .to_json()
+}
+
+/// Decodes one shard result.
+pub fn result_from_json(input: &str) -> Result<ShardResult<Payload>, WireError> {
+    let v = Value::parse(input)?;
+    Ok(ShardResult {
+        provenance: Provenance::from_wire(v.field("provenance")?)?,
+        payload: Payload::from_wire(v.field("payload")?)?,
+    })
+}
+
+/// The worker side of the protocol: decode the job from `input`,
+/// compute, encode the result. Injected faults fire here (a `Panic`
+/// fault panics — taking the worker process down like any real bug
+/// would; a `Truncate` fault returns half the result bytes).
+pub fn worker_run(input: &str) -> Result<String, WireError> {
+    let (workload, shard, fault) = job_from_json(input)?;
+    if fault == Some(Fault::Panic) {
+        panic!(
+            "injected fault: worker for shard {} of {} panics",
+            shard.index, shard.of
+        );
+    }
+    let json = result_to_json(&run_shard(&workload, shard));
+    Ok(match fault {
+        Some(Fault::Truncate) => {
+            let mut cut = json.len() / 2;
+            while !json.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            json[..cut].to_string()
+        }
+        _ => json,
+    })
+}
+
+// --------------------------------------------------------------- drivers
+
+/// The whole sweep as one in-process shard — the monolithic reference
+/// every sharded execution must reproduce bit-for-bit.
+pub fn monolithic(workload: &Workload) -> SweepOutput {
+    let shard = Shard::partition(workload.total(), 1)[0];
+    assemble(workload, vec![run_shard(workload, shard)])
+}
+
+/// Parses `--shards N` from CLI arguments (default 1 when absent) —
+/// the one flag the table binaries share.
+///
+/// # Panics
+/// Panics when `--shards` is present without a parseable value.
+pub fn shards_flag(args: &[String]) -> usize {
+    match args.iter().position(|a| a == "--shards") {
+        None => 1,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--shards needs a shard count"),
+    }
+}
+
+/// Runs a workload in-process with `shards` shards in canonical
+/// arrival order (monolithic when `shards <= 1`) — the table binaries'
+/// execution path.
+pub fn run_in_process(workload: &Workload, shards: usize) -> SweepOutput {
+    if shards <= 1 {
+        monolithic(workload)
+    } else {
+        let arrival: Vec<usize> = (0..shards).collect();
+        sharded_in_process(workload, shards, &arrival)
+    }
+}
+
+/// In-process sharded execution with the **full wire round trip**: each
+/// shard's job and result pass through the JSON protocol even though no
+/// process boundary is crossed, so this path also proves the transport
+/// is bit-exact. `arrival` gives the merge order as a permutation of
+/// shard indices.
+///
+/// # Panics
+/// Panics when `arrival` is not a permutation of `0..shards` or a
+/// round-tripped payload fails to decode (both are harness bugs).
+pub fn sharded_in_process(workload: &Workload, shards: usize, arrival: &[usize]) -> SweepOutput {
+    assert_eq!(arrival.len(), shards, "arrival must permute 0..shards");
+    let parts = Shard::partition(workload.total(), shards);
+    let mut merger = Merger::new(workload.total());
+    for &i in arrival {
+        let job = job_to_json(workload, parts[i], None);
+        let (wl, shard, fault) = job_from_json(&job).expect("job round trip");
+        assert!(fault.is_none());
+        let result = run_shard(&wl, shard);
+        let decoded = result_from_json(&result_to_json(&result)).expect("result round trip");
+        merger.insert(decoded).expect("disjoint by construction");
+    }
+    assemble(workload, merger.finish().expect("all shards inserted"))
+}
+
+/// Runs one shard in a worker subprocess (`exe --worker`), decoding its
+/// result. Failures — panic, nonzero exit, truncated or malformed
+/// output — name the shard. This is also the retry primitive: re-run
+/// exactly the failed shard and [`Merger::insert`] the result.
+pub fn run_shard_subprocess(
+    exe: &Path,
+    workload: &Workload,
+    shard: Shard,
+    fault: Option<Fault>,
+) -> Result<ShardResult<Payload>, ShardError> {
+    let cmd = WorkerCommand::new(exe, &["--worker"]);
+    let stdout = run_worker(&cmd, shard.index, &job_to_json(workload, shard, fault))?;
+    result_from_json(&stdout).map_err(|e| ShardError::Worker {
+        shard: shard.index,
+        reason: format!("decoding worker output: {e} (truncated stream?)"),
+    })
+}
+
+/// Executes a workload as `shards` worker subprocesses and merges the
+/// results. `faults` maps shard indices to injected faults (tests).
+///
+/// All workers get a verdict before this returns (no hang on a dead
+/// worker, no short-circuit): if any failed, the error names the
+/// lowest-indexed failed shard and the successfully merged shards are
+/// discarded — re-driving, or re-running just the failed shards via
+/// [`run_shard_subprocess`], are both sound because merging is
+/// order-insensitive and idempotent.
+pub fn drive_subprocess(
+    exe: &Path,
+    workload: &Workload,
+    shards: usize,
+    faults: &[(usize, Fault)],
+) -> Result<SweepOutput, ShardError> {
+    let parts = Shard::partition(workload.total(), shards);
+    // Empty shards (fleet larger than the item space) contribute
+    // nothing to the merge — don't spawn processes for them.
+    let jobs: Vec<(usize, String)> = parts
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let fault = faults.iter().find(|(i, _)| *i == s.index).map(|(_, f)| *f);
+            (s.index, job_to_json(workload, *s, fault))
+        })
+        .collect();
+    let cmd = WorkerCommand::new(exe, &["--worker"]);
+    let outcomes = run_workers(&cmd, &jobs);
+    let mut merger = Merger::new(workload.total());
+    let mut first_failure: Option<ShardError> = None;
+    for (index, outcome) in outcomes {
+        let decoded = outcome.and_then(|stdout| {
+            result_from_json(&stdout).map_err(|e| ShardError::Worker {
+                shard: index,
+                reason: format!("decoding worker output: {e} (truncated stream?)"),
+            })
+        });
+        match decoded {
+            Ok(result) => merger.insert(result)?,
+            Err(e) if first_failure.is_none() => first_failure = Some(e),
+            Err(_) => {}
+        }
+    }
+    if let Some(e) = first_failure {
+        return Err(e);
+    }
+    Ok(assemble(workload, merger.finish()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_round_trip_the_wire() {
+        let workloads = [
+            Workload::Landscape {
+                family: FamilyRef {
+                    seed: 7,
+                    name: "square".into(),
+                },
+                backend: BackendKind::Zx,
+                steps: 6,
+                gamma: (0.0, 1.0 / 3.0),
+                beta: (-0.25, std::f64::consts::PI),
+            },
+            Workload::Grid {
+                family: FamilyRef {
+                    seed: 7,
+                    name: "SK5".into(),
+                },
+                backend: BackendKind::Pattern,
+                p: 2,
+                steps: 3,
+                lo: vec![0.0; 4],
+                hi: vec![1.5; 4],
+            },
+            Workload::ResourceTable(ResourcesSpec {
+                family_seed: 7,
+                max_n: 5,
+                depths: vec![1, 2],
+            }),
+            Workload::EquivalenceTable(EquivalenceSpec::full()),
+            Workload::Disorder(DisorderSpec {
+                n: 5,
+                instances: 6,
+                base_seed: 40,
+                p: 1,
+                grid_steps: 4,
+                backend: BackendKind::Gate,
+            }),
+        ];
+        for w in &workloads {
+            let parsed = Value::parse(&w.to_wire().to_json()).unwrap();
+            assert_eq!(&Workload::from_wire(&parsed).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn payloads_round_trip_the_wire() {
+        let payloads = [
+            Payload::Values(vec![0.5, -0.0, 1.0 / 3.0]),
+            Payload::Best(GridBest {
+                value: -2.75,
+                index: 17,
+            }),
+            Payload::Best(GridBest::NONE),
+            Payload::Rows(vec![TableRow {
+                text: "| a | b |".into(),
+                dense_saving: -2,
+            }]),
+        ];
+        for p in &payloads {
+            let parsed = Value::parse(&p.to_wire().to_json()).unwrap();
+            assert_eq!(&Payload::from_wire(&parsed).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn jobs_round_trip_with_and_without_faults() {
+        let w = Workload::Disorder(DisorderSpec {
+            n: 5,
+            instances: 4,
+            base_seed: 1,
+            p: 1,
+            grid_steps: 3,
+            backend: BackendKind::Gate,
+        });
+        let shard = Shard::partition(4, 2)[1];
+        for fault in [None, Some(Fault::Panic), Some(Fault::Truncate)] {
+            let (wl, s, f) = job_from_json(&job_to_json(&w, shard, fault)).unwrap();
+            assert_eq!(wl, w);
+            assert_eq!(s, shard);
+            assert_eq!(f, fault);
+        }
+    }
+
+    #[test]
+    fn disorder_average_is_shard_count_invariant() {
+        let w = Workload::Disorder(DisorderSpec {
+            n: 4,
+            instances: 5,
+            base_seed: 11,
+            p: 1,
+            grid_steps: 3,
+            backend: BackendKind::Gate,
+        });
+        let mono = monolithic(&w);
+        // Reversed arrival of 3 shards must still be bit-identical.
+        let sharded = sharded_in_process(&w, 3, &[2, 0, 1]);
+        assert_eq!(mono, sharded);
+        if let (
+            SweepOutput::Disorder {
+                per_seed: a,
+                mean: ma,
+            },
+            SweepOutput::Disorder {
+                per_seed: b,
+                mean: mb,
+            },
+        ) = (&mono, &sharded)
+        {
+            assert_eq!(ma.to_bits(), mb.to_bits());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        } else {
+            panic!("disorder workload must produce Disorder output");
+        }
+    }
+}

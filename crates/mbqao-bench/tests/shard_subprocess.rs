@@ -1,0 +1,115 @@
+//! Fault harness for the multi-process shard driver: worker
+//! subprocesses that die (panic) or emit truncated JSON must surface as
+//! clean errors **naming the shard** — no hang, no partial-merge
+//! corruption — and retrying exactly the failed shard must merge into
+//! the same bit-identical output as a clean run.
+//!
+//! Workers are real subprocesses of the `sweep_shard` binary; faults
+//! are injected through the job JSON itself (no environment
+//! side-channel), so a faulted and a retried job differ only in the
+//! fault field.
+
+use mbqao_bench::sweep::{
+    drive_subprocess, monolithic, run_shard_subprocess, BackendKind, FamilyRef, Fault, Workload,
+};
+use mbqao_core::engine::shard::{Merger, Shard, ShardError};
+use std::path::PathBuf;
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_sweep_shard"))
+}
+
+/// A small, fully deterministic workload (gate-backend landscape).
+fn workload() -> Workload {
+    Workload::Landscape {
+        family: FamilyRef {
+            seed: 7,
+            name: "square".into(),
+        },
+        backend: BackendKind::Gate,
+        steps: 4,
+        gamma: (0.0, 2.0),
+        beta: (0.0, 2.0),
+    }
+}
+
+#[test]
+fn subprocess_drive_matches_monolithic_bit_for_bit() {
+    let w = workload();
+    let reference = monolithic(&w);
+    for shards in [1usize, 3, 5] {
+        let driven = drive_subprocess(&worker_exe(), &w, shards, &[])
+            .unwrap_or_else(|e| panic!("{shards}-shard drive failed: {e}"));
+        assert!(
+            driven.bit_identical(&reference),
+            "{shards}-shard subprocess drive diverged from monolithic"
+        );
+    }
+}
+
+#[test]
+fn panicking_worker_surfaces_a_clean_error_naming_the_shard() {
+    let w = workload();
+    let err = drive_subprocess(&worker_exe(), &w, 3, &[(1, Fault::Panic)])
+        .expect_err("a panicking worker must fail the drive");
+    match &err {
+        ShardError::Worker { shard, reason } => {
+            assert_eq!(*shard, 1, "the error must name the failed shard");
+            assert!(
+                reason.contains("injected fault"),
+                "the worker's panic message must be surfaced, got: {reason}"
+            );
+        }
+        other => panic!("expected ShardError::Worker, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("shard 1"), "display names the shard: {msg}");
+}
+
+#[test]
+fn truncated_worker_output_surfaces_a_clean_error_naming_the_shard() {
+    let w = workload();
+    let err = drive_subprocess(&worker_exe(), &w, 4, &[(2, Fault::Truncate)])
+        .expect_err("truncated output must fail the drive");
+    match &err {
+        ShardError::Worker { shard, reason } => {
+            assert_eq!(*shard, 2, "the error must name the truncating shard");
+            assert!(
+                reason.contains("decoding worker output"),
+                "truncation is a decode failure: {reason}"
+            );
+        }
+        other => panic!("expected ShardError::Worker, got {other:?}"),
+    }
+}
+
+#[test]
+fn retried_shard_merges_identically() {
+    let w = workload();
+    let exe = worker_exe();
+    let shards = Shard::partition(w.total(), 3);
+    let mut merger = Merger::new(w.total());
+
+    // Shards 0 and 2 succeed; shard 1 is faulted and must fail without
+    // corrupting what is already merged.
+    for &i in &[0usize, 2] {
+        let result = run_shard_subprocess(&exe, &w, shards[i], None).expect("healthy shard");
+        merger.insert(result).expect("disjoint insert");
+    }
+    let err = run_shard_subprocess(&exe, &w, shards[1], Some(Fault::Panic))
+        .expect_err("faulted shard fails");
+    assert!(matches!(err, ShardError::Worker { shard: 1, .. }));
+    assert_eq!(merger.len(), 2, "failed shard left the merger untouched");
+    assert_eq!(merger.missing(), vec![(shards[1].start, shards[1].end)]);
+
+    // Retry the failed shard without the fault: it merges, and the
+    // assembled output is bit-identical to a clean monolithic run.
+    let retried = run_shard_subprocess(&exe, &w, shards[1], None).expect("retry succeeds");
+    merger.insert(retried).expect("retried shard merges");
+    let parts = merger.finish().expect("complete after retry");
+    let assembled = mbqao_bench::sweep::assemble(&w, parts);
+    assert!(
+        assembled.bit_identical(&monolithic(&w)),
+        "retried shard must reproduce the monolithic output"
+    );
+}

@@ -24,6 +24,16 @@
 //! Pattern compilation is memoized process-wide (see [`crate::cache`]):
 //! sweeps that rebuild backends for the same `(cost, p, mixer)` reuse
 //! the compiled artifacts instead of recompiling.
+//!
+//! One process is not the ceiling: the [`shard`] module partitions whole
+//! sweeps (landscape scans, grid searches, bench tables, disorder
+//! averages) into self-describing [`shard::Shard`]s whose partial
+//! results merge commutatively and associatively back into the exact
+//! monolithic output, and [`wire`] carries them across process
+//! boundaries bit-for-bit.
+
+pub mod shard;
+pub mod wire;
 
 use crate::cache;
 use crate::compiler::{CompileOptions, CompiledQaoa};

@@ -1,0 +1,731 @@
+//! Sharded sweeps: partition a sweep's index space into self-describing
+//! [`Shard`]s, execute them anywhere (threads, subprocesses, other
+//! machines), and [`Merger`]-merge the partial results back into the
+//! exact monolithic output.
+//!
+//! The paper's parameter-setting procedure is sweep-shaped all the way
+//! down — dense `(γ, β)` landscape scans, grid searches, resource tables
+//! across problem families, disorder averages over seeds. Every one of
+//! those is a pure function of a totally ordered index space
+//! `0..total`, which is the one abstraction this module shards:
+//!
+//! * [`Shard::partition`] splits `0..total` into contiguous,
+//!   near-equal, self-describing ranges;
+//! * a worker computes a payload for its range and wraps it in a
+//!   [`ShardResult`] with provenance (which shard, which backend,
+//!   cache statistics);
+//! * [`Merger`] accumulates results **in any arrival order**: merging
+//!   is commutative, associative, and idempotent on duplicate shards,
+//!   and [`Merger::finish`] hands the parts back in the canonical total
+//!   order (ascending range start) — so downstream folds (row
+//!   concatenation, argmin selection, averaging) are bit-for-bit
+//!   independent of which shard landed first.
+//!
+//! Process boundaries are crossed with [`run_worker`] /
+//! [`run_workers`]: the driver re-invokes a worker binary per shard and
+//! speaks JSON over stdio (see [`super::wire`] — floats travel as exact
+//! bit patterns). A worker that dies or emits a truncated stream
+//! surfaces as a [`ShardError::Worker`] naming the shard; the merger is
+//! never polluted by a failed shard, so retrying just that shard and
+//! inserting its result is always safe.
+
+use super::wire::{Value, WireError};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+/// One self-describing slice of a sweep: the half-open index range
+/// `start..end` of shard `index` out of `of`, over a sweep of `total`
+/// items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Which shard this is (`0..of`).
+    pub index: usize,
+    /// How many shards the sweep was partitioned into.
+    pub of: usize,
+    /// Total number of items in the sweep (shared by all shards).
+    pub total: usize,
+    /// First item index covered (inclusive).
+    pub start: usize,
+    /// One past the last item index covered.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Partitions `0..total` into `shards` contiguous, near-equal
+    /// ranges (the first `total % shards` ranges are one longer). More
+    /// shards than items yields trailing empty shards — degenerate but
+    /// legal, so a fixed fleet size works for any sweep.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn partition(total: usize, shards: usize) -> Vec<Shard> {
+        assert!(shards > 0, "need at least one shard");
+        let base = total / shards;
+        let extra = total % shards;
+        let mut start = 0usize;
+        (0..shards)
+            .map(|index| {
+                let len = base + usize::from(index < extra);
+                let s = Shard {
+                    index,
+                    of: shards,
+                    total,
+                    start,
+                    end: start + len,
+                };
+                start += len;
+                s
+            })
+            .collect()
+    }
+
+    /// Number of items this shard covers.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Wire encoding.
+    pub fn to_wire(&self) -> Value {
+        Value::obj(vec![
+            ("index", Value::uint(self.index)),
+            ("of", Value::uint(self.of)),
+            ("total", Value::uint(self.total)),
+            ("start", Value::uint(self.start)),
+            ("end", Value::uint(self.end)),
+        ])
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(v: &Value) -> Result<Shard, WireError> {
+        Ok(Shard {
+            index: v.field("index")?.as_uint()?,
+            of: v.field("of")?.as_uint()?,
+            total: v.field("total")?.as_uint()?,
+            start: v.field("start")?.as_uint()?,
+            end: v.field("end")?.as_uint()?,
+        })
+    }
+}
+
+/// Where a [`ShardResult`] came from: the shard itself plus execution
+/// context worth auditing after a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// The shard that produced the payload.
+    pub shard: Shard,
+    /// Backend name (`"gate"` / `"pattern"` / `"zx"`, or a workload
+    /// label for sweeps without a backend axis).
+    pub backend: String,
+    /// Compiled-pattern cache hits observed by the worker process.
+    pub cache_hits: usize,
+    /// Compiled-pattern cache misses observed by the worker process.
+    pub cache_misses: usize,
+}
+
+impl Provenance {
+    /// Wire encoding.
+    pub fn to_wire(&self) -> Value {
+        Value::obj(vec![
+            ("shard", self.shard.to_wire()),
+            ("backend", Value::Str(self.backend.clone())),
+            ("cache_hits", Value::uint(self.cache_hits)),
+            ("cache_misses", Value::uint(self.cache_misses)),
+        ])
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(v: &Value) -> Result<Provenance, WireError> {
+        Ok(Provenance {
+            shard: Shard::from_wire(v.field("shard")?)?,
+            backend: v.field("backend")?.as_str()?.to_string(),
+            cache_hits: v.field("cache_hits")?.as_uint()?,
+            cache_misses: v.field("cache_misses")?.as_uint()?,
+        })
+    }
+}
+
+/// A shard's partial result: provenance plus the workload-specific
+/// payload (landscape values, a grid-search best, table rows, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult<P> {
+    /// Which shard produced this, on what backend, with what cache use.
+    pub provenance: Provenance,
+    /// The partial result for `provenance.shard`'s index range.
+    pub payload: P,
+}
+
+/// Everything that can go wrong between partitioning and the merged
+/// result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// Two accepted shards claim overlapping index ranges.
+    Overlap {
+        /// Range already in the merger.
+        held: (usize, usize),
+        /// Conflicting incoming range.
+        incoming: (usize, usize),
+    },
+    /// The same range arrived twice with different payloads — a
+    /// non-deterministic worker (or mixed-up sweep), never mergeable.
+    DuplicateMismatch {
+        /// The twice-delivered range.
+        range: (usize, usize),
+    },
+    /// A shard was produced for a different sweep size.
+    TotalMismatch {
+        /// The merger's sweep size.
+        expected: usize,
+        /// The shard's sweep size.
+        got: usize,
+    },
+    /// A shard describes a malformed range (`start > end` or `end >
+    /// total`) — a corrupt wire payload or a buggy worker.
+    InvalidRange {
+        /// The claimed range.
+        range: (usize, usize),
+        /// The sweep size it must fit in.
+        total: usize,
+    },
+    /// `finish` was called before every index was covered.
+    Incomplete {
+        /// Uncovered index ranges, ascending.
+        missing: Vec<(usize, usize)>,
+    },
+    /// A worker process failed: died, exited nonzero, or wrote a
+    /// stream that does not decode. Always names the shard, so the
+    /// caller can retry exactly that slice.
+    Worker {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Human-readable failure description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Overlap { held, incoming } => write!(
+                f,
+                "shard ranges overlap: held {}..{} vs incoming {}..{}",
+                held.0, held.1, incoming.0, incoming.1
+            ),
+            ShardError::DuplicateMismatch { range } => write!(
+                f,
+                "shard {}..{} delivered twice with different payloads",
+                range.0, range.1
+            ),
+            ShardError::TotalMismatch { expected, got } => {
+                write!(
+                    f,
+                    "shard is for a sweep of {got} items, merger holds {expected}"
+                )
+            }
+            ShardError::InvalidRange { range, total } => write!(
+                f,
+                "shard claims malformed range {}..{} over {total} items",
+                range.0, range.1
+            ),
+            ShardError::Incomplete { missing } => {
+                write!(f, "sweep incomplete; missing ranges: ")?;
+                for (i, (s, e)) in missing.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}..{e}")?;
+                }
+                Ok(())
+            }
+            ShardError::Worker { shard, reason } => {
+                write!(f, "shard {shard} worker failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Order-insensitive accumulator of [`ShardResult`]s over one sweep.
+///
+/// `insert`/`merge` are **commutative and associative** (the state is a
+/// keyed union of disjoint ranges) and **idempotent** on re-delivered
+/// shards (same range, equal payload — the first arrival's provenance
+/// is kept). [`Merger::finish`] returns the parts in the canonical
+/// total order — ascending `start` — which is what makes every
+/// downstream reduction arrival-order invariant.
+#[derive(Debug, Clone)]
+pub struct Merger<P> {
+    total: usize,
+    parts: BTreeMap<usize, ShardResult<P>>,
+}
+
+impl<P: PartialEq> Merger<P> {
+    /// An empty merger for a sweep of `total` items.
+    pub fn new(total: usize) -> Self {
+        Merger {
+            total,
+            parts: BTreeMap::new(),
+        }
+    }
+
+    /// The sweep size this merger accumulates.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of non-empty shards accepted so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether no shard has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Accepts one shard result, in any order. Empty shards are
+    /// accepted and dropped; a re-delivered shard must carry an equal
+    /// payload (then it is a no-op). On error the merger is unchanged —
+    /// a failed or corrupt shard never pollutes accepted state.
+    pub fn insert(&mut self, result: ShardResult<P>) -> Result<(), ShardError> {
+        let shard = result.provenance.shard;
+        if shard.total != self.total {
+            return Err(ShardError::TotalMismatch {
+                expected: self.total,
+                got: shard.total,
+            });
+        }
+        // Wire-decoded shards are attacker-shaped data: validate in
+        // release builds too, or a malformed range slips past the
+        // overlap checks and corrupts coverage accounting.
+        if shard.start > shard.end || shard.end > self.total {
+            return Err(ShardError::InvalidRange {
+                range: (shard.start, shard.end),
+                total: self.total,
+            });
+        }
+        if shard.is_empty() {
+            return Ok(());
+        }
+        // Predecessor (greatest start ≤ incoming start): duplicate or
+        // overlap-from-the-left.
+        if let Some((_, held)) = self.parts.range(..=shard.start).next_back() {
+            let h = held.provenance.shard;
+            if h.start == shard.start && h.end == shard.end {
+                return if held.payload == result.payload {
+                    Ok(()) // idempotent re-delivery
+                } else {
+                    Err(ShardError::DuplicateMismatch {
+                        range: (shard.start, shard.end),
+                    })
+                };
+            }
+            if h.end > shard.start {
+                return Err(ShardError::Overlap {
+                    held: (h.start, h.end),
+                    incoming: (shard.start, shard.end),
+                });
+            }
+        }
+        // Successor (least start > incoming start): overlap-from-the-right.
+        if let Some((_, held)) = self.parts.range(shard.start + 1..).next() {
+            let h = held.provenance.shard;
+            if shard.end > h.start {
+                return Err(ShardError::Overlap {
+                    held: (h.start, h.end),
+                    incoming: (shard.start, shard.end),
+                });
+            }
+        }
+        self.parts.insert(shard.start, result);
+        Ok(())
+    }
+
+    /// Merges another merger's accepted shards into this one
+    /// (set union; same commutativity/associativity as [`Merger::insert`]).
+    pub fn merge(mut self, other: Merger<P>) -> Result<Merger<P>, ShardError> {
+        if other.total != self.total {
+            return Err(ShardError::TotalMismatch {
+                expected: self.total,
+                got: other.total,
+            });
+        }
+        for (_, part) in other.parts {
+            self.insert(part)?;
+        }
+        Ok(self)
+    }
+
+    /// Uncovered index ranges, ascending.
+    pub fn missing(&self) -> Vec<(usize, usize)> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0usize;
+        for part in self.parts.values() {
+            let s = part.provenance.shard;
+            if s.start > cursor {
+                gaps.push((cursor, s.start));
+            }
+            cursor = s.end;
+        }
+        if cursor < self.total {
+            gaps.push((cursor, self.total));
+        }
+        gaps
+    }
+
+    /// Whether every index in `0..total` is covered.
+    pub fn is_complete(&self) -> bool {
+        self.missing().is_empty()
+    }
+
+    /// The accepted parts in canonical total order (ascending range
+    /// start) — the one order every downstream reduction folds in.
+    ///
+    /// # Errors
+    /// [`ShardError::Incomplete`] when indices remain uncovered.
+    pub fn finish(self) -> Result<Vec<ShardResult<P>>, ShardError> {
+        let missing = self.missing();
+        if !missing.is_empty() {
+            return Err(ShardError::Incomplete { missing });
+        }
+        Ok(self.parts.into_values().collect())
+    }
+}
+
+// ------------------------------------------------------- subprocess driver
+
+/// How to invoke a worker process (the current binary re-invoked with a
+/// `--worker`-style flag, per the protocol of the caller's choosing).
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Worker executable.
+    pub exe: PathBuf,
+    /// Arguments selecting worker mode.
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// Command invoking `exe` with `args`.
+    pub fn new(exe: impl Into<PathBuf>, args: &[&str]) -> Self {
+        WorkerCommand {
+            exe: exe.into(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Maximum characters of a failed worker's stderr echoed into the
+/// error (half from the head — where the panic message lands — and
+/// half from the tail).
+const STDERR_EXCERPT: usize = 600;
+
+/// Head + tail excerpt of a failed worker's stderr: the panic message
+/// prints first, backtraces print after — keep both ends.
+fn stderr_excerpt(stderr: &str) -> String {
+    let trimmed = stderr.trim();
+    let chars: Vec<char> = trimmed.chars().collect();
+    if chars.len() <= STDERR_EXCERPT {
+        return trimmed.to_string();
+    }
+    let half = STDERR_EXCERPT / 2;
+    let head: String = chars[..half].iter().collect();
+    let tail: String = chars[chars.len() - half..].iter().collect();
+    format!("{head} […] {tail}")
+}
+
+/// Spawns one worker and writes its job to stdin. A failed write (e.g.
+/// EPIPE from a child that died before reading) is *not* fatal here:
+/// the child is still returned so the drain step can reap it and
+/// report the real exit status and stderr — and an unreaped child
+/// would linger as a zombie.
+fn spawn_worker(
+    cmd: &WorkerCommand,
+    shard_index: usize,
+    input: &str,
+) -> Result<(std::process::Child, Option<String>), ShardError> {
+    let mut child = Command::new(&cmd.exe)
+        .args(&cmd.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| ShardError::Worker {
+            shard: shard_index,
+            reason: format!("spawn {:?}: {e}", cmd.exe),
+        })?;
+    // Job descriptions are small (well under the pipe buffer), so the
+    // write completes without the child draining it; the protocol has
+    // the worker read all of stdin before writing anything. Dropping
+    // the handle closes the pipe, so a partially-written job reads as
+    // truncated JSON and the worker fails loudly.
+    let write_error = child
+        .stdin
+        .take()
+        .expect("stdin was piped")
+        .write_all(input.as_bytes())
+        .err()
+        .map(|e| e.to_string());
+    Ok((child, write_error))
+}
+
+/// Reaps a worker and turns its output into the shard's verdict.
+fn drain_worker(
+    child: std::process::Child,
+    write_error: Option<String>,
+    shard_index: usize,
+) -> Result<String, ShardError> {
+    let fail = |reason: String| ShardError::Worker {
+        shard: shard_index,
+        reason,
+    };
+    let out = child
+        .wait_with_output()
+        .map_err(|e| fail(format!("collecting output: {e}")))?;
+    if !out.status.success() {
+        let mut reason = format!(
+            "exited with {}; stderr: {}",
+            out.status,
+            stderr_excerpt(&String::from_utf8_lossy(&out.stderr))
+        );
+        if let Some(e) = write_error {
+            reason.push_str(&format!(" (job write also failed: {e})"));
+        }
+        return Err(fail(reason));
+    }
+    if let Some(e) = write_error {
+        return Err(fail(format!(
+            "writing job to stdin failed ({e}) though the worker exited 0"
+        )));
+    }
+    String::from_utf8(out.stdout).map_err(|e| fail(format!("non-UTF-8 output: {e}")))
+}
+
+/// Runs one worker subprocess for shard `shard_index`: writes `input`
+/// (a job description) to its stdin, closes it, and reads stdout to
+/// EOF. Any failure — spawn error, nonzero exit (e.g. a panic), or a
+/// kill — becomes a [`ShardError::Worker`] naming the shard, with an
+/// excerpt of the worker's stderr for diagnosis. Decoding the returned
+/// stdout is the caller's job (map decode failures to
+/// [`ShardError::Worker`] too, so truncated output also names its
+/// shard).
+pub fn run_worker(
+    cmd: &WorkerCommand,
+    shard_index: usize,
+    input: &str,
+) -> Result<String, ShardError> {
+    let (child, write_error) = spawn_worker(cmd, shard_index, input)?;
+    drain_worker(child, write_error, shard_index)
+}
+
+/// Runs one worker per `(shard_index, job)` pair and returns each
+/// shard's outcome (never short-circuits: every shard gets a verdict,
+/// so the caller can merge the successes and retry exactly the
+/// failures). Workers run concurrently as independent processes.
+pub fn run_workers(
+    cmd: &WorkerCommand,
+    jobs: &[(usize, String)],
+) -> Vec<(usize, Result<String, ShardError>)> {
+    // Spawn everything first (the per-worker stdin writes are small and
+    // cannot block), then collect in order — the OS runs the workers
+    // concurrently while we drain them one by one.
+    let children: Vec<_> = jobs
+        .iter()
+        .map(|(index, input)| (*index, spawn_worker(cmd, *index, input)))
+        .collect();
+    children
+        .into_iter()
+        .map(|(index, spawned)| {
+            let outcome =
+                spawned.and_then(|(child, write_error)| drain_worker(child, write_error, index));
+            (index, outcome)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(shard: Shard, payload: Vec<u64>) -> ShardResult<Vec<u64>> {
+        ShardResult {
+            provenance: Provenance {
+                shard,
+                backend: "test".into(),
+                cache_hits: 0,
+                cache_misses: 0,
+            },
+            payload,
+        }
+    }
+
+    /// Payload for a range: the item indices themselves.
+    fn payload_for(shard: Shard) -> Vec<u64> {
+        (shard.start..shard.end).map(|i| i as u64).collect()
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        for total in [0usize, 1, 5, 12, 100] {
+            for shards in [1usize, 2, 3, 7, 12, 40] {
+                let parts = Shard::partition(total, shards);
+                assert_eq!(parts.len(), shards);
+                let mut cursor = 0;
+                for (i, s) in parts.iter().enumerate() {
+                    assert_eq!(s.index, i);
+                    assert_eq!(s.of, shards);
+                    assert_eq!(s.total, total);
+                    assert_eq!(s.start, cursor);
+                    cursor = s.end;
+                }
+                assert_eq!(cursor, total);
+                let lens: Vec<usize> = parts.iter().map(Shard::len).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal partition: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_arrival_order_completes() {
+        let shards = Shard::partition(10, 4);
+        for order in [[0usize, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1]] {
+            let mut m = Merger::new(10);
+            for &i in &order {
+                m.insert(result(shards[i], payload_for(shards[i]))).unwrap();
+            }
+            let parts = m.finish().unwrap();
+            let flat: Vec<u64> = parts.into_iter().flat_map(|r| r.payload).collect();
+            assert_eq!(flat, (0..10u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn duplicate_equal_is_idempotent_mismatch_is_not() {
+        let shards = Shard::partition(6, 2);
+        let mut m = Merger::new(6);
+        m.insert(result(shards[0], payload_for(shards[0]))).unwrap();
+        // Same range, same payload: fine.
+        m.insert(result(shards[0], payload_for(shards[0]))).unwrap();
+        // Same range, different payload: rejected, merger intact.
+        let err = m.insert(result(shards[0], vec![9, 9, 9])).unwrap_err();
+        assert_eq!(err, ShardError::DuplicateMismatch { range: (0, 3) });
+        m.insert(result(shards[1], payload_for(shards[1]))).unwrap();
+        assert!(m.is_complete());
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let mut m = Merger::new(10);
+        let a = Shard {
+            index: 0,
+            of: 2,
+            total: 10,
+            start: 0,
+            end: 6,
+        };
+        let b = Shard {
+            index: 1,
+            of: 3,
+            total: 10,
+            start: 4,
+            end: 10,
+        };
+        m.insert(result(a, payload_for(a))).unwrap();
+        let err = m.insert(result(b, payload_for(b))).unwrap_err();
+        assert_eq!(
+            err,
+            ShardError::Overlap {
+                held: (0, 6),
+                incoming: (4, 10)
+            }
+        );
+        // The failed insert left no trace.
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn malformed_ranges_are_rejected_in_release_builds_too() {
+        let mut m = Merger::new(10);
+        for (start, end) in [(4usize, 2usize), (8, 12), (11, 11)] {
+            let bad = Shard {
+                index: 0,
+                of: 1,
+                total: 10,
+                start,
+                end,
+            };
+            let err = m.insert(result(bad, vec![])).unwrap_err();
+            assert_eq!(
+                err,
+                ShardError::InvalidRange {
+                    range: (start, end),
+                    total: 10
+                }
+            );
+            assert!(m.is_empty(), "corrupt shard must not pollute the merger");
+        }
+    }
+
+    #[test]
+    fn missing_ranges_are_reported() {
+        let shards = Shard::partition(12, 4);
+        let mut m = Merger::new(12);
+        m.insert(result(shards[1], payload_for(shards[1]))).unwrap();
+        m.insert(result(shards[3], payload_for(shards[3]))).unwrap();
+        assert_eq!(m.missing(), vec![(0, 3), (6, 9)]);
+        match m.finish() {
+            Err(ShardError::Incomplete { missing }) => {
+                assert_eq!(missing, vec![(0, 3), (6, 9)]);
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_shards_merge_away() {
+        // More shards than items: trailing empty shards are legal.
+        let shards = Shard::partition(3, 7);
+        let mut m = Merger::new(3);
+        for s in &shards {
+            m.insert(result(*s, payload_for(*s))).unwrap();
+        }
+        assert!(m.is_complete());
+        assert_eq!(m.len(), 3, "only the non-empty shards are held");
+    }
+
+    #[test]
+    fn merge_of_mergers_is_union() {
+        let shards = Shard::partition(9, 3);
+        let mut a = Merger::new(9);
+        a.insert(result(shards[0], payload_for(shards[0]))).unwrap();
+        let mut b = Merger::new(9);
+        b.insert(result(shards[2], payload_for(shards[2]))).unwrap();
+        b.insert(result(shards[1], payload_for(shards[1]))).unwrap();
+        let ab = a.clone().merge(b.clone()).unwrap();
+        let ba = b.merge(a).unwrap();
+        let flat = |m: Merger<Vec<u64>>| -> Vec<u64> {
+            m.finish()
+                .unwrap()
+                .into_iter()
+                .flat_map(|r| r.payload)
+                .collect()
+        };
+        assert_eq!(flat(ab), flat(ba), "merge is commutative");
+    }
+
+    #[test]
+    fn shard_round_trips_the_wire() {
+        for s in Shard::partition(17, 5) {
+            let v = s.to_wire();
+            let parsed = Value::parse(&v.to_json()).unwrap();
+            assert_eq!(Shard::from_wire(&parsed).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Minimal JSON wire format for shard jobs and results.
+//!
+//! The build environment is offline (no serde); this module implements
+//! exactly the JSON subset the shard protocol needs: objects, arrays,
+//! strings, integers, booleans and null. Two deliberate departures from
+//! general-purpose JSON keep the protocol **bit-for-bit** across
+//! process boundaries:
+//!
+//! * floats are never written as decimal literals — [`Value::f64_bits`]
+//!   encodes the IEEE-754 bit pattern as a tagged hex string
+//!   (`"f64:3fe0000000000000"`), so a value survives the round trip
+//!   exactly (including `-0.0`, subnormals, and NaN payloads), and
+//! * object keys keep their insertion order, so re-serialization of a
+//!   parsed value is byte-identical and results can be compared as
+//!   strings.
+//!
+//! The parser rejects decimal float literals outright: a truncated or
+//! hand-edited payload fails loudly instead of silently rounding.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value (see module docs for the deliberate restrictions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the only numeric literal the protocol uses).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion-ordered (not sorted, not deduplicated).
+    Obj(Vec<(String, Value)>),
+}
+
+/// Errors from [`Value::parse`] or the typed accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+impl Value {
+    /// Encodes an `f64` as its exact bit pattern (tagged hex string).
+    pub fn f64_bits(x: f64) -> Value {
+        Value::Str(format!("f64:{:016x}", x.to_bits()))
+    }
+
+    /// Encodes a `usize` (fits: the protocol never exceeds `i64`).
+    ///
+    /// # Panics
+    /// Panics if `x` exceeds `i64::MAX` (impossible for the index
+    /// spaces the shard layer partitions).
+    pub fn uint(x: usize) -> Value {
+        Value::Int(i64::try_from(x).expect("index space exceeds i64"))
+    }
+
+    /// Builds an object from entries (order preserved).
+    pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Obj(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Decodes a [`Value::f64_bits`] string.
+    pub fn as_f64_bits(&self) -> Result<f64, WireError> {
+        match self {
+            Value::Str(s) => match s.strip_prefix("f64:") {
+                Some(hex) if hex.len() == 16 => u64::from_str_radix(hex, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| WireError(format!("bad f64 bits {s:?}: {e}"))),
+                _ => err(format!("expected \"f64:<16 hex digits>\", got {s:?}")),
+            },
+            other => err(format!("expected f64-bits string, got {other:?}")),
+        }
+    }
+
+    /// The value as an integer.
+    pub fn as_int(&self) -> Result<i64, WireError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// The value as a `usize`.
+    pub fn as_uint(&self) -> Result<usize, WireError> {
+        usize::try_from(self.as_int()?).map_err(|_| WireError("negative index".into()))
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool, WireError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, WireError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Value], WireError> {
+        match self {
+            Value::Arr(a) => Ok(a),
+            other => err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Looks up a required object field.
+    pub fn field(&self, key: &str) -> Result<&Value, WireError> {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| WireError(format!("missing field {key:?}"))),
+            other => err(format!("expected object with field {key:?}, got {other:?}")),
+        }
+    }
+
+    /// Encodes a `&[f64]` bit-exactly.
+    pub fn f64_array(xs: &[f64]) -> Value {
+        Value::Arr(xs.iter().map(|&x| Value::f64_bits(x)).collect())
+    }
+
+    /// Decodes an array of [`Value::f64_bits`] entries.
+    pub fn as_f64_array(&self) -> Result<Vec<f64>, WireError> {
+        self.as_arr()?.iter().map(Value::as_f64_bits).collect()
+    }
+
+    /// Serializes to compact JSON (no whitespace, keys in insertion
+    /// order — re-serializing a parsed value is byte-identical).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error —
+    /// a truncated stream therefore never parses as a shorter value).
+    pub fn parse(input: &str) -> Result<Value, WireError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected {:?} at byte {} (input truncated?)",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, WireError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.integer(),
+            Some(other) => err(format!(
+                "unexpected byte {:?} at {}",
+                other as char, self.pos
+            )),
+            None => err("unexpected end of input (truncated?)"),
+        }
+    }
+
+    fn integer(&mut self) -> Result<Value, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        // Decimal floats are not part of the protocol (module docs).
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return err(format!(
+                "float literal at byte {start} — the wire encodes floats as f64-bits strings"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| WireError(format!("bad integer {text:?}: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string (truncated?)"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| WireError("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| WireError("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| WireError("bad \\u escape".into()))?;
+                            // The writer only emits \u for control chars
+                            // (< 0x20); surrogate pairs never occur.
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| WireError("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| WireError("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, WireError> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if seen.insert(key.clone(), ()).is_some() {
+                return err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let v = Value::obj(vec![
+            ("name", Value::Str("shard \"7\"\nof 9".into())),
+            ("index", Value::Int(-3)),
+            ("flag", Value::Bool(true)),
+            ("none", Value::Null),
+            (
+                "values",
+                Value::f64_array(&[0.1, -0.0, f64::INFINITY, 1.0 / 3.0]),
+            ),
+        ]);
+        let json = v.to_json();
+        let back = Value::parse(&json).expect("parses");
+        assert_eq!(back, v);
+        assert_eq!(back.to_json(), json, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn f64_bits_are_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -123.456e-78,
+        ] {
+            let v = Value::f64_bits(x);
+            let y = Value::parse(&v.to_json()).unwrap().as_f64_bits().unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_fail_loudly() {
+        let json = Value::obj(vec![("values", Value::f64_array(&[1.5, 2.5]))]).to_json();
+        for cut in 1..json.len() {
+            assert!(
+                Value::parse(&json[..cut]).is_err(),
+                "prefix of length {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn decimal_floats_are_rejected() {
+        assert!(Value::parse("1.5").is_err());
+        assert!(Value::parse("[1e3]").is_err());
+        assert!(Value::parse("42").is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert!(Value::parse("{\"a\":1,\"a\":2}").is_err());
+    }
+}

@@ -27,6 +27,11 @@
 //!   implementations and a batched, rayon-parallel [`Executor`] shared
 //!   by the optimizers, landscape scans, verification and the benchmark
 //!   tables.
+//! * [`engine::shard`] — the multi-process scaling layer: sweeps
+//!   partition into self-describing [`Shard`]s whose results merge
+//!   commutatively/associatively back into the exact monolithic output,
+//!   carried across process boundaries by the bit-exact JSON of
+//!   [`engine::wire`].
 //! * [`zx_backend`] — the ZX-simplified backend: compiled patterns are
 //!   exported to ZX (symbolically in γ/β), simplified to a fixpoint,
 //!   re-extracted and executed, with a [`SimplifyReport`] quantifying
@@ -51,6 +56,7 @@ pub mod zx_bridge;
 
 pub use cache::{cache_lens, pattern_cache_stats, zx_cache_stats, CacheStats, CACHE_CAPACITY};
 pub use compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
+pub use engine::shard::{Merger, Provenance, Shard, ShardError, ShardResult};
 pub use engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
 pub use gadgets::PatternBuilder;
 pub use resources::{gate_model_resources, paper_bounds, PaperBounds};

@@ -1,0 +1,160 @@
+//! Property tests for the shard merge algebra
+//! (`mbqao_core::engine::shard`): merging is associative, commutative,
+//! and idempotent on duplicate shards, and a *random* partition of the
+//! index space delivered in a *random* arrival order always finishes to
+//! the canonical reference — the exact invariants the sharded sweep
+//! engine's bit-for-bit guarantee stands on.
+//!
+//! Case counts follow `ProptestConfig::default()`; the scheduled
+//! `property-deep` CI job raises them to 1024 via `PROPTEST_CASES`.
+
+use mbqao_core::engine::shard::{Merger, Provenance, Shard, ShardResult};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The reference per-item payload: a value only its index determines
+/// (mixed so neighbouring indices differ in many bits).
+fn item_value(i: usize) -> u64 {
+    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD
+}
+
+/// A worker's payload for a range: the item values, in item order.
+fn payload(start: usize, end: usize) -> Vec<u64> {
+    (start..end).map(item_value).collect()
+}
+
+fn result_for(shard: Shard) -> ShardResult<Vec<u64>> {
+    ShardResult {
+        provenance: Provenance {
+            shard,
+            backend: format!("worker-{}", shard.index),
+            cache_hits: shard.index,
+            cache_misses: 0,
+        },
+        payload: payload(shard.start, shard.end),
+    }
+}
+
+/// Builds an arbitrary partition of `0..total` from raw cut points
+/// (wrapped into range, sorted, deduplicated).
+fn partition_from_cuts(total: usize, raw_cuts: &[usize]) -> Vec<Shard> {
+    let mut cuts: Vec<usize> = raw_cuts.iter().map(|&c| c % (total + 1)).collect();
+    cuts.push(0);
+    cuts.push(total);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let of = cuts.len() - 1;
+    cuts.windows(2)
+        .enumerate()
+        .map(|(index, w)| Shard {
+            index,
+            of,
+            total,
+            start: w[0],
+            end: w[1],
+        })
+        .collect()
+}
+
+/// The canonical reference: every item value in index order.
+fn reference(total: usize) -> Vec<u64> {
+    payload(0, total)
+}
+
+fn finish_flat(m: Merger<Vec<u64>>) -> Vec<u64> {
+    m.finish()
+        .expect("complete partition")
+        .into_iter()
+        .flat_map(|r| r.payload)
+        .collect()
+}
+
+proptest! {
+    /// Random partition + random arrival permutation ⇒ the merged
+    /// output equals the reference, always.
+    #[test]
+    fn arrival_order_never_matters(
+        total in 1usize..60,
+        raw_cuts in proptest::collection::vec(0usize..64, 0..8),
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let shards = partition_from_cuts(total, &raw_cuts);
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let mut m = Merger::new(total);
+        for &i in &order {
+            m.insert(result_for(shards[i])).expect("disjoint shards insert");
+        }
+        prop_assert_eq!(finish_flat(m), reference(total));
+    }
+
+    /// `a.merge(b)` and `b.merge(a)` finish identically for any split
+    /// of a random partition into two mergers.
+    #[test]
+    fn merge_is_commutative(
+        total in 1usize..60,
+        raw_cuts in proptest::collection::vec(0usize..64, 0..8),
+        split_seed in 0u64..1_000_000,
+    ) {
+        let shards = partition_from_cuts(total, &raw_cuts);
+        let mut rng = StdRng::seed_from_u64(split_seed);
+        let mut a = Merger::new(total);
+        let mut b = Merger::new(total);
+        for s in &shards {
+            if rng.gen::<bool>() {
+                a.insert(result_for(*s)).expect("insert into a");
+            } else {
+                b.insert(result_for(*s)).expect("insert into b");
+            }
+        }
+        let ab = a.clone().merge(b.clone()).expect("a ∪ b");
+        let ba = b.merge(a).expect("b ∪ a");
+        prop_assert_eq!(finish_flat(ab), reference(total));
+        prop_assert_eq!(finish_flat(ba), reference(total));
+    }
+
+    /// `(m1 ∪ m2) ∪ m3` equals `m1 ∪ (m2 ∪ m3)` for any three-way
+    /// split of a random partition.
+    #[test]
+    fn merge_is_associative(
+        total in 1usize..60,
+        raw_cuts in proptest::collection::vec(0usize..64, 0..8),
+        split_seed in 0u64..1_000_000,
+    ) {
+        let shards = partition_from_cuts(total, &raw_cuts);
+        let mut rng = StdRng::seed_from_u64(split_seed);
+        let mut groups = [Merger::new(total), Merger::new(total), Merger::new(total)];
+        for s in &shards {
+            let g = rng.gen_range(0usize..3);
+            groups[g].insert(result_for(*s)).expect("insert into group");
+        }
+        let [m1, m2, m3] = groups;
+        let left = m1.clone().merge(m2.clone()).expect("m1 ∪ m2")
+            .merge(m3.clone()).expect("(m1 ∪ m2) ∪ m3");
+        let right = m1.merge(m2.merge(m3).expect("m2 ∪ m3")).expect("m1 ∪ (m2 ∪ m3)");
+        prop_assert_eq!(finish_flat(left), reference(total));
+        prop_assert_eq!(finish_flat(right), reference(total));
+    }
+
+    /// Re-delivering every shard (equal payloads) is a no-op:
+    /// disjoint-shard merging is idempotent.
+    #[test]
+    fn duplicate_delivery_is_idempotent(
+        total in 1usize..60,
+        raw_cuts in proptest::collection::vec(0usize..64, 0..8),
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let shards = partition_from_cuts(total, &raw_cuts);
+        // Deliver the whole partition twice, interleaved at random.
+        let mut deliveries: Vec<usize> = (0..shards.len()).chain(0..shards.len()).collect();
+        deliveries.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let mut m = Merger::new(total);
+        for &i in &deliveries {
+            m.insert(result_for(shards[i])).expect("duplicate insert is a no-op");
+        }
+        prop_assert_eq!(m.len(), shards.iter().filter(|s| !s.is_empty()).count());
+        prop_assert_eq!(finish_flat(m), reference(total));
+    }
+}

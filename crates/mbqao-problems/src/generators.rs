@@ -138,6 +138,39 @@ pub fn sherrington_kirkpatrick<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Ising 
     Ising::new(n, 0.0, vec![0.0; n], couplings)
 }
 
+/// Sherrington–Kirkpatrick spin glass with *Gaussian* couplings
+/// `J_ij ~ N(0, 1/n)` — the textbook SK normalization under which the
+/// ground-state energy density `E₀/n` converges (as `n → ∞`) to the
+/// Parisi constant `≈ −0.7632`. The `±1`-coupling variant above shares
+/// the universality class; this one is the form disorder averages are
+/// quoted in. Samples via Box–Muller (two uniforms per normal pair), so
+/// it only needs the shim RNG's uniform `f64`s — deterministic in the
+/// RNG state.
+pub fn sherrington_kirkpatrick_gaussian<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Ising {
+    assert!(n >= 2, "SK needs at least two spins");
+    let sigma = 1.0 / (n as f64).sqrt();
+    let pairs = n * (n - 1) / 2;
+    let mut normals = Vec::with_capacity(pairs + 1);
+    while normals.len() < pairs {
+        // Box–Muller: u ∈ (0, 1] keeps the log finite.
+        let u = 1.0 - rng.gen::<f64>();
+        let v = rng.gen::<f64>();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        normals.push(r * theta.cos());
+        normals.push(r * theta.sin());
+    }
+    let mut couplings = Vec::with_capacity(pairs);
+    let mut k = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            couplings.push((u, v, sigma * normals[k]));
+            k += 1;
+        }
+    }
+    Ising::new(n, 0.0, vec![0.0; n], couplings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +250,38 @@ mod tests {
             let flipped = !x & 0x3F;
             assert_eq!(sk.energy(x), sk.energy(flipped));
         }
+    }
+
+    #[test]
+    fn gaussian_sk_is_seeded_and_scaled() {
+        // Same seed ⇒ bit-identical instance.
+        let a = sherrington_kirkpatrick_gaussian(6, &mut StdRng::seed_from_u64(5));
+        let b = sherrington_kirkpatrick_gaussian(6, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert_eq!(a.couplings().len(), 15);
+        assert!(a.fields().iter().all(|&h| h == 0.0));
+        // Couplings are continuous: both signs, no two equal, none ±1.
+        assert!(a.couplings().iter().any(|&(_, _, j)| j > 0.0));
+        assert!(a.couplings().iter().any(|&(_, _, j)| j < 0.0));
+        assert!(a.couplings().iter().all(|&(_, _, j)| j.abs() != 1.0));
+        // Sample variance over many draws tracks 1/n (loose 3σ-ish band).
+        let n = 8usize;
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        for _ in 0..40 {
+            let sk = sherrington_kirkpatrick_gaussian(n, &mut rng);
+            for &(_, _, j) in sk.couplings() {
+                sum_sq += j * j;
+                count += 1;
+            }
+        }
+        let var = sum_sq / count as f64;
+        let expected = 1.0 / n as f64;
+        assert!(
+            (var - expected).abs() < 0.25 * expected,
+            "sample variance {var} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::expectation::QaoaRunner;
 use rayon::prelude::*;
 
 /// A rectangular `(γ, β)` scan of a p=1 ansatz.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Landscape {
     /// Scanned γ values.
     pub gammas: Vec<f64>,
@@ -38,9 +38,92 @@ impl Landscape {
     }
 }
 
+/// The scanned `(γ, β)` axes for a `steps × steps` scan — the exact
+/// grid values every consumer (monolithic scan, shard workers, the
+/// final assembly) must agree on.
+///
+/// # Panics
+/// Panics when `steps < 2`.
+pub fn p1_axes(
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    steps: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(steps >= 2, "landscape scan needs at least 2 steps per axis");
+    let lin = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..steps)
+            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+            .collect()
+    };
+    (
+        lin(gamma_range.0, gamma_range.1),
+        lin(beta_range.0, beta_range.1),
+    )
+}
+
+/// Evaluates the flat-index slice `start..end` of a `steps × steps`
+/// scan (row-major: flat index `i·steps + j` is `[γ_i, β_j]`) with one
+/// `eval_batch` call — the shard-sized unit of landscape work. The full
+/// scan is the `0..steps²` slice; [`Landscape::from_flat`] reassembles
+/// any disjoint cover of slices, bit-for-bit.
+///
+/// # Panics
+/// Panics when `steps < 2`, the slice is out of range, or `eval_batch`
+/// returns the wrong length.
+pub fn scan_p1_slice_with<F>(
+    eval_batch: F,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    steps: usize,
+    start: usize,
+    end: usize,
+) -> Vec<f64>
+where
+    F: FnOnce(&[Vec<f64>]) -> Vec<f64>,
+{
+    let (gammas, betas) = p1_axes(gamma_range, beta_range, steps);
+    assert!(
+        start <= end && end <= steps * steps,
+        "slice {start}..{end} out of range for {steps}²"
+    );
+    let points: Vec<Vec<f64>> = (start..end)
+        .map(|flat| vec![gammas[flat / steps], betas[flat % steps]])
+        .collect();
+    let values = eval_batch(&points);
+    assert_eq!(
+        values.len(),
+        end - start,
+        "batch evaluator returned wrong length"
+    );
+    values
+}
+
+impl Landscape {
+    /// Rebuilds a landscape from the row-major flat value vector (the
+    /// concatenation, in flat-index order, of the slices produced by
+    /// [`scan_p1_slice_with`]).
+    ///
+    /// # Panics
+    /// Panics when `flat.len() != gammas.len() · betas.len()`.
+    pub fn from_flat(gammas: Vec<f64>, betas: Vec<f64>, flat: Vec<f64>) -> Landscape {
+        assert_eq!(
+            flat.len(),
+            gammas.len() * betas.len(),
+            "flat landscape has wrong length"
+        );
+        let values: Vec<Vec<f64>> = flat.chunks(betas.len()).map(|row| row.to_vec()).collect();
+        Landscape {
+            gammas,
+            betas,
+            values,
+        }
+    }
+}
+
 /// Scans `⟨C⟩` over `[γ_lo, γ_hi] × [β_lo, β_hi]` with `steps²` points:
 /// builds the flat point list `[γ_i, β_j]` (row-major) and hands it to
-/// `eval_batch` in one call.
+/// `eval_batch` in one call. (Equivalently: the one-shard case of
+/// [`scan_p1_slice_with`] — sharded scans reproduce this bit-for-bit.)
 ///
 /// # Panics
 /// Panics when `steps < 2` or `eval_batch` returns the wrong length.
@@ -53,30 +136,9 @@ pub fn scan_p1_with<F>(
 where
     F: FnOnce(&[Vec<f64>]) -> Vec<f64>,
 {
-    assert!(steps >= 2, "landscape scan needs at least 2 steps per axis");
-    let lin = |lo: f64, hi: f64| -> Vec<f64> {
-        (0..steps)
-            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
-            .collect()
-    };
-    let gammas = lin(gamma_range.0, gamma_range.1);
-    let betas = lin(beta_range.0, beta_range.1);
-    let points: Vec<Vec<f64>> = gammas
-        .iter()
-        .flat_map(|&g| betas.iter().map(move |&b| vec![g, b]))
-        .collect();
-    let flat = eval_batch(&points);
-    assert_eq!(
-        flat.len(),
-        steps * steps,
-        "batch evaluator returned wrong length"
-    );
-    let values: Vec<Vec<f64>> = flat.chunks(steps).map(|row| row.to_vec()).collect();
-    Landscape {
-        gammas,
-        betas,
-        values,
-    }
+    let flat = scan_p1_slice_with(eval_batch, gamma_range, beta_range, steps, 0, steps * steps);
+    let (gammas, betas) = p1_axes(gamma_range, beta_range, steps);
+    Landscape::from_flat(gammas, betas, flat)
 }
 
 /// Scans a [`QaoaRunner`]'s `⟨C⟩` landscape (points evaluated with rayon).
@@ -132,6 +194,37 @@ mod tests {
         assert!(v < -2.5, "landscape min {v} too weak");
         assert_eq!(scan.values.len(), 16);
         assert_eq!(scan.values[0].len(), 16);
+    }
+
+    #[test]
+    fn slices_reassemble_the_full_scan_bit_for_bit() {
+        let g = generators::triangle();
+        let runner = QaoaRunner::new(QaoaAnsatz::standard(maxcut::maxcut_zpoly(&g), 1));
+        let eval = |points: &[Vec<f64>]| -> Vec<f64> {
+            points.iter().map(|gb| runner.expectation(gb)).collect()
+        };
+        let steps = 5;
+        let full = scan_p1(&runner, (0.0, 2.0), (0.0, 1.0), steps);
+        // Three uneven slices covering 0..25.
+        let mut flat = Vec::new();
+        for (s, e) in [(0usize, 7usize), (7, 8), (8, 25)] {
+            flat.extend(scan_p1_slice_with(
+                eval,
+                (0.0, 2.0),
+                (0.0, 1.0),
+                steps,
+                s,
+                e,
+            ));
+        }
+        let (gammas, betas) = p1_axes((0.0, 2.0), (0.0, 1.0), steps);
+        let sliced = Landscape::from_flat(gammas, betas, flat);
+        assert_eq!(sliced, full);
+        for (ra, rb) in sliced.values.iter().zip(&full.values) {
+            for (a, b) in ra.iter().zip(rb) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-for-bit reassembly");
+            }
+        }
     }
 
     #[test]

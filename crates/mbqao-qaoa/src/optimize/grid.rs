@@ -5,14 +5,150 @@
 //! chunks and handed to [`BatchObjective::eval_batch`], so a batched
 //! backend (e.g. `mbqao_core::engine::Executor`) evaluates each chunk in
 //! parallel while memory stays bounded regardless of `steps^d`.
+//!
+//! The search is also *shardable*: [`grid_search_range`] reduces any
+//! flat-index slice of the grid to a [`GridBest`], and [`GridBest::merge`]
+//! combines slices commutatively and associatively with a deterministic
+//! tie-break (lowest flat index wins — exactly the point the monolithic
+//! scan would have kept, since it visits indices in increasing order).
+//! [`grid_search`] itself is the one-slice case, so sharded and
+//! monolithic searches agree bit-for-bit by construction.
 
 use super::{BatchObjective, OptResult};
 
 /// Number of grid points evaluated per `eval_batch` call.
 const CHUNK: usize = 4096;
 
+/// Total number of grid points for dimension `d` at `steps` per axis.
+pub fn grid_total(d: usize, steps: usize) -> usize {
+    steps.pow(d as u32)
+}
+
+/// The grid point at flat index `idx` (axis 0 varies fastest).
+pub fn grid_point(lo: &[f64], hi: &[f64], steps: usize, mut idx: usize) -> Vec<f64> {
+    let d = lo.len();
+    let mut x = vec![0.0; d];
+    for i in 0..d {
+        let s = idx % steps;
+        idx /= steps;
+        x[i] = lo[i] + (hi[i] - lo[i]) * s as f64 / (steps - 1) as f64;
+    }
+    x
+}
+
+/// The reduced result of scanning a slice of the grid: the minimal
+/// value seen and the flat index where it was first attained.
+///
+/// The ordering is lexicographic in `(value, index)` with strict-`<`
+/// value comparison — the same rule the monolithic scan applies point
+/// by point — so merging slice results in *any* order reproduces the
+/// monolithic winner exactly (NaN values are never selected, matching
+/// strict `<`; an untouched slice is [`GridBest::NONE`], the merge
+/// identity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridBest {
+    /// Minimal objective value in the slice.
+    pub value: f64,
+    /// Flat grid index attaining it (lowest such index).
+    pub index: usize,
+}
+
+impl GridBest {
+    /// The merge identity: no point accepted yet.
+    pub const NONE: GridBest = GridBest {
+        value: f64::INFINITY,
+        index: usize::MAX,
+    };
+
+    /// Folds one candidate in (the monolithic scan's per-point rule:
+    /// strict `<` on value, so the first-visited index wins ties and
+    /// NaN is never accepted).
+    fn consider(&mut self, value: f64, index: usize) {
+        if value < self.value || (value == self.value && index < self.index) {
+            *self = GridBest { value, index };
+        }
+    }
+
+    /// Combines two slice results. Commutative, associative, idempotent,
+    /// with [`GridBest::NONE`] as identity — any merge tree over any
+    /// arrival order yields the global `(value, index)` minimum (NaN
+    /// sorts last, mirroring the strict-`<` scan rule that never
+    /// accepts it).
+    pub fn merge(self, other: GridBest) -> GridBest {
+        use std::cmp::Ordering;
+        let ord = match (self.value.is_nan(), other.value.is_nan()) {
+            (false, false) => self
+                .value
+                .partial_cmp(&other.value)
+                .expect("both non-NaN")
+                .then(self.index.cmp(&other.index)),
+            (true, true) => self.index.cmp(&other.index),
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+        };
+        if ord == Ordering::Greater {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Expands the winner into an [`OptResult`] for the full grid
+    /// (`total` points, of which this is the reduced minimum).
+    pub fn into_result(self, lo: &[f64], hi: &[f64], steps: usize, total: usize) -> OptResult {
+        OptResult {
+            params: grid_point(lo, hi, steps, self.index),
+            value: self.value,
+            evals: total,
+            history: vec![self.value],
+        }
+    }
+}
+
+/// Evaluates the flat-index slice `start..end` of the grid and returns
+/// its [`GridBest`]. The slice is processed in bounded chunks, so
+/// memory stays flat regardless of slice size.
+///
+/// # Panics
+/// Panics when dimensions disagree, `steps < 2`, or the slice exceeds
+/// the grid.
+pub fn grid_search_range<O: BatchObjective + ?Sized>(
+    obj: &O,
+    lo: &[f64],
+    hi: &[f64],
+    steps: usize,
+    start: usize,
+    end: usize,
+) -> GridBest {
+    let d = obj.dim();
+    assert_eq!(lo.len(), d);
+    assert_eq!(hi.len(), d);
+    assert!(steps >= 2, "need at least 2 steps per dimension");
+    assert!(
+        start <= end && end <= grid_total(d, steps),
+        "slice {start}..{end} out of range"
+    );
+    let mut best = GridBest::NONE;
+    let mut cursor = start;
+    while cursor < end {
+        let chunk_end = (cursor + CHUNK).min(end);
+        let points: Vec<Vec<f64>> = (cursor..chunk_end)
+            .map(|idx| grid_point(lo, hi, steps, idx))
+            .collect();
+        let values = obj.eval_batch(&points);
+        debug_assert_eq!(values.len(), points.len());
+        for (off, v) in values.into_iter().enumerate() {
+            best.consider(v, cursor + off);
+        }
+        cursor = chunk_end;
+    }
+    best
+}
+
 /// Evaluates `obj` on a regular grid with `steps` points per dimension
-/// between `lo[i]` and `hi[i]` inclusive, returning the best point.
+/// between `lo[i]` and `hi[i]` inclusive, returning the best point
+/// (ties keep the first-visited index; equivalently, the `0..steps^d`
+/// slice of [`grid_search_range`]).
 ///
 /// # Panics
 /// Panics when dimensions disagree or `steps < 2`.
@@ -23,6 +159,8 @@ pub fn grid_search<O: BatchObjective + ?Sized>(
     steps: usize,
 ) -> OptResult {
     let d = obj.dim();
+    // Validate before the d == 0 early return, as the monolithic loop
+    // always did — mismatched bounds are a caller bug at any dimension.
     assert_eq!(lo.len(), d);
     assert_eq!(hi.len(), d);
     assert!(steps >= 2, "need at least 2 steps per dimension");
@@ -34,39 +172,8 @@ pub fn grid_search<O: BatchObjective + ?Sized>(
             history: vec![],
         };
     }
-    let total = steps.pow(d as u32);
-    let point = |mut idx: usize| -> Vec<f64> {
-        let mut x = vec![0.0; d];
-        for i in 0..d {
-            let s = idx % steps;
-            idx /= steps;
-            x[i] = lo[i] + (hi[i] - lo[i]) * s as f64 / (steps - 1) as f64;
-        }
-        x
-    };
-    let mut best = (f64::INFINITY, usize::MAX);
-    let mut start = 0usize;
-    while start < total {
-        let end = (start + CHUNK).min(total);
-        let points: Vec<Vec<f64>> = (start..end).map(point).collect();
-        let values = obj.eval_batch(&points);
-        debug_assert_eq!(values.len(), points.len());
-        // Strict `<` keeps the first-visited point on ties (indices are
-        // scanned in increasing order).
-        for (off, v) in values.into_iter().enumerate() {
-            if v < best.0 {
-                best = (v, start + off);
-            }
-        }
-        start = end;
-    }
-    let (value, best_idx) = best;
-    OptResult {
-        params: point(best_idx),
-        value,
-        evals: total,
-        history: vec![value],
-    }
+    let total = grid_total(d, steps);
+    grid_search_range(obj, lo, hi, steps, 0, total).into_result(lo, hi, steps, total)
 }
 
 #[cfg(test)]
@@ -101,5 +208,51 @@ mod tests {
         assert_eq!(r.evals, 6561);
         assert_eq!(r.params, vec![1.0; 8]);
         assert!(r.value.abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_merge_reproduces_the_monolithic_winner() {
+        // A flat-bottomed objective: many ties, so the tie-break rule is
+        // actually exercised.
+        let obj = FnObjective::new(2, |p: &[f64]| p[0].abs().max(p[1].abs()).floor());
+        let (lo, hi, steps) = (vec![-2.0, -2.0], vec![2.0, 2.0], 9);
+        let total = grid_total(2, steps);
+        let mono = grid_search(&obj, &lo, &hi, steps);
+        for cuts in [
+            vec![0, total],
+            vec![0, 13, total],
+            vec![0, 1, 2, 40, 77, total],
+        ] {
+            let bests: Vec<GridBest> = cuts
+                .windows(2)
+                .map(|w| grid_search_range(&obj, &lo, &hi, steps, w[0], w[1]))
+                .collect();
+            // Fold forwards and backwards: merge order must not matter.
+            let fwd = bests.iter().fold(GridBest::NONE, |a, &b| a.merge(b));
+            let bwd = bests.iter().rev().fold(GridBest::NONE, |a, &b| a.merge(b));
+            assert_eq!(fwd, bwd);
+            let r = fwd.into_result(&lo, &hi, steps, total);
+            assert_eq!(r.params, mono.params);
+            assert_eq!(r.value.to_bits(), mono.value.to_bits());
+            assert_eq!(r.evals, mono.evals);
+        }
+    }
+
+    #[test]
+    fn merge_identity_and_idempotence() {
+        let a = GridBest {
+            value: -1.5,
+            index: 7,
+        };
+        assert_eq!(GridBest::NONE.merge(a), a);
+        assert_eq!(a.merge(GridBest::NONE), a);
+        assert_eq!(a.merge(a), a);
+        // NaN is never selected, matching the strict-< scan rule.
+        let nan = GridBest {
+            value: f64::NAN,
+            index: 0,
+        };
+        assert_eq!(a.merge(nan), a);
+        assert_eq!(nan.merge(a), a);
     }
 }

@@ -11,7 +11,7 @@ pub mod grid;
 pub mod nelder_mead;
 pub mod spsa;
 
-pub use grid::grid_search;
+pub use grid::{grid_point, grid_search, grid_search_range, grid_total, GridBest};
 pub use nelder_mead::NelderMead;
 pub use spsa::Spsa;
 
@@ -76,7 +76,7 @@ impl<F: Fn(&[f64]) -> f64 + Sync> BatchObjective for FnObjective<F> {
 }
 
 /// Result of an optimization run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptResult {
     /// Best parameters found.
     pub params: Vec<f64>,

@@ -1,0 +1,181 @@
+//! The sharded sweep engine's proof harness: for every sweep-shaped
+//! workload — p=1 landscape scan, grid search, the resource and
+//! equivalence tables, disorder-averaged SK sweeps — a sharded
+//! execution (partition, per-shard computation, full JSON wire round
+//! trip, order-insensitive merge, canonical assembly) must reproduce
+//! the monolithic output **bit-for-bit**, for every shard count
+//! including the degenerate 1-shard and one-item-per-shard extremes,
+//! and for adversarial arrival orders.
+//!
+//! Backends are covered on their common workloads (gate / pattern / ZX
+//! landscape and grid sweeps); the tables sweep all three backends
+//! internally (each row compiles, simplifies and cross-verifies its
+//! instance on all of them).
+
+use mbqao_bench::sweep::{
+    monolithic, sharded_in_process, BackendKind, DisorderSpec, FamilyRef, SweepOutput, Workload,
+};
+use mbqao_bench::tables::{EquivalenceSpec, ResourcesSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The issue's shard-count schedule: 1 (degenerate), 2, 7 (uneven,
+/// possibly exceeding the item count — empty shards), and #items
+/// (one item per shard).
+fn shard_counts(total: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, 7, total];
+    counts.retain(|&c| c > 0);
+    counts.dedup();
+    counts
+}
+
+/// Adversarial arrival orders: forward, reverse, and a seeded shuffle.
+fn arrival_orders(shards: usize) -> Vec<Vec<usize>> {
+    let forward: Vec<usize> = (0..shards).collect();
+    let reverse: Vec<usize> = (0..shards).rev().collect();
+    let mut shuffled = forward.clone();
+    shuffled.shuffle(&mut StdRng::seed_from_u64(0xC0FFEE ^ shards as u64));
+    vec![forward, reverse, shuffled]
+}
+
+/// Asserts the workload's sharded runs are bit-identical to its
+/// monolithic run across the full shard-count × arrival-order matrix.
+fn assert_shard_equivalent(workload: &Workload, label: &str) {
+    let reference = monolithic(workload);
+    for shards in shard_counts(workload.total()) {
+        for order in arrival_orders(shards) {
+            let sharded = sharded_in_process(workload, shards, &order);
+            assert!(
+                sharded.bit_identical(&reference),
+                "{label}: {shards}-shard run (arrival {order:?}) diverged from monolithic"
+            );
+        }
+    }
+}
+
+fn family(name: &str) -> FamilyRef {
+    FamilyRef {
+        seed: 7,
+        name: name.into(),
+    }
+}
+
+#[test]
+fn landscape_scan_shards_bit_identically_on_all_backends() {
+    // An unweighted MaxCut family and a signed-coupling SK instance,
+    // on every backend: 25 points, shard counts 1/2/7/25.
+    for fam in ["triangle", "SK5"] {
+        for backend in BackendKind::ALL {
+            let workload = Workload::Landscape {
+                family: family(fam),
+                backend,
+                steps: 5,
+                gamma: (0.0, std::f64::consts::PI),
+                beta: (0.0, std::f64::consts::PI),
+            };
+            assert_shard_equivalent(&workload, &format!("landscape {fam}/{}", backend.name()));
+        }
+    }
+}
+
+#[test]
+fn grid_search_shards_bit_identically_on_all_backends() {
+    // p=1 on every backend (16 points over [0,π]²)…
+    for backend in BackendKind::ALL {
+        let workload = Workload::Grid {
+            family: family("square"),
+            backend,
+            p: 1,
+            steps: 4,
+            lo: vec![0.0; 2],
+            hi: vec![std::f64::consts::PI; 2],
+        };
+        assert_shard_equivalent(&workload, &format!("grid square/{}", backend.name()));
+    }
+    // …and a p=2 hypercube (3⁴ = 81 points) where argmin ties across
+    // shard boundaries actually occur (β-period symmetry duplicates
+    // values), exercising the deterministic tie-break.
+    let workload = Workload::Grid {
+        family: family("triangle"),
+        backend: BackendKind::Gate,
+        p: 2,
+        steps: 3,
+        lo: vec![0.0; 4],
+        hi: vec![std::f64::consts::PI; 4],
+    };
+    assert_shard_equivalent(&workload, "grid triangle/gate p=2");
+}
+
+#[test]
+fn resource_table_shards_byte_identically() {
+    // Five families (incl. dense K4 and SK5) at two depths = 10 rows;
+    // every row re-checks the paper bounds and gflow determinism on
+    // whichever worker renders it.
+    let spec = ResourcesSpec {
+        family_seed: 7,
+        max_n: 5,
+        depths: vec![1, 2],
+    };
+    assert!(
+        spec.expects_dense_savings(),
+        "this spec covers dense instances (K4, SK5)"
+    );
+    let workload = Workload::ResourceTable(spec);
+    assert_eq!(workload.total(), 10);
+    assert_shard_equivalent(&workload, "table_resources");
+    // The assembled table must carry the dense-savings certificate.
+    let SweepOutput::Table { dense_savings, .. } = monolithic(&workload) else {
+        panic!("resource workload assembles to a table");
+    };
+    assert!(dense_savings > 0, "dense instances must save qubits");
+}
+
+#[test]
+fn equivalence_table_shards_byte_identically() {
+    // Three families × p=1, two random QUBOs, four MIS instances = 9
+    // rows; every row runs the three-way gate/pattern/ZX equivalence
+    // verdict on whichever worker renders it.
+    let workload = Workload::EquivalenceTable(EquivalenceSpec {
+        family_seed: 7,
+        param_seed: 2403,
+        max_n: 4,
+        depths: vec![1],
+        qubos: 2,
+        include_mis: true,
+    });
+    assert_eq!(workload.total(), 9);
+    assert_shard_equivalent(&workload, "table_equivalence");
+}
+
+#[test]
+fn disorder_average_shards_bit_identically() {
+    // Six Gaussian-SK draws: the shard axis is the disorder seed, and
+    // 7 shards > 6 items exercises empty shards. The mean is folded in
+    // canonical seed order, so it is bit-identical too.
+    let workload = Workload::Disorder(DisorderSpec {
+        n: 4,
+        instances: 6,
+        base_seed: 2024,
+        p: 1,
+        grid_steps: 3,
+        backend: BackendKind::Gate,
+    });
+    assert_shard_equivalent(&workload, "disorder SK4");
+}
+
+#[test]
+fn disorder_average_is_seed_deterministic() {
+    // Same seeds ⇒ same per-seed energies and same average, run to run.
+    let spec = DisorderSpec {
+        n: 4,
+        instances: 4,
+        base_seed: 77,
+        p: 1,
+        grid_steps: 3,
+        backend: BackendKind::Gate,
+    };
+    let a = monolithic(&Workload::Disorder(spec.clone()));
+    let b = monolithic(&Workload::Disorder(spec));
+    assert!(a.bit_identical(&b), "disorder average must be reproducible");
+}
