@@ -1,0 +1,98 @@
+//! `mbqao-serve` — the always-on sweep orchestrator.
+//!
+//! Reads newline-delimited request frames on stdin (`submit` / `ping` /
+//! `shutdown`, mini-JSON per `mbqao_core::engine::wire`), schedules
+//! each job's shards onto a bounded subprocess fleet (re-invoking this
+//! binary with `--worker`), and writes event frames on stdout as the
+//! job progresses: `accepted`, one `partial` per merged shard in
+//! completion order, `requeue` for every retry or straggler
+//! re-partition, and a final `done` carrying the assembled output plus
+//! per-job stats. See `docs/SERVE.md` for the protocol.
+//!
+//! Usage:
+//! ```text
+//! mbqao-serve [--cap N] [--retries N] [--backoff-ms MS]
+//!             [--straggler-ms MS] [--queue N] [--quiet]
+//! mbqao-serve --worker     # internal: one shard, JSON over stdio
+//! ```
+//!
+//! Example session (one 2-shard landscape job, then shutdown):
+//! ```text
+//! printf '%s\n%s\n' \
+//!   '{"type":"submit","id":1,"shards":2,"check":true,"workload":{...}}' \
+//!   '{"type":"shutdown"}' | mbqao-serve --cap 2
+//! ```
+
+use mbqao_bench::serve::{serve, ServeConfig};
+use mbqao_bench::sweep::worker_run;
+use mbqao_core::engine::shard::RetryPolicy;
+use std::io::Read;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--worker") {
+        worker();
+        return;
+    }
+    let mut config = ServeConfig {
+        log: !args.iter().any(|a| a == "--quiet"),
+        ..ServeConfig::default()
+    };
+    if let Some(cap) = flag(&args, "--cap") {
+        config.cap = cap.parse().expect("--cap N");
+    }
+    let retries = flag(&args, "--retries").map_or(config.retry.max_attempts, |v| {
+        v.parse().expect("--retries N")
+    });
+    let backoff = flag(&args, "--backoff-ms").map_or(config.retry.base, |v| {
+        Duration::from_millis(v.parse().expect("--backoff-ms MS"))
+    });
+    config.retry = RetryPolicy::new(retries, backoff);
+    if let Some(ms) = flag(&args, "--straggler-ms") {
+        config.straggler_deadline = Some(Duration::from_millis(
+            ms.parse().expect("--straggler-ms MS"),
+        ));
+    }
+    if let Some(q) = flag(&args, "--queue") {
+        config.max_queue = q.parse().expect("--queue N");
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    if config.log {
+        eprintln!(
+            "serve: listening on stdin (cap {}, {} attempts, base backoff {:?}, queue {})",
+            config.cap, config.retry.max_attempts, config.retry.base, config.max_queue
+        );
+    }
+    let stats = serve(
+        std::io::BufReader::new(std::io::stdin()),
+        std::io::stdout(),
+        &exe,
+        &config,
+    );
+    if stats.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Worker mode: one JSON job on stdin, one JSON result on stdout.
+fn worker() {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .expect("reading job from stdin");
+    match worker_run(&input) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("worker: bad job: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

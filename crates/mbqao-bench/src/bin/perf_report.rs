@@ -11,18 +11,20 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p mbqao-bench --bin perf_report            # full run → BENCH_4.json
+//! cargo run --release -p mbqao-bench --bin perf_report            # full run → BENCH_7.json
 //! cargo run --release -p mbqao-bench --bin perf_report -- --smoke # tiny run (CI)
 //! cargo run --release -p mbqao-bench --bin perf_report -- --out /tmp/bench.json
 //! ```
 
+use mbqao_bench::serve::{run_job, ServeConfig};
+use mbqao_bench::sweep::{BackendKind, FamilyRef, Workload};
 use mbqao_core::engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
 use mbqao_problems::{generators, maxcut};
 use mbqao_qaoa::QaoaAnsatz;
 use std::time::Instant;
 
 /// Which perf-trajectory point this binary produces.
-const PR: u32 = 4;
+const PR: u32 = 7;
 
 /// One measured workload: `reps` timed repetitions of `iters` inner
 /// iterations each (after `warmup` untimed repetitions).
@@ -266,6 +268,64 @@ fn main() {
                 std::hint::black_box(gate.expectation(&p1_params));
             },
         ));
+    }
+
+    // Orchestrator dispatch overhead: one tiny 2-shard job through the
+    // full mbqao-serve path (partition → bounded fleet → subprocess
+    // spawn → wire round trip → streaming merge). The sweep itself is
+    // trivial (2×2 gate landscape), so the time is almost entirely the
+    // orchestration cost a job pays before any real work — the number
+    // the persistent-worker follow-up has to beat. Skipped when the
+    // sibling `mbqao-serve` binary is absent (e.g. `--only` builds).
+    if enabled("serve_dispatch") {
+        let serve_exe = std::env::current_exe()
+            .ok()
+            .and_then(|p| {
+                Some(
+                    p.parent()?
+                        .join(format!("mbqao-serve{}", std::env::consts::EXE_SUFFIX)),
+                )
+            })
+            .filter(|p| p.is_file());
+        match serve_exe {
+            None => eprintln!(
+                "  {:<28} skipped (mbqao-serve binary not built)",
+                "serve_dispatch"
+            ),
+            Some(exe) => {
+                let workload = Workload::Landscape {
+                    family: FamilyRef {
+                        seed: 7,
+                        name: "square".into(),
+                    },
+                    backend: BackendKind::Gate,
+                    steps: 2,
+                    gamma: (0.0, 1.0),
+                    beta: (0.0, 1.0),
+                };
+                let config = ServeConfig {
+                    cap: 2,
+                    log: false,
+                    ..ServeConfig::default()
+                };
+                results.push(Measurement::run(
+                    "serve_dispatch",
+                    "2x2 gate landscape as a 2-shard mbqao-serve job (orchestration overhead)"
+                        .into(),
+                    "job",
+                    1,
+                    warmup,
+                    reps,
+                    || {
+                        let (out, stats) =
+                            run_job(&exe, 0, &workload, 2, &[], &config, &mut |_| {})
+                                .expect("dispatch job");
+                        assert!(stats.max_live <= 2);
+                        std::hint::black_box(out);
+                    },
+                ));
+            }
+        }
     }
 
     let unix_time = std::time::SystemTime::now()

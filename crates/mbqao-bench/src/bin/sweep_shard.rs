@@ -11,7 +11,7 @@
 //!
 //! Usage:
 //! ```text
-//! sweep_shard --workload landscape --family square --backend gate --steps 16 --shards 4
+//! sweep_shard --workload landscape --family square --backend gate --steps 16 --shards 4 --cap 2
 //! sweep_shard --workload grid --family SK5 --backend pattern --p 1 --steps 8 --shards 2
 //! sweep_shard --workload resources --max-n 5 --depths 1,2 --shards 3 --check
 //! sweep_shard --workload equivalence --max-n 5 --shards 2
@@ -22,10 +22,11 @@
 //! `table_resources` / `table_equivalence` output byte-for-byte.
 
 use mbqao_bench::sweep::{
-    drive_subprocess, monolithic, worker_run, BackendKind, DisorderSpec, FamilyRef, SweepOutput,
-    Workload,
+    drive_subprocess_capped, monolithic, worker_run, BackendKind, DisorderSpec, FamilyRef,
+    SweepOutput, Workload,
 };
 use mbqao_bench::tables::{EquivalenceSpec, ResourcesSpec};
+use mbqao_core::engine::shard::default_worker_cap;
 use std::io::Read;
 
 fn main() {
@@ -36,14 +37,16 @@ fn main() {
     }
     let workload = workload_from_args(&args);
     let shards: usize = flag(&args, "--shards").map_or(2, |v| v.parse().expect("--shards N"));
+    let cap: usize =
+        flag(&args, "--cap").map_or_else(default_worker_cap, |v| v.parse().expect("--cap N"));
     let exe = std::env::current_exe().expect("current_exe");
     eprintln!(
-        "driving {} items as {} worker subprocesses of {}",
+        "driving {} items as {} worker subprocesses of {} (at most {cap} live)",
         workload.total(),
         shards,
         exe.display()
     );
-    let output = match drive_subprocess(&exe, &workload, shards, &[]) {
+    let output = match drive_subprocess_capped(&exe, &workload, shards, &[], cap) {
         Ok(output) => output,
         Err(e) => {
             eprintln!("sharded sweep failed: {e}");

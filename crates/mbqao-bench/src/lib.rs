@@ -5,6 +5,7 @@
 //! itself. Execution plumbing lives in `mbqao_core::engine` — this crate
 //! only assembles workloads and formats tables.
 
+pub mod serve;
 pub mod sweep;
 pub mod tables;
 

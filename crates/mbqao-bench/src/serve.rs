@@ -1,0 +1,974 @@
+//! The always-on sweep orchestrator behind the `mbqao-serve` binary:
+//! job specs arrive as newline-delimited wire frames, shards are
+//! scheduled onto a **bounded** worker fleet, merged partials stream
+//! back as they land, and a retry policy (exponential backoff, plus
+//! straggler kill + re-partition) turns transient worker failures into
+//! completed jobs whose output is still **bit-identical** to the
+//! monolithic run — the merge algebra of
+//! [`mbqao_core::engine::shard::Merger`] is the contract that makes
+//! every recovery action safe.
+//!
+//! Layering:
+//!
+//! * [`run_job`] executes one job end to end: partition → submit to a
+//!   [`Fleet`] capped at `cap` live workers → merge **on readiness**
+//!   (streaming a [`Event::Partial`] per landed shard) → retry failed
+//!   shards with backoff ([`Event::Requeue`]) → kill and split shards
+//!   that exceed the straggler deadline → assemble.
+//! * [`serve`] is the long-running loop: a reader thread parses
+//!   request frames and applies **admission control** (a bounded job
+//!   queue; overload is an immediate [`Event::Rejected`], never
+//!   unbounded memory), while the scheduler drains the queue with
+//!   **cache-affinity**: among queued jobs it prefers one sharing the
+//!   last job's [`Workload::cache_key`], keeping compiled-pattern
+//!   caches hot across consecutive jobs.
+//! * Every event is one wire frame on the response stream (and
+//!   optionally one human-readable line on stderr) — per-shard
+//!   latency, attempt counts, retry/re-partition decisions and cache
+//!   traffic are all observable per job; [`JobStats`] summarizes them
+//!   in the final [`Event::Done`].
+//!
+//! See `docs/SERVE.md` for the protocol reference.
+
+use crate::sweep::{
+    assemble, job_to_json_attempt, monolithic, result_from_json, Fault, Payload, SweepOutput,
+    Workload,
+};
+use mbqao_core::engine::shard::{
+    default_worker_cap, Fleet, FleetJob, Merger, RetryPolicy, Shard, ShardError, ShardResult,
+    WorkerCommand,
+};
+use mbqao_core::engine::wire::{read_frame, write_frame, Value, WireError};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- config
+
+/// Tuning knobs of the orchestrator.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum simultaneously live worker processes per job.
+    pub cap: usize,
+    /// Per-shard retry policy (attempts + exponential backoff).
+    pub retry: RetryPolicy,
+    /// Per-shard wall-clock deadline: a worker exceeding it is killed
+    /// and its range re-partitioned (halved) onto fresh workers.
+    /// `None` disables straggler handling.
+    pub straggler_deadline: Option<Duration>,
+    /// Admission bound: submits beyond this many queued jobs are
+    /// rejected immediately.
+    pub max_queue: usize,
+    /// Mirror every emitted event as a human-readable stderr line.
+    pub log: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cap: default_worker_cap(),
+            retry: RetryPolicy::new(3, Duration::from_millis(50)),
+            straggler_deadline: None,
+            max_queue: 16,
+            log: false,
+        }
+    }
+}
+
+// ----------------------------------------------------------------- stats
+
+/// Per-job observability counters, reported in [`Event::Done`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Non-empty shards the job was partitioned into.
+    pub shards: usize,
+    /// Shard executions that merged (sub-shards from re-partitions
+    /// included — can exceed `shards`).
+    pub completed: usize,
+    /// Failed attempts that were retried (with backoff).
+    pub retries: usize,
+    /// Stragglers killed and split into two sub-shards.
+    pub repartitions: usize,
+    /// Worker processes spawned over the job's lifetime.
+    pub spawned: usize,
+    /// Maximum simultaneously live workers ever observed — never
+    /// exceeds the configured cap.
+    pub max_live: usize,
+    /// Compiled-pattern cache hits summed over all worker provenances.
+    pub cache_hits: usize,
+    /// Compiled-pattern cache misses summed over all worker
+    /// provenances.
+    pub cache_misses: usize,
+    /// Per-merged-shard wall-clock latency, in completion order.
+    pub shard_ms: Vec<u64>,
+}
+
+impl JobStats {
+    fn latency_summary(&self) -> (u64, u64, u64) {
+        if self.shard_ms.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut sorted = self.shard_ms.clone();
+        sorted.sort_unstable();
+        (
+            sorted[0],
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() - 1],
+        )
+    }
+
+    /// Wire encoding (latencies summarized as min/median/max).
+    pub fn to_wire(&self) -> Value {
+        let (min, median, max) = self.latency_summary();
+        Value::obj(vec![
+            ("shards", Value::uint(self.shards)),
+            ("completed", Value::uint(self.completed)),
+            ("retries", Value::uint(self.retries)),
+            ("repartitions", Value::uint(self.repartitions)),
+            ("spawned", Value::uint(self.spawned)),
+            ("max_live", Value::uint(self.max_live)),
+            ("cache_hits", Value::uint(self.cache_hits)),
+            ("cache_misses", Value::uint(self.cache_misses)),
+            (
+                "latency_ms",
+                Value::obj(vec![
+                    ("min", Value::uint(min as usize)),
+                    ("median", Value::uint(median as usize)),
+                    ("max", Value::uint(max as usize)),
+                ]),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------- events
+
+/// One frame on the response stream. Every scheduling decision that
+/// affects a job is visible to its submitter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The job was admitted and partitioned.
+    Accepted {
+        /// Job id (echoed from the submit frame).
+        id: u64,
+        /// Items in the sweep.
+        total: usize,
+        /// Non-empty shards scheduled.
+        shards: usize,
+    },
+    /// A shard's partial result landed and merged (streamed in
+    /// completion order, not index order).
+    Partial {
+        /// Job id.
+        id: u64,
+        /// The merged shard.
+        shard: Shard,
+        /// Worker-reported backend label.
+        backend: String,
+        /// Which attempt produced the result (0 = first try).
+        attempt: u32,
+        /// Wall-clock of the producing attempt, milliseconds.
+        latency_ms: u64,
+        /// Compiled-pattern cache hits in the producing worker.
+        cache_hits: usize,
+        /// Compiled-pattern cache misses in the producing worker.
+        cache_misses: usize,
+        /// Items covered by the merge so far.
+        covered: usize,
+        /// Items in the sweep.
+        total: usize,
+    },
+    /// A failed or straggling shard was put back on the queue —
+    /// retried with backoff, or split into two sub-shards.
+    Requeue {
+        /// Job id.
+        id: u64,
+        /// The affected index range.
+        range: (usize, usize),
+        /// The attempt number about to run (retry) or 0 (re-partition).
+        attempt: u32,
+        /// Backoff applied before the next attempt, milliseconds.
+        backoff_ms: u64,
+        /// `true` when the range was halved instead of retried whole.
+        repartitioned: bool,
+        /// The failure that triggered the requeue.
+        reason: String,
+    },
+    /// The job completed; the merged output rides in the frame.
+    Done {
+        /// Job id.
+        id: u64,
+        /// The assembled sweep output (bit-exact on the wire).
+        output: SweepOutput,
+        /// Observability counters.
+        stats: JobStats,
+        /// When the submit asked for `check`: whether the output is
+        /// bit-identical to an in-process monolithic run.
+        bit_identical: Option<bool>,
+    },
+    /// The job failed permanently (retry budget exhausted).
+    JobError {
+        /// Job id.
+        id: u64,
+        /// Failure description (names the shard).
+        reason: String,
+    },
+    /// A request was refused (queue full, malformed frame).
+    Rejected {
+        /// Job id when the frame carried one.
+        id: Option<u64>,
+        /// Why it was refused.
+        reason: String,
+    },
+    /// Liveness reply to a `ping` frame.
+    Pong,
+    /// The service is exiting (shutdown frame or input EOF).
+    Bye {
+        /// Jobs completed over the connection.
+        done: usize,
+        /// Jobs permanently failed.
+        failed: usize,
+        /// Requests rejected.
+        rejected: usize,
+    },
+}
+
+impl Event {
+    /// Wire encoding (one frame).
+    pub fn to_wire(&self) -> Value {
+        match self {
+            Event::Accepted { id, total, shards } => Value::obj(vec![
+                ("type", Value::Str("accepted".into())),
+                ("id", Value::uint(*id as usize)),
+                ("total", Value::uint(*total)),
+                ("shards", Value::uint(*shards)),
+            ]),
+            Event::Partial {
+                id,
+                shard,
+                backend,
+                attempt,
+                latency_ms,
+                cache_hits,
+                cache_misses,
+                covered,
+                total,
+            } => Value::obj(vec![
+                ("type", Value::Str("partial".into())),
+                ("id", Value::uint(*id as usize)),
+                ("shard", shard.to_wire()),
+                ("backend", Value::Str(backend.clone())),
+                ("attempt", Value::uint(*attempt as usize)),
+                ("latency_ms", Value::uint(*latency_ms as usize)),
+                ("cache_hits", Value::uint(*cache_hits)),
+                ("cache_misses", Value::uint(*cache_misses)),
+                ("covered", Value::uint(*covered)),
+                ("total", Value::uint(*total)),
+            ]),
+            Event::Requeue {
+                id,
+                range,
+                attempt,
+                backoff_ms,
+                repartitioned,
+                reason,
+            } => Value::obj(vec![
+                ("type", Value::Str("requeue".into())),
+                ("id", Value::uint(*id as usize)),
+                ("start", Value::uint(range.0)),
+                ("end", Value::uint(range.1)),
+                ("attempt", Value::uint(*attempt as usize)),
+                ("backoff_ms", Value::uint(*backoff_ms as usize)),
+                ("repartitioned", Value::Bool(*repartitioned)),
+                ("reason", Value::Str(reason.clone())),
+            ]),
+            Event::Done {
+                id,
+                output,
+                stats,
+                bit_identical,
+            } => {
+                let mut entries = vec![
+                    ("type", Value::Str("done".into())),
+                    ("id", Value::uint(*id as usize)),
+                ];
+                if let Some(ok) = bit_identical {
+                    entries.push(("bit_identical", Value::Bool(*ok)));
+                }
+                entries.push(("output", output.to_wire()));
+                entries.push(("stats", stats.to_wire()));
+                Value::obj(entries)
+            }
+            Event::JobError { id, reason } => Value::obj(vec![
+                ("type", Value::Str("job_error".into())),
+                ("id", Value::uint(*id as usize)),
+                ("reason", Value::Str(reason.clone())),
+            ]),
+            Event::Rejected { id, reason } => {
+                let mut entries = vec![("type", Value::Str("rejected".into()))];
+                if let Some(id) = id {
+                    entries.push(("id", Value::uint(*id as usize)));
+                }
+                entries.push(("reason", Value::Str(reason.clone())));
+                Value::obj(entries)
+            }
+            Event::Pong => Value::obj(vec![("type", Value::Str("pong".into()))]),
+            Event::Bye {
+                done,
+                failed,
+                rejected,
+            } => Value::obj(vec![
+                ("type", Value::Str("bye".into())),
+                ("done", Value::uint(*done)),
+                ("failed", Value::uint(*failed)),
+                ("rejected", Value::uint(*rejected)),
+            ]),
+        }
+    }
+
+    /// Compact one-line rendering for the stderr event log.
+    pub fn log_line(&self) -> String {
+        match self {
+            Event::Accepted { id, total, shards } => {
+                format!("job {id}: accepted ({total} items, {shards} shards)")
+            }
+            Event::Partial {
+                id,
+                shard,
+                attempt,
+                latency_ms,
+                covered,
+                total,
+                ..
+            } => format!(
+                "job {id}: shard {}..{} merged (attempt {attempt}, {latency_ms} ms) — {covered}/{total}",
+                shard.start, shard.end
+            ),
+            Event::Requeue {
+                id,
+                range,
+                attempt,
+                backoff_ms,
+                repartitioned,
+                reason,
+            } => format!(
+                "job {id}: {} {}..{} (attempt {attempt}, backoff {backoff_ms} ms): {reason}",
+                if *repartitioned {
+                    "re-partitioning straggler"
+                } else {
+                    "retrying"
+                },
+                range.0,
+                range.1
+            ),
+            Event::Done { id, stats, .. } => format!(
+                "job {id}: done ({} merges, {} retries, {} repartitions, max {} live workers)",
+                stats.completed, stats.retries, stats.repartitions, stats.max_live
+            ),
+            Event::JobError { id, reason } => format!("job {id}: FAILED: {reason}"),
+            Event::Rejected { id, reason } => match id {
+                Some(id) => format!("job {id}: rejected: {reason}"),
+                None => format!("request rejected: {reason}"),
+            },
+            Event::Pong => "pong".into(),
+            Event::Bye {
+                done,
+                failed,
+                rejected,
+            } => format!("bye ({done} done, {failed} failed, {rejected} rejected)"),
+        }
+    }
+}
+
+// -------------------------------------------------------------- requests
+
+/// A `submit` frame: one sweep job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen job id, echoed on every event for this job.
+    pub id: u64,
+    /// The sweep to run.
+    pub workload: Workload,
+    /// How many shards to partition into.
+    pub shards: usize,
+    /// Injected transient faults, `(shard_index, fault)` (tests).
+    pub faults: Vec<(usize, Fault)>,
+    /// Verify the merged output against an in-process monolithic run
+    /// and report `bit_identical` in the `done` frame.
+    pub check: bool,
+}
+
+impl SubmitRequest {
+    /// Wire encoding (what a client sends).
+    pub fn to_wire(&self) -> Value {
+        let mut entries = vec![
+            ("type", Value::Str("submit".into())),
+            ("id", Value::uint(self.id as usize)),
+            ("shards", Value::uint(self.shards)),
+        ];
+        if self.check {
+            entries.push(("check", Value::Bool(true)));
+        }
+        if !self.faults.is_empty() {
+            entries.push((
+                "faults",
+                Value::Arr(
+                    self.faults
+                        .iter()
+                        .map(|(shard, fault)| {
+                            Value::obj(vec![
+                                ("shard", Value::uint(*shard)),
+                                ("fault", Value::Str(fault.to_wire_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        entries.push(("workload", self.workload.to_wire()));
+        Value::obj(entries)
+    }
+
+    /// Wire decoding. `shards` defaults to 2, `check` to false,
+    /// `faults` to none.
+    pub fn from_wire(v: &Value) -> Result<SubmitRequest, WireError> {
+        let id = v.field("id")?.as_uint()? as u64;
+        let shards = match v.field("shards") {
+            Err(_) => 2,
+            Ok(s) => s.as_uint()?,
+        };
+        if shards == 0 {
+            return Err(WireError("shards must be >= 1".into()));
+        }
+        let check = match v.field("check") {
+            Err(_) => false,
+            Ok(c) => c.as_bool()?,
+        };
+        let faults = match v.field("faults") {
+            Err(_) => Vec::new(),
+            Ok(list) => list
+                .as_arr()?
+                .iter()
+                .map(|f| {
+                    Ok((
+                        f.field("shard")?.as_uint()?,
+                        Fault::from_wire_str(f.field("fault")?.as_str()?)?,
+                    ))
+                })
+                .collect::<Result<_, WireError>>()?,
+        };
+        Ok(SubmitRequest {
+            id,
+            workload: Workload::from_wire(v.field("workload")?)?,
+            shards,
+            faults,
+            check,
+        })
+    }
+}
+
+enum Request {
+    Submit(Box<SubmitRequest>),
+    Ping,
+    Shutdown,
+}
+
+fn parse_request(v: &Value) -> Result<Request, WireError> {
+    match v.field("type")?.as_str()? {
+        "submit" => Ok(Request::Submit(Box::new(SubmitRequest::from_wire(v)?))),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(WireError(format!("unknown request type {other:?}"))),
+    }
+}
+
+// ----------------------------------------------------------- job engine
+
+/// A submission in flight on the fleet (possibly one of several
+/// attempts for its range).
+struct InFlight {
+    shard: Shard,
+    attempt: u32,
+    fault: Option<Fault>,
+}
+
+/// Splits a straggler's range in half onto two fresh synthetic shard
+/// indices. Requires `len >= 2` (a single item cannot be split).
+fn split_shard(shard: Shard, next_index: &mut usize) -> [Shard; 2] {
+    debug_assert!(shard.len() >= 2);
+    let mid = shard.start + shard.len() / 2;
+    let mut sub = |start: usize, end: usize| {
+        let index = *next_index;
+        *next_index += 1;
+        Shard {
+            index,
+            of: shard.of,
+            total: shard.total,
+            start,
+            end,
+        }
+    };
+    [sub(shard.start, mid), sub(mid, shard.end)]
+}
+
+/// Tracks one job's submissions onto its fleet: tags outcomes back to
+/// their [`InFlight`] bookkeeping and encodes the per-attempt job JSON.
+struct Dispatcher<'a> {
+    fleet: &'a Fleet,
+    workload: &'a Workload,
+    inflight: HashMap<u64, InFlight>,
+    next_tag: u64,
+}
+
+impl Dispatcher<'_> {
+    fn submit(&mut self, shard: Shard, attempt: u32, fault: Option<Fault>, delay: Duration) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let input = job_to_json_attempt(self.workload, shard, fault, attempt);
+        self.inflight.insert(
+            tag,
+            InFlight {
+                shard,
+                attempt,
+                fault,
+            },
+        );
+        self.fleet
+            .submit(FleetJob {
+                tag,
+                shard_index: shard.index,
+                input,
+                delay,
+            })
+            .unwrap_or_else(|_| unreachable!("fleet outlives the job"));
+    }
+}
+
+/// Executes one job end to end on a bounded fleet with streaming merge,
+/// retry + backoff, and straggler re-partition; emits an [`Event`] for
+/// every scheduling decision. Returns the assembled output (bit-exact
+/// vs. the monolithic run — the fault harness and the serve tests pin
+/// this) plus the job's observability counters.
+///
+/// `exe` is re-invoked as `exe --worker` per shard attempt.
+pub fn run_job(
+    exe: &Path,
+    id: u64,
+    workload: &Workload,
+    shards: usize,
+    faults: &[(usize, Fault)],
+    config: &ServeConfig,
+    emit: &mut dyn FnMut(Event),
+) -> Result<(SweepOutput, JobStats), ShardError> {
+    let total = workload.total();
+    let parts: Vec<Shard> = Shard::partition(total, shards)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut stats = JobStats {
+        shards: parts.len(),
+        ..JobStats::default()
+    };
+    emit(Event::Accepted {
+        id,
+        total,
+        shards: parts.len(),
+    });
+
+    let fleet = Fleet::new(
+        WorkerCommand::new(exe, &["--worker"]),
+        config.cap,
+        config.straggler_deadline,
+    );
+    let mut dispatch = Dispatcher {
+        fleet: &fleet,
+        workload,
+        inflight: HashMap::new(),
+        next_tag: 0,
+    };
+    // Synthetic indices for re-partitioned sub-shards start above the
+    // original partition so error messages stay unambiguous.
+    let mut next_index = shards;
+    for part in &parts {
+        let fault = faults
+            .iter()
+            .find(|(i, _)| *i == part.index)
+            .map(|(_, f)| *f);
+        dispatch.submit(*part, 0, fault, Duration::ZERO);
+    }
+
+    let mut merger = Merger::new(total);
+    let finish = |fleet: Fleet, stats: &mut JobStats| {
+        let fstats = fleet.shutdown();
+        stats.spawned = fstats.spawned;
+        stats.max_live = fstats.max_live;
+    };
+    while !dispatch.inflight.is_empty() {
+        let outcome = match fleet.recv() {
+            Some(outcome) => outcome,
+            None => {
+                finish(fleet, &mut stats);
+                return Err(ShardError::Worker {
+                    shard: 0,
+                    reason: "worker fleet terminated with jobs in flight".into(),
+                });
+            }
+        };
+        let flight = dispatch
+            .inflight
+            .remove(&outcome.tag)
+            .expect("every outcome matches a submission");
+        let decoded: Result<ShardResult<Payload>, ShardError> = outcome.result.and_then(|stdout| {
+            result_from_json(&stdout).map_err(|e| ShardError::Worker {
+                shard: flight.shard.index,
+                reason: format!("decoding worker output: {e} (truncated stream?)"),
+            })
+        });
+        match decoded {
+            Ok(result) => {
+                let provenance = result.provenance.clone();
+                if let Err(e) = merger.insert(result) {
+                    finish(fleet, &mut stats);
+                    return Err(e);
+                }
+                stats.completed += 1;
+                stats.cache_hits += provenance.cache_hits;
+                stats.cache_misses += provenance.cache_misses;
+                let latency_ms = outcome.elapsed.as_millis() as u64;
+                stats.shard_ms.push(latency_ms);
+                let covered = total - merger.missing().iter().map(|(s, e)| e - s).sum::<usize>();
+                emit(Event::Partial {
+                    id,
+                    shard: flight.shard,
+                    backend: provenance.backend,
+                    attempt: flight.attempt,
+                    latency_ms,
+                    cache_hits: provenance.cache_hits,
+                    cache_misses: provenance.cache_misses,
+                    covered,
+                    total,
+                });
+            }
+            Err(e) if outcome.timed_out && flight.shard.len() >= 2 => {
+                // Straggler: its worker is already killed; halve the
+                // range onto fresh workers. Sub-shards run clean (the
+                // injected-fault map keys on original indices only) and
+                // merge into the exact same output — ranges are
+                // disjoint and the fold is canonical-order.
+                stats.repartitions += 1;
+                emit(Event::Requeue {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    attempt: 0,
+                    backoff_ms: 0,
+                    repartitioned: true,
+                    reason: e.to_string(),
+                });
+                for sub in split_shard(flight.shard, &mut next_index) {
+                    dispatch.submit(sub, 0, None, Duration::ZERO);
+                }
+            }
+            Err(e) => {
+                let attempt = flight.attempt + 1;
+                if attempt >= config.retry.max_attempts {
+                    finish(fleet, &mut stats);
+                    return Err(e);
+                }
+                stats.retries += 1;
+                let backoff = config.retry.backoff(attempt);
+                emit(Event::Requeue {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    attempt,
+                    backoff_ms: backoff.as_millis() as u64,
+                    repartitioned: false,
+                    reason: e.to_string(),
+                });
+                dispatch.submit(flight.shard, attempt, flight.fault, backoff);
+            }
+        }
+    }
+    finish(fleet, &mut stats);
+    let output = assemble(workload, merger.finish()?);
+    Ok((output, stats))
+}
+
+// ------------------------------------------------------------ the server
+
+/// Connection counters returned by [`serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Jobs completed.
+    pub done: usize,
+    /// Jobs permanently failed.
+    pub failed: usize,
+    /// Requests rejected by admission control or frame validation.
+    pub rejected: usize,
+}
+
+/// Picks the next job: cache-affinity first (a queued job sharing
+/// `last_key` keeps the compiled-pattern caches hot), else FIFO.
+fn pick_next(queue: &mut VecDeque<SubmitRequest>, last_key: Option<&str>) -> Option<SubmitRequest> {
+    if let Some(key) = last_key {
+        if let Some(pos) = queue.iter().position(|r| r.workload.cache_key() == key) {
+            return queue.remove(pos);
+        }
+    }
+    queue.pop_front()
+}
+
+/// The always-on orchestrator loop: newline-delimited request frames
+/// in, event frames out, until a `shutdown` frame or input EOF (then
+/// the queue is drained gracefully and a `bye` frame closes the
+/// stream).
+///
+/// A dedicated reader thread keeps admission decisions prompt while a
+/// job is running: `ping` answers immediately, and a `submit` beyond
+/// `max_queue` queued jobs is rejected the moment it arrives instead
+/// of buffering without bound.
+pub fn serve<R, W>(reader: R, writer: W, exe: &Path, config: &ServeConfig) -> ServeStats
+where
+    R: BufRead + Send,
+    W: Write + Send,
+{
+    let writer = Mutex::new(writer);
+    let queue: Mutex<VecDeque<SubmitRequest>> = Mutex::new(VecDeque::new());
+    let reader_done = AtomicBool::new(false);
+    let rejected = AtomicUsize::new(0);
+    let emit = |event: Event| {
+        if config.log {
+            eprintln!("serve: {}", event.log_line());
+        }
+        let mut w = writer.lock().expect("writer poisoned");
+        // A vanished client is not an error the service can answer;
+        // keep running (remaining events will fail the same way).
+        let _ = write_frame(&mut *w, &event.to_wire());
+    };
+    let mut stats = ServeStats::default();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut reader = reader;
+            while let Some(frame) = read_frame(&mut reader) {
+                match frame.and_then(|v| parse_request(&v)) {
+                    Ok(Request::Ping) => emit(Event::Pong),
+                    Ok(Request::Shutdown) => break,
+                    Ok(Request::Submit(req)) => {
+                        let mut q = queue.lock().expect("queue poisoned");
+                        if q.len() >= config.max_queue {
+                            drop(q);
+                            rejected.fetch_add(1, Ordering::SeqCst);
+                            emit(Event::Rejected {
+                                id: Some(req.id),
+                                reason: format!(
+                                    "admission: queue full ({} jobs waiting)",
+                                    config.max_queue
+                                ),
+                            });
+                        } else {
+                            q.push_back(*req);
+                        }
+                    }
+                    Err(e) => {
+                        rejected.fetch_add(1, Ordering::SeqCst);
+                        emit(Event::Rejected {
+                            id: None,
+                            reason: e.to_string(),
+                        });
+                    }
+                }
+            }
+            reader_done.store(true, Ordering::SeqCst);
+        });
+
+        let mut last_key: Option<String> = None;
+        loop {
+            let next = {
+                let mut q = queue.lock().expect("queue poisoned");
+                pick_next(&mut q, last_key.as_deref())
+            };
+            match next {
+                Some(req) => {
+                    last_key = Some(req.workload.cache_key());
+                    let mut emit_fn = |event: Event| emit(event);
+                    match run_job(
+                        exe,
+                        req.id,
+                        &req.workload,
+                        req.shards,
+                        &req.faults,
+                        config,
+                        &mut emit_fn,
+                    ) {
+                        Ok((output, job_stats)) => {
+                            let bit_identical = req
+                                .check
+                                .then(|| output.bit_identical(&monolithic(&req.workload)));
+                            stats.done += 1;
+                            emit(Event::Done {
+                                id: req.id,
+                                output,
+                                stats: job_stats,
+                                bit_identical,
+                            });
+                        }
+                        Err(e) => {
+                            stats.failed += 1;
+                            emit(Event::JobError {
+                                id: req.id,
+                                reason: e.to_string(),
+                            });
+                        }
+                    }
+                }
+                None if reader_done.load(Ordering::SeqCst) => break,
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+    stats.rejected = rejected.load(Ordering::SeqCst);
+    emit(Event::Bye {
+        done: stats.done,
+        failed: stats.failed,
+        rejected: stats.rejected,
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{BackendKind, FamilyRef};
+
+    fn landscape(name: &str) -> Workload {
+        Workload::Landscape {
+            family: FamilyRef {
+                seed: 7,
+                name: name.into(),
+            },
+            backend: BackendKind::Gate,
+            steps: 4,
+            gamma: (0.0, 2.0),
+            beta: (0.0, 2.0),
+        }
+    }
+
+    fn submit(id: u64, name: &str) -> SubmitRequest {
+        SubmitRequest {
+            id,
+            workload: landscape(name),
+            shards: 2,
+            faults: vec![],
+            check: false,
+        }
+    }
+
+    #[test]
+    fn submit_requests_round_trip_the_wire() {
+        let reqs = [
+            submit(1, "square"),
+            SubmitRequest {
+                id: 9,
+                workload: landscape("triangle"),
+                shards: 5,
+                faults: vec![(0, Fault::Panic), (3, Fault::Stall(120))],
+                check: true,
+            },
+        ];
+        for req in &reqs {
+            let parsed = Value::parse(&req.to_wire().to_json()).unwrap();
+            assert_eq!(&SubmitRequest::from_wire(&parsed).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_at_decode() {
+        let mut req = submit(1, "square");
+        req.shards = 1;
+        let mut v = req.to_wire();
+        if let Value::Obj(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "shards" {
+                    *val = Value::Int(0);
+                }
+            }
+        }
+        assert!(SubmitRequest::from_wire(&v).is_err());
+    }
+
+    #[test]
+    fn pick_next_prefers_cache_affinity_then_fifo() {
+        let mut q: VecDeque<SubmitRequest> = [
+            submit(1, "square"),
+            submit(2, "triangle"),
+            submit(3, "square"),
+        ]
+        .into_iter()
+        .collect();
+        let key = landscape("square").cache_key();
+        // Affinity: job 1 (first matching), then job 3 — job 2 waits.
+        assert_eq!(pick_next(&mut q, Some(&key)).unwrap().id, 1);
+        assert_eq!(pick_next(&mut q, Some(&key)).unwrap().id, 3);
+        // No match left: FIFO.
+        assert_eq!(pick_next(&mut q, Some(&key)).unwrap().id, 2);
+        assert!(pick_next(&mut q, None).is_none());
+    }
+
+    #[test]
+    fn split_shard_halves_cover_exactly_with_fresh_indices() {
+        let shard = Shard {
+            index: 1,
+            of: 3,
+            total: 10,
+            start: 3,
+            end: 8,
+        };
+        let mut next_index = 3;
+        let [a, b] = split_shard(shard, &mut next_index);
+        assert_eq!((a.start, a.end), (3, 5));
+        assert_eq!((b.start, b.end), (5, 8));
+        assert_eq!((a.index, b.index), (3, 4));
+        assert_eq!(next_index, 5);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn stats_latency_summary_is_min_median_max() {
+        let stats = JobStats {
+            shard_ms: vec![40, 10, 99, 20, 30],
+            ..JobStats::default()
+        };
+        assert_eq!(stats.latency_summary(), (10, 30, 99));
+        assert_eq!(JobStats::default().latency_summary(), (0, 0, 0));
+    }
+
+    #[test]
+    fn events_encode_their_type_tag() {
+        let probes = [
+            (
+                Event::Accepted {
+                    id: 1,
+                    total: 16,
+                    shards: 4,
+                },
+                "accepted",
+            ),
+            (Event::Pong, "pong"),
+            (
+                Event::Rejected {
+                    id: None,
+                    reason: "queue full".into(),
+                },
+                "rejected",
+            ),
+        ];
+        for (event, tag) in &probes {
+            let v = event.to_wire();
+            assert_eq!(v.field("type").unwrap().as_str().unwrap(), *tag);
+            // Every event frame must survive the wire as-is.
+            assert_eq!(Value::parse(&v.to_json()).unwrap(), v);
+        }
+    }
+}

@@ -30,7 +30,8 @@
 use crate::tables::{EquivalenceSpec, ResourcesSpec, TableRow};
 use crate::FamilyInstance;
 use mbqao_core::engine::shard::{
-    run_worker, run_workers, Merger, Provenance, Shard, ShardError, ShardResult, WorkerCommand,
+    default_worker_cap, run_worker, run_workers_capped, Merger, Provenance, Shard, ShardError,
+    ShardResult, WorkerCommand,
 };
 use mbqao_core::engine::wire::{Value, WireError};
 use mbqao_core::{pattern_cache_stats, Backend, Executor, GateBackend, PatternBackend, ZxBackend};
@@ -211,6 +212,39 @@ impl Workload {
             Workload::ResourceTable(spec) => spec.item_count(),
             Workload::EquivalenceTable(spec) => spec.item_count(),
             Workload::Disorder(spec) => spec.instances,
+        }
+    }
+
+    /// The compiled-artifact affinity key: two workloads with the same
+    /// key exercise the same `(cost, p, mixer)` compile-cache entries,
+    /// so a scheduler that runs them back-to-back on the same worker
+    /// keeps the pattern cache hot (the `mbqao-serve` admission queue
+    /// routes on this).
+    pub fn cache_key(&self) -> String {
+        match self {
+            Workload::Landscape {
+                family, backend, ..
+            } => format!(
+                "landscape/{}/{}/{}",
+                family.seed,
+                family.name,
+                backend.name()
+            ),
+            Workload::Grid {
+                family, backend, p, ..
+            } => format!(
+                "grid/{}/{}/{}/p{p}",
+                family.seed,
+                family.name,
+                backend.name()
+            ),
+            Workload::ResourceTable(spec) => format!("resources/{}", spec.family_seed),
+            Workload::EquivalenceTable(spec) => {
+                format!("equivalence/{}/{}", spec.family_seed, spec.param_seed)
+            }
+            Workload::Disorder(spec) => {
+                format!("disorder/{}/n{}/p{}", spec.backend.name(), spec.n, spec.p)
+            }
         }
     }
 
@@ -627,6 +661,79 @@ impl SweepOutput {
             _ => false,
         }
     }
+
+    /// Wire encoding (bit-exact: every float travels as its IEEE-754
+    /// bit pattern), so a `mbqao-serve` client can assert bit-identity
+    /// on the decoded result of a `done` frame.
+    pub fn to_wire(&self) -> Value {
+        match self {
+            SweepOutput::Landscape(scan) => Value::obj(vec![
+                ("kind", Value::Str("landscape".into())),
+                ("gammas", Value::f64_array(&scan.gammas)),
+                ("betas", Value::f64_array(&scan.betas)),
+                (
+                    "values",
+                    Value::Arr(
+                        scan.values
+                            .iter()
+                            .map(|row| Value::f64_array(row))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            SweepOutput::Opt(r) => Value::obj(vec![
+                ("kind", Value::Str("opt".into())),
+                ("params", Value::f64_array(&r.params)),
+                ("value", Value::f64_bits(r.value)),
+                ("evals", Value::uint(r.evals)),
+                ("history", Value::f64_array(&r.history)),
+            ]),
+            SweepOutput::Table {
+                text,
+                dense_savings,
+            } => Value::obj(vec![
+                ("kind", Value::Str("table".into())),
+                ("text", Value::Str(text.clone())),
+                ("dense_savings", Value::Int(*dense_savings)),
+            ]),
+            SweepOutput::Disorder { per_seed, mean } => Value::obj(vec![
+                ("kind", Value::Str("disorder".into())),
+                ("per_seed", Value::f64_array(per_seed)),
+                ("mean", Value::f64_bits(*mean)),
+            ]),
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(v: &Value) -> Result<SweepOutput, WireError> {
+        match v.field("kind")?.as_str()? {
+            "landscape" => Ok(SweepOutput::Landscape(Landscape {
+                gammas: v.field("gammas")?.as_f64_array()?,
+                betas: v.field("betas")?.as_f64_array()?,
+                values: v
+                    .field("values")?
+                    .as_arr()?
+                    .iter()
+                    .map(Value::as_f64_array)
+                    .collect::<Result<_, _>>()?,
+            })),
+            "opt" => Ok(SweepOutput::Opt(OptResult {
+                params: v.field("params")?.as_f64_array()?,
+                value: v.field("value")?.as_f64_bits()?,
+                evals: v.field("evals")?.as_uint()?,
+                history: v.field("history")?.as_f64_array()?,
+            })),
+            "table" => Ok(SweepOutput::Table {
+                text: v.field("text")?.as_str()?.to_string(),
+                dense_savings: v.field("dense_savings")?.as_int()?,
+            }),
+            "disorder" => Ok(SweepOutput::Disorder {
+                per_seed: v.field("per_seed")?.as_f64_array()?,
+                mean: v.field("mean")?.as_f64_bits()?,
+            }),
+            other => Err(WireError(format!("unknown output kind {other:?}"))),
+        }
+    }
 }
 
 /// Folds merged parts (canonical order — [`Merger::finish`]'s output)
@@ -740,46 +847,99 @@ fn assemble_table(parts: Vec<ShardResult<Payload>>, header: &str, footer: &str) 
 /// Injectable worker faults (test hooks for the fault harness; carried
 /// in the job itself so no environment leaks between driver and
 /// worker).
+///
+/// All faults model **transient** failures, which is what a retry
+/// policy exists for: `Panic`, `Truncate` and `Stall` fire only on a
+/// job's first attempt (`attempt == 0`), and `FailUntil(k)` fails
+/// every attempt below `k` — so a retried or re-partitioned job runs
+/// clean exactly like a real flaky worker that recovers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
-    /// The worker panics mid-shard.
+    /// The worker panics mid-shard (first attempt only).
     Panic,
-    /// The worker emits only half of its result JSON.
+    /// The worker emits only half of its result JSON (first attempt
+    /// only).
     Truncate,
+    /// The worker stalls this many milliseconds before computing
+    /// (first attempt only) — the straggler injection for the
+    /// deadline/re-partition path.
+    Stall(u64),
+    /// The worker panics while `attempt < k` — the retry-policy
+    /// workhorse: fails exactly `k` times, then succeeds.
+    FailUntil(u32),
 }
 
-/// Encodes one worker job.
-pub fn job_to_json(workload: &Workload, shard: Shard, fault: Option<Fault>) -> String {
+impl Fault {
+    /// The fault's wire spelling.
+    pub fn to_wire_str(&self) -> String {
+        match self {
+            Fault::Panic => "panic".into(),
+            Fault::Truncate => "truncate".into(),
+            Fault::Stall(ms) => format!("stall:{ms}"),
+            Fault::FailUntil(k) => format!("fail_until:{k}"),
+        }
+    }
+
+    /// Parses [`Fault::to_wire_str`].
+    pub fn from_wire_str(s: &str) -> Result<Fault, WireError> {
+        if let Some(ms) = s.strip_prefix("stall:") {
+            return ms
+                .parse()
+                .map(Fault::Stall)
+                .map_err(|e| WireError(format!("bad stall millis {ms:?}: {e}")));
+        }
+        if let Some(k) = s.strip_prefix("fail_until:") {
+            return k
+                .parse()
+                .map(Fault::FailUntil)
+                .map_err(|e| WireError(format!("bad fail_until count {k:?}: {e}")));
+        }
+        match s {
+            "panic" => Ok(Fault::Panic),
+            "truncate" => Ok(Fault::Truncate),
+            other => Err(WireError(format!("unknown fault {other:?}"))),
+        }
+    }
+}
+
+/// Encodes one worker job for its `attempt`-th execution (0-based; the
+/// attempt travels in the job so retried work is observable end to end
+/// and transient-fault injection can key on it).
+pub fn job_to_json_attempt(
+    workload: &Workload,
+    shard: Shard,
+    fault: Option<Fault>,
+    attempt: u32,
+) -> String {
     let mut entries = vec![("workload", workload.to_wire()), ("shard", shard.to_wire())];
     if let Some(fault) = fault {
-        entries.push((
-            "fault",
-            Value::Str(
-                match fault {
-                    Fault::Panic => "panic",
-                    Fault::Truncate => "truncate",
-                }
-                .into(),
-            ),
-        ));
+        entries.push(("fault", Value::Str(fault.to_wire_str())));
+    }
+    if attempt > 0 {
+        entries.push(("attempt", Value::uint(attempt as usize)));
     }
     Value::obj(entries).to_json()
 }
 
-/// Decodes one worker job.
-pub fn job_from_json(input: &str) -> Result<(Workload, Shard, Option<Fault>), WireError> {
+/// Encodes one worker job (first attempt).
+pub fn job_to_json(workload: &Workload, shard: Shard, fault: Option<Fault>) -> String {
+    job_to_json_attempt(workload, shard, fault, 0)
+}
+
+/// Decodes one worker job: `(workload, shard, fault, attempt)`.
+pub fn job_from_json(input: &str) -> Result<(Workload, Shard, Option<Fault>, u32), WireError> {
     let v = Value::parse(input)?;
     let workload = Workload::from_wire(v.field("workload")?)?;
     let shard = Shard::from_wire(v.field("shard")?)?;
     let fault = match v.field("fault") {
         Err(_) => None,
-        Ok(f) => Some(match f.as_str()? {
-            "panic" => Fault::Panic,
-            "truncate" => Fault::Truncate,
-            other => return Err(WireError(format!("unknown fault {other:?}"))),
-        }),
+        Ok(f) => Some(Fault::from_wire_str(f.as_str()?)?),
     };
-    Ok((workload, shard, fault))
+    let attempt = match v.field("attempt") {
+        Err(_) => 0,
+        Ok(a) => u32::try_from(a.as_int()?).map_err(|_| WireError("negative attempt".into()))?,
+    };
+    Ok((workload, shard, fault, attempt))
 }
 
 /// Encodes one shard result.
@@ -801,20 +961,30 @@ pub fn result_from_json(input: &str) -> Result<ShardResult<Payload>, WireError> 
 }
 
 /// The worker side of the protocol: decode the job from `input`,
-/// compute, encode the result. Injected faults fire here (a `Panic`
-/// fault panics — taking the worker process down like any real bug
-/// would; a `Truncate` fault returns half the result bytes).
+/// compute, encode the result. Injected faults fire here (a `Panic` /
+/// `FailUntil` fault panics — taking the worker process down like any
+/// real bug would; `Stall` sleeps like a real straggler; a `Truncate`
+/// fault returns half the result bytes). Faults are transient: see
+/// [`Fault`] for the attempt gating.
 pub fn worker_run(input: &str) -> Result<String, WireError> {
-    let (workload, shard, fault) = job_from_json(input)?;
-    if fault == Some(Fault::Panic) {
-        panic!(
+    let (workload, shard, fault, attempt) = job_from_json(input)?;
+    match fault {
+        Some(Fault::Panic) if attempt == 0 => panic!(
             "injected fault: worker for shard {} of {} panics",
             shard.index, shard.of
-        );
+        ),
+        Some(Fault::FailUntil(k)) if attempt < k => panic!(
+            "injected fault: worker for shard {} of {} fails attempt {attempt} (< {k})",
+            shard.index, shard.of
+        ),
+        Some(Fault::Stall(ms)) if attempt == 0 => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        _ => {}
     }
     let json = result_to_json(&run_shard(&workload, shard));
     Ok(match fault {
-        Some(Fault::Truncate) => {
+        Some(Fault::Truncate) if attempt == 0 => {
             let mut cut = json.len() / 2;
             while !json.is_char_boundary(cut) {
                 cut -= 1;
@@ -876,8 +1046,9 @@ pub fn sharded_in_process(workload: &Workload, shards: usize, arrival: &[usize])
     let mut merger = Merger::new(workload.total());
     for &i in arrival {
         let job = job_to_json(workload, parts[i], None);
-        let (wl, shard, fault) = job_from_json(&job).expect("job round trip");
+        let (wl, shard, fault, attempt) = job_from_json(&job).expect("job round trip");
         assert!(fault.is_none());
+        assert_eq!(attempt, 0);
         let result = run_shard(&wl, shard);
         let decoded = result_from_json(&result_to_json(&result)).expect("result round trip");
         merger.insert(decoded).expect("disjoint by construction");
@@ -903,20 +1074,24 @@ pub fn run_shard_subprocess(
     })
 }
 
-/// Executes a workload as `shards` worker subprocesses and merges the
-/// results. `faults` maps shard indices to injected faults (tests).
+/// Executes a workload as `shards` worker subprocesses — at most `cap`
+/// live at once, drained on readiness — and merges the results.
+/// `faults` maps shard indices to injected faults (tests).
 ///
 /// All workers get a verdict before this returns (no hang on a dead
 /// worker, no short-circuit): if any failed, the error names the
 /// lowest-indexed failed shard and the successfully merged shards are
 /// discarded — re-driving, or re-running just the failed shards via
 /// [`run_shard_subprocess`], are both sound because merging is
-/// order-insensitive and idempotent.
-pub fn drive_subprocess(
+/// order-insensitive and idempotent. (The long-running service in
+/// [`crate::serve`] adds retry, backoff and straggler re-partition on
+/// top of the same primitives.)
+pub fn drive_subprocess_capped(
     exe: &Path,
     workload: &Workload,
     shards: usize,
     faults: &[(usize, Fault)],
+    cap: usize,
 ) -> Result<SweepOutput, ShardError> {
     let parts = Shard::partition(workload.total(), shards);
     // Empty shards (fleet larger than the item space) contribute
@@ -930,7 +1105,7 @@ pub fn drive_subprocess(
         })
         .collect();
     let cmd = WorkerCommand::new(exe, &["--worker"]);
-    let outcomes = run_workers(&cmd, &jobs);
+    let outcomes = run_workers_capped(&cmd, &jobs, cap);
     let mut merger = Merger::new(workload.total());
     let mut first_failure: Option<ShardError> = None;
     for (index, outcome) in outcomes {
@@ -940,16 +1115,31 @@ pub fn drive_subprocess(
                 reason: format!("decoding worker output: {e} (truncated stream?)"),
             })
         });
+        // Outcomes arrive in completion order; keep the lowest-indexed
+        // failure so the reported error is deterministic.
         match decoded {
             Ok(result) => merger.insert(result)?,
-            Err(e) if first_failure.is_none() => first_failure = Some(e),
-            Err(_) => {}
+            Err(e) => match &first_failure {
+                Some(ShardError::Worker { shard, .. }) if matches!(&e, ShardError::Worker { shard: s, .. } if s >= shard) =>
+                    {}
+                _ => first_failure = Some(e),
+            },
         }
     }
     if let Some(e) = first_failure {
         return Err(e);
     }
     Ok(assemble(workload, merger.finish()?))
+}
+
+/// [`drive_subprocess_capped`] at the host's available parallelism.
+pub fn drive_subprocess(
+    exe: &Path,
+    workload: &Workload,
+    shards: usize,
+    faults: &[(usize, Fault)],
+) -> Result<SweepOutput, ShardError> {
+    drive_subprocess_capped(exe, workload, shards, faults, default_worker_cap())
 }
 
 #[cfg(test)]
@@ -1032,12 +1222,81 @@ mod tests {
             backend: BackendKind::Gate,
         });
         let shard = Shard::partition(4, 2)[1];
-        for fault in [None, Some(Fault::Panic), Some(Fault::Truncate)] {
-            let (wl, s, f) = job_from_json(&job_to_json(&w, shard, fault)).unwrap();
-            assert_eq!(wl, w);
-            assert_eq!(s, shard);
-            assert_eq!(f, fault);
+        for fault in [
+            None,
+            Some(Fault::Panic),
+            Some(Fault::Truncate),
+            Some(Fault::Stall(250)),
+            Some(Fault::FailUntil(3)),
+        ] {
+            for attempt in [0u32, 2] {
+                let (wl, s, f, a) =
+                    job_from_json(&job_to_json_attempt(&w, shard, fault, attempt)).unwrap();
+                assert_eq!(wl, w);
+                assert_eq!(s, shard);
+                assert_eq!(f, fault);
+                assert_eq!(a, attempt);
+            }
         }
+    }
+
+    #[test]
+    fn outputs_round_trip_the_wire_bit_exactly() {
+        let outputs = [
+            SweepOutput::Landscape(Landscape {
+                gammas: vec![0.0, 0.5],
+                betas: vec![-0.0, 1.0 / 3.0],
+                values: vec![vec![1.25, f64::NAN], vec![-2.5, 0.0]],
+            }),
+            SweepOutput::Opt(OptResult {
+                params: vec![0.7, 0.4],
+                value: -3.5,
+                evals: 81,
+                history: vec![-1.0, -3.5],
+            }),
+            SweepOutput::Table {
+                text: "| a |\n| b |".into(),
+                dense_savings: -4,
+            },
+            SweepOutput::Disorder {
+                per_seed: vec![-0.5, -0.625],
+                mean: -0.5625,
+            },
+        ];
+        for out in &outputs {
+            let parsed = Value::parse(&out.to_wire().to_json()).unwrap();
+            let back = SweepOutput::from_wire(&parsed).unwrap();
+            assert!(
+                back.bit_identical(out),
+                "output must survive the wire bit-for-bit: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_compile_classes() {
+        let landscape = |backend| Workload::Landscape {
+            family: FamilyRef {
+                seed: 7,
+                name: "square".into(),
+            },
+            backend,
+            steps: 4,
+            gamma: (0.0, 1.0),
+            beta: (0.0, 1.0),
+        };
+        // Same instance, different backend ⇒ different compiled
+        // artifacts ⇒ different keys; identical workloads modulo the
+        // scan window share one key.
+        assert_ne!(
+            landscape(BackendKind::Gate).cache_key(),
+            landscape(BackendKind::Zx).cache_key()
+        );
+        let mut wide = landscape(BackendKind::Gate);
+        if let Workload::Landscape { gamma, .. } = &mut wide {
+            *gamma = (0.0, 2.0);
+        }
+        assert_eq!(wide.cache_key(), landscape(BackendKind::Gate).cache_key());
     }
 
     #[test]

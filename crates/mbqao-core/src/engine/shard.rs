@@ -22,18 +22,32 @@
 //!   independent of which shard landed first.
 //!
 //! Process boundaries are crossed with [`run_worker`] /
-//! [`run_workers`]: the driver re-invokes a worker binary per shard and
-//! speaks JSON over stdio (see [`super::wire`] — floats travel as exact
-//! bit patterns). A worker that dies or emits a truncated stream
-//! surfaces as a [`ShardError::Worker`] naming the shard; the merger is
-//! never polluted by a failed shard, so retrying just that shard and
-//! inserting its result is always safe.
+//! [`run_workers`] / [`Fleet`]: the driver re-invokes a worker binary
+//! per shard and speaks JSON over stdio (see [`super::wire`] — floats
+//! travel as exact bit patterns). A worker that dies or emits a
+//! truncated stream surfaces as a [`ShardError::Worker`] naming the
+//! shard; the merger is never polluted by a failed shard, so retrying
+//! just that shard and inserting its result is always safe.
+//!
+//! Execution is **bounded and readiness-ordered**: the [`Fleet`] keeps
+//! at most `cap` worker processes alive at once (never one OS process
+//! per shard), job specs are written to worker stdin by a dedicated
+//! writer thread per child (an oversized job can never stall the
+//! scheduling loop), and results surface in *completion* order — a
+//! straggler shard never delays the verdicts of shards that finished
+//! behind it. [`RetryPolicy`] supplies the exponential backoff the
+//! scheduling layers apply between attempts, and an optional per-shard
+//! deadline lets an orchestrator kill and re-partition stragglers.
 
 use super::wire::{Value, WireError};
 use std::collections::BTreeMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One self-describing slice of a sweep: the half-open index range
 /// `start..end` of shard `index` out of `of`, over a sweep of `total`
@@ -440,16 +454,32 @@ fn stderr_excerpt(stderr: &str) -> String {
     format!("{head} […] {tail}")
 }
 
-/// Spawns one worker and writes its job to stdin. A failed write (e.g.
-/// EPIPE from a child that died before reading) is *not* fatal here:
-/// the child is still returned so the drain step can reap it and
-/// report the real exit status and stderr — and an unreaped child
-/// would linger as a zombie.
+/// A spawned worker with its pipe pumps running: stdin is fed by a
+/// dedicated writer thread (so an arbitrarily large job spec can never
+/// block the thread that spawned the child — the old synchronous write
+/// silently serialized the whole fleet once a job crossed the pipe
+/// buffer), and stdout/stderr are drained by reader threads (so a
+/// child producing more output than a pipe buffer can never deadlock
+/// against a parent that only reads after `wait`).
+struct RunningWorker {
+    child: Child,
+    /// Writer thread: `Some(description)` when the stdin write failed
+    /// (e.g. EPIPE from a child that died before reading). Not fatal
+    /// by itself — the exit status tells the real story.
+    writer: JoinHandle<Option<String>>,
+    stdout: JoinHandle<Vec<u8>>,
+    stderr: JoinHandle<Vec<u8>>,
+}
+
+/// Spawns one worker and starts its three pipe pumps. A failed stdin
+/// write is *not* fatal here: the child is still returned so the drain
+/// step can reap it and report the real exit status and stderr — and
+/// an unreaped child would linger as a zombie.
 fn spawn_worker(
     cmd: &WorkerCommand,
     shard_index: usize,
     input: &str,
-) -> Result<(std::process::Child, Option<String>), ShardError> {
+) -> Result<RunningWorker, ShardError> {
     let mut child = Command::new(&cmd.exe)
         .args(&cmd.args)
         .stdin(Stdio::piped())
@@ -460,51 +490,113 @@ fn spawn_worker(
             shard: shard_index,
             reason: format!("spawn {:?}: {e}", cmd.exe),
         })?;
-    // Job descriptions are small (well under the pipe buffer), so the
-    // write completes without the child draining it; the protocol has
-    // the worker read all of stdin before writing anything. Dropping
-    // the handle closes the pipe, so a partially-written job reads as
-    // truncated JSON and the worker fails loudly.
-    let write_error = child
-        .stdin
-        .take()
-        .expect("stdin was piped")
-        .write_all(input.as_bytes())
-        .err()
-        .map(|e| e.to_string());
-    Ok((child, write_error))
+    let mut stdin = child.stdin.take().expect("stdin was piped");
+    let job = input.to_string();
+    // Dropping the handle at the end of the thread closes the pipe, so
+    // a partially-written job reads as truncated JSON on the worker
+    // side and fails loudly there.
+    let writer =
+        std::thread::spawn(move || stdin.write_all(job.as_bytes()).err().map(|e| e.to_string()));
+    let mut out_pipe = child.stdout.take().expect("stdout was piped");
+    let stdout = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = out_pipe.read_to_end(&mut buf);
+        buf
+    });
+    let mut err_pipe = child.stderr.take().expect("stderr was piped");
+    let stderr = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = err_pipe.read_to_end(&mut buf);
+        buf
+    });
+    Ok(RunningWorker {
+        child,
+        writer,
+        stdout,
+        stderr,
+    })
 }
 
-/// Reaps a worker and turns its output into the shard's verdict.
+/// Reaps a worker and turns its output into the shard's verdict. With
+/// a `deadline`, a child still running when it expires is killed and
+/// reported as a straggler (`timed_out = true` in the bool) — the
+/// orchestration layer's cue to re-partition its range.
 fn drain_worker(
-    child: std::process::Child,
-    write_error: Option<String>,
+    worker: RunningWorker,
     shard_index: usize,
-) -> Result<String, ShardError> {
+    deadline: Option<Duration>,
+) -> (Result<String, ShardError>, bool) {
     let fail = |reason: String| ShardError::Worker {
         shard: shard_index,
         reason,
     };
-    let out = child
-        .wait_with_output()
-        .map_err(|e| fail(format!("collecting output: {e}")))?;
-    if !out.status.success() {
+    let RunningWorker {
+        mut child,
+        writer,
+        stdout,
+        stderr,
+    } = worker;
+    let mut timed_out = false;
+    let status = match deadline {
+        None => child.wait(),
+        Some(limit) => {
+            // Readiness poll with a deadline: cheap (the child is a
+            // whole OS process; a 1 ms poll is noise next to spawn
+            // cost) and portable.
+            let t0 = Instant::now();
+            loop {
+                match child.try_wait() {
+                    Err(e) => break Err(e),
+                    Ok(Some(status)) => break Ok(status),
+                    Ok(None) if t0.elapsed() >= limit => {
+                        timed_out = true;
+                        let _ = child.kill();
+                        break child.wait();
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        }
+    };
+    // The pipe pumps finish once the child is gone (its pipe ends
+    // close); join order after wait() is deadlock-free.
+    let write_error = writer.join().expect("stdin writer panicked");
+    let out = stdout.join().expect("stdout reader panicked");
+    let err = stderr.join().expect("stderr reader panicked");
+    let status = match status {
+        Ok(s) => s,
+        Err(e) => return (Err(fail(format!("collecting output: {e}"))), timed_out),
+    };
+    if timed_out {
+        let reason = format!(
+            "straggler killed after exceeding its {deadline:?} deadline; stderr: {}",
+            stderr_excerpt(&String::from_utf8_lossy(&err)),
+            deadline = deadline.expect("timed out implies a deadline"),
+        );
+        return (Err(fail(reason)), true);
+    }
+    if !status.success() {
         let mut reason = format!(
-            "exited with {}; stderr: {}",
-            out.status,
-            stderr_excerpt(&String::from_utf8_lossy(&out.stderr))
+            "exited with {status}; stderr: {}",
+            stderr_excerpt(&String::from_utf8_lossy(&err))
         );
         if let Some(e) = write_error {
             reason.push_str(&format!(" (job write also failed: {e})"));
         }
-        return Err(fail(reason));
+        return (Err(fail(reason)), false);
     }
     if let Some(e) = write_error {
-        return Err(fail(format!(
-            "writing job to stdin failed ({e}) though the worker exited 0"
-        )));
+        return (
+            Err(fail(format!(
+                "writing job to stdin failed ({e}) though the worker exited 0"
+            ))),
+            false,
+        );
     }
-    String::from_utf8(out.stdout).map_err(|e| fail(format!("non-UTF-8 output: {e}")))
+    (
+        String::from_utf8(out).map_err(|e| fail(format!("non-UTF-8 output: {e}"))),
+        false,
+    )
 }
 
 /// Runs one worker subprocess for shard `shard_index`: writes `input`
@@ -520,33 +612,274 @@ pub fn run_worker(
     shard_index: usize,
     input: &str,
 ) -> Result<String, ShardError> {
-    let (child, write_error) = spawn_worker(cmd, shard_index, input)?;
-    drain_worker(child, write_error, shard_index)
+    let worker = spawn_worker(cmd, shard_index, input)?;
+    drain_worker(worker, shard_index, None).0
 }
 
-/// Runs one worker per `(shard_index, job)` pair and returns each
-/// shard's outcome (never short-circuits: every shard gets a verdict,
-/// so the caller can merge the successes and retry exactly the
-/// failures). Workers run concurrently as independent processes.
+// ------------------------------------------------------ retry & backoff
+
+/// Exponential-backoff retry policy for failed shards.
+///
+/// `max_attempts` counts every execution of a shard including the
+/// first; [`RetryPolicy::NONE`] (one attempt, no retries) is the
+/// batch-driver default. Retried shards are safe by construction: the
+/// [`Merger`] rejects a failed shard's partial output outright and is
+/// idempotent on duplicate delivery, so re-running any slice any
+/// number of times cannot change the merged result (the fault harness
+/// in `shard_subprocess.rs` pins this bit-for-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per shard (≥ 1), the first execution included.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub factor: u32,
+    /// Ceiling on any single backoff delay.
+    pub max: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every shard gets exactly one attempt.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        base: Duration::ZERO,
+        factor: 2,
+        max: Duration::ZERO,
+    };
+
+    /// `max_attempts` attempts with doubling backoff starting at
+    /// `base`, capped at 64 × `base`.
+    pub fn new(max_attempts: u32, base: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base,
+            factor: 2,
+            max: base.saturating_mul(64),
+        }
+    }
+
+    /// The delay before retry number `retry` (1-based: the delay
+    /// between the first failure and the second attempt is
+    /// `backoff(1) = base`).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(16);
+        let mult = self.factor.saturating_pow(exp);
+        self.base.saturating_mul(mult).min(self.max)
+    }
+}
+
+// --------------------------------------------------------------- fleet
+
+/// One job handed to the [`Fleet`]: an opaque stdin payload for shard
+/// `shard_index`, tagged so the submitter can correlate the outcome
+/// (the same shard may be in flight more than once across retries).
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// Submitter-chosen correlation tag (unique per submission).
+    pub tag: u64,
+    /// Shard index named in any resulting [`ShardError::Worker`].
+    pub shard_index: usize,
+    /// The job description written to the worker's stdin.
+    pub input: String,
+    /// Delay before execution (retry backoff; `ZERO` for first runs).
+    /// The delay occupies the worker slot — backoff is deliberately
+    /// not free concurrency.
+    pub delay: Duration,
+}
+
+/// One completed [`FleetJob`], delivered in completion order.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The submitter's correlation tag.
+    pub tag: u64,
+    /// The job's shard index.
+    pub shard_index: usize,
+    /// The worker's stdout, or the failure naming the shard.
+    pub result: Result<String, ShardError>,
+    /// Wall-clock from dequeue (after any backoff delay) to verdict.
+    pub elapsed: Duration,
+    /// Whether the worker was killed as a straggler (deadline
+    /// exceeded) — the cue to re-partition instead of plain retry.
+    pub timed_out: bool,
+}
+
+/// Concurrency + latency counters of a [`Fleet`], readable at any
+/// point (and after [`Fleet::shutdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Worker processes spawned over the fleet's lifetime.
+    pub spawned: usize,
+    /// Maximum simultaneously live worker processes ever observed.
+    pub max_live: usize,
+}
+
+#[derive(Default)]
+struct FleetGauge {
+    spawned: AtomicUsize,
+    live: AtomicUsize,
+    max_live: AtomicUsize,
+}
+
+/// A bounded worker fleet: at most `cap` worker processes live at any
+/// instant, fed from a shared queue and drained **on readiness** —
+/// outcomes surface the moment a worker finishes, regardless of
+/// submission order, so one straggler never holds up the verdicts of
+/// shards that completed behind it.
+///
+/// This replaces the old `spawn-all-then-reap-in-index-order` driver,
+/// which forked one OS process per shard with no cap (a 64-shard sweep
+/// meant 64 simultaneous workers on a 1-core host) and whose serial
+/// drain suffered head-of-line blocking.
+pub struct Fleet {
+    jobs: Option<mpsc::Sender<FleetJob>>,
+    outcomes: mpsc::Receiver<FleetOutcome>,
+    runners: Vec<JoinHandle<()>>,
+    gauge: Arc<FleetGauge>,
+}
+
+impl Fleet {
+    /// Starts `cap` runner threads executing `cmd` per job. With a
+    /// `deadline`, any single worker exceeding it is killed and
+    /// reported with `timed_out = true`.
+    pub fn new(cmd: WorkerCommand, cap: usize, deadline: Option<Duration>) -> Fleet {
+        let cap = cap.max(1);
+        let (job_tx, job_rx) = mpsc::channel::<FleetJob>();
+        let (out_tx, out_rx) = mpsc::channel::<FleetOutcome>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let gauge = Arc::new(FleetGauge::default());
+        let runners = (0..cap)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let out_tx = out_tx.clone();
+                let cmd = cmd.clone();
+                let gauge = Arc::clone(&gauge);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only for the dequeue, not the run.
+                    let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // queue closed: fleet shutdown
+                    };
+                    if !job.delay.is_zero() {
+                        std::thread::sleep(job.delay);
+                    }
+                    gauge.spawned.fetch_add(1, Ordering::Relaxed);
+                    let live = gauge.live.fetch_add(1, Ordering::SeqCst) + 1;
+                    gauge.max_live.fetch_max(live, Ordering::SeqCst);
+                    let t0 = Instant::now();
+                    let (result, timed_out) = match spawn_worker(&cmd, job.shard_index, &job.input)
+                    {
+                        Err(e) => (Err(e), false),
+                        Ok(worker) => drain_worker(worker, job.shard_index, deadline),
+                    };
+                    gauge.live.fetch_sub(1, Ordering::SeqCst);
+                    let delivered = out_tx.send(FleetOutcome {
+                        tag: job.tag,
+                        shard_index: job.shard_index,
+                        result,
+                        elapsed: t0.elapsed(),
+                        timed_out,
+                    });
+                    if delivered.is_err() {
+                        return; // receiver gone: nobody wants verdicts
+                    }
+                })
+            })
+            .collect();
+        Fleet {
+            jobs: Some(job_tx),
+            outcomes: out_rx,
+            runners,
+            gauge,
+        }
+    }
+
+    /// Enqueues a job. Returns the job back when the fleet has already
+    /// shut down.
+    pub fn submit(&self, job: FleetJob) -> Result<(), FleetJob> {
+        match &self.jobs {
+            Some(tx) => tx.send(job).map_err(|e| e.0),
+            None => Err(job),
+        }
+    }
+
+    /// The next outcome in **completion order**, blocking while any
+    /// job is queued or in flight. `None` once the fleet is shut down
+    /// and drained.
+    pub fn recv(&self) -> Option<FleetOutcome> {
+        self.outcomes.recv().ok()
+    }
+
+    /// Current concurrency counters.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            spawned: self.gauge.spawned.load(Ordering::SeqCst),
+            max_live: self.gauge.max_live.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Closes the queue, waits for in-flight jobs to finish, and
+    /// returns the final counters. Undelivered outcomes are dropped.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.join_runners();
+        self.stats()
+    }
+
+    fn join_runners(&mut self) {
+        self.jobs = None; // close the queue: runners exit at next recv
+        for runner in self.runners.drain(..) {
+            runner.join().expect("fleet runner panicked");
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.join_runners();
+    }
+}
+
+/// The default worker cap: the host's available parallelism.
+pub fn default_worker_cap() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs one worker per `(shard_index, job)` pair — **bounded** at
+/// `cap` simultaneously live workers — and returns each shard's
+/// outcome in completion order (never short-circuits: every shard gets
+/// a verdict, so the caller can merge the successes and retry exactly
+/// the failures).
+pub fn run_workers_capped(
+    cmd: &WorkerCommand,
+    jobs: &[(usize, String)],
+    cap: usize,
+) -> Vec<(usize, Result<String, ShardError>)> {
+    let fleet = Fleet::new(cmd.clone(), cap, None);
+    for (tag, (index, input)) in jobs.iter().enumerate() {
+        fleet
+            .submit(FleetJob {
+                tag: tag as u64,
+                shard_index: *index,
+                input: input.clone(),
+                delay: Duration::ZERO,
+            })
+            .expect("fleet alive");
+    }
+    (0..jobs.len())
+        .map(|_| {
+            let outcome = fleet.recv().expect("one outcome per job");
+            (outcome.shard_index, outcome.result)
+        })
+        .collect()
+}
+
+/// [`run_workers_capped`] at the [`default_worker_cap`] — the bounded
+/// replacement for the old unbounded one-process-per-shard driver.
 pub fn run_workers(
     cmd: &WorkerCommand,
     jobs: &[(usize, String)],
 ) -> Vec<(usize, Result<String, ShardError>)> {
-    // Spawn everything first (the per-worker stdin writes are small and
-    // cannot block), then collect in order — the OS runs the workers
-    // concurrently while we drain them one by one.
-    let children: Vec<_> = jobs
-        .iter()
-        .map(|(index, input)| (*index, spawn_worker(cmd, *index, input)))
-        .collect();
-    children
-        .into_iter()
-        .map(|(index, spawned)| {
-            let outcome =
-                spawned.and_then(|(child, write_error)| drain_worker(child, write_error, index));
-            (index, outcome)
-        })
-        .collect()
+    run_workers_capped(cmd, jobs, default_worker_cap())
 }
 
 #[cfg(test)]
@@ -726,6 +1059,131 @@ mod tests {
             let v = s.to_wire();
             let parsed = Value::parse(&v.to_json()).unwrap();
             assert_eq!(Shard::from_wire(&parsed).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy::new(5, Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(40));
+        // Capped at 64 × base regardless of retry number.
+        assert_eq!(policy.backoff(30), Duration::from_millis(640));
+        assert_eq!(RetryPolicy::NONE.max_attempts, 1);
+        assert_eq!(RetryPolicy::NONE.backoff(1), Duration::ZERO);
+    }
+
+    /// `cat` is a protocol-faithful worker: reads stdin to EOF, echoes
+    /// it to stdout, exits 0 — ideal for exercising the fleet plumbing
+    /// without building a real worker binary.
+    fn cat() -> WorkerCommand {
+        WorkerCommand::new("cat", &[])
+    }
+
+    #[test]
+    fn fleet_bounds_live_workers_and_echoes_every_job() {
+        let fleet = Fleet::new(cat(), 2, None);
+        let jobs = 7usize;
+        for tag in 0..jobs {
+            fleet
+                .submit(FleetJob {
+                    tag: tag as u64,
+                    shard_index: tag,
+                    input: format!("job {tag}"),
+                    delay: Duration::ZERO,
+                })
+                .unwrap();
+        }
+        let mut seen = vec![false; jobs];
+        for _ in 0..jobs {
+            let outcome = fleet.recv().expect("one outcome per job");
+            assert_eq!(
+                outcome.result.as_deref().unwrap(),
+                format!("job {}", outcome.tag)
+            );
+            assert!(!outcome.timed_out);
+            seen[outcome.tag as usize] = true;
+        }
+        let stats = fleet.shutdown();
+        assert!(seen.iter().all(|s| *s), "every job got a verdict");
+        assert_eq!(stats.spawned, jobs);
+        assert!(
+            stats.max_live <= 2,
+            "cap 2 exceeded: {} live workers observed",
+            stats.max_live
+        );
+    }
+
+    #[test]
+    fn oversized_job_spec_round_trips_without_blocking_the_spawn_path() {
+        // 1 MiB ≫ any pipe buffer: with the old synchronous stdin
+        // write this would stall the submitting thread until the child
+        // drained it; the writer thread makes submission O(1).
+        let big = "x".repeat(1 << 20);
+        let fleet = Fleet::new(cat(), 2, None);
+        let t0 = Instant::now();
+        for tag in 0..3u64 {
+            fleet
+                .submit(FleetJob {
+                    tag,
+                    shard_index: tag as usize,
+                    input: big.clone(),
+                    delay: Duration::ZERO,
+                })
+                .unwrap();
+        }
+        let submit_elapsed = t0.elapsed();
+        for _ in 0..3 {
+            let outcome = fleet.recv().unwrap();
+            assert_eq!(outcome.result.unwrap().len(), big.len());
+        }
+        // Submission only enqueues; generous bound to stay jitter-proof.
+        assert!(
+            submit_elapsed < Duration::from_secs(5),
+            "submission must not block on stdin writes"
+        );
+    }
+
+    #[test]
+    fn straggler_deadline_kills_and_flags_timeout() {
+        let sleeper = WorkerCommand::new("sh", &["-c", "cat >/dev/null; sleep 30"]);
+        let fleet = Fleet::new(sleeper, 1, Some(Duration::from_millis(50)));
+        fleet
+            .submit(FleetJob {
+                tag: 9,
+                shard_index: 4,
+                input: "job".into(),
+                delay: Duration::ZERO,
+            })
+            .unwrap();
+        let outcome = fleet.recv().unwrap();
+        assert!(outcome.timed_out, "deadline must flag the straggler");
+        match outcome.result {
+            Err(ShardError::Worker { shard, reason }) => {
+                assert_eq!(shard, 4);
+                assert!(
+                    reason.contains("straggler"),
+                    "reason names the kill: {reason}"
+                );
+            }
+            other => panic!("expected a worker error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_worker_names_shard_in_completion_order_drain() {
+        let failer = WorkerCommand::new("sh", &["-c", "cat >/dev/null; echo boom >&2; exit 3"]);
+        let outcomes = run_workers_capped(&failer, &[(0, "a".into()), (1, "b".into())], 2);
+        assert_eq!(outcomes.len(), 2);
+        for (index, result) in outcomes {
+            match result {
+                Err(ShardError::Worker { shard, reason }) => {
+                    assert_eq!(shard, index);
+                    assert!(reason.contains("boom"), "stderr excerpt surfaced: {reason}");
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
         }
     }
 }

@@ -16,9 +16,16 @@
 //!
 //! The parser rejects decimal float literals outright: a truncated or
 //! hand-edited payload fails loudly instead of silently rounding.
+//!
+//! For long-lived connections (the `mbqao-serve` orchestrator), values
+//! travel as **newline-delimited frames**: one compact JSON document
+//! per line ([`write_frame`] / [`read_frame`]). Compact serialization
+//! never emits a raw newline (control characters are escaped), so the
+//! framing is unambiguous; blank lines are ignored as keep-alives.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{BufRead, Write};
 
 /// A JSON value (see module docs for the deliberate restrictions).
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +207,36 @@ impl Value {
             return err(format!("trailing data at byte {}", p.pos));
         }
         Ok(v)
+    }
+}
+
+/// Writes `v` as one newline-delimited frame and flushes, so a peer
+/// reading line-by-line sees the frame immediately (streamed partial
+/// results must not sit in a BufWriter).
+pub fn write_frame<W: Write>(w: &mut W, v: &Value) -> std::io::Result<()> {
+    let mut line = v.to_json();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads the next newline-delimited frame: `None` at EOF, otherwise
+/// the parsed [`Value`] (or the parse/IO error, as a [`WireError`]).
+/// Blank lines are skipped.
+pub fn read_frame<R: BufRead>(r: &mut R) -> Option<Result<Value, WireError>> {
+    loop {
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Err(e) => return Some(Err(WireError(format!("reading frame: {e}")))),
+            Ok(0) => return None,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue; // keep-alive / stray blank line
+                }
+                return Some(Value::parse(trimmed));
+            }
+        }
     }
 }
 
@@ -469,5 +506,36 @@ mod tests {
     #[test]
     fn duplicate_keys_are_rejected() {
         assert!(Value::parse("{\"a\":1,\"a\":2}").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_including_embedded_newlines() {
+        let frames = [
+            Value::obj(vec![("type", Value::Str("ping".into()))]),
+            Value::obj(vec![
+                ("text", Value::Str("line one\nline two".into())),
+                ("x", Value::f64_bits(-0.0)),
+            ]),
+            Value::Arr(vec![Value::Int(1), Value::Null]),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        buf.extend_from_slice(b"\n\n"); // keep-alive blank lines
+        write_frame(&mut buf, &frames[0]).unwrap();
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        for expect in frames.iter().chain([&frames[0]]) {
+            let got = read_frame(&mut reader).expect("frame present").unwrap();
+            assert_eq!(&got, expect);
+        }
+        assert!(read_frame(&mut reader).is_none(), "EOF after last frame");
+    }
+
+    #[test]
+    fn torn_frame_fails_loudly() {
+        let mut reader = std::io::BufReader::new(&b"{\"a\":1,\"b\""[..]);
+        let got = read_frame(&mut reader).expect("a line is present");
+        assert!(got.is_err(), "torn frame must not parse");
     }
 }
