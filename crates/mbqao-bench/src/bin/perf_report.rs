@@ -11,20 +11,20 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p mbqao-bench --bin perf_report            # full run → BENCH_7.json
+//! cargo run --release -p mbqao-bench --bin perf_report            # full run → BENCH_8.json
 //! cargo run --release -p mbqao-bench --bin perf_report -- --smoke # tiny run (CI)
 //! cargo run --release -p mbqao-bench --bin perf_report -- --out /tmp/bench.json
 //! ```
 
 use mbqao_bench::serve::{run_job, ServeConfig};
 use mbqao_bench::sweep::{BackendKind, FamilyRef, Workload};
-use mbqao_core::engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
-use mbqao_problems::{generators, maxcut};
+use mbqao_core::engine::{Backend, Executor, GateBackend, PatternBackend, PauliBackend, ZxBackend};
+use mbqao_problems::{generators, maxcut, ZPoly};
 use mbqao_qaoa::QaoaAnsatz;
 use std::time::Instant;
 
 /// Which perf-trajectory point this binary produces.
-const PR: u32 = 7;
+const PR: u32 = 8;
 
 /// One measured workload: `reps` timed repetitions of `iters` inner
 /// iterations each (after `warmup` untimed repetitions).
@@ -268,6 +268,41 @@ fn main() {
                 std::hint::black_box(gate.expectation(&p1_params));
             },
         ));
+    }
+
+    // Stabilizer-tableau scaling: a Clifford-heavy weighted cycle (unit
+    // edges are Clifford at γ = π/4, one golden-ratio chord contributes
+    // the single non-Clifford measurement) evaluated through the pauli
+    // backend at n = 16…128. The n = 128 point is the headline: a 2^128
+    // statevector cannot exist, the tableau runs it in polynomial time.
+    if enabled("tableau_scaling") {
+        let phi = 1.618_033_988_749_895f64;
+        for (name, n) in [
+            ("tableau_scaling_n16", 16usize),
+            ("tableau_scaling_n32", 32),
+            ("tableau_scaling_n64", 64),
+            ("tableau_scaling_n128", 128),
+        ] {
+            let mut terms: Vec<(Vec<usize>, f64)> =
+                (0..n).map(|v| (vec![v, (v + 1) % n], 1.0)).collect();
+            terms.push((vec![0, n / 2], phi));
+            let cost = ZPoly::new(n, 0.0, terms);
+            let pauli = PauliBackend::new(&cost, 1);
+            let params = [std::f64::consts::FRAC_PI_4; 2];
+            assert_eq!(pauli.magic_count(&params), 1);
+            pauli.expectation(&params); // compile outside the timer
+            results.push(Measurement::run(
+                name,
+                format!("C{n}+chord p=1, <C> via stabilizer tableau (1 magic)"),
+                "eval",
+                scale(4),
+                warmup,
+                reps,
+                || {
+                    std::hint::black_box(pauli.expectation(&params));
+                },
+            ));
+        }
     }
 
     // Orchestrator dispatch overhead: one tiny 2-shard job through the

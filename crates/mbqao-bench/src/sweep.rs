@@ -34,7 +34,9 @@ use mbqao_core::engine::shard::{
     ShardResult, WorkerCommand,
 };
 use mbqao_core::engine::wire::{Value, WireError};
-use mbqao_core::{pattern_cache_stats, Backend, Executor, GateBackend, PatternBackend, ZxBackend};
+use mbqao_core::{
+    pattern_cache_stats, Backend, Executor, GateBackend, PatternBackend, PauliBackend, ZxBackend,
+};
 use mbqao_problems::generators;
 use mbqao_qaoa::landscape::{p1_axes, scan_p1_slice_with, Landscape};
 use mbqao_qaoa::optimize::{grid_search_range, grid_total, GridBest, OptResult};
@@ -53,11 +55,18 @@ pub enum BackendKind {
     Pattern,
     /// ZX-simplified re-extracted patterns.
     Zx,
+    /// Stabilizer-tableau execution with statevector fallback.
+    Pauli,
 }
 
 impl BackendKind {
-    /// All three backends (the cross-backend test axis).
-    pub const ALL: [BackendKind; 3] = [BackendKind::Gate, BackendKind::Pattern, BackendKind::Zx];
+    /// All four backends (the cross-backend test axis).
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Gate,
+        BackendKind::Pattern,
+        BackendKind::Zx,
+        BackendKind::Pauli,
+    ];
 
     /// The backend's canonical name.
     pub fn name(&self) -> &'static str {
@@ -65,6 +74,7 @@ impl BackendKind {
             BackendKind::Gate => "gate",
             BackendKind::Pattern => "pattern",
             BackendKind::Zx => "zx",
+            BackendKind::Pauli => "pauli",
         }
     }
 
@@ -74,6 +84,7 @@ impl BackendKind {
             "gate" => Ok(BackendKind::Gate),
             "pattern" => Ok(BackendKind::Pattern),
             "zx" => Ok(BackendKind::Zx),
+            "pauli" => Ok(BackendKind::Pauli),
             other => Err(WireError(format!("unknown backend {other:?}"))),
         }
     }
@@ -84,6 +95,7 @@ impl BackendKind {
             BackendKind::Gate => Box::new(GateBackend::standard(cost.clone(), p)),
             BackendKind::Pattern => Box::new(PatternBackend::new(cost, p)),
             BackendKind::Zx => Box::new(ZxBackend::new(cost, p)),
+            BackendKind::Pauli => Box::new(PauliBackend::new(cost, p)),
         }
     }
 }
@@ -1292,6 +1304,28 @@ mod tests {
             landscape(BackendKind::Gate).cache_key(),
             landscape(BackendKind::Zx).cache_key()
         );
+        // Every backend pair must key apart — a new BackendKind that
+        // reuses another's label would silently alias cache affinity
+        // (and the serve router would co-schedule distinct artifact
+        // classes).
+        for a in BackendKind::ALL {
+            for b in BackendKind::ALL {
+                if a != b {
+                    assert_ne!(
+                        landscape(a).cache_key(),
+                        landscape(b).cache_key(),
+                        "{} vs {} must not alias",
+                        a.name(),
+                        b.name()
+                    );
+                    assert_ne!(a.name(), b.name());
+                }
+            }
+        }
+        // Names round-trip the wire parser.
+        for k in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(k.name()).unwrap(), k);
+        }
         let mut wide = landscape(BackendKind::Gate);
         if let Workload::Landscape { gamma, .. } = &mut wide {
             *gamma = (0.0, 2.0);

@@ -15,8 +15,8 @@
 
 use crate::{mis_families, standard_families, FamilyInstance, MisInstance};
 use mbqao_core::{
-    compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence_three_way, CompileOptions,
-    ThreeWayReport, ZxBackend,
+    compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence_three_way, Backend,
+    CompileOptions, PatternBackend, PauliBackend, ThreeWayReport, ZxBackend,
 };
 use mbqao_mbqc::resources::stats;
 use mbqao_mbqc::schedule::just_in_time;
@@ -251,8 +251,8 @@ impl EquivalenceSpec {
     pub fn header(&self) -> String {
         concat!(
             "# E8/E9: equivalence of the compiled patterns (Sec. III)\n\n",
-            "| instance | n | p | params | branches | min fidelity | zx fidelity | zx saved | zx determinism | pass |\n",
-            "|---|---|---|---|---|---|---|---|---|---|"
+            "| instance | n | p | params | branches | min fidelity | zx fidelity | zx saved | zx determinism | pauli Δ | pass |\n",
+            "|---|---|---|---|---|---|---|---|---|---|---|"
         )
         .to_string()
     }
@@ -288,22 +288,23 @@ impl EquivalenceSpec {
     ) -> TableRow {
         let mut rng = StdRng::seed_from_u64(item_seed(self.param_seed, item));
         let fam_items = families.len() * self.depths.len();
-        let (name, n, p, rep) = if item < fam_items {
+        let (name, n, p, rep, cost, opts, params) = if item < fam_items {
             // MaxCut families and SK spin glasses.
             let fam = &families[item / self.depths.len()];
             let p = self.depths[item % self.depths.len()];
             let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let ansatz = QaoaAnsatz::standard(fam.cost.clone(), p);
-            let rep = verify_equivalence_three_way(
-                &fam.cost,
-                &ansatz,
-                &CompileOptions::default(),
+            let opts = CompileOptions::default();
+            let rep = verify_equivalence_three_way(&fam.cost, &ansatz, &opts, p, &params, 3, 1e-8);
+            (
+                fam.name.clone(),
+                fam.graph.n(),
                 p,
-                &params,
-                3,
-                1e-8,
-            );
-            (fam.name.clone(), fam.graph.n(), p, rep)
+                rep,
+                fam.cost.clone(),
+                opts,
+                params,
+            )
         } else if item < fam_items + self.qubos {
             // General QUBOs with linear terms (Eq. 12) — where the ZX
             // backend's gadget absorption actually saves ancillae.
@@ -313,16 +314,9 @@ impl EquivalenceSpec {
             let p = self.depths[i % self.depths.len()];
             let params: Vec<f64> = (0..2 * p).map(|_| rng.gen_range(-1.5..1.5)).collect();
             let ansatz = QaoaAnsatz::standard(cost.clone(), p);
-            let rep = verify_equivalence_three_way(
-                &cost,
-                &ansatz,
-                &CompileOptions::default(),
-                p,
-                &params,
-                3,
-                1e-8,
-            );
-            (format!("qubo-rand-{i}"), 5, p, rep)
+            let opts = CompileOptions::default();
+            let rep = verify_equivalence_three_way(&cost, &ansatz, &opts, p, &params, 3, 1e-8);
+            (format!("qubo-rand-{i}"), 5, p, rep, cost, opts, params)
         } else {
             // Constraint-preserving MIS ansätze (Sec. IV).
             let inst = &mis[item - fam_items - self.qubos];
@@ -330,10 +324,25 @@ impl EquivalenceSpec {
             let ansatz = QaoaAnsatz::mis(&inst.graph, 1, inst.initial);
             let params: Vec<f64> = (0..2).map(|_| rng.gen_range(-1.5..1.5)).collect();
             let rep = verify_equivalence_three_way(&inst.cost, &ansatz, &opts, 1, &params, 3, 1e-8);
-            (inst.name.clone(), inst.graph.n(), 1, rep)
+            (
+                inst.name.clone(),
+                inst.graph.n(),
+                1,
+                rep,
+                inst.cost.clone(),
+                opts,
+                params,
+            )
         };
+        // Fourth backend: the stabilizer tableau must reproduce the
+        // pattern expectation at the row's random parameters (tableau
+        // path when the magic budget allows, statevector fallback
+        // otherwise — both are asserted to 1e-8 either way).
+        let pauli = PauliBackend::with_options(&cost, p, &opts);
+        let pattern = PatternBackend::with_options(&cost, p, &opts);
+        let pauli_delta = (pauli.expectation(&params) - pattern.expectation(&params)).abs();
         TableRow {
-            text: equivalence_row_text(&name, n, p, &rep),
+            text: equivalence_row_text(&name, n, p, &rep, pauli_delta),
             dense_saving: 0,
         }
     }
@@ -345,7 +354,9 @@ impl EquivalenceSpec {
             "patterns implement QAOA exactly, for arbitrary depth and parameters —\n",
             "and so do their ZX-simplified re-extractions (rewrite soundness,\n",
             "machine-checked across every family). Every extraction runs\n",
-            "gflow-corrected: random outcome branches, no postselection."
+            "gflow-corrected: random outcome branches, no postselection. The\n",
+            "pauli Δ column pins the stabilizer-tableau backend to the pattern\n",
+            "expectation at the same random parameters (1e-8)."
         )
         .to_string()
     }
@@ -355,14 +366,24 @@ impl EquivalenceSpec {
 ///
 /// # Panics
 /// Panics when the report is not equivalent or not postselection-free.
-fn equivalence_row_text(name: &str, n: usize, p: usize, rep: &ThreeWayReport) -> String {
+fn equivalence_row_text(
+    name: &str,
+    n: usize,
+    p: usize,
+    rep: &ThreeWayReport,
+    pauli_delta: f64,
+) -> String {
     assert!(rep.equivalent, "{name}: three-way equivalence failed");
     assert!(
         rep.simplify.deterministic,
         "{name}: extraction must be postselection-free"
     );
+    assert!(
+        pauli_delta < 1e-8,
+        "{name}: pauli backend diverged by {pauli_delta:.3e}"
+    );
     format!(
-        "| {} | {} | {} | random | {} | {:.12} | {:.12} | {} | {} | {} |",
+        "| {} | {} | {} | random | {} | {:.12} | {:.12} | {} | {} | {:.1e} | {} |",
         name,
         n,
         p,
@@ -375,6 +396,7 @@ fn equivalence_row_text(name: &str, n: usize, p: usize, rep: &ThreeWayReport) ->
         } else {
             "postselected"
         },
+        pauli_delta,
         if rep.equivalent { "yes" } else { "NO" }
     )
 }

@@ -37,6 +37,7 @@ pub mod wire;
 
 use crate::cache;
 use crate::compiler::{CompileOptions, CompiledQaoa};
+pub use crate::pauli_backend::PauliBackend;
 pub use crate::zx_backend::ZxBackend;
 use mbqao_mbqc::simulate::{run_with_input, Branch, PatternRunner};
 use mbqao_problems::ZPoly;

@@ -23,7 +23,8 @@
 //! * [`verify`] — equivalence of the compiled pattern against the
 //!   gate-model ansatz (state fidelity per branch + determinism).
 //! * [`engine`] — the unified execution layer: a [`Backend`] trait with
-//!   [`GateBackend`] / [`PatternBackend`] / [`ZxBackend`]
+//!   [`GateBackend`] / [`PatternBackend`] / [`ZxBackend`] /
+//!   [`PauliBackend`]
 //!   implementations and a batched, rayon-parallel [`Executor`] shared
 //!   by the optimizers, landscape scans, verification and the benchmark
 //!   tables.
@@ -32,6 +33,11 @@
 //!   commutatively/associatively back into the exact monolithic output,
 //!   carried across process boundaries by the bit-exact JSON of
 //!   [`engine::wire`].
+//! * [`pauli_backend`] — the stabilizer-tableau backend: patterns whose
+//!   adapted angles are (mostly) Clifford execute as Aaronson–Gottesman
+//!   tableau updates with a bounded non-Clifford branch expansion,
+//!   scaling to hundreds of qubits; generic angles fall back to the
+//!   statevector path.
 //! * [`zx_backend`] — the ZX-simplified backend: compiled patterns are
 //!   exported to ZX (symbolically in γ/β), simplified to a fixpoint,
 //!   re-extracted and executed, with a [`SimplifyReport`] quantifying
@@ -48,6 +54,7 @@ pub mod cache;
 pub mod compiler;
 pub mod engine;
 pub mod gadgets;
+pub mod pauli_backend;
 pub mod resources;
 pub mod verify;
 pub mod walkthrough;
@@ -57,7 +64,7 @@ pub mod zx_bridge;
 pub use cache::{cache_lens, pattern_cache_stats, zx_cache_stats, CacheStats, CACHE_CAPACITY};
 pub use compiler::{compile_qaoa, CompileOptions, CompiledQaoa, MixerKind};
 pub use engine::shard::{Merger, Provenance, Shard, ShardError, ShardResult};
-pub use engine::{Backend, Executor, GateBackend, PatternBackend, ZxBackend};
+pub use engine::{Backend, Executor, GateBackend, PatternBackend, PauliBackend, ZxBackend};
 pub use gadgets::PatternBuilder;
 pub use resources::{gate_model_resources, paper_bounds, PaperBounds};
 pub use verify::{

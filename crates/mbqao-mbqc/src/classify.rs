@@ -1,0 +1,218 @@
+//! Per-measurement Clifford/non-Clifford classification of patterns.
+//!
+//! A plane measurement `M(plane, θ)` is a *Pauli* (Clifford)
+//! measurement exactly when its Bloch axis `cos θ A + sin θ B` lands on
+//! a Pauli axis, i.e. when `θ ≡ 0 (mod π/2)`. Signal adaptation never
+//! changes that: the adapted angle is `(−1)^s θ + tπ`, and both the
+//! sign flip and the π shift map multiples of `π/2` to multiples of
+//! `π/2`. Classification at bound parameters is therefore *branch
+//! independent* — only the concrete Pauli axis (reported for the
+//! reference branch `s = t = 0`) can differ between branches.
+//!
+//! This is the planning layer of the stabilizer-tableau fast path
+//! (`mbqao-tableau`): the non-Clifford count of a bound pattern bounds
+//! the branch tree a tableau executor has to open, so backends use
+//! [`classify_pattern`] to decide between the tableau path and the
+//! dense statevector before touching any amplitudes.
+
+use crate::command::Command;
+use crate::pattern::Pattern;
+use crate::plane::Plane;
+
+/// Tolerance used by convenience wrappers when snapping an angle to a
+/// multiple of `π/2`. Compiled patterns produce Clifford angles exactly
+/// (constants like `0` and `±π/2`, or `2wγ` with both factors exact),
+/// so the tolerance only has to absorb float noise from angle
+/// arithmetic, never to make a judgment call.
+pub const CLIFFORD_TOL: f64 = 1e-9;
+
+/// A Pauli axis on the Bloch sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The `X` axis.
+    X,
+    /// The `Y` axis.
+    Y,
+    /// The `Z` axis.
+    Z,
+}
+
+/// A Pauli measurement: outcome `0` projects onto the `+1` eigenspace
+/// of `(−1)^{neg} · axis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CliffordObs {
+    /// The measured Pauli axis.
+    pub axis: Axis,
+    /// `true` when the observable is the *negative* axis (outcome `0`
+    /// means the `−1` eigenstate of `axis`).
+    pub neg: bool,
+}
+
+/// Classifies one plane measurement at (already signal-adapted) angle
+/// `theta`: `Some(obs)` when it is a Pauli measurement, `None` when it
+/// is non-Clifford.
+///
+/// The axis tables follow the `mbqao_sim::MeasBasis` conventions:
+/// `XY(θ)` measures `cos θ X + sin θ Y`, `YZ(θ)` measures
+/// `cos θ Z + sin θ Y`, `XZ(θ)` measures `cos θ Z + sin θ X`.
+pub fn clifford_observable(plane: Plane, theta: f64, tol: f64) -> Option<CliffordObs> {
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    let steps = theta / half_pi;
+    let nearest = steps.round();
+    if (steps - nearest).abs() * half_pi > tol {
+        return None;
+    }
+    let quadrant = (nearest as i64).rem_euclid(4) as usize;
+    // Axis of cos θ A + sin θ B at θ = 0, π/2, π, 3π/2: A, B, −A, −B.
+    let (a, b) = match plane {
+        Plane::XY => (Axis::X, Axis::Y),
+        Plane::YZ => (Axis::Z, Axis::Y),
+        Plane::XZ => (Axis::Z, Axis::X),
+    };
+    let (axis, neg) = match quadrant {
+        0 => (a, false),
+        1 => (b, false),
+        2 => (a, true),
+        _ => (b, true),
+    };
+    Some(CliffordObs { axis, neg })
+}
+
+/// Classification of every measurement of a pattern at bound
+/// parameters (reference branch `s = t = 0`; see module docs for why
+/// the Clifford/non-Clifford *split* is branch independent).
+#[derive(Debug, Clone)]
+pub struct MeasurementClassification {
+    /// Per measurement, in command order: `Some(obs)` for Pauli
+    /// measurements, `None` for non-Clifford ones.
+    pub per_measurement: Vec<Option<CliffordObs>>,
+    /// Number of Pauli (Clifford) measurements.
+    pub clifford: usize,
+    /// Number of non-Clifford measurements — the branch budget of a
+    /// stabilizer-tableau execution.
+    pub magic: usize,
+}
+
+/// Classifies every `Measure` command of `pattern` with its angle
+/// evaluated at `params` (tolerance [`CLIFFORD_TOL`]).
+///
+/// # Panics
+/// Panics when `params` is shorter than the pattern's parameter count
+/// (the same contract as angle evaluation during simulation).
+pub fn classify_pattern(pattern: &Pattern, params: &[f64]) -> MeasurementClassification {
+    let per_measurement: Vec<Option<CliffordObs>> = pattern
+        .commands()
+        .iter()
+        .filter_map(|c| match c {
+            Command::Measure { plane, angle, .. } => Some(clifford_observable(
+                *plane,
+                angle.eval(params),
+                CLIFFORD_TOL,
+            )),
+            _ => None,
+        })
+        .collect();
+    let clifford = per_measurement.iter().filter(|m| m.is_some()).count();
+    let magic = per_measurement.len() - clifford;
+    MeasurementClassification {
+        per_measurement,
+        clifford,
+        magic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Angle;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn quadrant_tables() {
+        // XY: X, Y, −X, −Y.
+        for (theta, axis, neg) in [
+            (0.0, Axis::X, false),
+            (FRAC_PI_2, Axis::Y, false),
+            (PI, Axis::X, true),
+            (-FRAC_PI_2, Axis::Y, true),
+            (2.0 * PI, Axis::X, false),
+        ] {
+            let obs = clifford_observable(Plane::XY, theta, CLIFFORD_TOL).unwrap();
+            assert_eq!((obs.axis, obs.neg), (axis, neg), "XY({theta})");
+        }
+        // YZ: Z, Y, −Z, −Y.
+        for (theta, axis, neg) in [
+            (0.0, Axis::Z, false),
+            (FRAC_PI_2, Axis::Y, false),
+            (-PI, Axis::Z, true),
+            (1.5 * PI, Axis::Y, true),
+        ] {
+            let obs = clifford_observable(Plane::YZ, theta, CLIFFORD_TOL).unwrap();
+            assert_eq!((obs.axis, obs.neg), (axis, neg), "YZ({theta})");
+        }
+        // XZ: Z, X, −Z, −X.
+        for (theta, axis, neg) in [
+            (0.0, Axis::Z, false),
+            (FRAC_PI_2, Axis::X, false),
+            (PI, Axis::Z, true),
+            (-FRAC_PI_2, Axis::X, true),
+        ] {
+            let obs = clifford_observable(Plane::XZ, theta, CLIFFORD_TOL).unwrap();
+            assert_eq!((obs.axis, obs.neg), (axis, neg), "XZ({theta})");
+        }
+    }
+
+    #[test]
+    fn generic_angles_are_not_clifford() {
+        for theta in [0.3, 1.0, -2.0, FRAC_PI_2 + 1e-6] {
+            assert!(clifford_observable(Plane::XY, theta, CLIFFORD_TOL).is_none());
+            assert!(clifford_observable(Plane::YZ, theta, CLIFFORD_TOL).is_none());
+        }
+    }
+
+    #[test]
+    fn adaptation_preserves_cliffordness() {
+        // (−1)^s θ + tπ maps Clifford angles to Clifford angles and
+        // non-Clifford to non-Clifford, for every (s, t).
+        for theta in [0.0, FRAC_PI_2, PI, 0.37, -1.1] {
+            let base = clifford_observable(Plane::XY, theta, CLIFFORD_TOL).is_some();
+            for (flip, add) in [(false, false), (true, false), (false, true), (true, true)] {
+                let adapted = if flip { -theta } else { theta } + if add { PI } else { 0.0 };
+                assert_eq!(
+                    clifford_observable(Plane::XY, adapted, CLIFFORD_TOL).is_some(),
+                    base,
+                    "θ={theta} flip={flip} add={add}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_classification_counts() {
+        // One Clifford XY(0) measurement + one parameterized gadget
+        // measurement: magic iff the bound angle is off-axis.
+        let mut pat = Pattern::new(vec![], 1);
+        let (a, b) = (mbqao_sim::QubitId(0), mbqao_sim::QubitId(1));
+        pat.prep_plus(a);
+        pat.prep_plus(b);
+        pat.entangle(a, b);
+        pat.measure(
+            a,
+            Plane::XY,
+            Angle::constant(0.0),
+            crate::signal::Signal::zero(),
+            crate::signal::Signal::zero(),
+        );
+        pat.measure(
+            b,
+            Plane::YZ,
+            Angle::param(2.0, crate::command::ParamId(0)),
+            crate::signal::Signal::zero(),
+            crate::signal::Signal::zero(),
+        );
+        let generic = classify_pattern(&pat, &[0.4]);
+        assert_eq!((generic.clifford, generic.magic), (1, 1));
+        let clifford_point = classify_pattern(&pat, &[FRAC_PI_2 / 2.0]);
+        assert_eq!((clifford_point.clifford, clifford_point.magic), (2, 0));
+    }
+}

@@ -41,6 +41,7 @@
 //!   open graph admits a gflow — the corrected, postselection-free form
 //!   ([`reimport::GraphPatternSpec::to_deterministic_pattern`]).
 
+pub mod classify;
 pub mod command;
 pub mod determinism;
 pub mod gflow;
@@ -53,6 +54,7 @@ pub mod schedule;
 pub mod signal;
 pub mod simulate;
 
+pub use classify::{classify_pattern, clifford_observable, Axis, CliffordObs};
 pub use command::{Angle, Command, Pauli, PrepState};
 pub use pattern::Pattern;
 pub use plane::Plane;

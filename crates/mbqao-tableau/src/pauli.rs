@@ -1,0 +1,324 @@
+//! Bit-packed Pauli strings with exact phase tracking.
+//!
+//! A [`PauliString`] over `n` qubits is stored as two `n`-bit words
+//! (`xs`, `zs`) plus a global phase exponent `phase ∈ ℤ₄`, denoting the
+//! operator
+//!
+//! ```text
+//!     i^phase · ∏_q X_q^{x_q} Z_q^{z_q}
+//! ```
+//!
+//! with the per-qubit factors in canonical `X`-before-`Z` order (so
+//! `Y = i·XZ` is `x = z = 1, phase = 1`). Products, commutation, and
+//! conjugation by the Clifford generators `H`/`S`/`CZ`/`X`/`Z` are
+//! exact integer arithmetic on this representation — the sign
+//! conventions are spelled out in `docs/TABLEAU.md` and pinned to a
+//! dense-matrix reference by `tests/tableau_properties.rs`.
+
+/// A Pauli operator `i^phase · ∏_q X^{x_q} Z^{z_q}`, bit-packed 64
+/// qubits per word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    n: usize,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
+    phase: u8,
+}
+
+#[inline]
+fn word(q: usize) -> (usize, u64) {
+    (q / 64, 1u64 << (q % 64))
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        PauliString {
+            n,
+            xs: vec![0; words],
+            zs: vec![0; words],
+            phase: 0,
+        }
+    }
+
+    /// Single-qubit `X_q`.
+    pub fn x(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        p.toggle_x(q);
+        p
+    }
+
+    /// Single-qubit `Y_q` (`= i·X_q Z_q`).
+    pub fn y(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        p.toggle_x(q);
+        p.toggle_z(q);
+        p.phase = 1;
+        p
+    }
+
+    /// Single-qubit `Z_q`.
+    pub fn z(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        p.toggle_z(q);
+        p
+    }
+
+    /// Number of qubits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The phase exponent (`operator = i^phase · XZ-word`).
+    pub fn phase(&self) -> u8 {
+        self.phase
+    }
+
+    /// Adds `k` to the phase exponent (mod 4).
+    pub fn mul_phase(&mut self, k: u8) {
+        self.phase = (self.phase + k) & 3;
+    }
+
+    /// The `X` bit of qubit `q`.
+    pub fn x_bit(&self, q: usize) -> bool {
+        let (w, m) = word(q);
+        self.xs[w] & m != 0
+    }
+
+    /// The `Z` bit of qubit `q`.
+    pub fn z_bit(&self, q: usize) -> bool {
+        let (w, m) = word(q);
+        self.zs[w] & m != 0
+    }
+
+    /// Flips the `X` bit of qubit `q`.
+    pub fn toggle_x(&mut self, q: usize) {
+        let (w, m) = word(q);
+        self.xs[w] ^= m;
+    }
+
+    /// Flips the `Z` bit of qubit `q`.
+    pub fn toggle_z(&mut self, q: usize) {
+        let (w, m) = word(q);
+        self.zs[w] ^= m;
+    }
+
+    /// `true` when the `XZ`-word is empty (the operator is `i^phase`).
+    pub fn is_identity_word(&self) -> bool {
+        self.xs.iter().all(|&w| w == 0) && self.zs.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when the two strings share the same `XZ`-word (equal up
+    /// to phase).
+    pub fn same_word(&self, other: &PauliString) -> bool {
+        self.xs == other.xs && self.zs == other.zs
+    }
+
+    /// Number of qubits acted on non-trivially.
+    pub fn weight(&self) -> usize {
+        self.xs
+            .iter()
+            .zip(&self.zs)
+            .map(|(&x, &z)| (x | z).count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` when the operator is Hermitian (`phase ≡ #Y (mod 2)`:
+    /// each `Y = i·XZ` factor needs one explicit `i` to be
+    /// self-adjoint).
+    pub fn is_hermitian(&self) -> bool {
+        let ys: u32 = self
+            .xs
+            .iter()
+            .zip(&self.zs)
+            .map(|(&x, &z)| (x & z).count_ones())
+            .sum();
+        (u32::from(self.phase) + ys).is_multiple_of(2)
+    }
+
+    /// Whether `self` and `other` commute (symplectic inner product
+    /// even).
+    pub fn commutes(&self, other: &PauliString) -> bool {
+        let mut anti: u32 = 0;
+        for w in 0..self.xs.len() {
+            anti ^= (self.xs[w] & other.zs[w]).count_ones() & 1;
+            anti ^= (self.zs[w] & other.xs[w]).count_ones() & 1;
+        }
+        anti == 0
+    }
+
+    /// `self ← self · other` (operator product, exact phase).
+    ///
+    /// Reordering each qubit's `Z^{b}·X^{c}` into canonical `X`-first
+    /// order contributes `(−1)^{b·c}`, i.e. `i^{2·|zs∧xs'|}`.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        let mut swaps: u32 = 0;
+        for w in 0..self.xs.len() {
+            swaps ^= (self.zs[w] & other.xs[w]).count_ones() & 1;
+            self.xs[w] ^= other.xs[w];
+            self.zs[w] ^= other.zs[w];
+        }
+        self.phase = (self.phase + other.phase + 2 * swaps as u8) & 3;
+    }
+
+    // ---- conjugation by Clifford generators: `P ← U P U†` ----
+
+    /// Conjugates by `H` on qubit `q` (`X ↔ Z`, `Y → −Y`).
+    pub fn conj_h(&mut self, q: usize) {
+        let (w, m) = word(q);
+        let x = self.xs[w] & m;
+        let z = self.zs[w] & m;
+        if x != 0 && z != 0 {
+            self.phase = (self.phase + 2) & 3;
+        }
+        self.xs[w] = (self.xs[w] & !m) | z;
+        self.zs[w] = (self.zs[w] & !m) | x;
+    }
+
+    /// Conjugates by the phase gate `S = diag(1, i)` on qubit `q`
+    /// (`X → Y`, `Y → −X`, `Z → Z`).
+    pub fn conj_s(&mut self, q: usize) {
+        let (w, m) = word(q);
+        if self.xs[w] & m != 0 {
+            // X → i·XZ: one more explicit i, and the Z bit toggles
+            // (Z² = I absorbs a pre-existing Z factor).
+            self.phase = (self.phase + 1) & 3;
+            self.zs[w] ^= m;
+        }
+    }
+
+    /// Conjugates by `CZ` on qubits `a`, `b` (`X_a → X_a Z_b`,
+    /// `X_b → Z_a X_b`).
+    pub fn conj_cz(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        let xa = self.x_bit(a);
+        let xb = self.x_bit(b);
+        if xa {
+            self.toggle_z(b);
+        }
+        if xb {
+            self.toggle_z(a);
+        }
+        if xa && xb {
+            // Normalizing the inherited Z_b in front of X_b costs one
+            // swap: CZ·(X_a X_b)·CZ = (X_a Z_b)(Z_a X_b) = −(XZ)_a(XZ)_b
+            // = Y_a Y_b.
+            self.phase = (self.phase + 2) & 3;
+        }
+    }
+
+    /// Conjugates by `X` on qubit `q` (`Z → −Z`, `Y → −Y`).
+    pub fn conj_x(&mut self, q: usize) {
+        if self.z_bit(q) {
+            self.phase = (self.phase + 2) & 3;
+        }
+    }
+
+    /// Conjugates by `Z` on qubit `q` (`X → −X`, `Y → −Y`).
+    pub fn conj_z(&mut self, q: usize) {
+        if self.x_bit(q) {
+            self.phase = (self.phase + 2) & 3;
+        }
+    }
+}
+
+impl std::fmt::Display for PauliString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.phase {
+            0 => write!(f, "+")?,
+            1 => write!(f, "i")?,
+            2 => write!(f, "-")?,
+            _ => write!(f, "-i")?,
+        }
+        for q in 0..self.n {
+            let c = match (self.x_bit(q), self.z_bit(q)) {
+                (false, false) => 'I',
+                (true, false) => 'X',
+                (true, true) => 'Y',
+                (false, true) => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_products() {
+        let n = 3;
+        // X·Z = −i·Y  (canonical XZ word with no explicit i).
+        let mut p = PauliString::x(n, 1);
+        p.mul_assign(&PauliString::z(n, 1));
+        assert!(p.x_bit(1) && p.z_bit(1));
+        assert_eq!(p.phase(), 0); // i^0·XZ = −i·Y
+                                  // Z·X = i·Y: one swap.
+        let mut p = PauliString::z(n, 1);
+        p.mul_assign(&PauliString::x(n, 1));
+        assert_eq!(p.phase(), 2); // i^2·XZ = −XZ = i·Y
+                                  // X·Y = i·Z.
+        let mut p = PauliString::x(n, 0);
+        p.mul_assign(&PauliString::y(n, 0));
+        assert!(!p.x_bit(0) && p.z_bit(0));
+        assert_eq!(p.phase(), 1);
+        // Y·Y = I.
+        let mut p = PauliString::y(n, 2);
+        p.mul_assign(&PauliString::y(n, 2));
+        assert!(p.is_identity_word());
+        assert_eq!(p.phase(), 0);
+    }
+
+    #[test]
+    fn hermiticity_and_commutation() {
+        let n = 4;
+        for ctor in [PauliString::x, PauliString::y, PauliString::z] {
+            assert!(ctor(n, 0).is_hermitian());
+        }
+        assert!(PauliString::x(n, 0).commutes(&PauliString::x(n, 0)));
+        assert!(!PauliString::x(n, 0).commutes(&PauliString::z(n, 0)));
+        assert!(PauliString::x(n, 0).commutes(&PauliString::z(n, 1)));
+        // XX vs ZZ on overlapping support: two anticommuting qubit
+        // factors → overall commute.
+        let mut xx = PauliString::x(n, 0);
+        xx.mul_assign(&PauliString::x(n, 1));
+        let mut zz = PauliString::z(n, 0);
+        zz.mul_assign(&PauliString::z(n, 1));
+        assert!(xx.commutes(&zz));
+    }
+
+    #[test]
+    fn conjugation_spot_checks() {
+        let n = 2;
+        // H X H = Z.
+        let mut p = PauliString::x(n, 0);
+        p.conj_h(0);
+        assert!(p.same_word(&PauliString::z(n, 0)) && p.phase() == 0);
+        // H Y H = −Y.
+        let mut p = PauliString::y(n, 0);
+        p.conj_h(0);
+        assert!(p.same_word(&PauliString::y(n, 0)) && p.phase() == 3);
+        // S X S† = Y, S Y S† = −X.
+        let mut p = PauliString::x(n, 0);
+        p.conj_s(0);
+        assert!(p.same_word(&PauliString::y(n, 0)) && p.phase() == 1);
+        let mut p = PauliString::y(n, 0);
+        p.conj_s(0);
+        assert!(p.same_word(&PauliString::x(n, 0)) && p.phase() == 2);
+        // CZ (X⊗I) CZ = X⊗Z; CZ (X⊗X) CZ = Y⊗Y.
+        let mut p = PauliString::x(n, 0);
+        p.conj_cz(0, 1);
+        let mut expect = PauliString::x(n, 0);
+        expect.mul_assign(&PauliString::z(n, 1));
+        assert_eq!(p, expect);
+        let mut p = PauliString::x(n, 0);
+        p.mul_assign(&PauliString::x(n, 1));
+        p.conj_cz(0, 1);
+        let mut yy = PauliString::y(n, 0);
+        yy.mul_assign(&PauliString::y(n, 1));
+        assert_eq!(p, yy);
+    }
+}

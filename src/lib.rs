@@ -44,6 +44,7 @@
 //! | [`problems`] | graphs, QUBO/PUBO/Ising, MaxCut/MIS/partition/vertex-cover/k-SAT, exact solvers |
 //! | [`zx`] | ZX-diagrams, Fig.-1 rewrite rules, circuit import, graph states, ZH boxes |
 //! | [`mbqc`] | measurement patterns, signals, simulation, determinism, scheduling, gflow |
+//! | [`tableau`] | Aaronson–Gottesman stabilizer tableau and the Clifford fast-path pattern executor |
 //! | [`qaoa`] | gate-model ansätze, mixers, expectation, batched Nelder–Mead/SPSA/grid optimizers |
 //! | [`core`] | the paper's contribution: the QAOA → MBQC compiler, resources, verification, and the unified `Backend`/`Executor` engine |
 
@@ -53,6 +54,7 @@ pub use mbqao_mbqc as mbqc;
 pub use mbqao_problems as problems;
 pub use mbqao_qaoa as qaoa;
 pub use mbqao_sim as sim;
+pub use mbqao_tableau as tableau;
 pub use mbqao_zx as zx;
 
 /// The most common imports in one place.
@@ -60,7 +62,7 @@ pub mod prelude {
     pub use mbqao_core::{
         compile_qaoa, gate_model_resources, paper_bounds, verify_equivalence,
         verify_equivalence_three_way, Backend, CompileOptions, CompiledQaoa, Executor, GateBackend,
-        MixerKind, PatternBackend, PatternBuilder, SimplifyReport, ZxBackend,
+        MixerKind, PatternBackend, PatternBuilder, PauliBackend, SimplifyReport, ZxBackend,
     };
     pub use mbqao_math::{Matrix, C64};
     pub use mbqao_mbqc::{
