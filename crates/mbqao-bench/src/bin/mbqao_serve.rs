@@ -2,18 +2,25 @@
 //!
 //! Reads newline-delimited request frames on stdin (`submit` / `ping` /
 //! `shutdown`, mini-JSON per `mbqao_core::engine::wire`), schedules
-//! each job's shards onto a bounded subprocess fleet (re-invoking this
-//! binary with `--worker`), and writes event frames on stdout as the
-//! job progresses: `accepted`, one `partial` per merged shard in
+//! each job's shards onto a supervised persistent worker pool
+//! (heartbeats, automatic restarts, poison-shard quarantine — see
+//! `docs/SERVE.md`), and writes event frames on stdout as the job
+//! progresses: `accepted`, one `partial` per merged shard in
 //! completion order, `requeue` for every retry or straggler
-//! re-partition, and a final `done` carrying the assembled output plus
-//! per-job stats. See `docs/SERVE.md` for the protocol.
+//! re-partition, `quarantined` for dead-lettered shards, and a final
+//! `done` carrying the assembled output plus per-job stats. With
+//! `--journal DIR` every landed partial is write-ahead logged so an
+//! interrupted job can be completed later with `--resume`.
 //!
 //! Usage:
 //! ```text
 //! mbqao-serve [--cap N] [--retries N] [--backoff-ms MS]
 //!             [--straggler-ms MS] [--queue N] [--quiet]
-//! mbqao-serve --worker     # internal: one shard, JSON over stdio
+//!             [--no-pool] [--quarantine K] [--allow-partial]
+//!             [--journal DIR]
+//! mbqao-serve --resume PATH [--check] [--quiet] [...]
+//!                          # replay a job-<id>.wal and finish the job
+//! mbqao-serve --worker     # internal: worker, JSON over stdio
 //! ```
 //!
 //! Example session (one 2-shard landscape job, then shutdown):
@@ -23,20 +30,23 @@
 //!   '{"type":"shutdown"}' | mbqao-serve --cap 2
 //! ```
 
-use mbqao_bench::serve::{serve, ServeConfig};
-use mbqao_bench::sweep::worker_run;
+use mbqao_bench::serve::{resume_job, serve, spawn_pool, Event, ServeConfig};
+use mbqao_bench::sweep::{monolithic, worker_entry};
 use mbqao_core::engine::shard::RetryPolicy;
-use std::io::Read;
+use mbqao_core::engine::wire::write_frame;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--worker") {
-        worker();
+        worker_entry(&args);
         return;
     }
     let mut config = ServeConfig {
         log: !args.iter().any(|a| a == "--quiet"),
+        pool: !args.iter().any(|a| a == "--no-pool"),
+        allow_partial: args.iter().any(|a| a == "--allow-partial"),
         ..ServeConfig::default()
     };
     if let Some(cap) = flag(&args, "--cap") {
@@ -57,11 +67,30 @@ fn main() {
     if let Some(q) = flag(&args, "--queue") {
         config.max_queue = q.parse().expect("--queue N");
     }
+    if let Some(k) = flag(&args, "--quarantine") {
+        config.quarantine_after = k.parse().expect("--quarantine K");
+    }
+    if let Some(dir) = flag(&args, "--journal") {
+        config.journal_dir = Some(PathBuf::from(dir));
+    }
     let exe = std::env::current_exe().expect("current_exe");
+    if let Some(path) = flag(&args, "--resume") {
+        let check = args.iter().any(|a| a == "--check");
+        resume(&exe, Path::new(path), check, &config);
+        return;
+    }
     if config.log {
         eprintln!(
-            "serve: listening on stdin (cap {}, {} attempts, base backoff {:?}, queue {})",
-            config.cap, config.retry.max_attempts, config.retry.base, config.max_queue
+            "serve: listening on stdin (cap {}, {} attempts, base backoff {:?}, queue {}, {})",
+            config.cap,
+            config.retry.max_attempts,
+            config.retry.base,
+            config.max_queue,
+            if config.pool {
+                "persistent worker pool"
+            } else {
+                "one-shot workers"
+            }
         );
     }
     let stats = serve(
@@ -75,17 +104,40 @@ fn main() {
     }
 }
 
-/// Worker mode: one JSON job on stdin, one JSON result on stdout.
-fn worker() {
-    let mut input = String::new();
-    std::io::stdin()
-        .read_to_string(&mut input)
-        .expect("reading job from stdin");
-    match worker_run(&input) {
-        Ok(json) => println!("{json}"),
+/// `--resume PATH`: replay the journal, re-run only the missing
+/// ranges, emit the usual event frames plus the final `done` (with
+/// `bit_identical` when `--check` is given), and exit nonzero on
+/// failure.
+fn resume(exe: &Path, path: &Path, check: bool, config: &ServeConfig) {
+    let mut out = std::io::stdout();
+    let log = config.log;
+    let mut emit = |event: Event| {
+        if log {
+            eprintln!("serve: {}", event.log_line());
+        }
+        let _ = write_frame(&mut out, &event.to_wire());
+    };
+    let pool = config.pool.then(|| spawn_pool(exe, config));
+    let outcome = resume_job(exe, pool.as_ref(), path, config, &mut emit);
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+    match outcome {
+        Ok((id, workload, output, stats)) => {
+            let bit_identical = check.then(|| output.bit_identical(&monolithic(&workload)));
+            emit(Event::Done {
+                id,
+                output,
+                stats,
+                bit_identical,
+            });
+        }
         Err(e) => {
-            eprintln!("worker: bad job: {e}");
-            std::process::exit(2);
+            emit(Event::JobError {
+                id: 0,
+                reason: format!("resume: {e}"),
+            });
+            std::process::exit(1);
         }
     }
 }

@@ -16,23 +16,23 @@
 //! sweep_shard --workload resources --max-n 5 --depths 1,2 --shards 3 --check
 //! sweep_shard --workload equivalence --max-n 5 --shards 2
 //! sweep_shard --workload disorder --n 6 --instances 8 --shards 4
-//! sweep_shard --worker            # internal: one shard, JSON over stdio
+//! sweep_shard --worker                 # internal: one shard, JSON over stdio
+//! sweep_shard --worker --persistent    # internal: pool worker, many jobs + heartbeats
 //! ```
 //! Sharded runs of `resources` / `equivalence` reproduce the
 //! `table_resources` / `table_equivalence` output byte-for-byte.
 
 use mbqao_bench::sweep::{
-    drive_subprocess_capped, monolithic, worker_run, BackendKind, DisorderSpec, FamilyRef,
+    drive_subprocess_capped, monolithic, worker_entry, BackendKind, DisorderSpec, FamilyRef,
     SweepOutput, Workload,
 };
 use mbqao_bench::tables::{EquivalenceSpec, ResourcesSpec};
 use mbqao_core::engine::shard::default_worker_cap;
-use std::io::Read;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--worker") {
-        worker();
+        worker_entry(&args);
         return;
     }
     let workload = workload_from_args(&args);
@@ -62,21 +62,6 @@ fn main() {
         eprintln!("check: sharded output is bit-identical to the monolithic run");
     }
     print_output(&output);
-}
-
-/// Worker mode: one JSON job on stdin, one JSON result on stdout.
-fn worker() {
-    let mut input = String::new();
-    std::io::stdin()
-        .read_to_string(&mut input)
-        .expect("reading job from stdin");
-    match worker_run(&input) {
-        Ok(json) => println!("{json}"),
-        Err(e) => {
-            eprintln!("worker: bad job: {e}");
-            std::process::exit(2);
-        }
-    }
 }
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {

@@ -31,17 +31,19 @@
 //! See `docs/SERVE.md` for the protocol reference.
 
 use crate::sweep::{
-    assemble, job_to_json_attempt, monolithic, result_from_json, Fault, Payload, SweepOutput,
-    Workload,
+    assemble, hole_payload, job_to_json_attempt, monolithic, result_from_json, Fault, Payload,
+    SweepOutput, Workload,
 };
 use mbqao_core::engine::shard::{
-    default_worker_cap, Fleet, FleetJob, Merger, RetryPolicy, Shard, ShardError, ShardResult,
-    WorkerCommand,
+    default_worker_cap, lock_unpoisoned, Fleet, FleetJob, FleetOutcome, Merger, PoolConfig,
+    PoolJob, PoolOutcome, PoolStats, Provenance, RetryPolicy, Shard, ShardError, ShardResult,
+    WorkerCommand, WorkerPool,
 };
 use mbqao_core::engine::wire::{read_frame, write_frame, Value, WireError};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, Write};
-use std::path::Path;
+use std::fs;
+use std::io::{BufRead, Seek, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -64,6 +66,26 @@ pub struct ServeConfig {
     pub max_queue: usize,
     /// Mirror every emitted event as a human-readable stderr line.
     pub log: bool,
+    /// Schedule shards onto a supervised persistent [`WorkerPool`]
+    /// (heartbeats, restarts, affinity routing) instead of one
+    /// subprocess per attempt. When the pool's circuit breaker opens
+    /// mid-job, execution degrades to the per-attempt [`Fleet`] path
+    /// (counted in [`JobStats::degraded`]).
+    pub pool: bool,
+    /// Poison-shard threshold: a shard whose job kills this many
+    /// successive pool workers is quarantined (dead-lettered) instead
+    /// of retried forever.
+    pub quarantine_after: u32,
+    /// What quarantine does to the job: `true` completes it with the
+    /// poisoned range filled by [`hole_payload`] placeholders (degraded
+    /// partial coverage), `false` fails it with an error naming the
+    /// shard.
+    pub allow_partial: bool,
+    /// Write a per-job crash-safe journal (`job-<id>.wal`) into this
+    /// directory: a header frame plus one bit-exact `wal_partial`
+    /// frame per landed shard. `mbqao-serve --resume <wal>` replays it
+    /// and re-runs only the missing ranges.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -74,8 +96,31 @@ impl Default for ServeConfig {
             straggler_deadline: None,
             max_queue: 16,
             log: false,
+            pool: true,
+            quarantine_after: 3,
+            allow_partial: false,
+            journal_dir: None,
         }
     }
+}
+
+/// The [`PoolConfig`] a [`ServeConfig`] implies: the serve cap and
+/// straggler deadline map onto the pool's cap and per-job deadline,
+/// `quarantine_after` passes through, supervision defaults otherwise.
+pub fn pool_config(config: &ServeConfig) -> PoolConfig {
+    PoolConfig {
+        cap: config.cap,
+        job_deadline: config.straggler_deadline,
+        quarantine_after: config.quarantine_after,
+        ..PoolConfig::default()
+    }
+}
+
+/// Builds the persistent worker pool for a serve connection
+/// (re-invokes `exe --worker`, which the pool extends with
+/// `--persistent --gen N --heartbeat-ms M`).
+pub fn spawn_pool(exe: &Path, config: &ServeConfig) -> WorkerPool {
+    WorkerPool::new(WorkerCommand::new(exe, &["--worker"]), pool_config(config))
 }
 
 // ----------------------------------------------------------------- stats
@@ -102,6 +147,16 @@ pub struct JobStats {
     /// Compiled-pattern cache misses summed over all worker
     /// provenances.
     pub cache_misses: usize,
+    /// Pool workers that died (crash, liveness kill, straggler kill)
+    /// and were restarted by the supervisor during this job.
+    pub worker_restarts: usize,
+    /// Shard attempts rerouted from the persistent pool to the
+    /// per-attempt subprocess path (pool unavailable or circuit open).
+    pub degraded: usize,
+    /// Shards abandoned by poison-shard quarantine (partial coverage).
+    pub quarantined: usize,
+    /// Shards replayed from a crash-safe journal instead of re-run.
+    pub replayed: usize,
     /// Per-merged-shard wall-clock latency, in completion order.
     pub shard_ms: Vec<u64>,
 }
@@ -132,6 +187,10 @@ impl JobStats {
             ("max_live", Value::uint(self.max_live)),
             ("cache_hits", Value::uint(self.cache_hits)),
             ("cache_misses", Value::uint(self.cache_misses)),
+            ("worker_restarts", Value::uint(self.worker_restarts)),
+            ("degraded", Value::uint(self.degraded)),
+            ("quarantined", Value::uint(self.quarantined)),
+            ("replayed", Value::uint(self.replayed)),
             (
                 "latency_ms",
                 Value::obj(vec![
@@ -195,6 +254,29 @@ pub enum Event {
         /// `true` when the range was halved instead of retried whole.
         repartitioned: bool,
         /// The failure that triggered the requeue.
+        reason: String,
+    },
+    /// A resumed job's journal was replayed; only the ranges listed
+    /// missing will re-run.
+    Resumed {
+        /// Job id (from the journal header).
+        id: u64,
+        /// Shard partials replayed from the journal.
+        replayed: usize,
+        /// Items already covered by the replay.
+        covered: usize,
+        /// Items in the sweep.
+        total: usize,
+    },
+    /// A poison shard was dead-lettered after killing repeated
+    /// workers; with partial coverage allowed the job continues around
+    /// the hole, otherwise it fails with this reason.
+    Quarantined {
+        /// Job id.
+        id: u64,
+        /// The abandoned index range.
+        range: (usize, usize),
+        /// The quarantine verdict (kill count + last stderr excerpt).
         reason: String,
     },
     /// The job completed; the merged output rides in the frame.
@@ -285,6 +367,25 @@ impl Event {
                 ("repartitioned", Value::Bool(*repartitioned)),
                 ("reason", Value::Str(reason.clone())),
             ]),
+            Event::Resumed {
+                id,
+                replayed,
+                covered,
+                total,
+            } => Value::obj(vec![
+                ("type", Value::Str("resumed".into())),
+                ("id", Value::uint(*id as usize)),
+                ("replayed", Value::uint(*replayed)),
+                ("covered", Value::uint(*covered)),
+                ("total", Value::uint(*total)),
+            ]),
+            Event::Quarantined { id, range, reason } => Value::obj(vec![
+                ("type", Value::Str("quarantined".into())),
+                ("id", Value::uint(*id as usize)),
+                ("start", Value::uint(range.0)),
+                ("end", Value::uint(range.1)),
+                ("reason", Value::Str(reason.clone())),
+            ]),
             Event::Done {
                 id,
                 output,
@@ -363,6 +464,18 @@ impl Event {
                 },
                 range.0,
                 range.1
+            ),
+            Event::Resumed {
+                id,
+                replayed,
+                covered,
+                total,
+            } => format!(
+                "job {id}: resumed from journal ({replayed} shards replayed, {covered}/{total} covered)"
+            ),
+            Event::Quarantined { id, range, reason } => format!(
+                "job {id}: shard {}..{} QUARANTINED: {reason}",
+                range.0, range.1
             ),
             Event::Done { id, stats, .. } => format!(
                 "job {id}: done ({} merges, {} retries, {} repartitions, max {} live workers)",
@@ -485,6 +598,148 @@ fn parse_request(v: &Value) -> Result<Request, WireError> {
     }
 }
 
+// ------------------------------------------------------------- journal
+
+/// A per-job crash-safe write-ahead log: one `wal_job` header frame,
+/// then one `wal_partial` frame per landed shard, each appended in the
+/// **bit-exact** wire encoding (floats as IEEE-754 bit patterns) and
+/// synced before the merge is acknowledged. Replaying any prefix
+/// through the idempotent [`Merger`] and re-running the ranges it
+/// reports missing reproduces the uninterrupted output bit for bit.
+#[derive(Debug)]
+pub struct JobJournal {
+    path: PathBuf,
+    file: fs::File,
+}
+
+impl JobJournal {
+    /// Creates `dir/job-<id>.wal` (truncating any previous run of the
+    /// same id) and writes the header frame.
+    pub fn create(
+        dir: &Path,
+        id: u64,
+        workload: &Workload,
+        shards: usize,
+    ) -> std::io::Result<JobJournal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("job-{id}.wal"));
+        let mut file = fs::File::create(&path)?;
+        let header = Value::obj(vec![
+            ("type", Value::Str("wal_job".into())),
+            ("id", Value::uint(id as usize)),
+            ("shards", Value::uint(shards)),
+            ("workload", workload.to_wire()),
+        ])
+        .to_json();
+        file.write_all(header.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(JobJournal { path, file })
+    }
+
+    /// Re-opens an existing journal to append the partials a resumed
+    /// run produces. Any torn tail (bytes after the last newline,
+    /// from a crash mid-append) is truncated first so the file stays
+    /// a clean frame-per-line log.
+    pub fn open_append(path: &Path) -> std::io::Result<JobJournal> {
+        let content = fs::read(path)?;
+        let keep = content
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        let mut file = fs::OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(keep as u64)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JobJournal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one landed shard result (synced before returning — the
+    /// caller may acknowledge the merge once this succeeds).
+    pub fn append(&mut self, result: &ShardResult<Payload>) -> std::io::Result<()> {
+        let line = Value::obj(vec![
+            ("type", Value::Str("wal_partial".into())),
+            ("provenance", result.provenance.to_wire()),
+            ("payload", result.payload.to_wire()),
+        ])
+        .to_json();
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// A loaded journal: the job header plus every intact replayed partial.
+#[derive(Debug, Clone)]
+pub struct JournalReplay {
+    /// Job id from the header.
+    pub id: u64,
+    /// The sweep the job runs.
+    pub workload: Workload,
+    /// The original partition width (resume numbers fresh shards above
+    /// it, like re-partitioning does).
+    pub shards: usize,
+    /// Replayed shard partials, in append order.
+    pub results: Vec<ShardResult<Payload>>,
+}
+
+/// Parses a journal written by [`JobJournal`]. A torn **final** line
+/// (crash mid-append) is tolerated — that shard simply re-runs; a
+/// malformed line anywhere else is corruption and errors out.
+pub fn load_journal(path: &Path) -> Result<JournalReplay, WireError> {
+    let content =
+        fs::read_to_string(path).map_err(|e| WireError(format!("reading journal: {e}")))?;
+    let lines: Vec<&str> = content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let header = lines
+        .first()
+        .ok_or_else(|| WireError("empty journal (no wal_job header)".into()))
+        .and_then(|l| Value::parse(l))?;
+    if header.field("type")?.as_str()? != "wal_job" {
+        return Err(WireError(
+            "journal does not start with a wal_job header".into(),
+        ));
+    }
+    let mut replay = JournalReplay {
+        id: header.field("id")?.as_uint()? as u64,
+        shards: header.field("shards")?.as_uint()?,
+        workload: Workload::from_wire(header.field("workload")?)?,
+        results: Vec::new(),
+    };
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let parsed = Value::parse(line).and_then(|v| {
+            if v.field("type")?.as_str()? != "wal_partial" {
+                return Err(WireError(format!(
+                    "unexpected journal frame type {:?}",
+                    v.field("type")?.as_str()?
+                )));
+            }
+            Ok(ShardResult {
+                provenance: Provenance::from_wire(v.field("provenance")?)?,
+                payload: Payload::from_wire(v.field("payload")?)?,
+            })
+        });
+        match parsed {
+            Ok(result) => replay.results.push(result),
+            // A torn tail is exactly what a crash mid-append leaves;
+            // the un-journaled shard re-runs.
+            Err(_) if i == lines.len() - 1 => break,
+            Err(e) => return Err(WireError(format!("journal line {}: {e}", i + 1))),
+        }
+    }
+    Ok(replay)
+}
+
 // ----------------------------------------------------------- job engine
 
 /// A submission in flight on the fleet (possibly one of several
@@ -514,20 +769,111 @@ fn split_shard(shard: Shard, next_index: &mut usize) -> [Shard; 2] {
     [sub(shard.start, mid), sub(mid, shard.end)]
 }
 
-/// Tracks one job's submissions onto its fleet: tags outcomes back to
-/// their [`InFlight`] bookkeeping and encodes the per-attempt job JSON.
-struct Dispatcher<'a> {
-    fleet: &'a Fleet,
-    workload: &'a Workload,
-    inflight: HashMap<u64, InFlight>,
-    next_tag: u64,
+/// One job's identity and work description (bundled so the execution
+/// entry points stay small).
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec<'a> {
+    /// Job id, echoed on every event.
+    pub id: u64,
+    /// The sweep to run.
+    pub workload: &'a Workload,
+    /// How many shards to partition into.
+    pub shards: usize,
+    /// Injected transient faults, `(shard_index, fault)`.
+    pub faults: &'a [(usize, Fault)],
 }
 
-impl Dispatcher<'_> {
-    fn submit(&mut self, shard: Shard, attempt: u32, fault: Option<Fault>, delay: Duration) {
+/// Immutable per-job execution context.
+struct JobCx<'a> {
+    exe: &'a Path,
+    pool: Option<&'a WorkerPool>,
+    config: &'a ServeConfig,
+    id: u64,
+    workload: &'a Workload,
+}
+
+/// A lane-agnostic verdict: [`PoolOutcome`] and [`FleetOutcome`]
+/// normalized to one shape.
+struct Verdict {
+    tag: u64,
+    result: Result<String, ShardError>,
+    timed_out: bool,
+    quarantined: bool,
+    circuit_open: bool,
+    elapsed: Duration,
+}
+
+impl Verdict {
+    fn from_pool(o: PoolOutcome) -> Verdict {
+        Verdict {
+            tag: o.tag,
+            result: o.result,
+            timed_out: o.timed_out,
+            quarantined: o.quarantined,
+            circuit_open: o.circuit_open,
+            elapsed: o.elapsed,
+        }
+    }
+
+    fn from_fleet(o: FleetOutcome) -> Verdict {
+        Verdict {
+            tag: o.tag,
+            result: o.result,
+            timed_out: o.timed_out,
+            quarantined: false,
+            circuit_open: false,
+            elapsed: o.elapsed,
+        }
+    }
+}
+
+/// How long the unified receive loop waits on one lane before polling
+/// the other when both have jobs in flight.
+const RECV_POLL: Duration = Duration::from_millis(5);
+
+/// Tracks one job's submissions across both execution lanes: the
+/// shared persistent [`WorkerPool`] (preferred — warm caches, affinity
+/// routing) and a lazily created per-attempt [`Fleet`] (the degraded
+/// path when no pool is available or its circuit breaker opens).
+struct Exec<'a> {
+    cx: &'a JobCx<'a>,
+    cache_key: String,
+    inflight: HashMap<u64, InFlight>,
+    next_tag: u64,
+    use_pool: bool,
+    pool_live: usize,
+    pool_base: Option<PoolStats>,
+    fleet: Option<Fleet>,
+    fleet_live: usize,
+}
+
+impl<'a> Exec<'a> {
+    fn new(cx: &'a JobCx<'a>) -> Exec<'a> {
+        let use_pool = cx.pool.is_some_and(|p| !p.is_tripped());
+        Exec {
+            cx,
+            cache_key: cx.workload.cache_key(),
+            inflight: HashMap::new(),
+            next_tag: 0,
+            use_pool,
+            pool_live: 0,
+            pool_base: cx.pool.map(WorkerPool::stats),
+            fleet: None,
+            fleet_live: 0,
+        }
+    }
+
+    fn submit(
+        &mut self,
+        stats: &mut JobStats,
+        shard: Shard,
+        attempt: u32,
+        fault: Option<Fault>,
+        delay: Duration,
+    ) {
         let tag = self.next_tag;
         self.next_tag += 1;
-        let input = job_to_json_attempt(self.workload, shard, fault, attempt);
+        let mut input = job_to_json_attempt(self.cx.workload, shard, fault, attempt);
         self.inflight.insert(
             tag,
             InFlight {
@@ -536,7 +882,36 @@ impl Dispatcher<'_> {
                 fault,
             },
         );
-        self.fleet
+        if self.use_pool {
+            let pool = self.cx.pool.expect("use_pool implies a pool");
+            match pool.submit(PoolJob {
+                tag,
+                shard_index: shard.index,
+                input,
+                cache_key: self.cache_key.clone(),
+                delay,
+            }) {
+                Ok(()) => {
+                    self.pool_live += 1;
+                    return;
+                }
+                // The breaker tripped since we last looked: degrade
+                // this and every later submission to the fleet path.
+                Err(rejected) => {
+                    self.use_pool = false;
+                    stats.degraded += 1;
+                    input = rejected.input;
+                }
+            }
+        }
+        let fleet = self.fleet.get_or_insert_with(|| {
+            Fleet::new(
+                WorkerCommand::new(self.cx.exe, &["--worker"]),
+                self.cx.config.cap,
+                self.cx.config.straggler_deadline,
+            )
+        });
+        fleet
             .submit(FleetJob {
                 tag,
                 shard_index: shard.index,
@@ -544,16 +919,71 @@ impl Dispatcher<'_> {
                 delay,
             })
             .unwrap_or_else(|_| unreachable!("fleet outlives the job"));
+        self.fleet_live += 1;
+    }
+
+    /// Next verdict from whichever lane produces one. `None` means a
+    /// lane's scheduler died with jobs in flight — unrecoverable.
+    fn recv(&mut self) -> Option<Verdict> {
+        loop {
+            match (self.pool_live > 0, self.fleet_live > 0) {
+                (false, false) => return None,
+                (true, false) => {
+                    let o = self.cx.pool.expect("pool_live implies a pool").recv()?;
+                    self.pool_live -= 1;
+                    return Some(Verdict::from_pool(o));
+                }
+                (false, true) => {
+                    let o = self
+                        .fleet
+                        .as_ref()
+                        .expect("fleet_live implies a fleet")
+                        .recv()?;
+                    self.fleet_live -= 1;
+                    return Some(Verdict::from_fleet(o));
+                }
+                (true, true) => {
+                    let pool = self.cx.pool.expect("pool_live implies a pool");
+                    if let Some(o) = pool.recv_timeout(RECV_POLL) {
+                        self.pool_live -= 1;
+                        return Some(Verdict::from_pool(o));
+                    }
+                    let fleet = self.fleet.as_ref().expect("fleet_live implies a fleet");
+                    if let Some(o) = fleet.recv_timeout(RECV_POLL) {
+                        self.fleet_live -= 1;
+                        return Some(Verdict::from_fleet(o));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds both lanes' process accounting into the job stats. The
+    /// fleet (job-scoped) shuts down; the pool (connection-scoped)
+    /// keeps running and contributes the delta since the job started.
+    fn finish(self, stats: &mut JobStats) {
+        if let (Some(pool), Some(base)) = (self.cx.pool, self.pool_base) {
+            let now = pool.stats();
+            stats.spawned += now.spawned.saturating_sub(base.spawned);
+            stats.worker_restarts += now.restarts.saturating_sub(base.restarts);
+            stats.max_live = stats.max_live.max(now.max_live);
+        }
+        if let Some(fleet) = self.fleet {
+            let fstats = fleet.shutdown();
+            stats.spawned += fstats.spawned;
+            stats.max_live = stats.max_live.max(fstats.max_live);
+        }
     }
 }
 
-/// Executes one job end to end on a bounded fleet with streaming merge,
-/// retry + backoff, and straggler re-partition; emits an [`Event`] for
-/// every scheduling decision. Returns the assembled output (bit-exact
-/// vs. the monolithic run — the fault harness and the serve tests pin
-/// this) plus the job's observability counters.
+/// Executes one job end to end with streaming merge, retry + backoff,
+/// and straggler re-partition; emits an [`Event`] for every scheduling
+/// decision. Runs on a private one-job [`WorkerPool`] when
+/// `config.pool` is set, else on a per-attempt [`Fleet`]. Returns the
+/// assembled output (bit-exact vs. the monolithic run — the fault
+/// harness and the serve tests pin this) plus the job's counters.
 ///
-/// `exe` is re-invoked as `exe --worker` per shard attempt.
+/// `exe` is re-invoked as `exe --worker` per worker process.
 pub fn run_job(
     exe: &Path,
     id: u64,
@@ -563,65 +993,202 @@ pub fn run_job(
     config: &ServeConfig,
     emit: &mut dyn FnMut(Event),
 ) -> Result<(SweepOutput, JobStats), ShardError> {
-    let total = workload.total();
-    let parts: Vec<Shard> = Shard::partition(total, shards)
+    let pool = config.pool.then(|| spawn_pool(exe, config));
+    let spec = JobSpec {
+        id,
+        workload,
+        shards,
+        faults,
+    };
+    let result = run_job_with(exe, pool.as_ref(), &spec, config, None, emit);
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+    result
+}
+
+/// [`run_job`] against a caller-owned (typically connection-scoped)
+/// [`WorkerPool`] — affinity routing then keeps compiled-pattern
+/// caches warm **across** jobs — and an optional crash-safe journal
+/// that records every landed partial before it is acknowledged.
+pub fn run_job_with(
+    exe: &Path,
+    pool: Option<&WorkerPool>,
+    spec: &JobSpec<'_>,
+    config: &ServeConfig,
+    journal: Option<&mut JobJournal>,
+    emit: &mut dyn FnMut(Event),
+) -> Result<(SweepOutput, JobStats), ShardError> {
+    let total = spec.workload.total();
+    let parts: Vec<Shard> = Shard::partition(total, spec.shards)
         .into_iter()
         .filter(|s| !s.is_empty())
         .collect();
-    let mut stats = JobStats {
+    let stats = JobStats {
         shards: parts.len(),
         ..JobStats::default()
     };
     emit(Event::Accepted {
-        id,
+        id: spec.id,
         total,
         shards: parts.len(),
     });
-
-    let fleet = Fleet::new(
-        WorkerCommand::new(exe, &["--worker"]),
-        config.cap,
-        config.straggler_deadline,
-    );
-    let mut dispatch = Dispatcher {
-        fleet: &fleet,
-        workload,
-        inflight: HashMap::new(),
-        next_tag: 0,
+    let work: Vec<(Shard, Option<Fault>)> = parts
+        .iter()
+        .map(|part| {
+            let fault = spec
+                .faults
+                .iter()
+                .find(|(i, _)| *i == part.index)
+                .map(|(_, f)| *f);
+            (*part, fault)
+        })
+        .collect();
+    let cx = JobCx {
+        exe,
+        pool,
+        config,
+        id: spec.id,
+        workload: spec.workload,
     };
     // Synthetic indices for re-partitioned sub-shards start above the
     // original partition so error messages stay unambiguous.
-    let mut next_index = shards;
-    for part in &parts {
-        let fault = faults
-            .iter()
-            .find(|(i, _)| *i == part.index)
-            .map(|(_, f)| *f);
-        dispatch.submit(*part, 0, fault, Duration::ZERO);
-    }
+    run_shards(
+        &cx,
+        work,
+        Merger::new(total),
+        spec.shards,
+        stats,
+        journal,
+        emit,
+    )
+}
 
+/// Resumes a crashed or interrupted job from its journal: replays
+/// every intact partial through the idempotent [`Merger`], emits
+/// [`Event::Resumed`], re-runs **only** the missing ranges (as fresh
+/// synthetic shards, like re-partitioning), and keeps appending to the
+/// same journal. The final output is bit-identical to the
+/// uninterrupted run. Returns `(id, workload, output, stats)` — the
+/// workload so the caller can run a `--check` against the monolithic
+/// reference.
+pub fn resume_job(
+    exe: &Path,
+    pool: Option<&WorkerPool>,
+    path: &Path,
+    config: &ServeConfig,
+    emit: &mut dyn FnMut(Event),
+) -> Result<(u64, Workload, SweepOutput, JobStats), ShardError> {
+    let JournalReplay {
+        id,
+        workload,
+        shards,
+        results,
+    } = load_journal(path).map_err(|e| ShardError::Worker {
+        shard: 0,
+        reason: format!("loading journal {}: {e}", path.display()),
+    })?;
+    let total = workload.total();
     let mut merger = Merger::new(total);
-    let finish = |fleet: Fleet, stats: &mut JobStats| {
-        let fstats = fleet.shutdown();
-        stats.spawned = fstats.spawned;
-        stats.max_live = fstats.max_live;
+    let stats = JobStats {
+        shards,
+        replayed: results.len(),
+        ..JobStats::default()
     };
-    while !dispatch.inflight.is_empty() {
-        let outcome = match fleet.recv() {
-            Some(outcome) => outcome,
-            None => {
-                finish(fleet, &mut stats);
-                return Err(ShardError::Worker {
-                    shard: 0,
-                    reason: "worker fleet terminated with jobs in flight".into(),
-                });
-            }
+    let mut next_index = shards;
+    for result in results {
+        next_index = next_index.max(result.provenance.shard.index + 1);
+        merger.insert(result)?;
+    }
+    let covered = total - merger.missing().iter().map(|(s, e)| e - s).sum::<usize>();
+    emit(Event::Resumed {
+        id,
+        replayed: stats.replayed,
+        covered,
+        total,
+    });
+    // Missing ranges re-run as fresh shards with no faults: injected
+    // faults are keyed on original indices, and a resume must converge
+    // rather than re-trip the same failure.
+    let work: Vec<(Shard, Option<Fault>)> = merger
+        .missing()
+        .into_iter()
+        .map(|(start, end)| {
+            let index = next_index;
+            next_index += 1;
+            let shard = Shard {
+                index,
+                of: shards,
+                total,
+                start,
+                end,
+            };
+            (shard, None)
+        })
+        .collect();
+    let mut journal = JobJournal::open_append(path).map_err(|e| ShardError::Worker {
+        shard: 0,
+        reason: format!("re-opening journal {}: {e}", path.display()),
+    })?;
+    let cx = JobCx {
+        exe,
+        pool,
+        config,
+        id,
+        workload: &workload,
+    };
+    let (output, stats) = run_shards(
+        &cx,
+        work,
+        merger,
+        next_index,
+        stats,
+        Some(&mut journal),
+        emit,
+    )?;
+    Ok((id, workload, output, stats))
+}
+
+/// The shared execution core: drives `work` to completion on the
+/// pool/fleet lanes, streaming merges into `merger` (journaling each
+/// landed partial first), retrying with backoff, re-partitioning
+/// stragglers, degrading pool→fleet on a tripped breaker, and turning
+/// quarantined shards into [`hole_payload`] placeholders
+/// (`allow_partial`) or a named failure.
+fn run_shards(
+    cx: &JobCx<'_>,
+    work: Vec<(Shard, Option<Fault>)>,
+    mut merger: Merger<Payload>,
+    mut next_index: usize,
+    mut stats: JobStats,
+    mut journal: Option<&mut JobJournal>,
+    emit: &mut dyn FnMut(Event),
+) -> Result<(SweepOutput, JobStats), ShardError> {
+    let total = cx.workload.total();
+    let id = cx.id;
+    let mut exec = Exec::new(cx);
+    if cx.config.pool && !exec.use_pool {
+        // The connection pool is gone (tripped on an earlier job):
+        // this whole job runs degraded.
+        stats.degraded += 1;
+    }
+    let mut abandoned: Vec<Shard> = Vec::new();
+    for (shard, fault) in work {
+        exec.submit(&mut stats, shard, 0, fault, Duration::ZERO);
+    }
+    while !exec.inflight.is_empty() {
+        let Some(verdict) = exec.recv() else {
+            exec.finish(&mut stats);
+            return Err(ShardError::Worker {
+                shard: 0,
+                reason: "worker scheduler terminated with jobs in flight".into(),
+            });
         };
-        let flight = dispatch
+        let flight = exec
             .inflight
-            .remove(&outcome.tag)
+            .remove(&verdict.tag)
             .expect("every outcome matches a submission");
-        let decoded: Result<ShardResult<Payload>, ShardError> = outcome.result.and_then(|stdout| {
+        let decoded: Result<ShardResult<Payload>, ShardError> = verdict.result.and_then(|stdout| {
             result_from_json(&stdout).map_err(|e| ShardError::Worker {
                 shard: flight.shard.index,
                 reason: format!("decoding worker output: {e} (truncated stream?)"),
@@ -629,15 +1196,27 @@ pub fn run_job(
         });
         match decoded {
             Ok(result) => {
+                // WAL first: the merge is only acknowledged once the
+                // partial is durably journaled, so a crash after this
+                // point is recoverable bit-exactly.
+                if let Some(j) = journal.as_mut() {
+                    if let Err(e) = j.append(&result) {
+                        exec.finish(&mut stats);
+                        return Err(ShardError::Worker {
+                            shard: flight.shard.index,
+                            reason: format!("journal append failed: {e}"),
+                        });
+                    }
+                }
                 let provenance = result.provenance.clone();
                 if let Err(e) = merger.insert(result) {
-                    finish(fleet, &mut stats);
+                    exec.finish(&mut stats);
                     return Err(e);
                 }
                 stats.completed += 1;
                 stats.cache_hits += provenance.cache_hits;
                 stats.cache_misses += provenance.cache_misses;
-                let latency_ms = outcome.elapsed.as_millis() as u64;
+                let latency_ms = verdict.elapsed.as_millis() as u64;
                 stats.shard_ms.push(latency_ms);
                 let covered = total - merger.missing().iter().map(|(s, e)| e - s).sum::<usize>();
                 emit(Event::Partial {
@@ -652,7 +1231,44 @@ pub fn run_job(
                     total,
                 });
             }
-            Err(e) if outcome.timed_out && flight.shard.len() >= 2 => {
+            Err(e) if verdict.circuit_open => {
+                // The pool's restart-rate breaker opened: this attempt
+                // was never fully tried. Reroute it (same attempt
+                // number — no retry budget consumed) to the one-shot
+                // subprocess path.
+                exec.use_pool = false;
+                stats.degraded += 1;
+                emit(Event::Requeue {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    attempt: flight.attempt,
+                    backoff_ms: 0,
+                    repartitioned: false,
+                    reason: format!("{e} — degrading to one-shot workers"),
+                });
+                exec.submit(
+                    &mut stats,
+                    flight.shard,
+                    flight.attempt,
+                    flight.fault,
+                    Duration::ZERO,
+                );
+            }
+            Err(e) if verdict.quarantined => {
+                stats.quarantined += 1;
+                emit(Event::Quarantined {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    reason: e.to_string(),
+                });
+                if cx.config.allow_partial {
+                    abandoned.push(flight.shard);
+                } else {
+                    exec.finish(&mut stats);
+                    return Err(e);
+                }
+            }
+            Err(e) if verdict.timed_out && flight.shard.len() >= 2 => {
                 // Straggler: its worker is already killed; halve the
                 // range onto fresh workers. Sub-shards run clean (the
                 // injected-fault map keys on original indices only) and
@@ -668,17 +1284,17 @@ pub fn run_job(
                     reason: e.to_string(),
                 });
                 for sub in split_shard(flight.shard, &mut next_index) {
-                    dispatch.submit(sub, 0, None, Duration::ZERO);
+                    exec.submit(&mut stats, sub, 0, None, Duration::ZERO);
                 }
             }
             Err(e) => {
                 let attempt = flight.attempt + 1;
-                if attempt >= config.retry.max_attempts {
-                    finish(fleet, &mut stats);
+                if attempt >= cx.config.retry.max_attempts {
+                    exec.finish(&mut stats);
                     return Err(e);
                 }
                 stats.retries += 1;
-                let backoff = config.retry.backoff(attempt);
+                let backoff = cx.config.retry.backoff(attempt);
                 emit(Event::Requeue {
                     id,
                     range: (flight.shard.start, flight.shard.end),
@@ -687,12 +1303,26 @@ pub fn run_job(
                     repartitioned: false,
                     reason: e.to_string(),
                 });
-                dispatch.submit(flight.shard, attempt, flight.fault, backoff);
+                exec.submit(&mut stats, flight.shard, attempt, flight.fault, backoff);
             }
         }
     }
-    finish(fleet, &mut stats);
-    let output = assemble(workload, merger.finish()?);
+    exec.finish(&mut stats);
+    // Quarantined ranges (allow_partial) fill with placeholder
+    // payloads so the output keeps its shape; the holes are NaN-valued
+    // and the stats carry the quarantine count.
+    for shard in abandoned {
+        merger.insert(ShardResult {
+            provenance: Provenance {
+                shard,
+                backend: "quarantined".into(),
+                cache_hits: 0,
+                cache_misses: 0,
+            },
+            payload: hole_payload(cx.workload, shard),
+        })?;
+    }
+    let output = assemble(cx.workload, merger.finish()?);
     Ok((output, stats))
 }
 
@@ -742,12 +1372,18 @@ where
         if config.log {
             eprintln!("serve: {}", event.log_line());
         }
-        let mut w = writer.lock().expect("writer poisoned");
+        let mut w = lock_unpoisoned(&writer);
         // A vanished client is not an error the service can answer;
         // keep running (remaining events will fail the same way).
         let _ = write_frame(&mut *w, &event.to_wire());
     };
     let mut stats = ServeStats::default();
+    // One persistent pool per connection: affinity routing keeps
+    // compiled-pattern caches warm across consecutive jobs sharing a
+    // cache key. A tripped pool is left behind (jobs degrade to the
+    // per-attempt fleet path) rather than respawned into the same
+    // systemic failure.
+    let pool = config.pool.then(|| spawn_pool(exe, config));
     std::thread::scope(|scope| {
         scope.spawn(|| {
             let mut reader = reader;
@@ -756,7 +1392,7 @@ where
                     Ok(Request::Ping) => emit(Event::Pong),
                     Ok(Request::Shutdown) => break,
                     Ok(Request::Submit(req)) => {
-                        let mut q = queue.lock().expect("queue poisoned");
+                        let mut q = lock_unpoisoned(&queue);
                         if q.len() >= config.max_queue {
                             drop(q);
                             rejected.fetch_add(1, Ordering::SeqCst);
@@ -786,20 +1422,41 @@ where
         let mut last_key: Option<String> = None;
         loop {
             let next = {
-                let mut q = queue.lock().expect("queue poisoned");
+                let mut q = lock_unpoisoned(&queue);
                 pick_next(&mut q, last_key.as_deref())
             };
             match next {
                 Some(req) => {
                     last_key = Some(req.workload.cache_key());
                     let mut emit_fn = |event: Event| emit(event);
-                    match run_job(
+                    let mut journal = match &config.journal_dir {
+                        None => None,
+                        Some(dir) => {
+                            match JobJournal::create(dir, req.id, &req.workload, req.shards) {
+                                Ok(j) => Some(j),
+                                Err(e) => {
+                                    stats.failed += 1;
+                                    emit(Event::JobError {
+                                        id: req.id,
+                                        reason: format!("cannot create job journal: {e}"),
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    let spec = JobSpec {
+                        id: req.id,
+                        workload: &req.workload,
+                        shards: req.shards,
+                        faults: &req.faults,
+                    };
+                    match run_job_with(
                         exe,
-                        req.id,
-                        &req.workload,
-                        req.shards,
-                        &req.faults,
+                        pool.as_ref(),
+                        &spec,
                         config,
+                        journal.as_mut(),
                         &mut emit_fn,
                     ) {
                         Ok((output, job_stats)) => {
@@ -828,6 +1485,9 @@ where
             }
         }
     });
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
     stats.rejected = rejected.load(Ordering::SeqCst);
     emit(Event::Bye {
         done: stats.done,

@@ -30,10 +30,10 @@
 use crate::tables::{EquivalenceSpec, ResourcesSpec, TableRow};
 use crate::FamilyInstance;
 use mbqao_core::engine::shard::{
-    default_worker_cap, run_worker, run_workers_capped, Merger, Provenance, Shard, ShardError,
-    ShardResult, WorkerCommand,
+    default_worker_cap, lock_unpoisoned, run_worker, run_workers_capped, Merger, Provenance, Shard,
+    ShardError, ShardResult, WorkerCommand,
 };
-use mbqao_core::engine::wire::{Value, WireError};
+use mbqao_core::engine::wire::{read_frame, write_frame, PoolFrame, Value, WireError};
 use mbqao_core::{
     pattern_cache_stats, Backend, Executor, GateBackend, PatternBackend, PauliBackend, ZxBackend,
 };
@@ -603,6 +603,29 @@ pub fn run_shard(workload: &Workload, shard: Shard) -> ShardResult<Payload> {
     }
 }
 
+/// The placeholder payload an orchestrator merges in place of a range
+/// it had to abandon (poison-shard quarantine with partial coverage
+/// allowed): per-item values become NaN, a grid contribution becomes
+/// the fold identity, table rows become explicit tombstones. The shape
+/// matches what [`run_shard`] would have produced so [`assemble`]
+/// still works; the degradation stays visible in the output.
+pub fn hole_payload(workload: &Workload, shard: Shard) -> Payload {
+    match workload {
+        Workload::Landscape { .. } | Workload::Disorder(_) => {
+            Payload::Values(vec![f64::NAN; shard.len()])
+        }
+        Workload::Grid { .. } => Payload::Best(GridBest::NONE),
+        Workload::ResourceTable(_) | Workload::EquivalenceTable(_) => Payload::Rows(
+            (shard.start..shard.end)
+                .map(|i| TableRow {
+                    text: format!("| (item {i}: range abandoned by quarantine) |"),
+                    dense_saving: 0,
+                })
+                .collect(),
+        ),
+    }
+}
+
 // -------------------------------------------------------------- assembly
 
 /// A fully merged sweep.
@@ -879,6 +902,18 @@ pub enum Fault {
     /// The worker panics while `attempt < k` — the retry-policy
     /// workhorse: fails exactly `k` times, then succeeds.
     FailUntil(u32),
+    /// The worker bit-flips one hex digit of the first `f64:` payload
+    /// in its (otherwise well-formed) result (first attempt only) —
+    /// the result decodes fine but carries a wrong bit pattern, which
+    /// is exactly the corruption the merger's duplicate-mismatch
+    /// rejection exists to catch. No-op on payloads without `f64:`
+    /// values (table workloads).
+    Corrupt,
+    /// A **persistent** worker exits cleanly after completing `n` jobs
+    /// in its process — the supervisor-restart injection. Keys on the
+    /// per-process job count, not the attempt; a one-shot worker exits
+    /// after its single job anyway, so there it is a no-op.
+    DieAfter(u32),
 }
 
 impl Fault {
@@ -889,6 +924,8 @@ impl Fault {
             Fault::Truncate => "truncate".into(),
             Fault::Stall(ms) => format!("stall:{ms}"),
             Fault::FailUntil(k) => format!("fail_until:{k}"),
+            Fault::Corrupt => "corrupt".into(),
+            Fault::DieAfter(n) => format!("die_after:{n}"),
         }
     }
 
@@ -906,9 +943,16 @@ impl Fault {
                 .map(Fault::FailUntil)
                 .map_err(|e| WireError(format!("bad fail_until count {k:?}: {e}")));
         }
+        if let Some(n) = s.strip_prefix("die_after:") {
+            return n
+                .parse()
+                .map(Fault::DieAfter)
+                .map_err(|e| WireError(format!("bad die_after count {n:?}: {e}")));
+        }
         match s {
             "panic" => Ok(Fault::Panic),
             "truncate" => Ok(Fault::Truncate),
+            "corrupt" => Ok(Fault::Corrupt),
             other => Err(WireError(format!("unknown fault {other:?}"))),
         }
     }
@@ -1003,8 +1047,140 @@ pub fn worker_run(input: &str) -> Result<String, WireError> {
             }
             json[..cut].to_string()
         }
+        Some(Fault::Corrupt) if attempt == 0 => corrupt_f64_payload(&json),
         _ => json,
     })
+}
+
+/// Bit-flips one hex digit of the first `f64:` payload in `json` (the
+/// [`Fault::Corrupt`] injection): the string stays valid wire JSON with
+/// a valid float encoding, but the bit pattern is wrong — only the
+/// merger's duplicate-mismatch check can catch it. Returns the input
+/// unchanged when no `f64:` payload exists.
+pub fn corrupt_f64_payload(json: &str) -> String {
+    let Some(pos) = json.find("f64:") else {
+        return json.to_string();
+    };
+    let digit = pos + 4; // first hex digit of the 16-digit bit pattern
+    let mut out = String::with_capacity(json.len());
+    out.push_str(&json[..digit]);
+    let c = json.as_bytes()[digit] as char;
+    let flipped = char::from_digit((c.to_digit(16).expect("payload digit is hex") + 1) % 16, 16)
+        .expect("mod-16 value is a hex digit");
+    out.push(flipped);
+    out.push_str(&json[digit + 1..]);
+    out
+}
+
+// ------------------------------------------------------ worker entry
+
+/// Entry point for `--worker` mode, shared by the `sweep_shard` and
+/// `mbqao-serve` binaries.
+///
+/// One-shot by default: one job JSON on stdin (read to EOF), one
+/// result JSON on stdout — the per-attempt subprocess contract. With
+/// `--persistent` the worker instead serves **many** jobs until stdin
+/// EOF, speaking [`PoolFrame`]s for a supervising
+/// [`WorkerPool`](mbqao_core::engine::shard::WorkerPool):
+/// `--gen <g>` is the generation the supervisor assigned this process
+/// (echoed in every frame so late output from a killed predecessor is
+/// discarded) and `--heartbeat-ms <ms>` the beat interval.
+pub fn worker_entry(args: &[String]) {
+    if !args.iter().any(|a| a == "--persistent") {
+        let mut input = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
+            .expect("reading job from stdin");
+        match worker_run(&input) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("worker: bad job: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let gen: u64 = arg("--gen").map_or(0, |v| v.parse().expect("--gen N"));
+    let hb_ms: u64 = arg("--heartbeat-ms").map_or(100, |v| v.parse().expect("--heartbeat-ms MS"));
+    worker_persistent(gen, std::time::Duration::from_millis(hb_ms));
+}
+
+/// The persistent worker serve-loop: reads [`PoolFrame::Job`]s from
+/// stdin until EOF, answers each with a [`PoolFrame::Result`], and
+/// beats [`PoolFrame::Heartbeat`]s from a side thread even while the
+/// main thread computes (a stalled-but-healthy worker keeps beating —
+/// only the supervisor's per-job deadline catches it; a hung process
+/// stops beating and is liveness-killed).
+///
+/// Because the process persists across jobs, its process-wide compile
+/// caches finally hit cross-shard and cross-job — the entire point of
+/// the pool. Injected faults behave exactly as in one-shot mode
+/// (`Panic`/`FailUntil` take the whole process down, which is what the
+/// supervisor's restart path exists for), plus [`Fault::DieAfter`]:
+/// exit cleanly after `n` completed jobs.
+pub fn worker_persistent(gen: u64, heartbeat: std::time::Duration) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let busy = Arc::new(AtomicBool::new(false));
+    let hb_out = Arc::clone(&stdout);
+    let hb_busy = Arc::clone(&busy);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(heartbeat);
+        let frame = PoolFrame::Heartbeat {
+            gen,
+            busy: hb_busy.load(Ordering::SeqCst),
+        }
+        .to_wire();
+        if write_frame(&mut *lock_unpoisoned(&hb_out), &frame).is_err() {
+            return; // supervisor gone; the main loop will see EOF too
+        }
+    });
+    let stdin = std::io::stdin();
+    let mut reader = std::io::BufReader::new(stdin.lock());
+    let mut jobs_done = 0u32;
+    while let Some(frame) = read_frame(&mut reader) {
+        let body = match frame.and_then(|v| PoolFrame::from_wire(&v)) {
+            Ok(PoolFrame::Job { gen: job_gen, body }) if job_gen == gen => body,
+            Ok(PoolFrame::Job { gen: job_gen, .. }) => {
+                eprintln!("worker: job for generation {job_gen} reached generation {gen}");
+                std::process::exit(3);
+            }
+            Ok(other) => {
+                eprintln!("worker: unexpected frame {other:?}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("worker: bad frame: {e}");
+                std::process::exit(2);
+            }
+        };
+        busy.store(true, Ordering::SeqCst);
+        let die_after = match job_from_json(&body) {
+            Ok((_, _, Some(Fault::DieAfter(n)), _)) => Some(n),
+            _ => None,
+        };
+        let result = match worker_run(&body) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("worker: bad job: {e}");
+                std::process::exit(2);
+            }
+        };
+        jobs_done += 1;
+        let frame = PoolFrame::Result { gen, body: result }.to_wire();
+        if write_frame(&mut *lock_unpoisoned(&stdout), &frame).is_err() {
+            return; // supervisor gone
+        }
+        busy.store(false, Ordering::SeqCst);
+        if die_after.is_some_and(|n| jobs_done >= n) {
+            return; // injected DieAfter(n): clean exit after n jobs
+        }
+    }
 }
 
 // --------------------------------------------------------------- drivers
@@ -1240,6 +1416,8 @@ mod tests {
             Some(Fault::Truncate),
             Some(Fault::Stall(250)),
             Some(Fault::FailUntil(3)),
+            Some(Fault::Corrupt),
+            Some(Fault::DieAfter(2)),
         ] {
             for attempt in [0u32, 2] {
                 let (wl, s, f, a) =
@@ -1249,6 +1427,60 @@ mod tests {
                 assert_eq!(f, fault);
                 assert_eq!(a, attempt);
             }
+        }
+    }
+
+    #[test]
+    fn corrupt_fault_flips_exactly_one_payload_digit() {
+        let json = r#"{"values":["f64:3fe0000000000000","f64:4008000000000000"]}"#;
+        let corrupted = corrupt_f64_payload(json);
+        assert_ne!(corrupted, json, "a payload with floats must change");
+        let diffs = json
+            .bytes()
+            .zip(corrupted.bytes())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1, "exactly one hex digit flips");
+        assert_eq!(corrupted.len(), json.len(), "still well-formed JSON");
+        // No float payload → nothing to corrupt → unchanged.
+        let floatless = r#"{"rows":["| a |"]}"#;
+        assert_eq!(corrupt_f64_payload(floatless), floatless);
+    }
+
+    #[test]
+    fn hole_payloads_match_the_shape_of_every_workload() {
+        let shard = Shard {
+            index: 1,
+            of: 2,
+            total: 8,
+            start: 3,
+            end: 6,
+        };
+        let values = hole_payload(
+            &Workload::Disorder(DisorderSpec {
+                n: 4,
+                instances: 8,
+                base_seed: 1,
+                p: 1,
+                grid_steps: 2,
+                backend: BackendKind::Gate,
+            }),
+            shard,
+        );
+        match values {
+            Payload::Values(v) => {
+                assert_eq!(v.len(), shard.len());
+                assert!(v.iter().all(|x| x.is_nan()), "holes must be visible NaNs");
+            }
+            other => panic!("expected Values, got {other:?}"),
+        }
+        let rows = hole_payload(&Workload::ResourceTable(ResourcesSpec::full()), shard);
+        match rows {
+            Payload::Rows(rows) => {
+                assert_eq!(rows.len(), shard.len());
+                assert!(rows.iter().all(|r| r.text.contains("quarantine")));
+            }
+            other => panic!("expected Rows, got {other:?}"),
         }
     }
 

@@ -1,0 +1,103 @@
+//! Property tests for the crash-safe job journal: for ANY partition of
+//! a sweep, ANY prefix of landed partials (the moment a crash strikes),
+//! with or without a torn half-appended tail, replaying the journal
+//! and re-running exactly the ranges the merger reports missing must
+//! reproduce the monolithic output bit for bit. This is the invariant
+//! `mbqao-serve --resume` stands on.
+//!
+//! Partials are computed in-process with `run_shard` (no subprocesses)
+//! so the property holds at full case counts; the scheduled
+//! `property-deep` CI job raises them to 1024 via `PROPTEST_CASES`.
+
+use mbqao_bench::serve::{load_journal, JobJournal};
+use mbqao_bench::sweep::{assemble, monolithic, run_shard, BackendKind, FamilyRef, Workload};
+use mbqao_core::engine::shard::{Merger, Shard};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique scratch file per proptest case (cases may run concurrently
+/// across test binaries sharing a tmpdir).
+fn scratch_wal() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mbqao-journal-prop-{}-{n}", std::process::id()))
+}
+
+fn landscape(steps: usize) -> Workload {
+    Workload::Landscape {
+        family: FamilyRef {
+            seed: 7,
+            name: "square".into(),
+        },
+        backend: BackendKind::Gate,
+        steps,
+        gamma: (0.0, 2.0),
+        beta: (0.0, 2.0),
+    }
+}
+
+proptest! {
+    /// Crash at any point in the journal's life ⇒ resume converges to
+    /// the monolithic reference, always.
+    #[test]
+    fn any_journal_prefix_completes_to_the_monolithic_output(
+        steps in 2usize..4,
+        shards in 1usize..7,
+        kept_raw in 0usize..64,
+        torn in proptest::bool::ANY,
+    ) {
+        let w = landscape(steps);
+        let total = w.total();
+        let parts: Vec<Shard> = Shard::partition(total, shards)
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .collect();
+        let results: Vec<_> = parts.iter().map(|&s| run_shard(&w, s)).collect();
+
+        // Journal a crash-time prefix of the landed partials…
+        let dir = scratch_wal();
+        let kept = kept_raw % (results.len() + 1);
+        let mut journal = JobJournal::create(&dir, 1, &w, shards).expect("create");
+        for result in &results[..kept] {
+            journal.append(result).expect("append");
+        }
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        if torn {
+            // …optionally with the half-written frame a crash
+            // mid-append leaves behind.
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("reopen");
+            f.write_all(br#"{"type":"wal_partial","provenance":{"sh"#)
+                .expect("torn tail");
+        }
+
+        // …then replay and complete, exactly like `--resume` does.
+        let replay = load_journal(&path).expect("prefix journals always load");
+        prop_assert_eq!(replay.results.len(), kept);
+        prop_assert_eq!(replay.shards, shards);
+        let mut merger = Merger::new(total);
+        let mut next_index = shards;
+        for result in replay.results {
+            next_index = next_index.max(result.provenance.shard.index + 1);
+            merger.insert(result).expect("replayed partials merge");
+        }
+        for (start, end) in merger.missing() {
+            let index = next_index;
+            next_index += 1;
+            let shard = Shard { index, of: shards, total, start, end };
+            merger.insert(run_shard(&w, shard)).expect("re-run merges");
+        }
+        let output = assemble(&w, merger.finish().expect("complete"));
+        prop_assert!(
+            output.bit_identical(&monolithic(&w)),
+            "journal prefix of {}/{} partials (torn: {}) diverged",
+            kept, results.len(), torn
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

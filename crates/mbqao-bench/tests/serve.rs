@@ -47,7 +47,7 @@ fn faulted_job_completes_bit_identically_under_the_worker_cap() {
         retry: RetryPolicy::new(4, Duration::from_millis(20)),
         straggler_deadline: Some(Duration::from_millis(2_000)),
         max_queue: 1,
-        log: false,
+        ..ServeConfig::default()
     };
     let faults = [
         (0, Fault::Panic),
@@ -166,9 +166,8 @@ fn serve_loop_answers_a_checked_submit_over_frames() {
     let config = ServeConfig {
         cap: 2,
         retry: RetryPolicy::new(3, Duration::from_millis(10)),
-        straggler_deadline: None,
         max_queue: 4,
-        log: false,
+        ..ServeConfig::default()
     };
     let stats = serve(
         std::io::Cursor::new(input),

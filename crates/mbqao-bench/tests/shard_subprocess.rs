@@ -130,9 +130,8 @@ fn fail_twice_then_succeed_worker_recovers_under_backoff() {
     let config = ServeConfig {
         cap: 2,
         retry: policy,
-        straggler_deadline: None,
         max_queue: 1,
-        log: false,
+        ..ServeConfig::default()
     };
     let mut events = Vec::new();
     let started = Instant::now();
@@ -193,9 +192,8 @@ fn exhausted_retry_budget_fails_the_job_naming_the_shard() {
     let config = ServeConfig {
         cap: 2,
         retry: RetryPolicy::new(2, Duration::from_millis(5)),
-        straggler_deadline: None,
         max_queue: 1,
-        log: false,
+        ..ServeConfig::default()
     };
     let err = run_job(
         &worker_exe(),
@@ -224,7 +222,7 @@ fn straggler_is_repartitioned_and_merges_bit_identically() {
         retry: RetryPolicy::new(3, Duration::from_millis(10)),
         straggler_deadline: Some(Duration::from_millis(2_000)),
         max_queue: 1,
-        log: false,
+        ..ServeConfig::default()
     };
     let mut events = Vec::new();
     let (output, stats) = run_job(

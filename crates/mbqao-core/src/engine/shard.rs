@@ -39,12 +39,12 @@
 //! scheduling layers apply between attempts, and an optional per-shard
 //! deadline lets an orchestrator kill and re-partition stragglers.
 
-use super::wire::{Value, WireError};
-use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use super::wire::{read_frame, PoolFrame, Value, WireError};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -559,10 +559,15 @@ fn drain_worker(
         }
     };
     // The pipe pumps finish once the child is gone (its pipe ends
-    // close); join order after wait() is deadlock-free.
-    let write_error = writer.join().expect("stdin writer panicked");
-    let out = stdout.join().expect("stdout reader panicked");
-    let err = stderr.join().expect("stderr reader panicked");
+    // close); join order after wait() is deadlock-free. A pump that
+    // itself panicked must not cascade into this thread — treat it as
+    // a failed write / empty capture and let the exit status (already
+    // collected above) tell the story.
+    let write_error = writer
+        .join()
+        .unwrap_or_else(|_| Some("stdin writer thread panicked".into()));
+    let out = stdout.join().unwrap_or_default();
+    let err = stderr.join().unwrap_or_default();
     let status = match status {
         Ok(s) => s,
         Err(e) => return (Err(fail(format!("collecting output: {e}"))), timed_out),
@@ -756,7 +761,12 @@ impl Fleet {
                 let gauge = Arc::clone(&gauge);
                 std::thread::spawn(move || loop {
                     // Hold the lock only for the dequeue, not the run.
-                    let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                    // A runner that panicked while holding this lock
+                    // poisons the mutex; the receiver it protects is
+                    // still perfectly valid, so recover the guard —
+                    // one bad shard must fail *its* shard, not
+                    // cascade panics across every remaining runner.
+                    let job = match lock_unpoisoned(&job_rx).recv() {
                         Ok(job) => job,
                         Err(_) => return, // queue closed: fleet shutdown
                     };
@@ -810,6 +820,13 @@ impl Fleet {
         self.outcomes.recv().ok()
     }
 
+    /// [`Fleet::recv`] with a timeout: `None` on timeout *or* once the
+    /// fleet is drained (callers track their own in-flight count and
+    /// only poll while jobs are outstanding).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<FleetOutcome> {
+        self.outcomes.recv_timeout(timeout).ok()
+    }
+
     /// Current concurrency counters.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
@@ -828,7 +845,11 @@ impl Fleet {
     fn join_runners(&mut self) {
         self.jobs = None; // close the queue: runners exit at next recv
         for runner in self.runners.drain(..) {
-            runner.join().expect("fleet runner panicked");
+            // A runner that panicked already surfaced its job's failure
+            // (or dropped its outcome sender); propagating the panic
+            // here — possibly from Drop during another unwind — would
+            // abort the process instead of failing one shard.
+            let _ = runner.join();
         }
     }
 }
@@ -842,6 +863,19 @@ impl Drop for Fleet {
 /// The default worker cap: the host's available parallelism.
 pub fn default_worker_cap() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every mutex in this module protects state that stays structurally
+/// valid across a panic (an mpsc receiver, an output buffer, a pipe
+/// writer) — there is no invariant a half-finished critical section
+/// could have broken. Propagating the poison would instead cascade one
+/// worker's panic across every thread that touches the lock afterwards,
+/// which is exactly the blast radius the fleet/pool design bounds to a
+/// single shard.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs one worker per `(shard_index, job)` pair — **bounded** at
@@ -880,6 +914,888 @@ pub fn run_workers(
     jobs: &[(usize, String)],
 ) -> Vec<(usize, Result<String, ShardError>)> {
     run_workers_capped(cmd, jobs, default_worker_cap())
+}
+
+// ---------------------------------------------- supervised worker pool
+
+/// Supervision knobs for a [`WorkerPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum simultaneously live worker processes.
+    pub cap: usize,
+    /// Interval at which workers are told to beat (passed to the
+    /// worker as `--heartbeat-ms`).
+    pub heartbeat: Duration,
+    /// A worker that produces **no frame at all** (heartbeat or
+    /// result) for this long is sick — hung, stopped, deadlocked — and
+    /// is killed and restarted. Must comfortably exceed `heartbeat`
+    /// plus worker startup time.
+    pub liveness: Duration,
+    /// Optional per-job straggler deadline: a worker still computing
+    /// one job past this is killed and the job reported with
+    /// `timed_out = true` (the orchestrator's cue to re-partition).
+    /// Distinct from `liveness`: a straggler still beats; a sick
+    /// worker doesn't.
+    pub job_deadline: Option<Duration>,
+    /// Poison-shard quarantine threshold: a shard whose job kills this
+    /// many successive workers is dead-lettered instead of retried
+    /// forever (a completed job for the shard resets its count).
+    pub quarantine_after: u32,
+    /// Circuit breaker: more than this many unexpected worker deaths
+    /// inside `restart_window` trips the pool — every queued and
+    /// in-flight job fails fast with `circuit_open = true` and further
+    /// submissions are refused, so a systemically crashing fleet
+    /// degrades to the caller's fallback path instead of fork-bombing.
+    pub max_restarts: usize,
+    /// Sliding window for `max_restarts`.
+    pub restart_window: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            cap: default_worker_cap(),
+            heartbeat: Duration::from_millis(100),
+            liveness: Duration::from_secs(5),
+            job_deadline: None,
+            quarantine_after: 3,
+            max_restarts: 8,
+            restart_window: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One job for the pool: like [`FleetJob`] plus the `cache_key` the
+/// dispatcher routes on (jobs with the same key prefer the worker that
+/// last ran that key, so process-wide compile caches hit cross-shard
+/// and cross-job).
+#[derive(Debug, Clone)]
+pub struct PoolJob {
+    /// Caller's correlation tag, echoed in the outcome.
+    pub tag: u64,
+    /// Which shard this job computes (quarantine is keyed on this).
+    pub shard_index: usize,
+    /// The job description (one line of JSON — the same payload a
+    /// one-shot worker reads from stdin).
+    pub input: String,
+    /// Affinity routing key (workloads sharing compiled state share a
+    /// key).
+    pub cache_key: String,
+    /// Dispatch delay (retry backoff). The pool holds the job without
+    /// blocking a worker.
+    pub delay: Duration,
+}
+
+/// Verdict for one [`PoolJob`], in completion order.
+#[derive(Debug)]
+pub struct PoolOutcome {
+    /// The caller's tag from the job.
+    pub tag: u64,
+    /// The shard the job computed.
+    pub shard_index: usize,
+    /// The worker's raw stdout-equivalent result body, or the failure.
+    pub result: Result<String, ShardError>,
+    /// Wall-clock from dispatch to verdict.
+    pub elapsed: Duration,
+    /// The worker was killed by the per-job straggler deadline.
+    pub timed_out: bool,
+    /// The job's shard hit the poison-shard quarantine threshold; it
+    /// is dead-lettered and must not be retried as-is.
+    pub quarantined: bool,
+    /// The pool's restart-rate circuit breaker is open; the job was
+    /// not (fully) attempted and may be retried on a fallback path.
+    pub circuit_open: bool,
+}
+
+/// A quarantined shard's tombstone: which shard, how many workers it
+/// killed, and the last corpse's stderr excerpt for diagnosis.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The poisonous shard index.
+    pub shard_index: usize,
+    /// How many successive workers it killed.
+    pub kills: u32,
+    /// Stderr excerpt from the final kill.
+    pub stderr: String,
+}
+
+/// Pool-lifetime counters (monotonic; safe to snapshot and diff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker processes ever spawned.
+    pub spawned: usize,
+    /// Worker deaths that required (or will require) a replacement
+    /// spawn — crashes, liveness kills, straggler kills.
+    pub restarts: usize,
+    /// Peak simultaneously live workers (≤ cap).
+    pub max_live: usize,
+    /// Frames discarded because their generation didn't match the
+    /// slot's live worker (late output from a killed predecessor).
+    pub stale_frames: usize,
+    /// Heartbeat frames observed.
+    pub heartbeats: usize,
+    /// Jobs routed to a worker that last ran the same `cache_key`.
+    pub affinity_hits: usize,
+    /// Jobs completed successfully.
+    pub jobs_done: usize,
+    /// Shards dead-lettered by quarantine.
+    pub quarantined: usize,
+    /// Whether the circuit breaker has tripped.
+    pub tripped: bool,
+}
+
+#[derive(Default)]
+struct PoolShared {
+    spawned: AtomicUsize,
+    restarts: AtomicUsize,
+    live: AtomicUsize,
+    max_live: AtomicUsize,
+    stale_frames: AtomicUsize,
+    heartbeats: AtomicUsize,
+    affinity_hits: AtomicUsize,
+    jobs_done: AtomicUsize,
+    quarantined: AtomicUsize,
+    tripped: AtomicBool,
+    pids: Mutex<Vec<(usize, u32)>>,
+    dead_letters: Mutex<Vec<DeadLetter>>,
+}
+
+/// Supervisor-loop inbox: everything that can happen to the pool
+/// funnels through one channel, so slot state is owned by exactly one
+/// thread and needs no locking.
+enum SupMsg {
+    Job(PoolJob),
+    Frame {
+        slot: usize,
+        gen: u64,
+        frame: PoolFrame,
+    },
+    Gone {
+        slot: usize,
+        gen: u64,
+        reason: String,
+    },
+    Shutdown,
+}
+
+enum SlotState {
+    /// No live worker (initial, or after a death/shutdown).
+    Vacant,
+    /// Worker alive, waiting for a job.
+    Idle,
+    /// Worker computing `Slot::job`.
+    Busy,
+}
+
+/// Why a worker is being reaped — decides which counters the death
+/// feeds.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeathKind {
+    /// Unexpected exit / protocol corruption: counts toward the
+    /// circuit breaker and (if busy) the shard's quarantine tally.
+    Crash,
+    /// Killed for missing the liveness deadline: same accounting as a
+    /// crash — a hung worker is a sick worker.
+    Liveness,
+    /// Killed by the per-job straggler deadline: a *policy* kill. The
+    /// job reports `timed_out` (re-partition cue); the death counts as
+    /// a restart but neither trips the breaker nor poisons the shard.
+    Deadline,
+}
+
+struct Slot {
+    /// Generation of the worker currently (or last) occupying the
+    /// slot. Frames carrying any other generation are stale.
+    gen: u64,
+    state: SlotState,
+    child: Option<Child>,
+    /// Feeds the dedicated stdin writer thread; dropping it closes the
+    /// worker's stdin (its cue for a clean exit).
+    job_tx: Option<mpsc::Sender<String>>,
+    stderr: Arc<Mutex<Vec<u8>>>,
+    pumps: Vec<JoinHandle<()>>,
+    last_seen: Instant,
+    busy_since: Instant,
+    /// `cache_key` of the last job this worker completed.
+    last_key: Option<String>,
+    /// The in-flight job (state == Busy).
+    job: Option<PoolJob>,
+}
+
+impl Slot {
+    fn vacant() -> Slot {
+        Slot {
+            gen: 0,
+            state: SlotState::Vacant,
+            child: None,
+            job_tx: None,
+            stderr: Arc::new(Mutex::new(Vec::new())),
+            pumps: Vec::new(),
+            last_seen: Instant::now(),
+            busy_since: Instant::now(),
+            last_key: None,
+            job: None,
+        }
+    }
+}
+
+/// Cap on the retained stderr of a live pool worker (only an excerpt
+/// is ever reported; an endlessly chatty worker must not grow memory).
+const POOL_STDERR_CAP: usize = 64 * 1024;
+
+struct PoolSupervisor {
+    cmd: WorkerCommand,
+    config: PoolConfig,
+    slots: Vec<Slot>,
+    queue: VecDeque<PoolJob>,
+    delayed: Vec<(Instant, PoolJob)>,
+    /// Successive worker kills per shard index (cleared on success),
+    /// with the last corpse's stderr excerpt.
+    deaths: HashMap<usize, (u32, String)>,
+    /// Timestamps of breaker-relevant deaths inside `restart_window`.
+    breaker: VecDeque<Instant>,
+    next_gen: u64,
+    out_tx: mpsc::Sender<PoolOutcome>,
+    sup_tx: mpsc::Sender<SupMsg>,
+    shared: Arc<PoolShared>,
+}
+
+impl PoolSupervisor {
+    fn run(mut self, sup_rx: mpsc::Receiver<SupMsg>) {
+        // The tick drives liveness checks, straggler deadlines, and
+        // delayed (backoff) dispatch; every worker frame also wakes
+        // the loop, so a healthy pool ticks at heartbeat rate anyway.
+        let tick = Duration::from_millis(10);
+        loop {
+            match sup_rx.recv_timeout(tick) {
+                Ok(SupMsg::Job(job)) => self.on_job(job),
+                Ok(SupMsg::Frame { slot, gen, frame }) => self.on_frame(slot, gen, frame),
+                Ok(SupMsg::Gone { slot, gen, reason }) => self.on_gone(slot, gen, &reason),
+                Ok(SupMsg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+            }
+            self.tick_deadlines();
+            self.dispatch();
+        }
+        self.shutdown_workers();
+    }
+
+    fn on_job(&mut self, job: PoolJob) {
+        if self.shared.tripped.load(Ordering::SeqCst) {
+            self.fail_job(job, None, false, true);
+        } else if job.delay.is_zero() {
+            self.queue.push_back(job);
+        } else {
+            self.delayed.push((Instant::now() + job.delay, job));
+        }
+    }
+
+    fn on_frame(&mut self, slot: usize, gen: u64, frame: PoolFrame) {
+        let s = &mut self.slots[slot];
+        // Two-level staleness guard: the reader thread tags frames
+        // with the generation it was spawned for, and the frame body
+        // echoes the generation the worker was told. Either mismatch
+        // means a killed predecessor is talking — drop the frame so it
+        // can never reach the merger.
+        let frame_gen = match &frame {
+            PoolFrame::Job { gen, .. }
+            | PoolFrame::Heartbeat { gen, .. }
+            | PoolFrame::Result { gen, .. } => *gen,
+        };
+        if gen != s.gen || frame_gen != s.gen || s.child.is_none() {
+            self.shared.stale_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        s.last_seen = Instant::now();
+        match frame {
+            PoolFrame::Heartbeat { .. } => {
+                self.shared.heartbeats.fetch_add(1, Ordering::Relaxed);
+            }
+            PoolFrame::Result { body, .. } => match s.job.take() {
+                Some(job) => {
+                    s.state = SlotState::Idle;
+                    s.last_key = Some(job.cache_key.clone());
+                    let elapsed = s.busy_since.elapsed();
+                    self.deaths.remove(&job.shard_index);
+                    self.shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.out_tx.send(PoolOutcome {
+                        tag: job.tag,
+                        shard_index: job.shard_index,
+                        result: Ok(body),
+                        elapsed,
+                        timed_out: false,
+                        quarantined: false,
+                        circuit_open: false,
+                    });
+                }
+                // A result with no job in flight is protocol
+                // corruption — kill the worker rather than guess.
+                None => self.reap(slot, DeathKind::Crash, "unsolicited result frame"),
+            },
+            PoolFrame::Job { .. } => self.reap(slot, DeathKind::Crash, "worker sent a job frame"),
+        }
+    }
+
+    fn on_gone(&mut self, slot: usize, gen: u64, reason: &str) {
+        if self.slots[slot].gen != gen || self.slots[slot].child.is_none() {
+            return; // already reaped (or a stale pump's report)
+        }
+        self.reap(slot, DeathKind::Crash, reason);
+    }
+
+    fn tick_deadlines(&mut self) {
+        let now = Instant::now();
+        for i in 0..self.slots.len() {
+            if self.slots[i].child.is_none() {
+                continue;
+            }
+            if now.duration_since(self.slots[i].last_seen) > self.config.liveness {
+                let msg = format!("no heartbeat within {:?}", self.config.liveness);
+                self.reap(i, DeathKind::Liveness, &msg);
+            } else if let (SlotState::Busy, Some(deadline)) =
+                (&self.slots[i].state, self.config.job_deadline)
+            {
+                if self.slots[i].busy_since.elapsed() > deadline {
+                    let msg = format!("straggler killed after exceeding its {deadline:?} deadline");
+                    self.reap(i, DeathKind::Deadline, &msg);
+                }
+            }
+        }
+    }
+
+    /// Kills and reaps the worker in `slot`, settles its in-flight job
+    /// per `kind`, and applies restart/breaker/quarantine accounting.
+    fn reap(&mut self, slot: usize, kind: DeathKind, reason: &str) {
+        let s = &mut self.slots[slot];
+        let Some(mut child) = s.child.take() else {
+            return;
+        };
+        s.job_tx = None; // writer thread exits on the closed channel
+        let _ = child.kill();
+        let _ = child.wait();
+        for pump in s.pumps.drain(..) {
+            let _ = pump.join();
+        }
+        let excerpt = stderr_excerpt(&String::from_utf8_lossy(&lock_unpoisoned(&s.stderr)));
+        s.state = SlotState::Vacant;
+        s.last_key = None;
+        let job = s.job.take();
+        self.shared.live.fetch_sub(1, Ordering::SeqCst);
+        self.shared.restarts.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.shared.pids).retain(|(i, _)| *i != slot);
+        let reason = if excerpt.is_empty() {
+            reason.to_string()
+        } else {
+            format!("{reason}; stderr: {excerpt}")
+        };
+        if kind != DeathKind::Deadline {
+            self.breaker_event();
+        }
+        if let Some(job) = job {
+            match kind {
+                DeathKind::Deadline => self.fail_job(job, Some(&reason), true, false),
+                DeathKind::Crash | DeathKind::Liveness => {
+                    let entry = self
+                        .deaths
+                        .entry(job.shard_index)
+                        .or_insert((0, String::new()));
+                    entry.0 += 1;
+                    entry.1 = reason.clone();
+                    if entry.0 >= self.config.quarantine_after {
+                        self.quarantine(job);
+                    } else {
+                        self.fail_job(job, Some(&reason), false, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records one breaker-relevant death; trips the breaker when the
+    /// sliding window overflows.
+    fn breaker_event(&mut self) {
+        let now = Instant::now();
+        self.breaker.push_back(now);
+        while let Some(front) = self.breaker.front() {
+            if now.duration_since(*front) > self.config.restart_window {
+                self.breaker.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.breaker.len() > self.config.max_restarts {
+            self.trip();
+        }
+    }
+
+    /// Opens the circuit: kills every worker, fails every queued,
+    /// delayed, and in-flight job fast with `circuit_open = true`.
+    fn trip(&mut self) {
+        if self.shared.tripped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for i in 0..self.slots.len() {
+            let s = &mut self.slots[i];
+            if let Some(mut child) = s.child.take() {
+                s.job_tx = None;
+                let _ = child.kill();
+                let _ = child.wait();
+                for pump in s.pumps.drain(..) {
+                    let _ = pump.join();
+                }
+                s.state = SlotState::Vacant;
+                s.last_key = None;
+                self.shared.live.fetch_sub(1, Ordering::SeqCst);
+                if let Some(job) = s.job.take() {
+                    self.fail_job(job, None, false, true);
+                }
+            }
+        }
+        lock_unpoisoned(&self.shared.pids).clear();
+        for job in std::mem::take(&mut self.queue) {
+            self.fail_job(job, None, false, true);
+        }
+        for (_, job) in std::mem::take(&mut self.delayed) {
+            self.fail_job(job, None, false, true);
+        }
+    }
+
+    /// Dead-letters `job`'s shard and reports the quarantined outcome.
+    fn quarantine(&mut self, job: PoolJob) {
+        let (kills, stderr) = self
+            .deaths
+            .get(&job.shard_index)
+            .cloned()
+            .unwrap_or((self.config.quarantine_after, String::new()));
+        self.shared.quarantined.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.shared.dead_letters).push(DeadLetter {
+            shard_index: job.shard_index,
+            kills,
+            stderr: stderr.clone(),
+        });
+        let reason = format!(
+            "shard {} quarantined after killing {kills} workers; last stderr: {stderr}",
+            job.shard_index
+        );
+        let _ = self.out_tx.send(PoolOutcome {
+            tag: job.tag,
+            shard_index: job.shard_index,
+            result: Err(ShardError::Worker {
+                shard: job.shard_index,
+                reason,
+            }),
+            elapsed: Duration::ZERO,
+            timed_out: false,
+            quarantined: true,
+            circuit_open: false,
+        });
+    }
+
+    fn fail_job(&self, job: PoolJob, reason: Option<&str>, timed_out: bool, circuit_open: bool) {
+        let reason = match reason {
+            Some(r) => r.to_string(),
+            None if circuit_open => format!(
+                "worker pool circuit breaker open (> {} worker deaths within {:?})",
+                self.config.max_restarts, self.config.restart_window
+            ),
+            None => "worker pool shut down".to_string(),
+        };
+        let _ = self.out_tx.send(PoolOutcome {
+            tag: job.tag,
+            shard_index: job.shard_index,
+            result: Err(ShardError::Worker {
+                shard: job.shard_index,
+                reason,
+            }),
+            elapsed: Duration::ZERO,
+            timed_out,
+            quarantined: false,
+            circuit_open,
+        });
+    }
+
+    /// Assigns queued jobs to workers: affinity first (an idle worker
+    /// whose `last_key` matches a queued job's `cache_key`), then a
+    /// fresh spawn into a vacant slot (never evict a warm cache while
+    /// capacity remains), then any idle worker.
+    fn dispatch(&mut self) {
+        // Promote delayed (backoff) jobs whose time has come.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, job) = self.delayed.swap_remove(i);
+                self.queue.push_back(job);
+            } else {
+                i += 1;
+            }
+        }
+        loop {
+            if self.queue.is_empty() || self.shared.tripped.load(Ordering::SeqCst) {
+                return;
+            }
+            // Already-quarantined shards fail fast instead of
+            // re-running a known poison job.
+            if let Some(pos) = self.queue.iter().position(|job| {
+                self.deaths
+                    .get(&job.shard_index)
+                    .is_some_and(|(kills, _)| *kills >= self.config.quarantine_after)
+            }) {
+                let job = self.queue.remove(pos).expect("position is in range");
+                self.quarantine(job);
+                continue;
+            }
+            let mut pick = None;
+            'affinity: for (si, slot) in self.slots.iter().enumerate() {
+                if let (SlotState::Idle, Some(key)) = (&slot.state, &slot.last_key) {
+                    if let Some(j) = self.queue.iter().position(|job| job.cache_key == *key) {
+                        pick = Some((si, j, true));
+                        break 'affinity;
+                    }
+                }
+            }
+            if pick.is_none() {
+                if let Some(si) = self
+                    .slots
+                    .iter()
+                    .position(|s| matches!(s.state, SlotState::Vacant))
+                {
+                    match self.spawn_slot(si) {
+                        Ok(()) => pick = Some((si, 0, false)),
+                        Err(reason) => {
+                            // A spawn failure is a pool-level fault:
+                            // fail the head job, feed the breaker (a
+                            // system that can't exec degrades fast).
+                            let job = self.queue.pop_front().expect("queue non-empty");
+                            self.fail_job(job, Some(&reason), false, false);
+                            self.breaker_event();
+                            continue;
+                        }
+                    }
+                } else if let Some(si) = self
+                    .slots
+                    .iter()
+                    .position(|s| matches!(s.state, SlotState::Idle))
+                {
+                    pick = Some((si, 0, false));
+                }
+            }
+            let Some((si, j, affinity)) = pick else {
+                return; // every worker busy: wait for a verdict
+            };
+            let job = self.queue.remove(j).expect("picked index is in range");
+            if affinity {
+                self.shared.affinity_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            self.assign(si, job);
+        }
+    }
+
+    fn assign(&mut self, slot: usize, job: PoolJob) {
+        let s = &mut self.slots[slot];
+        let mut frame = PoolFrame::Job {
+            gen: s.gen,
+            body: job.input.clone(),
+        }
+        .to_wire()
+        .to_json();
+        frame.push('\n'); // frames are newline-delimited
+                          // A send failure means the writer thread (hence worker) is
+                          // already dead; leave the slot Busy holding the job — the Gone
+                          // event settles it through the normal death path.
+        if let Some(tx) = &s.job_tx {
+            let _ = tx.send(frame);
+        }
+        let now = Instant::now();
+        s.state = SlotState::Busy;
+        s.busy_since = now;
+        s.last_seen = now;
+        s.job = Some(job);
+    }
+
+    /// Spawns a fresh worker generation into `slot`.
+    fn spawn_slot(&mut self, slot: usize) -> Result<(), String> {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        let gen_s = gen.to_string();
+        let hb_ms = self.config.heartbeat.as_millis().max(1).to_string();
+        let mut child = Command::new(&self.cmd.exe)
+            .args(&self.cmd.args)
+            .args([
+                "--persistent",
+                "--gen",
+                gen_s.as_str(),
+                "--heartbeat-ms",
+                hb_ms.as_str(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning pool worker: {e}"))?;
+        let pid = child.id();
+        let (job_tx, job_rx) = mpsc::channel::<String>();
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        let writer = std::thread::spawn(move || {
+            while let Ok(line) = job_rx.recv() {
+                if stdin
+                    .write_all(line.as_bytes())
+                    .and_then(|()| stdin.flush())
+                    .is_err()
+                {
+                    return; // worker gone: its Gone event handles the job
+                }
+            }
+            // Channel closed: dropping stdin EOFs the worker (clean exit).
+        });
+        let out_pipe = child.stdout.take().expect("stdout was piped");
+        let sup_tx = self.sup_tx.clone();
+        let reader = std::thread::spawn(move || {
+            let mut r = BufReader::new(out_pipe);
+            loop {
+                match read_frame(&mut r) {
+                    None => {
+                        let _ = sup_tx.send(SupMsg::Gone {
+                            slot,
+                            gen,
+                            reason: "worker stdout closed".into(),
+                        });
+                        return;
+                    }
+                    Some(Err(e)) => {
+                        let _ = sup_tx.send(SupMsg::Gone {
+                            slot,
+                            gen,
+                            reason: format!("worker protocol corruption: {e}"),
+                        });
+                        return;
+                    }
+                    Some(Ok(value)) => match PoolFrame::from_wire(&value) {
+                        Ok(frame) => {
+                            if sup_tx.send(SupMsg::Frame { slot, gen, frame }).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = sup_tx.send(SupMsg::Gone {
+                                slot,
+                                gen,
+                                reason: format!("worker protocol corruption: {e}"),
+                            });
+                            return;
+                        }
+                    },
+                }
+            }
+        });
+        let mut err_pipe = child.stderr.take().expect("stderr was piped");
+        let stderr_buf = Arc::new(Mutex::new(Vec::new()));
+        let stderr_sink = Arc::clone(&stderr_buf);
+        let stderr = std::thread::spawn(move || {
+            let mut chunk = [0u8; 4096];
+            while let Ok(n) = err_pipe.read(&mut chunk) {
+                if n == 0 {
+                    return;
+                }
+                let mut buf = lock_unpoisoned(&stderr_sink);
+                if buf.len() < POOL_STDERR_CAP {
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        });
+        let s = &mut self.slots[slot];
+        s.gen = gen;
+        s.state = SlotState::Idle;
+        s.child = Some(child);
+        s.job_tx = Some(job_tx);
+        s.stderr = stderr_buf;
+        s.pumps = vec![writer, reader, stderr];
+        s.last_seen = Instant::now();
+        s.last_key = None;
+        s.job = None;
+        self.shared.spawned.fetch_add(1, Ordering::Relaxed);
+        let live = self.shared.live.fetch_add(1, Ordering::SeqCst) + 1;
+        self.shared.max_live.fetch_max(live, Ordering::SeqCst);
+        lock_unpoisoned(&self.shared.pids).push((slot, pid));
+        Ok(())
+    }
+
+    /// Clean shutdown: close every worker's stdin (their cue to exit),
+    /// give them a grace period, then kill stragglers. In-flight jobs
+    /// (there are none in normal operation — callers drain first) fail
+    /// with a named shutdown error rather than hanging the caller.
+    fn shutdown_workers(&mut self) {
+        for i in 0..self.slots.len() {
+            let s = &mut self.slots[i];
+            let Some(mut child) = s.child.take() else {
+                continue;
+            };
+            s.job_tx = None; // closes stdin via the writer thread
+            let deadline = Instant::now() + Duration::from_millis(500);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() >= deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                    Err(_) => break,
+                }
+            }
+            for pump in s.pumps.drain(..) {
+                let _ = pump.join();
+            }
+            self.shared.live.fetch_sub(1, Ordering::SeqCst);
+            if let Some(job) = s.job.take() {
+                self.fail_job(job, None, false, false);
+            }
+        }
+        lock_unpoisoned(&self.shared.pids).clear();
+    }
+}
+
+/// A supervised pool of **persistent** worker processes.
+///
+/// Where [`Fleet`] spawns one subprocess per shard attempt, the pool
+/// keeps up to `cap` workers alive across jobs, speaking
+/// [`PoolFrame`]s over stdio, and routes jobs to workers by
+/// `cache_key` affinity — so a worker's process-wide compile caches
+/// hit cross-shard and cross-job (per-attempt subprocesses by
+/// construction always report cold caches).
+///
+/// The supervisor thread owns all worker state and provides the
+/// robustness layer:
+///
+/// * **heartbeats & liveness** — workers beat on a side thread even
+///   while computing; a worker silent past the liveness deadline is
+///   killed and replaced;
+/// * **generations** — every spawn gets a fresh generation counter and
+///   frames from any other generation are discarded, so late output
+///   from a killed worker can never corrupt a result;
+/// * **restart + circuit breaker** — dead workers are respawned
+///   lazily, but more than `max_restarts` deaths inside
+///   `restart_window` opens the circuit and fails everything fast
+///   (the caller degrades to the per-attempt path);
+/// * **poison-shard quarantine** — a shard that kills
+///   `quarantine_after` successive workers is dead-lettered
+///   ([`WorkerPool::dead_letters`]) instead of retried forever.
+pub struct WorkerPool {
+    sup_tx: mpsc::Sender<SupMsg>,
+    outcomes: mpsc::Receiver<PoolOutcome>,
+    supervisor: Option<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+}
+
+impl WorkerPool {
+    /// Starts the supervisor (workers spawn lazily on demand). `cmd`
+    /// is the worker invocation *without* the persistent-mode flags —
+    /// the pool appends `--persistent --gen <g> --heartbeat-ms <ms>`.
+    pub fn new(cmd: WorkerCommand, config: PoolConfig) -> WorkerPool {
+        let (sup_tx, sup_rx) = mpsc::channel();
+        let (out_tx, out_rx) = mpsc::channel();
+        let shared = Arc::new(PoolShared::default());
+        let supervisor = PoolSupervisor {
+            slots: (0..config.cap.max(1)).map(|_| Slot::vacant()).collect(),
+            cmd,
+            config,
+            queue: VecDeque::new(),
+            delayed: Vec::new(),
+            deaths: HashMap::new(),
+            breaker: VecDeque::new(),
+            next_gen: 0,
+            out_tx,
+            sup_tx: sup_tx.clone(),
+            shared: Arc::clone(&shared),
+        };
+        let handle = std::thread::spawn(move || supervisor.run(sup_rx));
+        WorkerPool {
+            sup_tx,
+            outcomes: out_rx,
+            supervisor: Some(handle),
+            shared,
+        }
+    }
+
+    /// Enqueues a job. Returns the job back if the pool cannot take it
+    /// (circuit open or supervisor gone) — the caller's cue to run it
+    /// on a fallback path.
+    pub fn submit(&self, job: PoolJob) -> Result<(), PoolJob> {
+        if self.shared.tripped.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        match self.sup_tx.send(SupMsg::Job(job)) {
+            Ok(()) => Ok(()),
+            Err(mpsc::SendError(SupMsg::Job(job))) => Err(job),
+            Err(_) => unreachable!("send returns the sent message"),
+        }
+    }
+
+    /// The next outcome in completion order (blocking). `None` only if
+    /// the supervisor died.
+    pub fn recv(&self) -> Option<PoolOutcome> {
+        self.outcomes.recv().ok()
+    }
+
+    /// [`WorkerPool::recv`] with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<PoolOutcome> {
+        self.outcomes.recv_timeout(timeout).ok()
+    }
+
+    /// Snapshot of the pool-lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            spawned: self.shared.spawned.load(Ordering::SeqCst),
+            restarts: self.shared.restarts.load(Ordering::SeqCst),
+            max_live: self.shared.max_live.load(Ordering::SeqCst),
+            stale_frames: self.shared.stale_frames.load(Ordering::SeqCst),
+            heartbeats: self.shared.heartbeats.load(Ordering::SeqCst),
+            affinity_hits: self.shared.affinity_hits.load(Ordering::SeqCst),
+            jobs_done: self.shared.jobs_done.load(Ordering::SeqCst),
+            quarantined: self.shared.quarantined.load(Ordering::SeqCst),
+            tripped: self.shared.tripped.load(Ordering::SeqCst),
+        }
+    }
+
+    /// OS pids of the currently live workers (for chaos tests that
+    /// kill(-9) a worker mid-shard).
+    pub fn live_pids(&self) -> Vec<u32> {
+        lock_unpoisoned(&self.shared.pids)
+            .iter()
+            .map(|(_, pid)| *pid)
+            .collect()
+    }
+
+    /// Tombstones of every quarantined shard so far.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        lock_unpoisoned(&self.shared.dead_letters).clone()
+    }
+
+    /// Whether the restart-rate circuit breaker has opened.
+    pub fn is_tripped(&self) -> bool {
+        self.shared.tripped.load(Ordering::SeqCst)
+    }
+
+    /// Stops the supervisor, shuts every worker down cleanly, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.join_supervisor();
+        self.stats()
+    }
+
+    fn join_supervisor(&mut self) {
+        let _ = self.sup_tx.send(SupMsg::Shutdown);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join_supervisor();
+    }
 }
 
 #[cfg(test)]
@@ -1185,5 +2101,232 @@ mod tests {
                 other => panic!("expected failure, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_instead_of_cascading() {
+        let m = Arc::new(Mutex::new(41));
+        let holder = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = holder.lock().unwrap();
+            panic!("poison the mutex mid-critical-section");
+        })
+        .join();
+        assert!(m.is_poisoned(), "the panicking holder poisoned the lock");
+        // The protected value is still structurally valid — one bad
+        // shard's panic must not cascade into every later locker.
+        let mut guard = lock_unpoisoned(&m);
+        *guard += 1;
+        assert_eq!(*guard, 42);
+    }
+
+    // ---------------------------------------------- worker-pool tests
+    //
+    // These sh(1) workers speak the persistent protocol by hand: the
+    // pool appends `--persistent --gen <g> --heartbeat-ms <ms>` to the
+    // command, and `sh -c '<script>'` binds those as $0..$4, so the
+    // worker's generation is `$2`. None of them emit heartbeats, so
+    // every test that wants a long-lived worker sets a generous
+    // liveness deadline.
+
+    fn quiet_pool_config(cap: usize) -> PoolConfig {
+        PoolConfig {
+            cap,
+            liveness: Duration::from_secs(60),
+            ..PoolConfig::default()
+        }
+    }
+
+    fn pool_job(tag: u64, shard_index: usize, cache_key: &str) -> PoolJob {
+        PoolJob {
+            tag,
+            shard_index,
+            input: "job".into(),
+            cache_key: cache_key.into(),
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Replies to every job frame with its own pid, echoing `$2` (its
+    /// generation) so the supervisor accepts the frame.
+    fn echo_pid_worker() -> WorkerCommand {
+        WorkerCommand::new(
+            "sh",
+            &[
+                "-c",
+                r#"while read -r line; do printf '{"type":"result","gen":%s,"body":"pid:%s"}\n' "$2" "$$"; done"#,
+            ],
+        )
+    }
+
+    /// Reads one job, prints a marker to stderr, and dies.
+    fn crashing_worker() -> WorkerCommand {
+        WorkerCommand::new("sh", &["-c", "read -r line; echo poisonous >&2; exit 1"])
+    }
+
+    #[test]
+    fn pool_reuses_workers_and_routes_by_cache_affinity() {
+        let pool = WorkerPool::new(echo_pid_worker(), quiet_pool_config(2));
+        let mut pid_of_key = std::collections::HashMap::new();
+        for (tag, key) in ["alpha", "beta", "alpha", "beta"].iter().enumerate() {
+            pool.submit(pool_job(tag as u64, tag, key))
+                .expect("pool accepts");
+            let outcome = pool.recv().expect("supervisor alive");
+            assert_eq!(outcome.tag, tag as u64);
+            let pid = outcome.result.expect("echo worker succeeds");
+            match pid_of_key.get(*key) {
+                // Affinity: the same key lands on the same process, so
+                // its in-process caches would hit.
+                Some(prev) => assert_eq!(prev, &pid, "key {key} routed to its warm worker"),
+                None => {
+                    pid_of_key.insert(key.to_string(), pid);
+                }
+            }
+        }
+        assert_eq!(pid_of_key.len(), 2, "two keys → two distinct workers");
+        let stats = pool.shutdown();
+        assert_eq!(stats.spawned, 2, "workers persisted across 4 jobs");
+        assert_eq!(stats.jobs_done, 4);
+        assert_eq!(
+            stats.affinity_hits, 2,
+            "second job of each key was affinity-routed"
+        );
+        assert!(stats.max_live <= 2);
+        assert_eq!(stats.restarts, 0);
+    }
+
+    #[test]
+    fn dead_worker_failure_names_shard_and_pool_restarts() {
+        let pool = WorkerPool::new(crashing_worker(), quiet_pool_config(1));
+        for (tag, shard_index) in [(0u64, 5usize), (1, 6)] {
+            pool.submit(pool_job(tag, shard_index, "k"))
+                .expect("pool accepts");
+            let outcome = pool.recv().expect("supervisor alive");
+            assert!(!outcome.quarantined && !outcome.circuit_open);
+            match outcome.result {
+                Err(ShardError::Worker { shard, reason }) => {
+                    assert_eq!(shard, shard_index);
+                    assert!(
+                        reason.contains("poisonous"),
+                        "stderr excerpt surfaced: {reason}"
+                    );
+                }
+                other => panic!("expected a worker death, got {other:?}"),
+            }
+        }
+        let stats = pool.shutdown();
+        assert_eq!(
+            stats.spawned, 2,
+            "a replacement worker was spawned after the death"
+        );
+        assert_eq!(stats.restarts, 2);
+        assert!(!stats.tripped);
+    }
+
+    #[test]
+    fn quarantine_dead_letters_a_shard_after_exactly_k_kills() {
+        let config = PoolConfig {
+            quarantine_after: 2,
+            ..quiet_pool_config(1)
+        };
+        let pool = WorkerPool::new(crashing_worker(), config);
+        // First kill: a plain failure (the orchestrator may retry).
+        pool.submit(pool_job(0, 9, "k")).expect("pool accepts");
+        let first = pool.recv().expect("supervisor alive");
+        assert!(!first.quarantined, "one kill is below the threshold");
+        assert!(first.result.is_err());
+        // Second kill of the same shard: quarantined, dead-lettered.
+        pool.submit(pool_job(1, 9, "k")).expect("pool accepts");
+        let second = pool.recv().expect("supervisor alive");
+        assert!(
+            second.quarantined,
+            "K = 2 successive kills quarantines the shard"
+        );
+        match &second.result {
+            Err(ShardError::Worker { shard, reason }) => {
+                assert_eq!(*shard, 9);
+                assert!(reason.contains("quarantined"), "named verdict: {reason}");
+            }
+            other => panic!("expected a quarantine verdict, got {other:?}"),
+        }
+        let letters = pool.dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].shard_index, 9, "dead letter names the shard");
+        assert_eq!(letters[0].kills, 2);
+        assert!(
+            letters[0].stderr.contains("poisonous"),
+            "tombstone keeps the last stderr"
+        );
+        // Third submission fails fast — no fresh worker is sacrificed.
+        pool.submit(pool_job(2, 9, "k")).expect("pool accepts");
+        let third = pool.recv().expect("supervisor alive");
+        assert!(third.quarantined);
+        let stats = pool.shutdown();
+        assert_eq!(
+            stats.spawned, 2,
+            "the quarantined shard never got a third worker"
+        );
+        assert_eq!(
+            stats.quarantined, 2,
+            "one tombstone + one fail-fast verdict"
+        );
+    }
+
+    #[test]
+    fn circuit_breaker_trips_after_the_restart_budget() {
+        let config = PoolConfig {
+            max_restarts: 2,
+            quarantine_after: 100, // keep quarantine out of this test
+            ..quiet_pool_config(1)
+        };
+        let pool = WorkerPool::new(crashing_worker(), config);
+        for tag in 0..5u64 {
+            // Distinct shards: every death feeds the breaker, none the
+            // quarantine tally.
+            pool.submit(pool_job(tag, tag as usize, "k"))
+                .expect("pool accepts");
+        }
+        let outcomes: Vec<PoolOutcome> = (0..5).map(|_| pool.recv().expect("alive")).collect();
+        assert!(outcomes.iter().all(|o| o.result.is_err()));
+        assert!(
+            outcomes.iter().any(|o| o.circuit_open),
+            "jobs queued past the third death fail fast with circuit_open"
+        );
+        assert!(pool.is_tripped());
+        // An open circuit refuses new work synchronously — the
+        // caller's cue to degrade to the per-attempt subprocess path.
+        assert!(pool.submit(pool_job(9, 9, "k")).is_err());
+        let stats = pool.shutdown();
+        assert!(stats.tripped);
+        assert!(
+            stats.restarts >= 3,
+            "the budget of 2 was exceeded: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn silent_worker_is_liveness_killed() {
+        let config = PoolConfig {
+            liveness: Duration::from_millis(150),
+            heartbeat: Duration::from_millis(25),
+            ..quiet_pool_config(1)
+        };
+        // Accepts the job, then goes catatonic: no heartbeat, no result.
+        let catatonic = WorkerCommand::new("sh", &["-c", "read -r line; sleep 60"]);
+        let pool = WorkerPool::new(catatonic, config);
+        pool.submit(pool_job(0, 3, "k")).expect("pool accepts");
+        let outcome = pool.recv().expect("supervisor alive");
+        match outcome.result {
+            Err(ShardError::Worker { shard, reason }) => {
+                assert_eq!(shard, 3);
+                assert!(
+                    reason.contains("no heartbeat"),
+                    "liveness verdict: {reason}"
+                );
+            }
+            other => panic!("expected a liveness kill, got {other:?}"),
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.restarts, 1);
     }
 }

@@ -240,6 +240,102 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> Option<Result<Value, WireError>> {
     }
 }
 
+// ------------------------------------------------- persistent-worker frames
+
+/// One frame of the persistent-worker protocol spoken between the
+/// supervisor ([`super::shard::WorkerPool`]) and a long-lived worker
+/// process serving many jobs over stdio.
+///
+/// Every frame carries the worker's **generation** — the monotonic
+/// counter the supervisor assigns at spawn time (and passes to the
+/// worker via `--gen`). A frame whose generation does not match the
+/// slot's current generation is from a killed predecessor and is
+/// discarded, so late output from a zombie can never be attributed to
+/// the worker that replaced it (and never reaches the merger).
+///
+/// Job and result bodies travel as **strings** (the raw job/result
+/// JSON), not nested objects: the supervisor stays payload-agnostic,
+/// and a worker that emits a truncated or corrupt body surfaces as a
+/// decode failure at the orchestration layer naming the shard — exactly
+/// like the one-shot subprocess path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolFrame {
+    /// Supervisor → worker: run this job (the body is one job JSON).
+    Job {
+        /// The worker generation this job is addressed to.
+        gen: u64,
+        /// The job description (the worker's one-shot stdin payload).
+        body: String,
+    },
+    /// Worker → supervisor: periodic liveness beat, emitted by a
+    /// dedicated thread even while the main thread computes — a worker
+    /// that stops beating is sick (hung, deadlocked, stopped) and gets
+    /// killed at the liveness deadline; a *busy* worker that still
+    /// beats is merely slow (straggler policy applies instead).
+    Heartbeat {
+        /// The worker's generation.
+        gen: u64,
+        /// Whether a job is currently being computed.
+        busy: bool,
+    },
+    /// Worker → supervisor: a completed job (the body is the result
+    /// JSON the one-shot worker would have written to stdout).
+    Result {
+        /// The worker's generation.
+        gen: u64,
+        /// The raw result JSON.
+        body: String,
+    },
+}
+
+/// Generations are small monotonic counters; they travel as `Int`.
+fn gen_to_wire(gen: u64) -> Value {
+    Value::Int(gen as i64)
+}
+
+impl PoolFrame {
+    /// Wire encoding (one line on the worker's stdio).
+    pub fn to_wire(&self) -> Value {
+        match self {
+            PoolFrame::Job { gen, body } => Value::obj(vec![
+                ("type", Value::Str("job".into())),
+                ("gen", gen_to_wire(*gen)),
+                ("body", Value::Str(body.clone())),
+            ]),
+            PoolFrame::Heartbeat { gen, busy } => Value::obj(vec![
+                ("type", Value::Str("hb".into())),
+                ("gen", gen_to_wire(*gen)),
+                ("busy", Value::Bool(*busy)),
+            ]),
+            PoolFrame::Result { gen, body } => Value::obj(vec![
+                ("type", Value::Str("result".into())),
+                ("gen", gen_to_wire(*gen)),
+                ("body", Value::Str(body.clone())),
+            ]),
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(v: &Value) -> Result<PoolFrame, WireError> {
+        let gen = v.field("gen")?.as_int()? as u64;
+        match v.field("type")?.as_str()? {
+            "job" => Ok(PoolFrame::Job {
+                gen,
+                body: v.field("body")?.as_str()?.to_string(),
+            }),
+            "hb" => Ok(PoolFrame::Heartbeat {
+                gen,
+                busy: v.field("busy")?.as_bool()?,
+            }),
+            "result" => Ok(PoolFrame::Result {
+                gen,
+                body: v.field("body")?.as_str()?.to_string(),
+            }),
+            other => Err(WireError(format!("unknown pool frame type {other:?}"))),
+        }
+    }
+}
+
 fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -449,6 +545,35 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_frames_round_trip_with_generations() {
+        for frame in [
+            PoolFrame::Job {
+                gen: 3,
+                body: "{\"kind\":\"landscape\"}".into(),
+            },
+            PoolFrame::Heartbeat { gen: 9, busy: true },
+            PoolFrame::Heartbeat {
+                gen: 0,
+                busy: false,
+            },
+            PoolFrame::Result {
+                gen: 3,
+                body: "truncated or not, it travels verbatim".into(),
+            },
+        ] {
+            let json = frame.to_wire().to_json();
+            let back =
+                PoolFrame::from_wire(&Value::parse(&json).expect("parses")).expect("decodes");
+            assert_eq!(back, frame);
+        }
+        let bad = Value::parse("{\"type\":\"nope\",\"gen\":1}").expect("parses");
+        assert!(
+            PoolFrame::from_wire(&bad).is_err(),
+            "unknown frame type is rejected"
+        );
+    }
 
     #[test]
     fn round_trips_structures() {
