@@ -14,7 +14,7 @@
 //!
 //! Usage:
 //! ```text
-//! mbqao-serve [--cap N] [--retries N] [--backoff-ms MS]
+//! mbqao-serve [--cap N] [--max-jobs N] [--retries N] [--backoff-ms MS]
 //!             [--straggler-ms MS] [--queue N] [--quiet]
 //!             [--no-pool] [--quarantine K] [--allow-partial]
 //!             [--journal DIR]
@@ -67,6 +67,9 @@ fn main() {
     if let Some(q) = flag(&args, "--queue") {
         config.max_queue = q.parse().expect("--queue N");
     }
+    if let Some(n) = flag(&args, "--max-jobs") {
+        config.max_jobs = n.parse().expect("--max-jobs N");
+    }
     if let Some(k) = flag(&args, "--quarantine") {
         config.quarantine_after = k.parse().expect("--quarantine K");
     }
@@ -81,8 +84,9 @@ fn main() {
     }
     if config.log {
         eprintln!(
-            "serve: listening on stdin (cap {}, {} attempts, base backoff {:?}, queue {}, {})",
+            "serve: listening on stdin (cap {}, max jobs {}, {} attempts, base backoff {:?}, queue {}, {})",
             config.cap,
+            config.max_jobs,
             config.retry.max_attempts,
             config.retry.base,
             config.max_queue,

@@ -35,17 +35,17 @@ use crate::sweep::{
     SweepOutput, Workload,
 };
 use mbqao_core::engine::shard::{
-    default_worker_cap, lock_unpoisoned, Fleet, FleetJob, FleetOutcome, Merger, PoolConfig,
-    PoolJob, PoolOutcome, PoolStats, Provenance, RetryPolicy, Shard, ShardError, ShardResult,
-    WorkerCommand, WorkerPool,
+    default_worker_cap, lock_unpoisoned, Fleet, FleetJob, FleetOutcome, FleetStats, Merger,
+    PoolConfig, PoolJob, PoolOutcome, PoolStats, Provenance, RetryPolicy, Shard, ShardError,
+    ShardResult, WorkerCommand, WorkerPool, AFFINITY_STREAK_BOUND,
 };
 use mbqao_core::engine::wire::{read_frame, write_frame, Value, WireError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs;
 use std::io::{BufRead, Seek, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 // ---------------------------------------------------------------- config
@@ -64,6 +64,12 @@ pub struct ServeConfig {
     /// Admission bound: submits beyond this many queued jobs are
     /// rejected immediately.
     pub max_queue: usize,
+    /// Jobs driven concurrently by [`serve`], interleaving their
+    /// shards over the shared worker pool. Each in-flight job keeps
+    /// its own merger, journal, and retry state; `partial` / `requeue`
+    /// / `done` frames interleave by job id. `1` restores strictly
+    /// serial job execution.
+    pub max_jobs: usize,
     /// Mirror every emitted event as a human-readable stderr line.
     pub log: bool,
     /// Schedule shards onto a supervised persistent [`WorkerPool`]
@@ -95,6 +101,7 @@ impl Default for ServeConfig {
             retry: RetryPolicy::new(3, Duration::from_millis(50)),
             straggler_deadline: None,
             max_queue: 16,
+            max_jobs: 4,
             log: false,
             pool: true,
             quarantine_after: 3,
@@ -758,13 +765,7 @@ fn split_shard(shard: Shard, next_index: &mut usize) -> [Shard; 2] {
     let mut sub = |start: usize, end: usize| {
         let index = *next_index;
         *next_index += 1;
-        Shard {
-            index,
-            of: shard.of,
-            total: shard.total,
-            start,
-            end,
-        }
+        Shard::synthetic(index, shard.total, start, end)
     };
     [sub(shard.start, mid), sub(mid, shard.end)]
 }
@@ -781,15 +782,6 @@ pub struct JobSpec<'a> {
     pub shards: usize,
     /// Injected transient faults, `(shard_index, fault)`.
     pub faults: &'a [(usize, Fault)],
-}
-
-/// Immutable per-job execution context.
-struct JobCx<'a> {
-    exe: &'a Path,
-    pool: Option<&'a WorkerPool>,
-    config: &'a ServeConfig,
-    id: u64,
-    workload: &'a Workload,
 }
 
 /// A lane-agnostic verdict: [`PoolOutcome`] and [`FleetOutcome`]
@@ -831,41 +823,59 @@ impl Verdict {
 /// the other when both have jobs in flight.
 const RECV_POLL: Duration = Duration::from_millis(5);
 
-/// Tracks one job's submissions across both execution lanes: the
-/// shared persistent [`WorkerPool`] (preferred — warm caches, affinity
-/// routing) and a lazily created per-attempt [`Fleet`] (the degraded
-/// path when no pool is available or its circuit breaker opens).
-struct Exec<'a> {
-    cx: &'a JobCx<'a>,
-    cache_key: String,
-    inflight: HashMap<u64, InFlight>,
+/// Pool shard-index namespace stride. Concurrent jobs both have a
+/// shard 0; without an offset their kill counts would alias in the
+/// pool's per-shard quarantine ledger and one tenant's poison shard
+/// could dead-letter another's. The serve driver offsets each job's
+/// indices by a distinct multiple of this stride; the single-job entry
+/// points use namespace 0, passing indices through unchanged.
+const JOB_NS_STRIDE: usize = 1 << 20;
+
+/// Routes shard attempts from any number of concurrent jobs onto the
+/// two execution lanes — the shared persistent [`WorkerPool`]
+/// (preferred: warm caches, affinity routing) and a lazily created
+/// per-attempt [`Fleet`] (the degraded path when no pool is available
+/// or its circuit breaker opens) — and demuxes outcomes back to their
+/// jobs by tag. Tags are unique for the dispatcher's whole lifetime,
+/// so a failed job's late outcomes can never be mistaken for a later
+/// job's (the per-job tag counter of the old single-job engine made
+/// exactly that collision possible).
+struct Dispatcher<'a> {
+    exe: &'a Path,
+    pool: Option<&'a WorkerPool>,
+    config: &'a ServeConfig,
+    /// Tag → (job id, attempt bookkeeping).
+    inflight: HashMap<u64, (u64, InFlight)>,
     next_tag: u64,
     use_pool: bool,
     pool_live: usize,
-    pool_base: Option<PoolStats>,
     fleet: Option<Fleet>,
     fleet_live: usize,
 }
 
-impl<'a> Exec<'a> {
-    fn new(cx: &'a JobCx<'a>) -> Exec<'a> {
-        let use_pool = cx.pool.is_some_and(|p| !p.is_tripped());
-        Exec {
-            cx,
-            cache_key: cx.workload.cache_key(),
+impl<'a> Dispatcher<'a> {
+    fn new(exe: &'a Path, pool: Option<&'a WorkerPool>, config: &'a ServeConfig) -> Dispatcher<'a> {
+        Dispatcher {
+            exe,
+            pool,
+            config,
             inflight: HashMap::new(),
             next_tag: 0,
-            use_pool,
+            use_pool: pool.is_some_and(|p| !p.is_tripped()),
             pool_live: 0,
-            pool_base: cx.pool.map(WorkerPool::stats),
             fleet: None,
             fleet_live: 0,
         }
     }
 
+    /// Submissions not yet resolved, across all jobs.
+    fn live(&self) -> usize {
+        self.inflight.len()
+    }
+
     fn submit(
         &mut self,
-        stats: &mut JobStats,
+        job: &mut JobRun,
         shard: Shard,
         attempt: u32,
         fault: Option<Fault>,
@@ -873,22 +883,26 @@ impl<'a> Exec<'a> {
     ) {
         let tag = self.next_tag;
         self.next_tag += 1;
-        let mut input = job_to_json_attempt(self.cx.workload, shard, fault, attempt);
+        let mut input = job_to_json_attempt(&job.workload, shard, fault, attempt);
         self.inflight.insert(
             tag,
-            InFlight {
-                shard,
-                attempt,
-                fault,
-            },
+            (
+                job.id,
+                InFlight {
+                    shard,
+                    attempt,
+                    fault,
+                },
+            ),
         );
+        job.inflight += 1;
         if self.use_pool {
-            let pool = self.cx.pool.expect("use_pool implies a pool");
+            let pool = self.pool.expect("use_pool implies a pool");
             match pool.submit(PoolJob {
                 tag,
-                shard_index: shard.index,
+                shard_index: job.ns * JOB_NS_STRIDE + shard.index,
                 input,
-                cache_key: self.cache_key.clone(),
+                cache_key: job.cache_key.clone(),
                 delay,
             }) {
                 Ok(()) => {
@@ -899,39 +913,48 @@ impl<'a> Exec<'a> {
                 // this and every later submission to the fleet path.
                 Err(rejected) => {
                     self.use_pool = false;
-                    stats.degraded += 1;
+                    job.stats.degraded += 1;
                     input = rejected.input;
                 }
             }
         }
         let fleet = self.fleet.get_or_insert_with(|| {
             Fleet::new(
-                WorkerCommand::new(self.cx.exe, &["--worker"]),
-                self.cx.config.cap,
-                self.cx.config.straggler_deadline,
+                WorkerCommand::new(self.exe, &["--worker"]),
+                self.config.cap,
+                self.config.straggler_deadline,
             )
         });
         fleet
             .submit(FleetJob {
                 tag,
-                shard_index: shard.index,
+                shard_index: job.ns * JOB_NS_STRIDE + shard.index,
                 input,
                 delay,
             })
-            .unwrap_or_else(|_| unreachable!("fleet outlives the job"));
+            .unwrap_or_else(|_| unreachable!("fleet outlives the dispatcher"));
         self.fleet_live += 1;
     }
 
-    /// Next verdict from whichever lane produces one. `None` means a
-    /// lane's scheduler died with jobs in flight — unrecoverable.
-    fn recv(&mut self) -> Option<Verdict> {
+    fn demux(&mut self, verdict: Verdict) -> (u64, InFlight, Verdict) {
+        let (job, flight) = self
+            .inflight
+            .remove(&verdict.tag)
+            .expect("every outcome matches a submission");
+        (job, flight, verdict)
+    }
+
+    /// Next verdict from whichever lane produces one, blocking while
+    /// anything is in flight. `None` means a lane's scheduler died with
+    /// jobs in flight — unrecoverable.
+    fn recv(&mut self) -> Option<(u64, InFlight, Verdict)> {
         loop {
             match (self.pool_live > 0, self.fleet_live > 0) {
                 (false, false) => return None,
                 (true, false) => {
-                    let o = self.cx.pool.expect("pool_live implies a pool").recv()?;
+                    let o = self.pool.expect("pool_live implies a pool").recv()?;
                     self.pool_live -= 1;
-                    return Some(Verdict::from_pool(o));
+                    return Some(self.demux(Verdict::from_pool(o)));
                 }
                 (false, true) => {
                     let o = self
@@ -940,39 +963,299 @@ impl<'a> Exec<'a> {
                         .expect("fleet_live implies a fleet")
                         .recv()?;
                     self.fleet_live -= 1;
-                    return Some(Verdict::from_fleet(o));
+                    return Some(self.demux(Verdict::from_fleet(o)));
                 }
                 (true, true) => {
-                    let pool = self.cx.pool.expect("pool_live implies a pool");
-                    if let Some(o) = pool.recv_timeout(RECV_POLL) {
-                        self.pool_live -= 1;
-                        return Some(Verdict::from_pool(o));
-                    }
-                    let fleet = self.fleet.as_ref().expect("fleet_live implies a fleet");
-                    if let Some(o) = fleet.recv_timeout(RECV_POLL) {
-                        self.fleet_live -= 1;
-                        return Some(Verdict::from_fleet(o));
+                    if let Some(demuxed) = self.poll(RECV_POLL) {
+                        return Some(demuxed);
                     }
                 }
             }
         }
     }
 
-    /// Folds both lanes' process accounting into the job stats. The
-    /// fleet (job-scoped) shuts down; the pool (connection-scoped)
-    /// keeps running and contributes the delta since the job started.
-    fn finish(self, stats: &mut JobStats) {
-        if let (Some(pool), Some(base)) = (self.cx.pool, self.pool_base) {
+    /// Bounded wait for the next verdict: `None` on timeout. The
+    /// multi-job driver interleaves admission checks between waits, so
+    /// a fresh submit is picked up within one poll interval.
+    fn poll(&mut self, timeout: Duration) -> Option<(u64, InFlight, Verdict)> {
+        if self.pool_live > 0 {
+            let wait = if self.fleet_live > 0 {
+                RECV_POLL.min(timeout)
+            } else {
+                timeout
+            };
+            let pool = self.pool.expect("pool_live implies a pool");
+            if let Some(o) = pool.recv_timeout(wait) {
+                self.pool_live -= 1;
+                return Some(self.demux(Verdict::from_pool(o)));
+            }
+        }
+        if self.fleet_live > 0 {
+            let wait = if self.pool_live > 0 {
+                RECV_POLL.min(timeout)
+            } else {
+                timeout
+            };
+            let o = self
+                .fleet
+                .as_ref()
+                .expect("fleet_live implies a fleet")
+                .recv_timeout(wait);
+            if let Some(o) = o {
+                self.fleet_live -= 1;
+                return Some(self.demux(Verdict::from_fleet(o)));
+            }
+        }
+        None
+    }
+
+    /// Shuts the degraded-path fleet down (the pool is caller-owned
+    /// and keeps running) and returns its process accounting.
+    fn shutdown_fleet(&mut self) -> Option<FleetStats> {
+        self.fleet.take().map(Fleet::shutdown)
+    }
+}
+
+/// One in-flight job's complete state: its own [`Merger`], stats,
+/// retry/straggler bookkeeping, and the queue of shard attempts not
+/// yet handed to the dispatcher. The multi-tenant driver keeps up to
+/// `max_jobs` of these live at once over one [`Dispatcher`]; the merge
+/// algebra is strictly per-job, so interleaving cannot change any
+/// job's output.
+struct JobRun {
+    id: u64,
+    /// Pool shard-index namespace (0 for the single-job entry points).
+    ns: usize,
+    workload: Workload,
+    cache_key: String,
+    total: usize,
+    merger: Merger<Payload>,
+    stats: JobStats,
+    next_index: usize,
+    abandoned: Vec<Shard>,
+    /// Shard attempts awaiting dispatch: `(shard, attempt, fault,
+    /// backoff delay)`.
+    ready: VecDeque<(Shard, u32, Option<Fault>, Duration)>,
+    /// This job's submissions currently in flight.
+    inflight: usize,
+    /// Pool counters at job start, for per-job deltas at the end.
+    pool_base: Option<PoolStats>,
+    /// Set once the job permanently failed; its remaining in-flight
+    /// verdicts are drained and discarded before the error surfaces.
+    failed: Option<ShardError>,
+}
+
+impl JobRun {
+    fn new(
+        id: u64,
+        ns: usize,
+        workload: Workload,
+        merger: Merger<Payload>,
+        next_index: usize,
+        stats: JobStats,
+        pool: Option<&WorkerPool>,
+    ) -> JobRun {
+        JobRun {
+            id,
+            ns,
+            cache_key: workload.cache_key(),
+            total: workload.total(),
+            workload,
+            merger,
+            stats,
+            next_index,
+            abandoned: Vec::new(),
+            ready: VecDeque::new(),
+            inflight: 0,
+            pool_base: pool.map(WorkerPool::stats),
+            failed: None,
+        }
+    }
+
+    /// Nothing in flight and nothing left to dispatch: the job is done
+    /// (successfully or not) and can be reaped via [`JobRun::into_result`].
+    fn settled(&self) -> bool {
+        self.inflight == 0 && self.ready.is_empty()
+    }
+
+    fn fail(&mut self, e: ShardError) {
+        self.ready.clear();
+        if self.failed.is_none() {
+            self.failed = Some(e);
+        }
+    }
+
+    /// Applies one verdict for this job: merge (WAL-first), retry with
+    /// backoff, straggler split, pool→fleet degrade, or quarantine.
+    /// Requeued attempts land in `ready`; the driver decides when to
+    /// dispatch them.
+    fn on_verdict(
+        &mut self,
+        d: &mut Dispatcher<'_>,
+        flight: InFlight,
+        verdict: Verdict,
+        journal: Option<&mut JobJournal>,
+        emit: &mut dyn FnMut(Event),
+    ) {
+        self.inflight -= 1;
+        if self.failed.is_some() {
+            // Already failed: late verdicts drain into the void.
+            return;
+        }
+        let id = self.id;
+        let decoded: Result<ShardResult<Payload>, ShardError> = verdict.result.and_then(|stdout| {
+            result_from_json(&stdout).map_err(|e| ShardError::Worker {
+                shard: flight.shard.index,
+                reason: format!("decoding worker output: {e} (truncated stream?)"),
+            })
+        });
+        match decoded {
+            Ok(result) => {
+                // WAL first: the merge is only acknowledged once the
+                // partial is durably journaled, so a crash after this
+                // point is recoverable bit-exactly.
+                if let Some(j) = journal {
+                    if let Err(e) = j.append(&result) {
+                        self.fail(ShardError::Worker {
+                            shard: flight.shard.index,
+                            reason: format!("journal append failed: {e}"),
+                        });
+                        return;
+                    }
+                }
+                let provenance = result.provenance.clone();
+                if let Err(e) = self.merger.insert(result) {
+                    self.fail(e);
+                    return;
+                }
+                self.stats.completed += 1;
+                self.stats.cache_hits += provenance.cache_hits;
+                self.stats.cache_misses += provenance.cache_misses;
+                let latency_ms = verdict.elapsed.as_millis() as u64;
+                self.stats.shard_ms.push(latency_ms);
+                let covered = self.total
+                    - self
+                        .merger
+                        .missing()
+                        .iter()
+                        .map(|(s, e)| e - s)
+                        .sum::<usize>();
+                emit(Event::Partial {
+                    id,
+                    shard: flight.shard,
+                    backend: provenance.backend,
+                    attempt: flight.attempt,
+                    latency_ms,
+                    cache_hits: provenance.cache_hits,
+                    cache_misses: provenance.cache_misses,
+                    covered,
+                    total: self.total,
+                });
+            }
+            Err(e) if verdict.circuit_open => {
+                // The pool's restart-rate breaker opened: this attempt
+                // was never fully tried. Reroute it (same attempt
+                // number — no retry budget consumed) to the one-shot
+                // subprocess path.
+                d.use_pool = false;
+                self.stats.degraded += 1;
+                emit(Event::Requeue {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    attempt: flight.attempt,
+                    backoff_ms: 0,
+                    repartitioned: false,
+                    reason: format!("{e} — degrading to one-shot workers"),
+                });
+                self.ready
+                    .push_back((flight.shard, flight.attempt, flight.fault, Duration::ZERO));
+            }
+            Err(e) if verdict.quarantined => {
+                self.stats.quarantined += 1;
+                emit(Event::Quarantined {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    reason: e.to_string(),
+                });
+                if d.config.allow_partial {
+                    self.abandoned.push(flight.shard);
+                } else {
+                    self.fail(e);
+                }
+            }
+            Err(e) if verdict.timed_out && flight.shard.len() >= 2 => {
+                // Straggler: its worker is already killed; halve the
+                // range onto fresh workers. Sub-shards run clean (the
+                // injected-fault map keys on original indices only) and
+                // merge into the exact same output — ranges are
+                // disjoint and the fold is canonical-order.
+                self.stats.repartitions += 1;
+                emit(Event::Requeue {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    attempt: 0,
+                    backoff_ms: 0,
+                    repartitioned: true,
+                    reason: e.to_string(),
+                });
+                for sub in split_shard(flight.shard, &mut self.next_index) {
+                    self.ready.push_back((sub, 0, None, Duration::ZERO));
+                }
+            }
+            Err(e) => {
+                let attempt = flight.attempt + 1;
+                if attempt >= d.config.retry.max_attempts {
+                    self.fail(e);
+                    return;
+                }
+                self.stats.retries += 1;
+                let backoff = d.config.retry.backoff(attempt);
+                emit(Event::Requeue {
+                    id,
+                    range: (flight.shard.start, flight.shard.end),
+                    attempt,
+                    backoff_ms: backoff.as_millis() as u64,
+                    repartitioned: false,
+                    reason: e.to_string(),
+                });
+                self.ready
+                    .push_back((flight.shard, attempt, flight.fault, backoff));
+            }
+        }
+    }
+
+    /// Consumes the settled job: folds the pool's per-job counter
+    /// deltas, fills quarantined ranges with [`hole_payload`]
+    /// placeholders (`allow_partial`), and assembles the output.
+    fn into_result(
+        mut self,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(SweepOutput, JobStats), ShardError> {
+        if let (Some(pool), Some(base)) = (pool, self.pool_base.take()) {
             let now = pool.stats();
-            stats.spawned += now.spawned.saturating_sub(base.spawned);
-            stats.worker_restarts += now.restarts.saturating_sub(base.restarts);
-            stats.max_live = stats.max_live.max(now.max_live);
+            self.stats.spawned += now.spawned.saturating_sub(base.spawned);
+            self.stats.worker_restarts += now.restarts.saturating_sub(base.restarts);
+            self.stats.max_live = self.stats.max_live.max(now.max_live);
         }
-        if let Some(fleet) = self.fleet {
-            let fstats = fleet.shutdown();
-            stats.spawned += fstats.spawned;
-            stats.max_live = stats.max_live.max(fstats.max_live);
+        if let Some(e) = self.failed {
+            return Err(e);
         }
+        // Quarantined ranges (allow_partial) fill with placeholder
+        // payloads so the output keeps its shape; the holes are
+        // NaN-valued and the stats carry the quarantine count.
+        for shard in std::mem::take(&mut self.abandoned) {
+            self.merger.insert(ShardResult {
+                provenance: Provenance {
+                    shard,
+                    backend: "quarantined".into(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                },
+                payload: hole_payload(&self.workload, shard),
+            })?;
+        }
+        let output = assemble(&self.workload, self.merger.finish()?);
+        Ok((output, self.stats))
     }
 }
 
@@ -1044,17 +1327,14 @@ pub fn run_job_with(
             (*part, fault)
         })
         .collect();
-    let cx = JobCx {
-        exe,
-        pool,
-        config,
-        id: spec.id,
-        workload: spec.workload,
-    };
     // Synthetic indices for re-partitioned sub-shards start above the
     // original partition so error messages stay unambiguous.
     run_shards(
-        &cx,
+        exe,
+        pool,
+        config,
+        spec.id,
+        spec.workload,
         work,
         Merger::new(total),
         spec.shards,
@@ -1107,38 +1387,30 @@ pub fn resume_job(
         covered,
         total,
     });
-    // Missing ranges re-run as fresh shards with no faults: injected
-    // faults are keyed on original indices, and a resume must converge
-    // rather than re-trip the same failure.
+    // Missing ranges re-run as fresh synthetic shards with no faults:
+    // injected faults are keyed on original indices, and a resume must
+    // converge rather than re-trip the same failure. `Shard::synthetic`
+    // keeps the `index < of` provenance invariant that the wire decoder
+    // asserts (re-runs used to claim "shard 7 of 4").
     let work: Vec<(Shard, Option<Fault>)> = merger
         .missing()
         .into_iter()
         .map(|(start, end)| {
             let index = next_index;
             next_index += 1;
-            let shard = Shard {
-                index,
-                of: shards,
-                total,
-                start,
-                end,
-            };
-            (shard, None)
+            (Shard::synthetic(index, total, start, end), None)
         })
         .collect();
     let mut journal = JobJournal::open_append(path).map_err(|e| ShardError::Worker {
         shard: 0,
         reason: format!("re-opening journal {}: {e}", path.display()),
     })?;
-    let cx = JobCx {
+    let (output, stats) = run_shards(
         exe,
         pool,
         config,
         id,
-        workload: &workload,
-    };
-    let (output, stats) = run_shards(
-        &cx,
+        &workload,
         work,
         merger,
         next_index,
@@ -1149,181 +1421,62 @@ pub fn resume_job(
     Ok((id, workload, output, stats))
 }
 
-/// The shared execution core: drives `work` to completion on the
-/// pool/fleet lanes, streaming merges into `merger` (journaling each
-/// landed partial first), retrying with backoff, re-partitioning
-/// stragglers, degrading pool→fleet on a tripped breaker, and turning
-/// quarantined shards into [`hole_payload`] placeholders
-/// (`allow_partial`) or a named failure.
+/// The single-job execution core: drives `work` to completion on the
+/// pool/fleet lanes via a private [`Dispatcher`] and one [`JobRun`],
+/// streaming merges (journaling each landed partial first), retrying
+/// with backoff, re-partitioning stragglers, degrading pool→fleet on a
+/// tripped breaker, and turning quarantined shards into
+/// [`hole_payload`] placeholders (`allow_partial`) or a named failure.
+/// A permanently failed job drains its remaining in-flight verdicts
+/// before the error surfaces, so no stale outcome can leak into a
+/// later job on the same pool.
+#[allow(clippy::too_many_arguments)]
 fn run_shards(
-    cx: &JobCx<'_>,
+    exe: &Path,
+    pool: Option<&WorkerPool>,
+    config: &ServeConfig,
+    id: u64,
+    workload: &Workload,
     work: Vec<(Shard, Option<Fault>)>,
-    mut merger: Merger<Payload>,
-    mut next_index: usize,
-    mut stats: JobStats,
+    merger: Merger<Payload>,
+    next_index: usize,
+    stats: JobStats,
     mut journal: Option<&mut JobJournal>,
     emit: &mut dyn FnMut(Event),
 ) -> Result<(SweepOutput, JobStats), ShardError> {
-    let total = cx.workload.total();
-    let id = cx.id;
-    let mut exec = Exec::new(cx);
-    if cx.config.pool && !exec.use_pool {
+    let mut d = Dispatcher::new(exe, pool, config);
+    let mut job = JobRun::new(id, 0, workload.clone(), merger, next_index, stats, pool);
+    if config.pool && !d.use_pool {
         // The connection pool is gone (tripped on an earlier job):
         // this whole job runs degraded.
-        stats.degraded += 1;
+        job.stats.degraded += 1;
     }
-    let mut abandoned: Vec<Shard> = Vec::new();
     for (shard, fault) in work {
-        exec.submit(&mut stats, shard, 0, fault, Duration::ZERO);
+        job.ready.push_back((shard, 0, fault, Duration::ZERO));
     }
-    while !exec.inflight.is_empty() {
-        let Some(verdict) = exec.recv() else {
-            exec.finish(&mut stats);
-            return Err(ShardError::Worker {
+    loop {
+        while let Some((shard, attempt, fault, delay)) = job.ready.pop_front() {
+            d.submit(&mut job, shard, attempt, fault, delay);
+        }
+        if job.inflight == 0 {
+            break;
+        }
+        let Some((_, flight, verdict)) = d.recv() else {
+            job.fail(ShardError::Worker {
                 shard: 0,
                 reason: "worker scheduler terminated with jobs in flight".into(),
             });
+            // The lane's scheduler is dead: nothing further arrives.
+            job.inflight = 0;
+            break;
         };
-        let flight = exec
-            .inflight
-            .remove(&verdict.tag)
-            .expect("every outcome matches a submission");
-        let decoded: Result<ShardResult<Payload>, ShardError> = verdict.result.and_then(|stdout| {
-            result_from_json(&stdout).map_err(|e| ShardError::Worker {
-                shard: flight.shard.index,
-                reason: format!("decoding worker output: {e} (truncated stream?)"),
-            })
-        });
-        match decoded {
-            Ok(result) => {
-                // WAL first: the merge is only acknowledged once the
-                // partial is durably journaled, so a crash after this
-                // point is recoverable bit-exactly.
-                if let Some(j) = journal.as_mut() {
-                    if let Err(e) = j.append(&result) {
-                        exec.finish(&mut stats);
-                        return Err(ShardError::Worker {
-                            shard: flight.shard.index,
-                            reason: format!("journal append failed: {e}"),
-                        });
-                    }
-                }
-                let provenance = result.provenance.clone();
-                if let Err(e) = merger.insert(result) {
-                    exec.finish(&mut stats);
-                    return Err(e);
-                }
-                stats.completed += 1;
-                stats.cache_hits += provenance.cache_hits;
-                stats.cache_misses += provenance.cache_misses;
-                let latency_ms = verdict.elapsed.as_millis() as u64;
-                stats.shard_ms.push(latency_ms);
-                let covered = total - merger.missing().iter().map(|(s, e)| e - s).sum::<usize>();
-                emit(Event::Partial {
-                    id,
-                    shard: flight.shard,
-                    backend: provenance.backend,
-                    attempt: flight.attempt,
-                    latency_ms,
-                    cache_hits: provenance.cache_hits,
-                    cache_misses: provenance.cache_misses,
-                    covered,
-                    total,
-                });
-            }
-            Err(e) if verdict.circuit_open => {
-                // The pool's restart-rate breaker opened: this attempt
-                // was never fully tried. Reroute it (same attempt
-                // number — no retry budget consumed) to the one-shot
-                // subprocess path.
-                exec.use_pool = false;
-                stats.degraded += 1;
-                emit(Event::Requeue {
-                    id,
-                    range: (flight.shard.start, flight.shard.end),
-                    attempt: flight.attempt,
-                    backoff_ms: 0,
-                    repartitioned: false,
-                    reason: format!("{e} — degrading to one-shot workers"),
-                });
-                exec.submit(
-                    &mut stats,
-                    flight.shard,
-                    flight.attempt,
-                    flight.fault,
-                    Duration::ZERO,
-                );
-            }
-            Err(e) if verdict.quarantined => {
-                stats.quarantined += 1;
-                emit(Event::Quarantined {
-                    id,
-                    range: (flight.shard.start, flight.shard.end),
-                    reason: e.to_string(),
-                });
-                if cx.config.allow_partial {
-                    abandoned.push(flight.shard);
-                } else {
-                    exec.finish(&mut stats);
-                    return Err(e);
-                }
-            }
-            Err(e) if verdict.timed_out && flight.shard.len() >= 2 => {
-                // Straggler: its worker is already killed; halve the
-                // range onto fresh workers. Sub-shards run clean (the
-                // injected-fault map keys on original indices only) and
-                // merge into the exact same output — ranges are
-                // disjoint and the fold is canonical-order.
-                stats.repartitions += 1;
-                emit(Event::Requeue {
-                    id,
-                    range: (flight.shard.start, flight.shard.end),
-                    attempt: 0,
-                    backoff_ms: 0,
-                    repartitioned: true,
-                    reason: e.to_string(),
-                });
-                for sub in split_shard(flight.shard, &mut next_index) {
-                    exec.submit(&mut stats, sub, 0, None, Duration::ZERO);
-                }
-            }
-            Err(e) => {
-                let attempt = flight.attempt + 1;
-                if attempt >= cx.config.retry.max_attempts {
-                    exec.finish(&mut stats);
-                    return Err(e);
-                }
-                stats.retries += 1;
-                let backoff = cx.config.retry.backoff(attempt);
-                emit(Event::Requeue {
-                    id,
-                    range: (flight.shard.start, flight.shard.end),
-                    attempt,
-                    backoff_ms: backoff.as_millis() as u64,
-                    repartitioned: false,
-                    reason: e.to_string(),
-                });
-                exec.submit(&mut stats, flight.shard, attempt, flight.fault, backoff);
-            }
-        }
+        job.on_verdict(&mut d, flight, verdict, journal.as_deref_mut(), emit);
     }
-    exec.finish(&mut stats);
-    // Quarantined ranges (allow_partial) fill with placeholder
-    // payloads so the output keeps its shape; the holes are NaN-valued
-    // and the stats carry the quarantine count.
-    for shard in abandoned {
-        merger.insert(ShardResult {
-            provenance: Provenance {
-                shard,
-                backend: "quarantined".into(),
-                cache_hits: 0,
-                cache_misses: 0,
-            },
-            payload: hole_payload(cx.workload, shard),
-        })?;
+    if let Some(fstats) = d.shutdown_fleet() {
+        job.stats.spawned += fstats.spawned;
+        job.stats.max_live = job.stats.max_live.max(fstats.max_live);
     }
-    let output = assemble(cx.workload, merger.finish()?);
-    Ok((output, stats))
+    job.into_result(pool)
 }
 
 // ------------------------------------------------------------ the server
@@ -1339,15 +1492,51 @@ pub struct ServeStats {
     pub rejected: usize,
 }
 
-/// Picks the next job: cache-affinity first (a queued job sharing
-/// `last_key` keeps the compiled-pattern caches hot), else FIFO.
-fn pick_next(queue: &mut VecDeque<SubmitRequest>, last_key: Option<&str>) -> Option<SubmitRequest> {
+/// Picks the next job to admit: cache-affinity first (a queued job
+/// sharing `last_key` keeps the compiled-pattern caches hot), else
+/// FIFO. Affinity is **bounded**: after [`AFFINITY_STREAK_BOUND`]
+/// consecutive picks that bypassed the FIFO head, the head runs
+/// regardless — a sustained stream of same-key submissions used to
+/// starve every other queued job forever. A head pick (affine or not)
+/// advances the FIFO and resets the streak.
+fn pick_next(
+    queue: &mut VecDeque<SubmitRequest>,
+    last_key: Option<&str>,
+    streak: &mut usize,
+) -> Option<SubmitRequest> {
     if let Some(key) = last_key {
         if let Some(pos) = queue.iter().position(|r| r.workload.cache_key() == key) {
-            return queue.remove(pos);
+            if pos == 0 {
+                *streak = 0;
+                return queue.pop_front();
+            }
+            if *streak < AFFINITY_STREAK_BOUND {
+                *streak += 1;
+                return queue.remove(pos);
+            }
         }
     }
+    *streak = 0;
     queue.pop_front()
+}
+
+/// Admission state shared between the reader thread and the scheduler.
+struct Admission {
+    queue: VecDeque<SubmitRequest>,
+    /// Ids of every queued **or running** job. A submit reusing one is
+    /// rejected: admitting it would shadow a live job's event stream
+    /// and `JobJournal::create` would truncate the original's WAL,
+    /// silently destroying its in-flight crash-safety.
+    ids: HashSet<u64>,
+    /// Reader saw shutdown/EOF; the scheduler drains and exits.
+    done: bool,
+}
+
+/// One admitted job the scheduler is driving.
+struct ActiveJob {
+    run: JobRun,
+    journal: Option<JobJournal>,
+    check: bool,
 }
 
 /// The always-on orchestrator loop: newline-delimited request frames
@@ -1355,18 +1544,29 @@ fn pick_next(queue: &mut VecDeque<SubmitRequest>, last_key: Option<&str>) -> Opt
 /// the queue is drained gracefully and a `bye` frame closes the
 /// stream).
 ///
-/// A dedicated reader thread keeps admission decisions prompt while a
-/// job is running: `ping` answers immediately, and a `submit` beyond
-/// `max_queue` queued jobs is rejected the moment it arrives instead
-/// of buffering without bound.
+/// A dedicated reader thread keeps admission decisions prompt while
+/// jobs are running: `ping` answers immediately, a `submit` beyond
+/// `max_queue` queued jobs (or reusing a queued/running id) is
+/// rejected the moment it arrives, and the scheduler sleeps on a
+/// condvar while idle — the reader's wakeup replaces the old 5 ms
+/// polling loop.
+///
+/// Up to `max_jobs` admitted jobs run **concurrently**: the scheduler
+/// feeds their shards to the shared pool round-robin (one shard per
+/// job per turn) and demuxes verdicts back per job, so every tenant
+/// makes progress while any has work left.
 pub fn serve<R, W>(reader: R, writer: W, exe: &Path, config: &ServeConfig) -> ServeStats
 where
     R: BufRead + Send,
     W: Write + Send,
 {
     let writer = Mutex::new(writer);
-    let queue: Mutex<VecDeque<SubmitRequest>> = Mutex::new(VecDeque::new());
-    let reader_done = AtomicBool::new(false);
+    let admission = Mutex::new(Admission {
+        queue: VecDeque::new(),
+        ids: HashSet::new(),
+        done: false,
+    });
+    let wakeup = Condvar::new();
     let rejected = AtomicUsize::new(0);
     let emit = |event: Event| {
         if config.log {
@@ -1392,9 +1592,9 @@ where
                     Ok(Request::Ping) => emit(Event::Pong),
                     Ok(Request::Shutdown) => break,
                     Ok(Request::Submit(req)) => {
-                        let mut q = lock_unpoisoned(&queue);
-                        if q.len() >= config.max_queue {
-                            drop(q);
+                        let mut adm = lock_unpoisoned(&admission);
+                        if adm.queue.len() >= config.max_queue {
+                            drop(adm);
                             rejected.fetch_add(1, Ordering::SeqCst);
                             emit(Event::Rejected {
                                 id: Some(req.id),
@@ -1403,8 +1603,21 @@ where
                                     config.max_queue
                                 ),
                             });
+                        } else if adm.ids.contains(&req.id) {
+                            drop(adm);
+                            rejected.fetch_add(1, Ordering::SeqCst);
+                            emit(Event::Rejected {
+                                id: Some(req.id),
+                                reason: format!(
+                                    "admission: job id {} is already queued or running",
+                                    req.id
+                                ),
+                            });
                         } else {
-                            q.push_back(*req);
+                            adm.ids.insert(req.id);
+                            adm.queue.push_back(*req);
+                            drop(adm);
+                            wakeup.notify_all();
                         }
                     }
                     Err(e) => {
@@ -1416,74 +1629,168 @@ where
                     }
                 }
             }
-            reader_done.store(true, Ordering::SeqCst);
+            lock_unpoisoned(&admission).done = true;
+            wakeup.notify_all();
         });
 
+        let mut dispatcher = Dispatcher::new(exe, pool.as_ref(), config);
+        let mut active: Vec<ActiveJob> = Vec::new();
         let mut last_key: Option<String> = None;
+        let mut streak = 0usize;
+        let mut rr = 0usize;
+        let mut next_ns = 0usize;
         loop {
-            let next = {
-                let mut q = lock_unpoisoned(&queue);
-                pick_next(&mut q, last_key.as_deref())
-            };
-            match next {
-                Some(req) => {
-                    last_key = Some(req.workload.cache_key());
-                    let mut emit_fn = |event: Event| emit(event);
-                    let mut journal = match &config.journal_dir {
-                        None => None,
-                        Some(dir) => {
-                            match JobJournal::create(dir, req.id, &req.workload, req.shards) {
-                                Ok(j) => Some(j),
-                                Err(e) => {
-                                    stats.failed += 1;
-                                    emit(Event::JobError {
-                                        id: req.id,
-                                        reason: format!("cannot create job journal: {e}"),
-                                    });
-                                    continue;
-                                }
-                            }
-                        }
-                    };
-                    let spec = JobSpec {
-                        id: req.id,
-                        workload: &req.workload,
-                        shards: req.shards,
-                        faults: &req.faults,
-                    };
-                    match run_job_with(
-                        exe,
-                        pool.as_ref(),
-                        &spec,
-                        config,
-                        journal.as_mut(),
-                        &mut emit_fn,
-                    ) {
-                        Ok((output, job_stats)) => {
-                            let bit_identical = req
-                                .check
-                                .then(|| output.bit_identical(&monolithic(&req.workload)));
-                            stats.done += 1;
-                            emit(Event::Done {
-                                id: req.id,
-                                output,
-                                stats: job_stats,
-                                bit_identical,
-                            });
-                        }
+            // Admit queued jobs into free slots (affinity-bounded).
+            while active.len() < config.max_jobs.max(1) {
+                let next = {
+                    let mut adm = lock_unpoisoned(&admission);
+                    pick_next(&mut adm.queue, last_key.as_deref(), &mut streak)
+                };
+                let Some(req) = next else { break };
+                last_key = Some(req.workload.cache_key());
+                let journal = match &config.journal_dir {
+                    None => None,
+                    Some(dir) => match JobJournal::create(dir, req.id, &req.workload, req.shards) {
+                        Ok(j) => Some(j),
                         Err(e) => {
                             stats.failed += 1;
                             emit(Event::JobError {
                                 id: req.id,
-                                reason: e.to_string(),
+                                reason: format!("cannot create job journal: {e}"),
                             });
+                            lock_unpoisoned(&admission).ids.remove(&req.id);
+                            continue;
                         }
+                    },
+                };
+                let total = req.workload.total();
+                let parts: Vec<Shard> = Shard::partition(total, req.shards)
+                    .into_iter()
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                emit(Event::Accepted {
+                    id: req.id,
+                    total,
+                    shards: parts.len(),
+                });
+                let mut run = JobRun::new(
+                    req.id,
+                    next_ns,
+                    req.workload.clone(),
+                    Merger::new(total),
+                    req.shards,
+                    JobStats {
+                        shards: parts.len(),
+                        ..JobStats::default()
+                    },
+                    pool.as_ref(),
+                );
+                next_ns += 1;
+                if config.pool && !dispatcher.use_pool {
+                    run.stats.degraded += 1;
+                }
+                for part in parts {
+                    let fault = req
+                        .faults
+                        .iter()
+                        .find(|(i, _)| *i == part.index)
+                        .map(|(_, f)| *f);
+                    run.ready.push_back((part, 0, fault, Duration::ZERO));
+                }
+                active.push(ActiveJob {
+                    run,
+                    journal,
+                    check: req.check,
+                });
+            }
+            if active.is_empty() {
+                let adm = lock_unpoisoned(&admission);
+                if adm.done && adm.queue.is_empty() {
+                    break;
+                }
+                if adm.queue.is_empty() {
+                    // Idle: sleep until the reader signals a submit or
+                    // shutdown. Both transitions notify under this
+                    // mutex, so no wakeup can be lost.
+                    drop(wakeup.wait(adm));
+                }
+                continue;
+            }
+            // Keep the pool fed round-robin: one shard per ready job
+            // per turn, until the dispatch window is full. The window
+            // keeps the pool's internal queue shallow so a job
+            // admitted late is not stuck behind one tenant's backlog.
+            let window = config.cap + active.len();
+            while dispatcher.live() < window {
+                let mut dispatched = false;
+                for off in 0..active.len() {
+                    let slot = (rr + off) % active.len();
+                    let job = &mut active[slot].run;
+                    if let Some((shard, attempt, fault, delay)) = job.ready.pop_front() {
+                        dispatcher.submit(job, shard, attempt, fault, delay);
+                        rr = (slot + 1) % active.len();
+                        dispatched = true;
+                        break;
                     }
                 }
-                None if reader_done.load(Ordering::SeqCst) => break,
-                None => std::thread::sleep(Duration::from_millis(5)),
+                if !dispatched {
+                    break;
+                }
+            }
+            // One bounded wait for a verdict: fresh submits still get
+            // admitted within a poll interval while jobs are running.
+            if dispatcher.live() > 0 {
+                if let Some((job_id, flight, verdict)) = dispatcher.poll(RECV_POLL) {
+                    if let Some(slot) = active.iter_mut().find(|a| a.run.id == job_id) {
+                        let mut emit_fn = |event: Event| emit(event);
+                        slot.run.on_verdict(
+                            &mut dispatcher,
+                            flight,
+                            verdict,
+                            slot.journal.as_mut(),
+                            &mut emit_fn,
+                        );
+                    }
+                }
+            }
+            // Reap settled jobs, interleaving `done` frames by job id.
+            let mut i = 0;
+            while i < active.len() {
+                if !active[i].run.settled() {
+                    i += 1;
+                    continue;
+                }
+                let done = active.remove(i);
+                let id = done.run.id;
+                let workload = done.run.workload.clone();
+                match done.run.into_result(pool.as_ref()) {
+                    Ok((output, job_stats)) => {
+                        let bit_identical = done
+                            .check
+                            .then(|| output.bit_identical(&monolithic(&workload)));
+                        stats.done += 1;
+                        emit(Event::Done {
+                            id,
+                            output,
+                            stats: job_stats,
+                            bit_identical,
+                        });
+                    }
+                    Err(e) => {
+                        stats.failed += 1;
+                        emit(Event::JobError {
+                            id,
+                            reason: e.to_string(),
+                        });
+                    }
+                }
+                lock_unpoisoned(&admission).ids.remove(&id);
             }
         }
+        // The degraded-path fleet (if any job tripped onto it) is
+        // connection-scoped here; its spawn counters are not
+        // attributable to a single job, so they fold into no stats.
+        dispatcher.shutdown_fleet();
     });
     if let Some(pool) = pool {
         pool.shutdown();
@@ -1568,12 +1875,36 @@ mod tests {
         .into_iter()
         .collect();
         let key = landscape("square").cache_key();
+        let mut streak = 0;
         // Affinity: job 1 (first matching), then job 3 — job 2 waits.
-        assert_eq!(pick_next(&mut q, Some(&key)).unwrap().id, 1);
-        assert_eq!(pick_next(&mut q, Some(&key)).unwrap().id, 3);
+        assert_eq!(pick_next(&mut q, Some(&key), &mut streak).unwrap().id, 1);
+        assert_eq!(pick_next(&mut q, Some(&key), &mut streak).unwrap().id, 3);
         // No match left: FIFO.
-        assert_eq!(pick_next(&mut q, Some(&key)).unwrap().id, 2);
-        assert!(pick_next(&mut q, None).is_none());
+        assert_eq!(pick_next(&mut q, Some(&key), &mut streak).unwrap().id, 2);
+        assert!(pick_next(&mut q, None, &mut streak).is_none());
+    }
+
+    #[test]
+    fn pick_next_affinity_streak_cannot_starve_the_fifo_head() {
+        // Regression: affinity used to be unbounded, so a sustained
+        // stream of same-key jobs starved a different-key head forever.
+        let mut q: VecDeque<SubmitRequest> = std::iter::once(submit(100, "triangle"))
+            .chain((1..=AFFINITY_STREAK_BOUND as u64 + 2).map(|id| submit(id, "square")))
+            .collect();
+        let key = landscape("square").cache_key();
+        let mut streak = 0;
+        let mut order = Vec::new();
+        while let Some(req) = pick_next(&mut q, Some(&key), &mut streak) {
+            order.push(req.id);
+        }
+        // Exactly K affinity picks bypass the head, then the head runs.
+        let bumped = order
+            .iter()
+            .position(|&id| id == 100)
+            .expect("the head must eventually run");
+        assert_eq!(bumped, AFFINITY_STREAK_BOUND);
+        // Nothing is lost, and the post-head picks resume affinity.
+        assert_eq!(order.len(), AFFINITY_STREAK_BOUND + 3);
     }
 
     #[test]
@@ -1592,6 +1923,9 @@ mod tests {
         assert_eq!((a.index, b.index), (3, 4));
         assert_eq!(next_index, 5);
         assert!(!a.is_empty() && !b.is_empty());
+        // Synthetic sub-shards keep the provenance invariant the wire
+        // decoder asserts: index < of.
+        assert!(a.index < a.of && b.index < b.of);
     }
 
     #[test]

@@ -95,6 +95,26 @@ impl Shard {
             .collect()
     }
 
+    /// A synthetic shard for work created *after* the original
+    /// partition (straggler re-partitions, resume re-runs). The fresh
+    /// `index` numbers above the original width so error messages stay
+    /// unambiguous, and `of` is kept consistent as `index + 1` — the
+    /// invariant `index < of` holds for every shard ever constructed,
+    /// so provenance can never report "shard 7 of 4".
+    ///
+    /// # Panics
+    /// Panics when `start > end` or `end > total`.
+    pub fn synthetic(index: usize, total: usize, start: usize, end: usize) -> Shard {
+        assert!(start <= end && end <= total, "synthetic shard out of range");
+        Shard {
+            index,
+            of: index + 1,
+            total,
+            start,
+            end,
+        }
+    }
+
     /// Number of items this shard covers.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -116,15 +136,31 @@ impl Shard {
         ])
     }
 
-    /// Wire decoding.
+    /// Wire decoding. Enforces the shard invariants — `index < of` and
+    /// `start <= end <= total` — so a corrupt or hand-rolled frame can
+    /// never smuggle impossible provenance ("shard 7 of 4") into a
+    /// merger or a journal replay.
     pub fn from_wire(v: &Value) -> Result<Shard, WireError> {
-        Ok(Shard {
+        let shard = Shard {
             index: v.field("index")?.as_uint()?,
             of: v.field("of")?.as_uint()?,
             total: v.field("total")?.as_uint()?,
             start: v.field("start")?.as_uint()?,
             end: v.field("end")?.as_uint()?,
-        })
+        };
+        if shard.index >= shard.of {
+            return Err(WireError(format!(
+                "shard index {} out of range (of {})",
+                shard.index, shard.of
+            )));
+        }
+        if shard.start > shard.end || shard.end > shard.total {
+            return Err(WireError(format!(
+                "shard range {}..{} outside sweep of {} items",
+                shard.start, shard.end, shard.total
+            )));
+        }
+        Ok(shard)
     }
 }
 
@@ -1143,6 +1179,14 @@ impl Slot {
 /// is ever reported; an endlessly chatty worker must not grow memory).
 const POOL_STDERR_CAP: usize = 64 * 1024;
 
+/// Fairness bound shared by every cache-affinity scheduler in the
+/// stack (the pool's slot dispatch and the serve layer's job/shard
+/// pickers): at most this many *consecutive* picks may bypass the FIFO
+/// head for a warm cache key before the head runs unconditionally. A
+/// sustained stream of one key therefore delays any other tenant by at
+/// most `AFFINITY_STREAK_BOUND` picks instead of forever.
+pub const AFFINITY_STREAK_BOUND: usize = 4;
+
 struct PoolSupervisor {
     cmd: WorkerCommand,
     config: PoolConfig,
@@ -1152,6 +1196,10 @@ struct PoolSupervisor {
     /// Successive worker kills per shard index (cleared on success),
     /// with the last corpse's stderr excerpt.
     deaths: HashMap<usize, (u32, String)>,
+    /// Consecutive affinity-routed (non-FIFO-head) picks; bounded by
+    /// [`AFFINITY_STREAK_BOUND`] so a warm cache key can never starve
+    /// the rest of the queue.
+    affinity_streak: usize,
     /// Timestamps of breaker-relevant deaths inside `restart_window`.
     breaker: VecDeque<Instant>,
     next_gen: u64,
@@ -1446,11 +1494,16 @@ impl PoolSupervisor {
                 continue;
             }
             let mut pick = None;
-            'affinity: for (si, slot) in self.slots.iter().enumerate() {
-                if let (SlotState::Idle, Some(key)) = (&slot.state, &slot.last_key) {
-                    if let Some(j) = self.queue.iter().position(|job| job.cache_key == *key) {
-                        pick = Some((si, j, true));
-                        break 'affinity;
+            // Affinity picks that bypass the FIFO head are bounded: a
+            // sustained stream of one cache key must not starve queued
+            // work behind it (the head itself matching counts as FIFO).
+            if self.affinity_streak < AFFINITY_STREAK_BOUND {
+                'affinity: for (si, slot) in self.slots.iter().enumerate() {
+                    if let (SlotState::Idle, Some(key)) = (&slot.state, &slot.last_key) {
+                        if let Some(j) = self.queue.iter().position(|job| job.cache_key == *key) {
+                            pick = Some((si, j, true));
+                            break 'affinity;
+                        }
                     }
                 }
             }
@@ -1486,6 +1539,13 @@ impl PoolSupervisor {
             let job = self.queue.remove(j).expect("picked index is in range");
             if affinity {
                 self.shared.affinity_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Only picks that bypassed the head extend the streak; a
+            // head pick (affinity or not) advances the FIFO and resets.
+            if affinity && j > 0 {
+                self.affinity_streak += 1;
+            } else {
+                self.affinity_streak = 0;
             }
             self.assign(si, job);
         }
@@ -1703,6 +1763,7 @@ impl WorkerPool {
             queue: VecDeque::new(),
             delayed: Vec::new(),
             deaths: HashMap::new(),
+            affinity_streak: 0,
             breaker: VecDeque::new(),
             next_gen: 0,
             out_tx,
@@ -1976,6 +2037,47 @@ mod tests {
             let parsed = Value::parse(&v.to_json()).unwrap();
             assert_eq!(Shard::from_wire(&parsed).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn shard_wire_decode_rejects_impossible_provenance() {
+        // "shard 7 of 4" and out-of-range slices must never decode —
+        // the invariants hold at the wire boundary, not just at
+        // construction.
+        let bad_index = Shard {
+            index: 7,
+            of: 4,
+            total: 10,
+            start: 0,
+            end: 5,
+        };
+        assert!(Shard::from_wire(&bad_index.to_wire()).is_err());
+        let bad_range = Shard {
+            index: 0,
+            of: 1,
+            total: 10,
+            start: 4,
+            end: 14,
+        };
+        assert!(Shard::from_wire(&bad_range.to_wire()).is_err());
+        let inverted = Shard {
+            index: 0,
+            of: 1,
+            total: 10,
+            start: 6,
+            end: 2,
+        };
+        assert!(Shard::from_wire(&inverted.to_wire()).is_err());
+    }
+
+    #[test]
+    fn synthetic_shards_keep_index_below_of() {
+        let s = Shard::synthetic(7, 100, 40, 60);
+        assert_eq!((s.index, s.of), (7, 8));
+        assert_eq!((s.start, s.end, s.total), (40, 60, 100));
+        // And they survive the (now validating) wire round trip.
+        let parsed = Value::parse(&s.to_wire().to_json()).unwrap();
+        assert_eq!(Shard::from_wire(&parsed).unwrap(), s);
     }
 
     #[test]

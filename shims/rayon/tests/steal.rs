@@ -1,0 +1,171 @@
+//! Deterministic cross-job work-stealing test.
+//!
+//! Scenario (3 pool workers; a warm-up job advances the round-robin
+//! ticket cursor to 1 and parks every worker — a worker that is still
+//! starting up could otherwise steal job X's parts and scramble the
+//! occupancy below):
+//!
+//! * Job X (caller C1, 2 parts) — ticket to worker 1; both parts block
+//!   on gate `gx`.
+//! * Job Y (caller C2, 2 parts) — ticket to worker 2; both parts block
+//!   on gate `gy`.
+//! * Job Z (caller C3, 3 parts) — tickets to workers 0 and 1 (1's is
+//!   queued behind X's); the first two claims block on gate `gz`, the
+//!   third claim records its executing thread and completes.
+//!
+//! C3 and worker 0 take Z's first two claims and block, so Z's third
+//! part is unreachable through any ticket: worker 1 is blocked inside X
+//! and worker 0 inside Z. Releasing `gy` frees worker 2 — which holds
+//! no Z ticket and whose channel is empty — and the only path to Z's
+//! third part is the steal registry. The test asserts that part runs on
+//! a pool worker thread while `gx`/`gz` are still closed, i.e. a
+//! finishing job's worker stole a shard-internal slice from a
+//! straggling one.
+//!
+//! Single `#[test]` in its own file: integration tests get their own
+//! process, so `RAYON_NUM_THREADS` and the ticket cursor start fresh.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+/// A manually opened gate: `wait` blocks until `open`.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Spins until `counter` reaches `want` (10 s cap — generous for CI).
+fn wait_for(counter: &AtomicUsize, want: usize, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while counter.load(Ordering::Acquire) < want {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn idle_worker_steals_unclaimed_part_from_straggling_job() {
+    // Must precede any pool use: 4 threads = 3 workers + the caller.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    assert_eq!(rayon::current_num_threads(), 4);
+
+    // Warm the pool up and let every worker park: a worker between jobs
+    // scans the steal registry once before parking, so the jobs below
+    // only ever run on their ticketed workers (+ stealers we control).
+    let warm: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+    assert_eq!(warm, 4950);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let gx = Gate::new();
+    let gy = Gate::new();
+    let gz = Gate::new();
+    let x_blocked = Arc::new(AtomicUsize::new(0));
+    let y_blocked = Arc::new(AtomicUsize::new(0));
+    let z_blocked = Arc::new(AtomicUsize::new(0));
+    let z_claims = Arc::new(AtomicUsize::new(0));
+    let part3_done = Arc::new(AtomicUsize::new(0));
+    let part3_thread: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+
+    // Job X: ticket lands on worker 1 (cursor 1); occupies it + C1.
+    let c1 = {
+        let (gx, x_blocked) = (gx.clone(), x_blocked.clone());
+        std::thread::Builder::new()
+            .name("caller-x".into())
+            .spawn(move || {
+                (0..2usize).into_par_iter().for_each(|_| {
+                    x_blocked.fetch_add(1, Ordering::AcqRel);
+                    gx.wait();
+                });
+            })
+            .unwrap()
+    };
+    wait_for(&x_blocked, 2, "job X to occupy C1 and worker 1");
+
+    // Job Y: ticket lands on worker 2 (cursor 2); occupies it + C2.
+    let c2 = {
+        let (gy, y_blocked) = (gy.clone(), y_blocked.clone());
+        std::thread::Builder::new()
+            .name("caller-y".into())
+            .spawn(move || {
+                (0..2usize).into_par_iter().for_each(|_| {
+                    y_blocked.fetch_add(1, Ordering::AcqRel);
+                    gy.wait();
+                });
+            })
+            .unwrap()
+    };
+    wait_for(&y_blocked, 2, "job Y to occupy C2 and worker 2");
+
+    // Job Z: tickets land on workers 0 and 1 (cursor 3); worker 1's is
+    // queued behind X. C3 + worker 0 take the first two claims and
+    // block; the third claim is only reachable by stealing.
+    let c3 = {
+        let (gz, z_blocked) = (gz.clone(), z_blocked.clone());
+        let (z_claims, part3_done) = (z_claims.clone(), part3_done.clone());
+        let part3_thread = part3_thread.clone();
+        std::thread::Builder::new()
+            .name("caller-z".into())
+            .spawn(move || {
+                (0..3usize).into_par_iter().for_each(|_| {
+                    if z_claims.fetch_add(1, Ordering::AcqRel) < 2 {
+                        z_blocked.fetch_add(1, Ordering::AcqRel);
+                        gz.wait();
+                    } else {
+                        *part3_thread.lock().unwrap() = std::thread::current()
+                            .name()
+                            .unwrap_or("<unnamed>")
+                            .to_string();
+                        part3_done.fetch_add(1, Ordering::AcqRel);
+                    }
+                });
+            })
+            .unwrap()
+    };
+    wait_for(&z_blocked, 2, "job Z to occupy C3 and worker 0");
+
+    // Free worker 2: it finishes Y, finds its channel empty, and must
+    // reach Z's last part through the steal registry — gx and gz stay
+    // closed, so no ticket holder can get there.
+    gy.open();
+    wait_for(&part3_done, 1, "an idle worker to steal Z's third part");
+
+    let thief = part3_thread.lock().unwrap().clone();
+    assert!(
+        thief.starts_with("rayon-shim-"),
+        "Z's third part must run on a pool worker via stealing, ran on {thief:?}"
+    );
+    assert_ne!(thief, "caller-z", "the owning caller was blocked");
+
+    gz.open();
+    gx.open();
+    c1.join().unwrap();
+    c2.join().unwrap();
+    c3.join().unwrap();
+
+    // Stealing reuses the persistent workers — still zero extra spawns.
+    assert_eq!(rayon::pool_spawn_count(), 3);
+}
